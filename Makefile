@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test race cover bench experiments examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+cover:
+	go test -cover ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every table and figure (plus CSVs and SVG charts) into results/.
+experiments:
+	go run ./cmd/experiments -all -size medium -budget 2s -csv results -svg results
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/cameras
+	go run ./examples/shortlist
+	go run ./examples/opinionschemes
+	go run ./examples/explanations
+	go run ./examples/batch
+
+clean:
+	rm -f test_output.txt bench_output.txt

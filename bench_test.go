@@ -1,0 +1,296 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per artifact; see DESIGN.md's per-experiment index), plus
+// micro-benchmarks of the core algorithms. The workload is built once per
+// benchmark outside the timer; the selection cache is cleared between
+// iterations so each iteration measures real work.
+package comparesets_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"comparesets"
+	"comparesets/internal/core"
+	"comparesets/internal/experiments"
+	"comparesets/internal/rouge"
+	"comparesets/internal/simgraph"
+)
+
+var (
+	benchOnce sync.Once
+	benchWL   *experiments.Workload
+	benchErr  error
+)
+
+func benchWorkload(b *testing.B) *experiments.Workload {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchWL, benchErr = experiments.NewWorkload(42, experiments.Small, 6)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchWL
+}
+
+// BenchmarkTable2DatasetStats regenerates Table 2.
+func BenchmarkTable2DatasetStats(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2(w)
+		if len(res.Rows) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkTable3Alignment regenerates Table 3 (m = 3 column block).
+func BenchmarkTable3Alignment(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ClearCache()
+		if _, err := experiments.Table3(w, []int{3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4OpinionSchemes regenerates Table 4.
+func BenchmarkTable4OpinionSchemes(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ClearCache()
+		if _, err := experiments.Table4(w, 0, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5HkSQuality regenerates Table 5 (k = 3).
+func BenchmarkTable5HkSQuality(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ClearCache()
+		if _, err := experiments.Table5(w, []int{3}, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6CoreList regenerates Table 6 (k = 3).
+func BenchmarkTable6CoreList(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ClearCache()
+		if _, err := experiments.Table6(w, []int{3}, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable7UserStudy regenerates Table 7.
+func BenchmarkTable7UserStudy(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ClearCache()
+		if _, err := experiments.Table7(w, 3, 5, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5aLambdaSweep regenerates Figure 5a.
+func BenchmarkFigure5aLambdaSweep(b *testing.B) {
+	w := benchWorkload(b)
+	lambdas := []float64{0.01, 0.1, 1, 10, 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ClearCache()
+		if _, err := experiments.Figure5a(w, lambdas, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5bMuSweep regenerates Figure 5b.
+func BenchmarkFigure5bMuSweep(b *testing.B) {
+	w := benchWorkload(b)
+	mus := []float64{0.01, 0.1, 1, 10, 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ClearCache()
+		if _, err := experiments.Figure5b(w, mus, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6GapVsReviews regenerates Figure 6 (Cellphone).
+func BenchmarkFigure6GapVsReviews(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ClearCache()
+		if _, err := experiments.Figure6(w, 0, 3, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7Runtime regenerates a reduced Figure 7 point grid.
+func BenchmarkFigure7Runtime(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7(w, 0, []int{5, 10}, []int{3}, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure11InfoLoss regenerates Figure 11.
+func BenchmarkFigure11InfoLoss(b *testing.B) {
+	w := benchWorkload(b)
+	ms := []int{1, 3, 5, 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ClearCache()
+		if _, err := experiments.Figure11(w, 0, ms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCaseStudies regenerates the Figures 8-10 case studies.
+func BenchmarkCaseStudies(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ClearCache()
+		if _, err := experiments.CaseStudies(w, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableExtended regenerates the beyond-paper extended comparison.
+func BenchmarkTableExtended(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ClearCache()
+		if _, err := experiments.TableExtended(w, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationHkSStress regenerates a reduced HkS budget-stress grid.
+func BenchmarkAblationHkSStress(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.HkSStress(42, []int{10, 16}, 6, 3, 50*time.Millisecond)
+	}
+}
+
+// BenchmarkTuning regenerates the §4.1.4 hyperparameter procedure over a
+// reduced candidate set.
+func BenchmarkTuning(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.ClearCache()
+		if _, err := experiments.Tune(w, []float64{0.1, 1}, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the core algorithms ---
+
+func benchInstance(b *testing.B) *comparesets.Instance {
+	b.Helper()
+	corpus, err := comparesets.GenerateCorpus("Cellphone", 40, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := comparesets.TargetProducts(corpus)
+	inst, err := corpus.NewInstance(targets[0], 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+func benchSelector(b *testing.B, sel comparesets.Selector, m int) {
+	inst := benchInstance(b)
+	cfg := comparesets.DefaultConfig(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sel.Select(inst, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectCompaReSetS measures Problem 1 on one instance (m = 5).
+func BenchmarkSelectCompaReSetS(b *testing.B) { benchSelector(b, core.CompaReSetS{}, 5) }
+
+// BenchmarkSelectCompaReSetSPlus measures Problem 2 on one instance (m = 5).
+func BenchmarkSelectCompaReSetSPlus(b *testing.B) { benchSelector(b, core.CompaReSetSPlus{}, 5) }
+
+// BenchmarkSelectCRS measures the single-item CRS baseline (m = 5).
+func BenchmarkSelectCRS(b *testing.B) { benchSelector(b, core.CRS{}, 5) }
+
+// BenchmarkSelectGreedy measures the greedy baseline (m = 5).
+func BenchmarkSelectGreedy(b *testing.B) { benchSelector(b, core.Greedy{}, 5) }
+
+func benchGraph(n int, seed int64) *simgraph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := simgraph.NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.SetWeight(i, j, rng.Float64()*10)
+		}
+	}
+	return g
+}
+
+// BenchmarkShortlistExact measures the branch-and-bound solver (n=25, k=10).
+func BenchmarkShortlistExact(b *testing.B) {
+	g := benchGraph(25, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := (simgraph.Exact{}).Solve(g, 10)
+		if !res.Optimal {
+			b.Fatal("not optimal")
+		}
+	}
+}
+
+// BenchmarkShortlistGreedy measures Algorithm 2 (n=25, k=10).
+func BenchmarkShortlistGreedy(b *testing.B) {
+	g := benchGraph(25, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(simgraph.Greedy{}).Solve(g, 10)
+	}
+}
+
+// BenchmarkRougeCompare measures one ROUGE evaluation on review-length text.
+func BenchmarkRougeCompare(b *testing.B) {
+	a := "bought this last month. the battery lasts all day, great endurance. the screen is crisp and bright. shipping was fast, arrived as described."
+	c := "the charge lasts all day, great endurance. the display is blurry at an angle. the price is great for what you get."
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rouge.Compare(a, c)
+	}
+}

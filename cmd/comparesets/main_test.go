@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"comparesets"
+)
+
+func TestRunSynthetic(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-category", "Toy", "-products", "25", "-seed", "2", "-m", "2", "-k", "3",
+		"-explain", "-summarize"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Shortlist (exact)", "(this item)", "compare with similar items", "Comparative explanations:", "summary:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFromCorpusFile(t *testing.T) {
+	corpus, err := comparesets.GenerateCorpus("Clothing", 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "c.json")
+	if err := comparesets.SaveCorpus(corpus, path); err != nil {
+		t.Fatal(err)
+	}
+	target := comparesets.TargetProducts(corpus)[0]
+	var buf bytes.Buffer
+	if err := run([]string{"-data", path, "-target", target, "-m", "2", "-k", "0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), target) {
+		t.Errorf("output does not mention target %s", target)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-algorithm", "Magic", "-products", "20"}, &buf); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-data", "/no/such.json"}, &buf); err == nil {
+		t.Error("missing corpus accepted")
+	}
+	if err := run([]string{"-target", "ghost", "-products", "20"}, &buf); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if err := run([]string{"-m", "0", "-products", "20"}, &buf); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if err := run([]string{"-shortlist", "psychic", "-products", "20"}, &buf); err == nil {
+		t.Error("bad shortlist method accepted")
+	}
+}

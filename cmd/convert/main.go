@@ -1,0 +1,60 @@
+// Command convert turns Amazon Product Review Dataset files (He & McAuley
+// JSON-lines format — the dataset the paper evaluates on) into this
+// repository's corpus JSON, annotating every review with the lexicon-based
+// aspect-sentiment extractor on the way.
+//
+// Usage:
+//
+//	convert -reviews reviews_Cell_Phones.json -meta meta_Cell_Phones.json \
+//	        -category Cellphone -out cellphone.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"comparesets/internal/amazon"
+	"comparesets/internal/dataset"
+	"comparesets/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "convert:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	var (
+		reviews     = fs.String("reviews", "", "path to the JSON-lines review file")
+		meta        = fs.String("meta", "", "path to the JSON-lines metadata file")
+		category    = fs.String("category", "Cellphone", "extraction lexicon: Cellphone, Toy, or Clothing")
+		out         = fs.String("out", "corpus.json", "output corpus path")
+		maxProducts = fs.Int("maxproducts", 0, "truncate the product set (0 = all)")
+		minReviews  = fs.Int("minreviews", 3, "drop products with fewer reviews")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *reviews == "" || *meta == "" {
+		return fmt.Errorf("-reviews and -meta are required")
+	}
+	corpus, err := amazon.LoadFiles(*reviews, *meta, amazon.Options{
+		Category:    *category,
+		MaxProducts: *maxProducts,
+		MinReviews:  *minReviews,
+	})
+	if err != nil {
+		return err
+	}
+	if err := model.SaveCorpus(corpus, *out); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	dataset.WriteTable(stdout, []dataset.Stats{dataset.Compute(corpus)})
+	return nil
+}

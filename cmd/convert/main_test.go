@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"comparesets/internal/model"
+)
+
+const metaFixture = `{"asin":"B001","title":"Acme Car Charger","price":12.99,"related":{"also_bought":["B002"]}}
+{"asin":"B002","title":"Acme USB Cable","price":5.49,"related":{"also_bought":["B001"]}}
+`
+
+const reviewFixture = `{"reviewerID":"U1","asin":"B001","reviewText":"the charger works great in the car.","overall":5.0}
+{"reviewerID":"U2","asin":"B001","reviewText":"the charger stopped working after a month, disappointing.","overall":2.0}
+{"reviewerID":"U1","asin":"B002","reviewText":"the cable frayed within weeks, very cheap.","overall":1.0}
+`
+
+func writeFixtures(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	rp := filepath.Join(dir, "reviews.json")
+	mp := filepath.Join(dir, "meta.json")
+	if err := os.WriteFile(rp, []byte(reviewFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mp, []byte(metaFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return rp, mp
+}
+
+func TestRunConvert(t *testing.T) {
+	rp, mp := writeFixtures(t)
+	out := filepath.Join(t.TempDir(), "corpus.json")
+	var buf bytes.Buffer
+	err := run([]string{"-reviews", rp, "-meta", mp, "-category", "Cellphone", "-minreviews", "1", "-out", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote "+out) {
+		t.Errorf("output = %s", buf.String())
+	}
+	c, err := model.LoadCorpus(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Items) != 2 || c.NumReviews() != 3 {
+		t.Errorf("corpus = %d items %d reviews", len(c.Items), c.NumReviews())
+	}
+	// Annotation happened.
+	r := c.Items["B001"].Reviews[0]
+	if len(r.Mentions) == 0 {
+		t.Error("reviews not annotated")
+	}
+}
+
+func TestRunConvertErrors(t *testing.T) {
+	rp, mp := writeFixtures(t)
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := run([]string{"-reviews", rp, "-meta", mp, "-category", "Books"}, &buf); err == nil {
+		t.Error("unknown category accepted")
+	}
+	if err := run([]string{"-reviews", "/no/such", "-meta", mp}, &buf); err == nil {
+		t.Error("missing review file accepted")
+	}
+}

@@ -1,0 +1,90 @@
+// Command datagen generates synthetic Amazon-like review corpora and writes
+// them as JSON, printing Table-2 style statistics for each.
+//
+// Usage:
+//
+//	datagen -all -outdir data            # the three default categories
+//	datagen -category Toy -products 200 -seed 7 -out toy.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"comparesets/internal/datagen"
+	"comparesets/internal/dataset"
+	"comparesets/internal/lexicon"
+	"comparesets/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	var (
+		category = fs.String("category", "Cellphone", "category: Cellphone, Toy, or Clothing")
+		products = fs.Int("products", 120, "number of products")
+		mean     = fs.Float64("reviews", 15, "mean reviews per product")
+		alsoMean = fs.Float64("alsobought", 7, "mean also-bought list length")
+		seed     = fs.Int64("seed", 1, "generation seed")
+		out      = fs.String("out", "", "output JSON path (default <category>.json)")
+		all      = fs.Bool("all", false, "generate the three default corpora")
+		outdir   = fs.String("outdir", ".", "output directory for -all")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *all {
+		var rows []dataset.Stats
+		for _, cfg := range datagen.DefaultConfigs(*seed) {
+			corpus, err := datagen.Generate(cfg)
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*outdir, strings.ToLower(cfg.Category.Name)+".json")
+			if err := model.SaveCorpus(corpus, path); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", path)
+			rows = append(rows, dataset.Compute(corpus))
+		}
+		dataset.WriteTable(stdout, rows)
+		return nil
+	}
+
+	cat, ok := lexicon.CategoryByName(*category)
+	if !ok {
+		return fmt.Errorf("unknown category %q", *category)
+	}
+	corpus, err := datagen.Generate(datagen.Config{
+		Category:       cat,
+		Products:       *products,
+		Reviewers:      3 * *products,
+		MeanReviews:    *mean,
+		MeanAlsoBought: *alsoMean,
+		Seed:           *seed,
+	})
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = strings.ToLower(cat.Name) + ".json"
+	}
+	if err := model.SaveCorpus(corpus, path); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	dataset.WriteTable(stdout, []dataset.Stats{dataset.Compute(corpus)})
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"comparesets/internal/model"
+)
+
+func TestRunSingleCategory(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "toy.json")
+	var buf bytes.Buffer
+	err := run([]string{"-category", "Toy", "-products", "12", "-seed", "3", "-out", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote "+out) || !strings.Contains(buf.String(), "#Product") {
+		t.Errorf("output = %s", buf.String())
+	}
+	c, err := model.LoadCorpus(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Items) != 12 || c.Category != "Toy" {
+		t.Errorf("corpus = %d items, %s", len(c.Items), c.Category)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	// Keep -all small via the shared default configs: just verify it
+	// writes the three files.
+	if err := run([]string{"-all", "-outdir", dir, "-seed", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cellphone.json", "toy.json", "clothing.json"} {
+		if _, err := model.LoadCorpus(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-category", "Books"}, &buf); err == nil {
+		t.Error("unknown category accepted")
+	}
+	if err := run([]string{"-products", "0", "-out", filepath.Join(t.TempDir(), "x.json")}, &buf); err == nil {
+		t.Error("zero products accepted")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,386 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic workload.
+//
+// Usage:
+//
+//	experiments -all                       # everything, medium workload
+//	experiments -table 3 -size large
+//	experiments -figure 5a
+//	experiments -casestudies
+//	experiments -ablation hks
+//	experiments -all -csv results -svg results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"comparesets/internal/experiments"
+	"comparesets/internal/plot"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == errNothingRequested:
+		flag.Usage()
+		os.Exit(2)
+	case err != nil:
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+var errNothingRequested = fmt.Errorf("no table, figure, ablation, or -all requested")
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		table       = fs.String("table", "", "table to regenerate: 2, 3, 4, 5, 6, 7, ext")
+		figure      = fs.String("figure", "", "figure to regenerate: 5a, 5b, 6, 7, 11")
+		casestudies = fs.Bool("casestudies", false, "print the case studies (Figures 8-10)")
+		ablation    = fs.String("ablation", "", "ablation to run: hks, passes, lambda")
+		tune        = fs.Bool("tune", false, "run the §4.1.4 hyperparameter tuning procedure")
+		all         = fs.Bool("all", false, "regenerate everything")
+		size        = fs.String("size", "medium", "workload size: small, medium, large")
+		seed        = fs.Int64("seed", 42, "workload seed")
+		budget      = fs.Duration("budget", 5*time.Second, "exact-solver time budget per instance")
+		maxComp     = fs.Int("maxcomp", 10, "max comparative items per instance (0 = full lists)")
+		csvDir      = fs.String("csv", "", "also write machine-readable CSVs into this directory")
+		svgDir      = fs.String("svg", "", "also render figures as SVG charts into this directory")
+		surveysDir  = fs.String("surveys", "", "write blind user-study survey sheets (§4.5) into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, dir := range []string{*csvDir, *svgDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+	}
+	saveCSV := func(name string, r experiments.CSVRows) error {
+		if *csvDir == "" {
+			return nil
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteCSV(f, r); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "(wrote %s)\n", path)
+		return nil
+	}
+	saveSVG := func(name string, c plot.Chart) error {
+		if *svgDir == "" {
+			return nil
+		}
+		path := filepath.Join(*svgDir, name+".svg")
+		if err := c.Save(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "(wrote %s)\n", path)
+		return nil
+	}
+
+	var sz experiments.Size
+	switch *size {
+	case "small":
+		sz = experiments.Small
+	case "medium":
+		sz = experiments.Medium
+	case "large":
+		sz = experiments.Large
+	default:
+		return fmt.Errorf("unknown size %q", *size)
+	}
+
+	fmt.Fprintf(stdout, "building workload (size=%s, seed=%d)...\n", *size, *seed)
+	start := time.Now()
+	w, err := experiments.NewWorkload(*seed, sz, *maxComp)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "workload ready in %.1fs\n\n", time.Since(start).Seconds())
+
+	section := func(title string) {
+		fmt.Fprintf(stdout, "\n================ %s ================\n", title)
+	}
+	want := func(t string) bool { return *all || *table == t }
+	wantFig := func(f string) bool { return *all || *figure == f }
+	wantAbl := func(a string) bool { return *all || *ablation == a }
+	ran := false
+
+	if want("2") {
+		section("Table 2: dataset statistics")
+		t2 := experiments.Table2(w)
+		t2.Render(stdout)
+		if err := saveCSV("table2", t2); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if want("3") {
+		section("Table 3: review alignment vs baselines")
+		res, err := experiments.Table3(w, []int{3, 5, 10})
+		if err != nil {
+			return err
+		}
+		res.Render(stdout)
+		if err := saveCSV("table3", res); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if want("4") {
+		section("Table 4: opinion definitions (Cellphone, m=3; efm-learned column is this repo's §4.2.3 extension)")
+		res, err := experiments.Table4WithLearned(w, 0, 3)
+		if err != nil {
+			return err
+		}
+		res.Render(stdout)
+		if err := saveCSV("table4", res); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if want("5") {
+		section("Table 5: TargetHkS optimal vs approximation")
+		res, err := experiments.Table5(w, []int{3, 5, 10}, *budget)
+		if err != nil {
+			return err
+		}
+		res.Render(stdout)
+		if err := saveCSV("table5", res); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if want("6") {
+		section("Table 6: core-list review alignment")
+		res, err := experiments.Table6(w, []int{3, 5, 10}, *budget)
+		if err != nil {
+			return err
+		}
+		res.Render(stdout)
+		if err := saveCSV("table6", res); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if want("7") {
+		section("Table 7: simulated user study")
+		res, err := experiments.Table7(w, 3, 5, *budget)
+		if err != nil {
+			return err
+		}
+		res.Render(stdout)
+		if err := saveCSV("table7", res); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if want("ext") {
+		section("Extended comparison (beyond paper): alignment + §5.1 family axes")
+		res, err := experiments.TableExtended(w, 3)
+		if err != nil {
+			return err
+		}
+		res.Render(stdout)
+		if err := saveCSV("table_extended", res); err != nil {
+			return err
+		}
+		ran = true
+	}
+
+	sweep := []float64{0.01, 0.1, 1, 10, 100}
+	if wantFig("5a") {
+		section("Figure 5a: ROUGE-L of CompaReSetS with varying λ (m=3)")
+		res, err := experiments.Figure5a(w, sweep, 3)
+		if err != nil {
+			return err
+		}
+		res.Render(stdout)
+		if err := saveCSV("figure5a", res); err != nil {
+			return err
+		}
+		if err := saveSVG("figure5a", res.Chart()); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if wantFig("5b") {
+		section("Figure 5b: ROUGE-L of CompaReSetS+ with varying μ (λ=1, m=3)")
+		res, err := experiments.Figure5b(w, sweep, 3)
+		if err != nil {
+			return err
+		}
+		res.Render(stdout)
+		if err := saveCSV("figure5b", res); err != nil {
+			return err
+		}
+		if err := saveSVG("figure5b", res.Chart()); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if wantFig("6") {
+		section("Figure 6: ROUGE-L gap over Random vs #reviews")
+		for ds := range w.Corpora {
+			res, err := experiments.Figure6(w, ds, 3, 4)
+			if err != nil {
+				return err
+			}
+			res.Render(stdout)
+			if err := saveCSV(fmt.Sprintf("figure6_%s", res.Dataset), res); err != nil {
+				return err
+			}
+			for ci, c := range res.Charts() {
+				if err := saveSVG(fmt.Sprintf("figure6_%s_%c", res.Dataset, 'a'+ci), c); err != nil {
+					return err
+				}
+			}
+		}
+		ran = true
+	}
+	if wantFig("7") {
+		section("Figure 7: runtime vs number of comparative items (Cellphone)")
+		res, err := experiments.Figure7(w, 0, []int{5, 10, 15, 20, 25}, []int{3, 5, 10}, 5)
+		if err != nil {
+			return err
+		}
+		res.Render(stdout)
+		if err := saveCSV("figure7", res); err != nil {
+			return err
+		}
+		for _, m := range []int{3, 5, 10} {
+			if err := saveSVG(fmt.Sprintf("figure7_m%d", m), res.Chart(m)); err != nil {
+				return err
+			}
+		}
+		ran = true
+	}
+	if wantFig("11") {
+		section("Figure 11: information loss vs m (Cellphone)")
+		res, err := experiments.Figure11(w, 0, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+		if err != nil {
+			return err
+		}
+		res.Render(stdout)
+		if err := saveCSV("figure11", res); err != nil {
+			return err
+		}
+		for ci, c := range res.Charts() {
+			if err := saveSVG(fmt.Sprintf("figure11_%c", 'a'+ci), c); err != nil {
+				return err
+			}
+		}
+		ran = true
+	}
+
+	if *casestudies || *all {
+		section("Case studies (Figures 8-10)")
+		studies, err := experiments.CaseStudies(w, *budget)
+		if err != nil {
+			return err
+		}
+		for _, cs := range studies {
+			cs.Render(stdout)
+		}
+		ran = true
+	}
+	if *tune || *all {
+		section("Hyperparameter tuning (§4.1.4): λ then μ over the candidate set")
+		res, err := experiments.Tune(w, sweep, 3)
+		if err != nil {
+			return err
+		}
+		res.Render(stdout)
+		ran = true
+	}
+
+	if *surveysDir != "" {
+		section("User-study survey sheets (§4.5)")
+		if err := os.MkdirAll(*surveysDir, 0o755); err != nil {
+			return err
+		}
+		surveys, err := experiments.Surveys(w, *budget)
+		if err != nil {
+			return err
+		}
+		for _, s := range surveys {
+			sheet, err := os.Create(filepath.Join(*surveysDir, fmt.Sprintf("survey%d.md", s.Number)))
+			if err != nil {
+				return err
+			}
+			s.Render(sheet)
+			if err := sheet.Close(); err != nil {
+				return err
+			}
+			key, err := os.Create(filepath.Join(*surveysDir, fmt.Sprintf("survey%d_key.txt", s.Number)))
+			if err != nil {
+				return err
+			}
+			s.RenderAnswerKey(key)
+			if err := key.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "(wrote survey %d sheet and key)\n", s.Number)
+		}
+		ran = true
+	}
+	if wantAbl("hks") {
+		section("Ablation: TargetHkS solvers under a time budget (random graphs)")
+		res := experiments.HkSStress(*seed, []int{10, 20, 30, 40}, 10, 5, 5*time.Millisecond)
+		res.Render(stdout)
+		if err := saveCSV("ablation_hks", res); err != nil {
+			return err
+		}
+		if err := saveSVG("ablation_hks", res.Chart()); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if wantAbl("passes") {
+		section("Ablation: CompaReSetS+ alternating sweeps")
+		for ds := range w.Corpora {
+			res, err := experiments.PassesAblation(w, ds, 3, []int{1, 2, 3})
+			if err != nil {
+				return err
+			}
+			res.Render(stdout)
+			if err := saveCSV(fmt.Sprintf("ablation_passes_%s", res.Dataset), res); err != nil {
+				return err
+			}
+		}
+		ran = true
+	}
+	if wantAbl("lambda") {
+		section("Ablation: CompaReSetS with and without the Γ aspect term (λ=1 vs λ=0)")
+		rows, err := experiments.LambdaAblation(w, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%-10s %12s %12s\n", "Dataset", "with Γ", "without Γ")
+		for _, row := range rows {
+			fmt.Fprintf(stdout, "%-10s %12.2f %12.2f\n", row.Dataset, row.WithGamma, row.NoGamma)
+		}
+		ran = true
+	}
+	if !ran {
+		return errNothingRequested
+	}
+	return nil
+}

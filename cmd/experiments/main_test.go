@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTable2WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{"-table", "2", "-size", "small", "-csv", dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "#Product") {
+		t.Errorf("output = %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table2.csv")); err != nil {
+		t.Errorf("table2.csv missing: %v", err)
+	}
+}
+
+func TestRunFigure11WithSVG(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{"-figure", "11", "-size", "small", "-svg", dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"figure11_a.svg", "figure11_b.svg"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s missing: %v", name, err)
+		}
+	}
+}
+
+func TestRunAblationLambda(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-ablation", "lambda", "-size", "small"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "without Γ") {
+		t.Errorf("output = %s", buf.String())
+	}
+}
+
+func TestRunAllSmallSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full -all run skipped in -short mode")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{"-all", "-size", "small", "-budget", "1s", "-csv", dir, "-svg", dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "Table 7",
+		"Extended comparison", "Figure 5a", "Figure 5b", "Figure 6",
+		"Figure 7", "Figure 11", "Case studies", "tuning",
+		"Ablation: TargetHkS", "Ablation: CompaReSetS+", "Γ aspect term",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-all output missing %q", want)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 20 {
+		t.Errorf("only %d artifacts written", len(entries))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-size", "galactic"}, &buf); err == nil {
+		t.Error("unknown size accepted")
+	}
+	if err := run([]string{"-size", "small"}, &buf); err != errNothingRequested {
+		t.Errorf("empty request error = %v", err)
+	}
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

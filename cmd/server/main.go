@@ -1,0 +1,94 @@
+// Command server runs the comparative review selection HTTP API.
+//
+// Usage:
+//
+//	server -addr :8080 -data data            # load corpora from a directory
+//	server -addr :8080 -synthetic            # synthesize the three categories
+//
+// Endpoints: GET /healthz, GET /api/v1/categories,
+// GET /api/v1/targets?category=X, POST /api/v1/select, POST /api/v1/extract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"comparesets/internal/datagen"
+	"comparesets/internal/model"
+	"comparesets/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		dataDir   = flag.String("data", "", "directory of corpus JSON files (from cmd/datagen)")
+		synthetic = flag.Bool("synthetic", false, "synthesize the three default corpora at startup")
+		seed      = flag.Int64("seed", 1, "synthesis seed")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "server: ", log.LstdFlags)
+
+	corpora, err := loadCorpora(*dataDir, *synthetic, *seed, logger)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(logger, service.New(corpora, logger).Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	logger.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		logger.Fatal(err)
+	}
+}
+
+// loadCorpora assembles the serving corpora: every *.json in dataDir, plus
+// the three synthetic defaults when requested or when nothing was loaded.
+func loadCorpora(dataDir string, synthetic bool, seed int64, logger *log.Logger) (map[string]*model.Corpus, error) {
+	corpora := map[string]*model.Corpus{}
+	if dataDir != "" {
+		entries, err := os.ReadDir(dataDir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+				continue
+			}
+			path := filepath.Join(dataDir, e.Name())
+			c, err := model.LoadCorpus(path)
+			if err != nil {
+				return nil, fmt.Errorf("loading %s: %w", path, err)
+			}
+			corpora[c.Category] = c
+			logger.Printf("loaded %s (%d products, %d reviews)", c.Category, len(c.Items), c.NumReviews())
+		}
+	}
+	if synthetic || len(corpora) == 0 {
+		for _, cfg := range datagen.DefaultConfigs(seed) {
+			c, err := datagen.Generate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			corpora[c.Category] = c
+			logger.Printf("synthesized %s (%d products, %d reviews)", c.Category, len(c.Items), c.NumReviews())
+		}
+	}
+	return corpora, nil
+}
+
+func logRequests(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		logger.Print(fmt.Sprintf("%s %s %v", r.Method, r.URL.Path, time.Since(start)))
+	})
+}

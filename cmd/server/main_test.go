@@ -1,0 +1,74 @@
+package main
+
+import (
+	"io"
+	"log"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"comparesets"
+	"comparesets/internal/service"
+)
+
+func quietLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+func TestLoadCorporaFromDirectory(t *testing.T) {
+	dir := t.TempDir()
+	corpus, err := comparesets.GenerateCorpus("Toy", 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comparesets.SaveCorpus(corpus, filepath.Join(dir, "toy.json")); err != nil {
+		t.Fatal(err)
+	}
+	// Non-JSON entries are skipped.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadCorpora(dir, false, 1, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["Toy"] == nil {
+		t.Fatalf("corpora = %v", got)
+	}
+}
+
+func TestLoadCorporaSyntheticFallback(t *testing.T) {
+	got, err := loadCorpora("", false, 1, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("corpora = %d", len(got))
+	}
+}
+
+func TestLoadCorporaErrors(t *testing.T) {
+	if _, err := loadCorpora("/no/such/dir", false, 1, quietLogger()); err == nil {
+		t.Error("missing directory accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCorpora(dir, false, 1, quietLogger()); err == nil {
+		t.Error("corrupt corpus accepted")
+	}
+}
+
+func TestLogRequestsWraps(t *testing.T) {
+	corpora, err := loadCorpora("", false, 1, quietLogger())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := logRequests(quietLogger(), service.New(corpora, quietLogger()).Handler())
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Errorf("status = %d", rec.Code)
+	}
+}

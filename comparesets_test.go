@@ -1,0 +1,264 @@
+package comparesets_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"comparesets"
+)
+
+func buildInstance(t *testing.T) *comparesets.Instance {
+	t.Helper()
+	corpus, err := comparesets.GenerateCorpus("Cellphone", 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := comparesets.TargetProducts(corpus)
+	if len(targets) == 0 {
+		t.Fatal("no target products")
+	}
+	inst, err := corpus.NewInstance(targets[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestEndToEndQuickstartFlow(t *testing.T) {
+	inst := buildInstance(t)
+	cfg := comparesets.DefaultConfig(3)
+
+	sel, err := comparesets.SelectSynchronized(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Indices) != inst.NumItems() {
+		t.Fatalf("selection covers %d items, want %d", len(sel.Indices), inst.NumItems())
+	}
+	for i, idx := range sel.Indices {
+		if len(idx) > 3 {
+			t.Errorf("item %d: %d reviews selected", i, len(idx))
+		}
+	}
+
+	short, err := comparesets.Shortlist(inst, sel, cfg, 3, "exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short.Members) != 3 || short.Members[0] != 0 {
+		t.Fatalf("shortlist = %+v", short)
+	}
+	if !short.Optimal {
+		t.Error("exact shortlist not proved optimal on a tiny graph")
+	}
+
+	greedy, err := comparesets.Shortlist(inst, sel, cfg, 3, "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Weight > short.Weight+1e-9 {
+		t.Errorf("greedy %v beat proven optimum %v", greedy.Weight, short.Weight)
+	}
+}
+
+func TestSelectPlainBeatsNothing(t *testing.T) {
+	inst := buildInstance(t)
+	sel, err := comparesets.Select(inst, comparesets.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Objective < 0 {
+		t.Errorf("objective = %v", sel.Objective)
+	}
+}
+
+func TestShortlistMethodValidation(t *testing.T) {
+	inst := buildInstance(t)
+	sel, _ := comparesets.Select(inst, comparesets.DefaultConfig(3))
+	if _, err := comparesets.Shortlist(inst, sel, comparesets.DefaultConfig(3), 3, "bogus"); err == nil {
+		t.Error("bogus method accepted")
+	}
+	for _, method := range []string{"exact", "ilp", "greedy", "topk", "random"} {
+		if _, err := comparesets.Shortlist(inst, sel, comparesets.DefaultConfig(3), 2, method); err != nil {
+			t.Errorf("method %s: %v", method, err)
+		}
+	}
+}
+
+func TestGenerateCorpusValidation(t *testing.T) {
+	if _, err := comparesets.GenerateCorpus("Books", 10, 1); err == nil {
+		t.Error("unknown category accepted")
+	}
+	want := []string{"Cellphone", "Toy", "Clothing", "Electronics", "Kitchen"}
+	if got := comparesets.Categories(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Categories = %v", got)
+	}
+	// Extra categories must work through the full generate→select flow.
+	c, err := comparesets.GenerateCorpus("Kitchen", 15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := comparesets.TargetProducts(c)
+	if len(targets) == 0 {
+		t.Fatal("no Kitchen targets")
+	}
+	inst, err := c.NewInstance(targets[0], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comparesets.SelectSynchronized(inst, comparesets.DefaultConfig(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorpusRoundTripThroughDisk(t *testing.T) {
+	corpus, err := comparesets.GenerateCorpus("Toy", 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "toy.json")
+	if err := comparesets.SaveCorpus(corpus, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := comparesets.LoadCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumReviews() != corpus.NumReviews() {
+		t.Errorf("reviews = %d, want %d", got.NumReviews(), corpus.NumReviews())
+	}
+}
+
+func TestExtractMentions(t *testing.T) {
+	ms, err := comparesets.ExtractMentions("Cellphone", "the battery lasts all day, great endurance.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Polarity != comparesets.Positive {
+		t.Errorf("mentions = %+v", ms)
+	}
+	if _, err := comparesets.ExtractMentions("Books", "x"); err == nil {
+		t.Error("unknown category accepted")
+	}
+}
+
+func TestRougeExposed(t *testing.T) {
+	r := comparesets.Rouge("the battery is great", "the battery is great")
+	if r.R1.F1 != 1 {
+		t.Errorf("R1 = %+v", r.R1)
+	}
+}
+
+func TestWithScheme(t *testing.T) {
+	cfg, err := comparesets.WithScheme(comparesets.DefaultConfig(3), "unary-scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scheme == nil || cfg.Scheme.Name() != "unary-scale" {
+		t.Errorf("scheme = %v", cfg.Scheme)
+	}
+	if _, err := comparesets.WithScheme(comparesets.DefaultConfig(3), "nope"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if got := comparesets.OpinionSchemeNames(); len(got) != 3 {
+		t.Errorf("schemes = %v", got)
+	}
+}
+
+func TestSummarizeAndExplainExposed(t *testing.T) {
+	inst := buildInstance(t)
+	sel, err := comparesets.SelectSynchronized(inst, comparesets.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := sel.Reviews(inst)
+	summary := comparesets.Summarize(sets[0], 2)
+	if len(summary) == 0 || len(summary) > 2 {
+		t.Errorf("summary = %v", summary)
+	}
+	cmps := comparesets.Explain(inst, sel)
+	if len(cmps) != inst.NumItems()-1 {
+		t.Errorf("comparisons = %d, want %d", len(cmps), inst.NumItems()-1)
+	}
+	lines := comparesets.ExplainLines(cmps, 3)
+	if len(lines) == 0 || len(lines) > 3 {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestSelectBatchExposed(t *testing.T) {
+	corpus, err := comparesets.GenerateCorpus("Toy", 25, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var insts []*comparesets.Instance
+	for _, id := range comparesets.TargetProducts(corpus)[:5] {
+		inst, err := corpus.NewInstance(id, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, inst)
+	}
+	sels, err := comparesets.SelectBatch(insts, comparesets.Selectors()[4], comparesets.DefaultConfig(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sels) != 5 {
+		t.Fatalf("sels = %d", len(sels))
+	}
+	for i, s := range sels {
+		if s == nil || len(s.Indices) != insts[i].NumItems() {
+			t.Errorf("selection %d malformed", i)
+		}
+	}
+}
+
+func TestReviewStoreAndAmazonExposed(t *testing.T) {
+	dir := t.TempDir()
+	st, err := comparesets.OpenReviewStore(filepath.Join(dir, "reviews.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	corpus, err := comparesets.GenerateCorpus("Clothing", 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendCorpus(corpus); err != nil {
+		t.Fatal(err)
+	}
+	if st.Count() != corpus.NumReviews() {
+		t.Errorf("store count = %d, want %d", st.Count(), corpus.NumReviews())
+	}
+
+	// The Amazon loader facade on a minimal fixture.
+	rp := filepath.Join(dir, "r.json")
+	mp := filepath.Join(dir, "m.json")
+	if err := os.WriteFile(rp, []byte(`{"reviewerID":"U1","asin":"A1","reviewText":"the fit is true to size, perfect.","overall":5}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mp, []byte(`{"asin":"A1","title":"Shoe","related":{"also_bought":[]}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := comparesets.LoadAmazonCorpus(rp, mp, "Clothing", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumReviews() != 1 || len(c.Items["A1"].Reviews[0].Mentions) == 0 {
+		t.Errorf("amazon corpus = %d reviews, mentions %v", c.NumReviews(), c.Items["A1"].Reviews[0].Mentions)
+	}
+	if _, err := comparesets.LoadAmazonCorpus(rp, mp, "Books", 1); err == nil {
+		t.Error("unknown category accepted")
+	}
+}
+
+func TestSelectorsRegistryExposed(t *testing.T) {
+	if len(comparesets.Selectors()) != 5 {
+		t.Errorf("selectors = %d", len(comparesets.Selectors()))
+	}
+	if _, ok := comparesets.SelectorByName("CompaReSetS+"); !ok {
+		t.Error("CompaReSetS+ missing")
+	}
+}

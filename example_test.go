@@ -1,0 +1,78 @@
+package comparesets_test
+
+import (
+	"fmt"
+
+	"comparesets"
+)
+
+// ExampleSelectSynchronized shows the core flow: build an instance from
+// your own annotated data and select synchronized comparative review sets.
+func ExampleSelectSynchronized() {
+	pos := func(a int) comparesets.Mention {
+		return comparesets.Mention{Aspect: a, Polarity: comparesets.Positive, Score: 1}
+	}
+	neg := func(a int) comparesets.Mention {
+		return comparesets.Mention{Aspect: a, Polarity: comparesets.Negative, Score: -1}
+	}
+	inst := &comparesets.Instance{
+		Aspects: comparesets.NewVocabulary([]string{"battery", "screen"}),
+		Items: []*comparesets.Item{
+			{ID: "target", Title: "Phone A", Reviews: []*comparesets.Review{
+				{ID: "a1", Text: "battery is great", Mentions: []comparesets.Mention{pos(0)}},
+				{ID: "a2", Text: "battery died fast", Mentions: []comparesets.Mention{neg(0)}},
+				{ID: "a3", Text: "screen is sharp", Mentions: []comparesets.Mention{pos(1)}},
+			}},
+			{ID: "rival", Title: "Phone B", Reviews: []*comparesets.Review{
+				{ID: "b1", Text: "battery holds up", Mentions: []comparesets.Mention{pos(0)}},
+				{ID: "b2", Text: "screen scratches", Mentions: []comparesets.Mention{neg(1)}},
+			}},
+		},
+	}
+	sel, err := comparesets.SelectSynchronized(inst, comparesets.DefaultConfig(2))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i, idx := range sel.Indices {
+		fmt.Printf("%s: %d reviews selected\n", inst.Items[i].ID, len(idx))
+	}
+	// Output:
+	// target: 2 reviews selected
+	// rival: 2 reviews selected
+}
+
+// ExampleRouge scores two review texts with the paper's alignment metric.
+func ExampleRouge() {
+	r := comparesets.Rouge("the battery lasts all day", "battery life lasts a full day")
+	fmt.Printf("ROUGE-1 F1 = %.2f\n", r.R1.F1)
+	// Output:
+	// ROUGE-1 F1 = 0.55
+}
+
+// ExampleExtractMentions annotates raw review text with the built-in
+// category lexicon.
+func ExampleExtractMentions() {
+	ms, _ := comparesets.ExtractMentions("Cellphone",
+		"the battery lasts all day, great endurance. the cable frayed within weeks, very cheap.")
+	for _, m := range ms {
+		fmt.Printf("aspect %d polarity %s\n", m.Aspect, m.Polarity)
+	}
+	// Output:
+	// aspect 0 polarity +
+	// aspect 2 polarity -
+}
+
+// ExampleSummarize condenses reviews to their most central sentence.
+func ExampleSummarize() {
+	reviews := []*comparesets.Review{
+		{Text: "the battery lasts all day. the battery life is excellent."},
+		{Text: "battery endurance is excellent for the price."},
+		{Text: "shipping box was dented on arrival."},
+	}
+	for _, s := range comparesets.Summarize(reviews, 1) {
+		fmt.Println(s)
+	}
+	// Output:
+	// the battery life is excellent
+}

@@ -1,0 +1,137 @@
+// Cameras: the motivating scenario of the paper's introduction (Figure 1) —
+// a shopper viewing a DSLR camera is shown similar cameras and wants a few
+// reviews from each that cover the same aspects so the products can be
+// compared side by side.
+//
+// This example builds the instance by hand from user-supplied data (no
+// synthetic generator): it shows how to bring your own items, reviews, and
+// aspect annotations to the library, and contrasts independent selection
+// (CompaReSetS) with synchronized selection (CompaReSetS+).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"comparesets"
+)
+
+// aspect indices of our hand-built camera vocabulary.
+const (
+	picture = iota
+	autofocus
+	beginners
+	battery
+	zoom
+)
+
+var aspectNames = []string{"picture quality", "auto focus", "for beginners", "battery", "zoom"}
+
+func review(id string, rating int, text string, mentions ...comparesets.Mention) *comparesets.Review {
+	return &comparesets.Review{ID: id, Rating: rating, Text: text, Mentions: mentions}
+}
+
+func pos(a int) comparesets.Mention {
+	return comparesets.Mention{Aspect: a, Polarity: comparesets.Positive, Score: 1}
+}
+
+func neg(a int) comparesets.Mention {
+	return comparesets.Mention{Aspect: a, Polarity: comparesets.Negative, Score: -1}
+}
+
+func main() {
+	target := &comparesets.Item{
+		ID: "rebel-t7", Title: "Canon EOS Rebel T7 DSLR",
+		Reviews: []*comparesets.Review{
+			review("t7-1", 5, "picture quality is stunning and the kit lens is sharp", pos(picture)),
+			review("t7-2", 4, "auto focus hunts a little in low light but picture quality is great", neg(autofocus), pos(picture)),
+			review("t7-3", 5, "perfect for beginners, the guided menu taught me the basics", pos(beginners)),
+			review("t7-4", 3, "battery drains fast when using live view", neg(battery)),
+			review("t7-5", 4, "as a beginner i found it easy, and photos look amazing", pos(beginners), pos(picture)),
+			review("t7-6", 2, "auto focus missed several shots of my kids", neg(autofocus)),
+		},
+	}
+	rival1 := &comparesets.Item{
+		ID: "rebel-t8i", Title: "Canon EOS Rebel T8i Bundle",
+		Reviews: []*comparesets.Review{
+			review("t8-1", 5, "the auto focus is fast and accurate even in dim rooms", pos(autofocus)),
+			review("t8-2", 5, "picture quality rivals cameras twice the price", pos(picture)),
+			review("t8-3", 4, "battery easily lasts a full day of shooting", pos(battery)),
+			review("t8-4", 3, "zoom range of the kit lens is limited", neg(zoom)),
+			review("t8-5", 4, "good for beginners although the menus are deep", pos(beginners)),
+		},
+	}
+	rival2 := &comparesets.Item{
+		ID: "eos-4000d", Title: "Canon EOS 4000D (Rebel T100)",
+		Reviews: []*comparesets.Review{
+			review("4k-1", 4, "picture quality is impressive for the price", pos(picture)),
+			review("4k-2", 3, "auto focus is serviceable outdoors, struggles indoors", neg(autofocus)),
+			review("4k-3", 2, "battery died mid-session twice", neg(battery)),
+			review("4k-4", 4, "optical zoom works smoothly", pos(zoom)),
+			review("4k-5", 5, "my first dslr and the picture quality blew me away", pos(picture)),
+		},
+	}
+
+	inst := &comparesets.Instance{
+		Aspects: comparesets.NewVocabulary(aspectNames),
+		Items:   []*comparesets.Item{target, rival1, rival2},
+	}
+	if err := inst.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := comparesets.DefaultConfig(2)
+	indep, err := comparesets.Select(inst, cfg) // Problem 1
+	if err != nil {
+		log.Fatal(err)
+	}
+	sync, err := comparesets.SelectSynchronized(inst, cfg) // Problem 2
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Independent selection (CompaReSetS) ===")
+	printSelection(inst, indep)
+	fmt.Println("=== Synchronized selection (CompaReSetS+) ===")
+	printSelection(inst, sync)
+
+	fmt.Printf("shared aspects, independent: %v\n", sharedAspects(inst, indep))
+	fmt.Printf("shared aspects, synchronized: %v\n", sharedAspects(inst, sync))
+}
+
+func printSelection(inst *comparesets.Instance, sel *comparesets.Selection) {
+	sets := sel.Reviews(inst)
+	for i, it := range inst.Items {
+		fmt.Printf("%s:\n", it.Title)
+		for _, r := range sets[i] {
+			fmt.Printf("  [%d/5] %s\n", r.Rating, r.Text)
+		}
+	}
+	fmt.Println()
+}
+
+// sharedAspects lists aspect names discussed by every item's selected set.
+func sharedAspects(inst *comparesets.Instance, sel *comparesets.Selection) []string {
+	sets := sel.Reviews(inst)
+	var shared []string
+	for a := 0; a < inst.Aspects.Len(); a++ {
+		everywhere := true
+		for _, set := range sets {
+			found := false
+			for _, r := range set {
+				if r.HasAspect(a) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				everywhere = false
+				break
+			}
+		}
+		if everywhere {
+			shared = append(shared, inst.Aspects.Name(a))
+		}
+	}
+	return shared
+}

@@ -1,0 +1,3 @@
+module comparesets
+
+go 1.22

@@ -1,0 +1,171 @@
+package comparesets_test
+
+// End-to-end integration: every subsystem in one pipeline — synthesize a
+// corpus, persist it through both the JSON codec and the append-only store,
+// rebuild instances from stored reviews, re-derive annotations from raw
+// text, run every selector, build the similarity graph, shortlist with
+// every solver, and feed the results to the summarizer, the explainer, and
+// the HTTP service.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"comparesets"
+	"comparesets/internal/aspectex"
+	"comparesets/internal/core"
+	"comparesets/internal/datagen"
+	"comparesets/internal/dataset"
+	"comparesets/internal/lexicon"
+	"comparesets/internal/model"
+	"comparesets/internal/service"
+	"comparesets/internal/simgraph"
+	"comparesets/internal/store"
+)
+
+func TestFullPipelineIntegration(t *testing.T) {
+	// 1. Synthesize.
+	corpus, err := datagen.Generate(datagen.Config{
+		Category: lexicon.Cellphone, Products: 40, Reviewers: 80,
+		MeanReviews: 12, MeanAlsoBought: 6, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Persist through JSON and through the store; both must agree.
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "corpus.json")
+	if err := model.SaveCorpus(corpus, jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := model.LoadCorpus(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(filepath.Join(dir, "reviews.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.AppendCorpus(reloaded); err != nil {
+		t.Fatal(err)
+	}
+	if st.Count() != corpus.NumReviews() {
+		t.Fatalf("store count %d != corpus reviews %d", st.Count(), corpus.NumReviews())
+	}
+
+	// 3. Rebuild one item's reviews from the store and compare to the
+	//    original set.
+	targets := dataset.TargetIDs(reloaded)
+	if len(targets) == 0 {
+		t.Fatal("no targets")
+	}
+	fromStore, err := st.ItemReviews(targets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := reloaded.Items[targets[0]].Reviews
+	if len(fromStore) != len(orig) {
+		t.Fatalf("store returned %d reviews, want %d", len(fromStore), len(orig))
+	}
+	for i := range orig {
+		if fromStore[i].ID != orig[i].ID || fromStore[i].Text != orig[i].Text {
+			t.Fatalf("review %d mismatch after store round trip", i)
+		}
+	}
+
+	// 4. Re-derive annotations from raw text; selections on re-annotated
+	//    data must still be valid.
+	reannotated, err := model.LoadCorpus(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aspectex.New(lexicon.Cellphone).Annotate(reannotated)
+	inst, err := reannotated.NewInstance(targets[0], 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 5. Every selector, including the related-work baselines.
+	cfg := core.Config{M: 3, Lambda: 1, Mu: 0.1, Seed: 5}
+	selections := map[string]*core.Selection{}
+	for _, sel := range core.ExtendedSelectors() {
+		s, err := sel.Select(inst, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", sel.Name(), err)
+		}
+		selections[sel.Name()] = s
+	}
+
+	// 6. Similarity graph + every shortlist solver over the synchronized
+	//    selection.
+	plus := selections["CompaReSetS+"]
+	tg := core.NewTargets(inst, cfg)
+	g := simgraph.Build(core.Stats(inst, tg, cfg, plus), cfg)
+	exact := (simgraph.Exact{Budget: 5 * time.Second}).Solve(g, 3)
+	if !exact.Optimal {
+		t.Error("exact solve not optimal on a small instance")
+	}
+	for _, solver := range simgraph.Solvers(1) {
+		res := solver.Solve(g, 3)
+		if len(res.Members) != 3 || res.Members[0] != 0 {
+			t.Fatalf("%s: members %v", solver.Name(), res.Members)
+		}
+		if res.Weight > exact.Weight+1e-9 {
+			t.Fatalf("%s: weight %v above proven optimum %v", solver.Name(), res.Weight, exact.Weight)
+		}
+	}
+
+	// 7. Downstream consumers.
+	sets := plus.Reviews(inst)
+	for _, i := range exact.Members {
+		if len(sets[i]) > 0 {
+			if sum := comparesets.Summarize(sets[i], 2); len(sum) == 0 {
+				t.Errorf("item %d: empty summary", i)
+			}
+		}
+	}
+	if lines := comparesets.ExplainLines(comparesets.Explain(inst, plus), 5); len(lines) == 0 {
+		t.Error("no explanations for a synchronized selection")
+	}
+
+	// 8. The HTTP service over the re-annotated corpus must agree with the
+	//    direct call.
+	srv := service.New(map[string]*model.Corpus{"Cellphone": reannotated}, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	reqBody, _ := json.Marshal(service.SelectRequest{
+		Category: "Cellphone", Target: targets[0], MaxComparative: 6,
+		Algorithm: "CompaReSetS+", M: 3, Lambda: 1, Mu: 0.1, K: 3, Method: "exact",
+	})
+	resp, err := http.Post(ts.URL+"/api/v1/select", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("service status %d", resp.StatusCode)
+	}
+	var out service.SelectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.Shortlist, exact.Members) {
+		t.Errorf("service shortlist %v != direct %v", out.Shortlist, exact.Members)
+	}
+	for i, item := range out.Items {
+		if len(item.Reviews) != len(sets[i]) {
+			t.Errorf("service item %d returned %d reviews, direct %d", i, len(item.Reviews), len(sets[i]))
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package amazon loads corpora from the Amazon Product Review Dataset
+// format of He & McAuley (the dataset the paper evaluates on, §4.1.1):
+// newline-delimited JSON reviews
+//
+//	{"reviewerID": "...", "asin": "...", "reviewText": "...", "overall": 5.0, ...}
+//
+// and product metadata
+//
+//	{"asin": "...", "title": "...", "price": 9.99,
+//	 "related": {"also_bought": ["...", ...]}, ...}
+//
+// The dataset itself is not redistributable, so this repository ships no
+// copy — but anyone holding the files can convert them into a
+// model.Corpus, annotate reviews with the lexicon extractor, and run every
+// algorithm and experiment on the real data. Loose metadata files that use
+// Python-repr quoting are NOT handled; files must be valid JSON lines (the
+// "strict" variants of the dataset distribution).
+package amazon
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"comparesets/internal/aspectex"
+	"comparesets/internal/lexicon"
+	"comparesets/internal/model"
+)
+
+// reviewJSON is one line of the review file.
+type reviewJSON struct {
+	ReviewerID string  `json:"reviewerID"`
+	ASIN       string  `json:"asin"`
+	ReviewText string  `json:"reviewText"`
+	Summary    string  `json:"summary"`
+	Overall    float64 `json:"overall"`
+}
+
+// metaJSON is one line of the metadata file.
+type metaJSON struct {
+	ASIN    string  `json:"asin"`
+	Title   string  `json:"title"`
+	Price   float64 `json:"price"`
+	Related struct {
+		AlsoBought []string `json:"also_bought"`
+	} `json:"related"`
+}
+
+// Options controls loading.
+type Options struct {
+	// Category names the corpus and selects the extraction lexicon;
+	// must be one of the built-in categories.
+	Category string
+	// MaxProducts truncates the product set (0 = all).
+	MaxProducts int
+	// MinReviews drops products with fewer reviews (default 1).
+	MinReviews int
+	// Annotate runs the lexicon extractor over every review text to
+	// produce aspect-opinion mentions (on by default via Load; set up the
+	// corpus yourself with LoadRaw to skip).
+	Annotate bool
+}
+
+// Load reads reviews and metadata streams in the McAuley format and builds
+// an annotated corpus.
+func Load(reviews, meta io.Reader, opts Options) (*model.Corpus, error) {
+	cat, ok := lexicon.CategoryByName(opts.Category)
+	if !ok {
+		return nil, fmt.Errorf("amazon: unknown category %q", opts.Category)
+	}
+	if opts.MinReviews == 0 {
+		opts.MinReviews = 1
+	}
+	corpus := model.NewCorpus(cat.Name, model.NewVocabulary(cat.AspectNames()))
+
+	// Pass 1: metadata defines the product set.
+	scanner := bufio.NewScanner(meta)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<22)
+	line := 0
+	for scanner.Scan() {
+		line++
+		raw := bytes.TrimSpace(scanner.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var m metaJSON
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, fmt.Errorf("amazon: metadata line %d: %w", line, err)
+		}
+		if m.ASIN == "" {
+			return nil, fmt.Errorf("amazon: metadata line %d: missing asin", line)
+		}
+		if opts.MaxProducts > 0 && len(corpus.Items) >= opts.MaxProducts {
+			continue
+		}
+		corpus.AddItem(&model.Item{
+			ID:         m.ASIN,
+			Title:      m.Title,
+			Category:   cat.Name,
+			Price:      m.Price,
+			AlsoBought: m.Related.AlsoBought,
+		})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("amazon: reading metadata: %w", err)
+	}
+	if len(corpus.Items) == 0 {
+		return nil, fmt.Errorf("amazon: metadata stream contained no products")
+	}
+
+	// Pass 2: attach reviews to known products.
+	scanner = bufio.NewScanner(reviews)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<22)
+	line = 0
+	seq := 0
+	for scanner.Scan() {
+		line++
+		raw := bytes.TrimSpace(scanner.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var r reviewJSON
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, fmt.Errorf("amazon: review line %d: %w", line, err)
+		}
+		item, ok := corpus.Items[r.ASIN]
+		if !ok {
+			continue // review for a product outside the metadata crawl
+		}
+		seq++
+		text := r.ReviewText
+		// Real reviews carry a short title ("summary"); keep it as the
+		// opening sentence so its aspect words participate in extraction
+		// and ROUGE, as they do for a human reader.
+		if r.Summary != "" {
+			text = r.Summary + ". " + text
+		}
+		item.Reviews = append(item.Reviews, &model.Review{
+			ID:       fmt.Sprintf("%s-%d", r.ASIN, seq),
+			ItemID:   r.ASIN,
+			Reviewer: r.ReviewerID,
+			Rating:   clampRating(r.Overall),
+			Text:     text,
+		})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("amazon: reading reviews: %w", err)
+	}
+
+	// Drop products below the review floor.
+	for id, it := range corpus.Items {
+		if len(it.Reviews) < opts.MinReviews {
+			delete(corpus.Items, id)
+		}
+	}
+
+	if opts.Annotate {
+		aspectex.New(cat).Annotate(corpus)
+	}
+	return corpus, nil
+}
+
+// LoadFiles opens the two files and calls Load with annotation enabled.
+// Files ending in .gz are transparently decompressed (the dataset ships
+// gzipped).
+func LoadFiles(reviewPath, metaPath string, opts Options) (*model.Corpus, error) {
+	rf, err := openMaybeGzip(reviewPath)
+	if err != nil {
+		return nil, err
+	}
+	defer rf.Close()
+	mf, err := openMaybeGzip(metaPath)
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	opts.Annotate = true
+	return Load(rf, mf, opts)
+}
+
+// openMaybeGzip opens path, wrapping it in a gzip reader when the name ends
+// in .gz. Close closes both layers.
+func openMaybeGzip(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("amazon: opening gzip %s: %w", path, err)
+	}
+	return &gzipReadCloser{zr: zr, f: f}, nil
+}
+
+type gzipReadCloser struct {
+	zr *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzipReadCloser) Read(p []byte) (int, error) { return g.zr.Read(p) }
+
+func (g *gzipReadCloser) Close() error {
+	zerr := g.zr.Close()
+	ferr := g.f.Close()
+	if zerr != nil {
+		return zerr
+	}
+	return ferr
+}
+
+func clampRating(overall float64) int {
+	r := int(overall)
+	if r < 1 {
+		r = 1
+	}
+	if r > 5 {
+		r = 5
+	}
+	return r
+}

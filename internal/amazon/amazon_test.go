@@ -1,0 +1,206 @@
+package amazon
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"comparesets/internal/core"
+	"comparesets/internal/model"
+)
+
+const metaFixture = `{"asin":"B001","title":"Acme Car Charger","price":12.99,"related":{"also_bought":["B002","B003"]}}
+{"asin":"B002","title":"Acme USB Cable","price":5.49,"related":{"also_bought":["B001"]}}
+{"asin":"B003","title":"Acme Power Bank","price":25.00,"related":{"also_bought":[]}}
+`
+
+const reviewFixture = `{"reviewerID":"U1","asin":"B001","reviewText":"the charger works great in the car. the cable feels sturdy and well made.","summary":"excellent battery companion","overall":5.0}
+{"reviewerID":"U2","asin":"B001","reviewText":"the charger stopped working after a month, disappointing.","overall":2.0}
+{"reviewerID":"U1","asin":"B002","reviewText":"the cable frayed within weeks, very cheap.","overall":1.0}
+{"reviewerID":"U3","asin":"B999","reviewText":"review for unknown product.","overall":4.0}
+
+{"reviewerID":"U4","asin":"B003","reviewText":"the battery lasts all day, great endurance.","overall":5.0}
+`
+
+func TestLoadBuildsAnnotatedCorpus(t *testing.T) {
+	c, err := Load(strings.NewReader(reviewFixture), strings.NewReader(metaFixture),
+		Options{Category: "Cellphone", Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Items) != 3 {
+		t.Fatalf("items = %d", len(c.Items))
+	}
+	b1 := c.Items["B001"]
+	if b1.Title != "Acme Car Charger" || b1.Price != 12.99 {
+		t.Errorf("metadata = %+v", b1)
+	}
+	if len(b1.AlsoBought) != 2 {
+		t.Errorf("also bought = %v", b1.AlsoBought)
+	}
+	if len(b1.Reviews) != 2 {
+		t.Fatalf("B001 reviews = %d", len(b1.Reviews))
+	}
+	if b1.Reviews[0].Rating != 5 || b1.Reviews[1].Rating != 2 {
+		t.Errorf("ratings = %d %d", b1.Reviews[0].Rating, b1.Reviews[1].Rating)
+	}
+	// Annotation: first review mentions charger(+) and cable(+), plus
+	// battery(+) from the summary title folded into the text.
+	if !strings.HasPrefix(b1.Reviews[0].Text, "excellent battery companion. ") {
+		t.Errorf("summary not folded into text: %q", b1.Reviews[0].Text)
+	}
+	ms := b1.Reviews[0].Mentions
+	if len(ms) != 3 {
+		t.Fatalf("mentions = %+v", ms)
+	}
+	for _, m := range ms {
+		if m.Polarity != model.Positive {
+			t.Errorf("mention %+v not positive", m)
+		}
+	}
+	// Review for the unknown product B999 is skipped.
+	for _, id := range c.ItemIDs() {
+		if id == "B999" {
+			t.Error("unknown product appeared")
+		}
+	}
+}
+
+func TestLoadFeedsSelectionPipeline(t *testing.T) {
+	c, err := Load(strings.NewReader(reviewFixture), strings.NewReader(metaFixture),
+		Options{Category: "Cellphone", Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := c.NewInstance("B001", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := (core.CompaReSetSPlus{}).Select(inst, core.Config{M: 2, Lambda: 1, Mu: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Indices) != inst.NumItems() {
+		t.Errorf("indices = %d", len(sel.Indices))
+	}
+}
+
+func TestLoadMinReviewsFloor(t *testing.T) {
+	c, err := Load(strings.NewReader(reviewFixture), strings.NewReader(metaFixture),
+		Options{Category: "Cellphone", MinReviews: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Items["B001"]; !ok {
+		t.Error("B001 dropped despite 2 reviews")
+	}
+	if _, ok := c.Items["B002"]; ok {
+		t.Error("B002 kept with 1 review under MinReviews=2")
+	}
+}
+
+func TestLoadMaxProducts(t *testing.T) {
+	c, err := Load(strings.NewReader(reviewFixture), strings.NewReader(metaFixture),
+		Options{Category: "Cellphone", MaxProducts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Items) != 1 {
+		t.Errorf("items = %d", len(c.Items))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader(""), strings.NewReader(metaFixture), Options{Category: "Books"}); err == nil {
+		t.Error("unknown category accepted")
+	}
+	if _, err := Load(strings.NewReader(""), strings.NewReader(""), Options{Category: "Toy"}); err == nil {
+		t.Error("empty metadata accepted")
+	}
+	if _, err := Load(strings.NewReader(reviewFixture), strings.NewReader("{bad json"), Options{Category: "Toy"}); err == nil {
+		t.Error("malformed metadata accepted")
+	}
+	if _, err := Load(strings.NewReader("{bad"), strings.NewReader(metaFixture), Options{Category: "Cellphone"}); err == nil {
+		t.Error("malformed review accepted")
+	}
+	if _, err := Load(strings.NewReader(""), strings.NewReader(`{"title":"no asin"}`), Options{Category: "Cellphone"}); err == nil {
+		t.Error("metadata without asin accepted")
+	}
+}
+
+func TestLoadFiles(t *testing.T) {
+	dir := t.TempDir()
+	rp := filepath.Join(dir, "reviews.json")
+	mp := filepath.Join(dir, "meta.json")
+	if err := os.WriteFile(rp, []byte(reviewFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mp, []byte(metaFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadFiles(rp, mp, Options{Category: "Cellphone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumReviews() != 4 {
+		t.Errorf("reviews = %d", c.NumReviews())
+	}
+	if _, err := LoadFiles(filepath.Join(dir, "absent"), mp, Options{Category: "Cellphone"}); err == nil {
+		t.Error("missing review file accepted")
+	}
+	if _, err := LoadFiles(rp, filepath.Join(dir, "absent"), Options{Category: "Cellphone"}); err == nil {
+		t.Error("missing meta file accepted")
+	}
+}
+
+func TestLoadFilesGzip(t *testing.T) {
+	dir := t.TempDir()
+	gz := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zw := gzip.NewWriter(f)
+		if _, err := zw.Write([]byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	rp := gz("reviews.json.gz", reviewFixture)
+	mp := gz("meta.json.gz", metaFixture)
+	c, err := LoadFiles(rp, mp, Options{Category: "Cellphone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumReviews() != 4 {
+		t.Errorf("reviews = %d", c.NumReviews())
+	}
+	// A .gz file that is not actually gzipped must fail cleanly.
+	bad := filepath.Join(dir, "bad.json.gz")
+	if err := os.WriteFile(bad, []byte(metaFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFiles(bad, mp, Options{Category: "Cellphone"}); err == nil {
+		t.Error("non-gzip .gz accepted")
+	}
+}
+
+func TestClampRating(t *testing.T) {
+	for overall, want := range map[float64]int{0: 1, 1: 1, 3.7: 3, 5: 5, 9: 5} {
+		if got := clampRating(overall); got != want {
+			t.Errorf("clampRating(%v) = %d, want %d", overall, got, want)
+		}
+	}
+}

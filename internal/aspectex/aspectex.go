@@ -1,0 +1,105 @@
+// Package aspectex implements frequency-based aspect-opinion extraction
+// from raw review text, standing in for the Sentires / Microsoft-Concepts
+// pipeline the paper's datasets were annotated with (§4.1.1, following Gao
+// et al.): sentences are scanned for aspect surface forms from the category
+// lexicon, and the polarity of each matched aspect is the sign of the summed
+// sentiment-word valence in its sentence.
+package aspectex
+
+import (
+	"strings"
+
+	"comparesets/internal/lexicon"
+	"comparesets/internal/model"
+	"comparesets/internal/rouge"
+)
+
+// Extractor recognizes one category's aspects.
+type Extractor struct {
+	cat       lexicon.Category
+	surface2a map[string]int
+}
+
+// New builds an extractor for the category. Aspect indices follow the
+// category's lexicon order (the same order internal/datagen uses for the
+// corpus vocabulary).
+func New(cat lexicon.Category) *Extractor {
+	e := &Extractor{cat: cat, surface2a: map[string]int{}}
+	for i, a := range cat.Aspects {
+		for _, s := range a.Surfaces {
+			e.surface2a[s] = i
+		}
+	}
+	return e
+}
+
+// Extract returns the aspect-opinion mentions found in the text, at most one
+// per aspect (scores of repeated matches aggregate). Sentences are split on
+// periods; within a sentence, the summed valence of sentiment-lexicon words
+// determines the polarity of every aspect surfaced there.
+func (e *Extractor) Extract(text string) []model.Mention {
+	type acc struct {
+		score float64
+		hits  int
+	}
+	byAspect := map[int]*acc{}
+	var order []int
+	for _, sentence := range strings.Split(text, ".") {
+		tokens := rouge.Tokenize(sentence)
+		if len(tokens) == 0 {
+			continue
+		}
+		var valence float64
+		aspects := map[int]bool{}
+		for _, tok := range tokens {
+			valence += lexicon.Valence(tok)
+			if a, ok := e.surface2a[tok]; ok {
+				aspects[a] = true
+			}
+		}
+		for a := range aspects {
+			entry, ok := byAspect[a]
+			if !ok {
+				entry = &acc{}
+				byAspect[a] = entry
+				order = append(order, a)
+			}
+			entry.score += valence
+			entry.hits++
+		}
+	}
+	sortInts(order)
+	out := make([]model.Mention, 0, len(order))
+	for _, a := range order {
+		entry := byAspect[a]
+		m := model.Mention{Aspect: a, Score: entry.score}
+		switch {
+		case entry.score > 0:
+			m.Polarity = model.Positive
+		case entry.score < 0:
+			m.Polarity = model.Negative
+		default:
+			m.Polarity = model.Neutral
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Annotate replaces every review's mentions in the corpus with mentions
+// extracted from its text, exercising the full text→annotation pipeline.
+func (e *Extractor) Annotate(c *model.Corpus) {
+	for _, it := range c.Items {
+		for _, r := range it.Reviews {
+			r.Mentions = e.Extract(r.Text)
+		}
+	}
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

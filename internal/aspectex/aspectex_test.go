@@ -1,0 +1,141 @@
+package aspectex
+
+import (
+	"math/rand"
+	"testing"
+
+	"comparesets/internal/lexicon"
+	"comparesets/internal/model"
+	"comparesets/internal/textgen"
+)
+
+func TestExtractSimpleSentences(t *testing.T) {
+	e := New(lexicon.Cellphone)
+	ms := e.Extract("the battery lasts all day, great endurance. the cable frayed within weeks, very cheap.")
+	if len(ms) != 2 {
+		t.Fatalf("mentions = %+v", ms)
+	}
+	byAspect := map[int]model.Mention{}
+	for _, m := range ms {
+		byAspect[m.Aspect] = m
+	}
+	battery, _ := indexOf(lexicon.Cellphone, "battery")
+	cable, _ := indexOf(lexicon.Cellphone, "cable")
+	if byAspect[battery].Polarity != model.Positive {
+		t.Errorf("battery polarity = %v", byAspect[battery].Polarity)
+	}
+	if byAspect[cable].Polarity != model.Negative {
+		t.Errorf("cable polarity = %v", byAspect[cable].Polarity)
+	}
+}
+
+func indexOf(cat lexicon.Category, name string) (int, bool) {
+	for i, a := range cat.Aspects {
+		if a.Name == name {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+func TestExtractNeutral(t *testing.T) {
+	e := New(lexicon.Cellphone)
+	ms := e.Extract("the battery is rated at 3000 mah.")
+	if len(ms) != 1 || ms[0].Polarity != model.Neutral || ms[0].Score != 0 {
+		t.Errorf("mentions = %+v", ms)
+	}
+}
+
+func TestExtractNoAspects(t *testing.T) {
+	e := New(lexicon.Toy)
+	if ms := e.Extract("arrived on a tuesday."); len(ms) != 0 {
+		t.Errorf("mentions = %+v", ms)
+	}
+	if ms := e.Extract(""); len(ms) != 0 {
+		t.Errorf("mentions = %+v", ms)
+	}
+}
+
+func TestExtractAggregatesRepeatedAspect(t *testing.T) {
+	e := New(lexicon.Cellphone)
+	ms := e.Extract("the battery is excellent and reliable. battery life is disappointing.")
+	if len(ms) != 1 {
+		t.Fatalf("mentions = %+v", ms)
+	}
+	// Valences: excellent(+2)+reliable(+1) then disappointing(−1) → +2.
+	if ms[0].Polarity != model.Positive || ms[0].Score != 2 {
+		t.Errorf("mention = %+v", ms[0])
+	}
+}
+
+func TestExtractSentenceScoping(t *testing.T) {
+	// Sentiment in one sentence must not leak into another sentence's
+	// aspect.
+	e := New(lexicon.Cellphone)
+	ms := e.Extract("the battery is excellent. the screen is five inches across.")
+	byName := map[int]model.Mention{}
+	for _, m := range ms {
+		byName[m.Aspect] = m
+	}
+	screen, _ := indexOf(lexicon.Cellphone, "screen")
+	if byName[screen].Polarity != model.Neutral {
+		t.Errorf("screen mention = %+v", byName[screen])
+	}
+}
+
+// Round trip: generated review text must re-extract to the original
+// aspect set with matching polarities for non-neutral mentions.
+func TestGenerateExtractRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, cat := range lexicon.AllCategories() {
+		e := New(cat)
+		for trial := 0; trial < 200; trial++ {
+			n := 1 + rng.Intn(3)
+			seen := map[int]bool{}
+			var mentions []model.Mention
+			for len(mentions) < n {
+				a := rng.Intn(len(cat.Aspects))
+				if seen[a] {
+					continue
+				}
+				seen[a] = true
+				pol := model.Polarity(rng.Intn(3))
+				mentions = append(mentions, model.Mention{Aspect: a, Polarity: pol})
+			}
+			text := textgen.Review(cat, mentions, rng)
+			got := e.Extract(text)
+			gotBy := map[int]model.Polarity{}
+			for _, m := range got {
+				gotBy[m.Aspect] = m.Polarity
+			}
+			for _, want := range mentions {
+				pol, ok := gotBy[want.Aspect]
+				if !ok {
+					t.Fatalf("%s trial %d: aspect %d lost from %q", cat.Name, trial, want.Aspect, text)
+				}
+				if pol != want.Polarity {
+					t.Fatalf("%s trial %d: aspect %d polarity %v, want %v (text %q)",
+						cat.Name, trial, want.Aspect, pol, want.Polarity, text)
+				}
+			}
+			if len(got) != len(mentions) {
+				t.Fatalf("%s trial %d: extracted %d mentions, want %d (text %q)",
+					cat.Name, trial, len(got), len(mentions), text)
+			}
+		}
+	}
+}
+
+func TestAnnotateCorpus(t *testing.T) {
+	cat := lexicon.Cellphone
+	voc := model.NewVocabulary(cat.AspectNames())
+	c := model.NewCorpus(cat.Name, voc)
+	c.AddItem(&model.Item{ID: "p1", Reviews: []*model.Review{
+		{ID: "r1", Text: "the battery lasts all day, great endurance."},
+	}})
+	New(cat).Annotate(c)
+	r := c.Items["p1"].Reviews[0]
+	if len(r.Mentions) != 1 || r.Mentions[0].Polarity != model.Positive {
+		t.Errorf("mentions = %+v", r.Mentions)
+	}
+}

@@ -1,0 +1,39 @@
+package aspectex
+
+import (
+	"testing"
+
+	"comparesets/internal/lexicon"
+	"comparesets/internal/model"
+)
+
+func FuzzExtract(f *testing.F) {
+	f.Add("the battery lasts all day, great endurance.")
+	f.Add("")
+	f.Add("battery battery battery terrible great")
+	f.Add("price. price. price is great. price is awful.")
+	f.Add(". . . , , ,")
+	ex := New(lexicon.Cellphone)
+	z := len(lexicon.Cellphone.Aspects)
+	f.Fuzz(func(t *testing.T, text string) {
+		mentions := ex.Extract(text)
+		seen := map[int]bool{}
+		for _, m := range mentions {
+			if m.Aspect < 0 || m.Aspect >= z {
+				t.Fatalf("aspect %d out of range", m.Aspect)
+			}
+			if seen[m.Aspect] {
+				t.Fatalf("duplicate mention for aspect %d", m.Aspect)
+			}
+			seen[m.Aspect] = true
+			switch {
+			case m.Score > 0 && m.Polarity != model.Positive:
+				t.Fatalf("score %v with polarity %v", m.Score, m.Polarity)
+			case m.Score < 0 && m.Polarity != model.Negative:
+				t.Fatalf("score %v with polarity %v", m.Score, m.Polarity)
+			case m.Score == 0 && m.Polarity != model.Neutral:
+				t.Fatalf("zero score with polarity %v", m.Polarity)
+			}
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"comparesets/internal/model"
+)
+
+// SelectAll runs the selector over many independent problem instances in
+// parallel (§4.1.1: every target item is an independent instance). workers
+// ≤ 0 uses GOMAXPROCS. Results are returned in instance order; per-instance
+// configurations receive Seed = cfg.Seed + index so the Random baseline
+// stays decorrelated and deterministic regardless of scheduling.
+func SelectAll(insts []*model.Instance, sel Selector, cfg Config, workers int) ([]*Selection, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(insts) {
+		workers = len(insts)
+	}
+	out := make([]*Selection, len(insts))
+	if len(insts) == 0 {
+		return out, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				instCfg := cfg
+				instCfg.Seed = cfg.Seed + int64(i)
+				s, err := sel.Select(insts[i], instCfg)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: instance %d: %w", i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = s
+			}
+		}()
+	}
+	for i := range insts {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

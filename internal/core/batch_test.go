@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"comparesets/internal/model"
+)
+
+func batchInstances(n int) []*model.Instance {
+	rng := rand.New(rand.NewSource(13))
+	out := make([]*model.Instance, n)
+	for i := range out {
+		out[i] = randomTinyInstance(rng, 3, 8, 4)
+	}
+	return out
+}
+
+func TestSelectAllMatchesSequential(t *testing.T) {
+	insts := batchInstances(12)
+	cfg := Config{M: 3, Lambda: 1, Mu: 0.1, Seed: 100}
+	for _, sel := range []Selector{CompaReSetS{}, CompaReSetSPlus{}, Random{}} {
+		parallel, err := SelectAll(insts, sel, cfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := SelectAll(insts, sel, cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range insts {
+			if !reflect.DeepEqual(parallel[i].Indices, serial[i].Indices) {
+				t.Fatalf("%s: instance %d differs between parallel and serial", sel.Name(), i)
+			}
+		}
+		// And against direct per-instance calls with matching seeds.
+		for i, inst := range insts {
+			instCfg := cfg
+			instCfg.Seed = cfg.Seed + int64(i)
+			direct, err := sel.Select(inst, instCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(direct.Indices, parallel[i].Indices) {
+				t.Fatalf("%s: instance %d differs from direct call", sel.Name(), i)
+			}
+		}
+	}
+}
+
+func TestSelectAllEmpty(t *testing.T) {
+	out, err := SelectAll(nil, CompaReSetS{}, Config{M: 3}, 4)
+	if err != nil || len(out) != 0 {
+		t.Errorf("out = %v err = %v", out, err)
+	}
+}
+
+func TestSelectAllPropagatesError(t *testing.T) {
+	insts := batchInstances(3)
+	if _, err := SelectAll(insts, CompaReSetS{}, Config{M: 0}, 2); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSelectAllDefaultWorkers(t *testing.T) {
+	insts := batchInstances(5)
+	out, err := SelectAll(insts, CRS{}, Config{M: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range out {
+		if s == nil {
+			t.Fatalf("missing result %d", i)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchBatch(b *testing.B, workers int) {
+	rng := rand.New(rand.NewSource(3))
+	insts := batchInstances(16)
+	_ = rng
+	cfg := Config{M: 3, Lambda: 1, Mu: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectAll(insts, CompaReSetSPlus{}, cfg, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectAllSerial measures the batch runner with one worker.
+func BenchmarkSelectAllSerial(b *testing.B) { benchBatch(b, 1) }
+
+// BenchmarkSelectAllParallel measures the batch runner with all cores —
+// the "independent instances" parallelism of §4.1.1.
+func BenchmarkSelectAllParallel(b *testing.B) { benchBatch(b, 0) }
+
+func benchM(b *testing.B, m int) {
+	rng := rand.New(rand.NewSource(4))
+	inst := randomTinyInstance(rng, 5, 20, 6)
+	cfg := Config{M: m, Lambda: 1, Mu: 0.1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (CompaReSetSPlus{}).Select(inst, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Benchmarks of CompaReSetS+ across review budgets (the m axis of Fig. 7).
+func BenchmarkPlusM3(b *testing.B)  { benchM(b, 3) }
+func BenchmarkPlusM5(b *testing.B)  { benchM(b, 5) }
+func BenchmarkPlusM10(b *testing.B) { benchM(b, 10) }

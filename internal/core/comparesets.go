@@ -1,0 +1,170 @@
+package core
+
+import (
+	"comparesets/internal/linalg"
+	"comparesets/internal/model"
+	"comparesets/internal/opinion"
+	"comparesets/internal/regress"
+)
+
+// CompaReSetS solves Problem 1 by Integer-Regression, independently per item
+// (Eq. 1 decomposes over items, Eq. 3/4): for item pᵢ the design matrix W
+// stacks the opinion rows (entry 1 iff opinion o appears in review r) over
+// λ-scaled aspect rows (entry λ iff aspect a appears in r), and the target
+// is [τᵢ; λ·Γ].
+type CompaReSetS struct{}
+
+// Name implements Selector.
+func (CompaReSetS) Name() string { return "CompaReSetS" }
+
+// Select implements Selector.
+func (CompaReSetS) Select(inst *model.Instance, cfg Config) (*Selection, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if inst.NumItems() == 0 {
+		return nil, ErrEmptyInstance
+	}
+	tg := NewTargets(inst, cfg)
+	sel := &Selection{Indices: make([][]int, inst.NumItems())}
+	for i := range inst.Items {
+		sel.Indices[i] = selectForItem(inst, tg, cfg, i)
+	}
+	sel.Objective = ObjectiveCompareSets(inst, tg, cfg, sel.Reviews(inst))
+	return sel, nil
+}
+
+// selectForItem runs Integer-Regression for a single item against the
+// CompaReSetS target [τᵢ; λΓ].
+func selectForItem(inst *model.Instance, tg *Targets, cfg Config, item int) []int {
+	it := inst.Items[item]
+	if len(it.Reviews) == 0 {
+		return nil
+	}
+	z := inst.Aspects.Len()
+	sch := cfg.scheme()
+	cols := make([]linalg.Vector, len(it.Reviews))
+	for j, r := range it.Reviews {
+		cols[j] = linalg.Concat(
+			sch.Column(r, z),
+			opinion.AspectColumn(r, z).Scale(cfg.Lambda),
+		)
+	}
+	w := linalg.MatrixFromColumns(cols)
+	target := linalg.Concat(tg.Tau[item], tg.Gamma.Scale(cfg.Lambda))
+	eval := func(selected []int) float64 {
+		return ItemObjective(inst, tg, cfg, item, gather(it.Reviews, selected))
+	}
+	sel, _ := regress.Solve(w, target, cfg.M, eval)
+	return sel
+}
+
+// CompaReSetSPlus solves Problem 2 with Algorithm 1: initialize with
+// CompaReSetS, then sweep the items, re-running Integer-Regression for item
+// pᵢ against the extended target Υ = [τᵢ; λΓ; μφ(S₁); …; μφ(Sᵢ₋₁);
+// μφ(Sᵢ₊₁); …; μφ(S_n)] with the other items' selections held fixed.
+type CompaReSetSPlus struct{}
+
+// Name implements Selector.
+func (CompaReSetSPlus) Name() string { return "CompaReSetS+" }
+
+// Select implements Selector.
+func (CompaReSetSPlus) Select(inst *model.Instance, cfg Config) (*Selection, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if inst.NumItems() == 0 {
+		return nil, ErrEmptyInstance
+	}
+	tg := NewTargets(inst, cfg)
+	init, err := (CompaReSetS{}).Select(inst, cfg)
+	if err != nil {
+		return nil, err
+	}
+	indices := init.Indices
+	passes := cfg.Passes
+	if passes <= 0 {
+		passes = 1
+	}
+	for pass := 0; pass < passes; pass++ {
+		for i := range inst.Items {
+			indices[i] = resyncItem(inst, tg, cfg, i, indices)
+		}
+	}
+	sel := &Selection{Indices: indices}
+	sel.Objective = ObjectivePlus(inst, tg, cfg, sel.Reviews(inst))
+	return sel, nil
+}
+
+// resyncItem re-selects item i's reviews against the synchronized target of
+// Algorithm 1, keeping the incumbent when no candidate improves the exact
+// conditional objective.
+func resyncItem(inst *model.Instance, tg *Targets, cfg Config, item int, indices [][]int) []int {
+	it := inst.Items[item]
+	if len(it.Reviews) == 0 {
+		return nil
+	}
+	z := inst.Aspects.Len()
+	sch := cfg.scheme()
+
+	// Aspect vectors of the other items' current selections.
+	others := make([]linalg.Vector, 0, len(inst.Items)-1)
+	for j := range inst.Items {
+		if j == item {
+			continue
+		}
+		others = append(others, opinion.AspectVector(gather(inst.Items[j].Reviews, indices[j]), z))
+	}
+
+	// Design matrix V: opinion rows, λ aspect rows, (n−1) μ aspect blocks.
+	cols := make([]linalg.Vector, len(it.Reviews))
+	for j, r := range it.Reviews {
+		asp := opinion.AspectColumn(r, z)
+		parts := make([]linalg.Vector, 0, 2+len(others))
+		parts = append(parts, sch.Column(r, z), asp.Scale(cfg.Lambda))
+		muAsp := asp.Scale(cfg.Mu)
+		for range others {
+			parts = append(parts, muAsp)
+		}
+		cols[j] = linalg.Concat(parts...)
+	}
+	v := linalg.MatrixFromColumns(cols)
+
+	// Target Υ.
+	parts := make([]linalg.Vector, 0, 2+len(others))
+	parts = append(parts, tg.Tau[item], tg.Gamma.Scale(cfg.Lambda))
+	for _, phi := range others {
+		parts = append(parts, phi.Scale(cfg.Mu))
+	}
+	target := linalg.Concat(parts...)
+
+	// Exact conditional objective for item i given the others.
+	mu2 := cfg.Mu * cfg.Mu
+	eval := func(selected []int) float64 {
+		set := gather(it.Reviews, selected)
+		obj := ItemObjective(inst, tg, cfg, item, set)
+		phi := opinion.AspectVector(set, z)
+		for _, o := range others {
+			obj += mu2 * linalg.SquaredDistance(phi, o)
+		}
+		return obj
+	}
+
+	sel, obj := regress.Solve(v, target, cfg.M, eval)
+	// Keep the incumbent if strictly better (Algorithm 1 tracks min_Δ; we
+	// seed it with the current selection so a sweep never regresses).
+	if cur := indices[item]; len(cur) > 0 {
+		if eval(cur) <= obj {
+			return cur
+		}
+	}
+	return sel
+}
+
+func gather(reviews []*model.Review, idx []int) []*model.Review {
+	out := make([]*model.Review, 0, len(idx))
+	for _, j := range idx {
+		out = append(out, reviews[j])
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+// Package core implements the paper's primary contribution: the
+// CompaReSetS (Problem 1) and CompaReSetS+ (Problem 2) comparative
+// review-set selection algorithms, plus the baselines the evaluation
+// compares against — single-item CRS (Lappas et al. 2012),
+// CompaReSetS-Greedy, and Random.
+//
+// Items[0] of an instance is the target item p₁; Γ is its full-set aspect
+// distribution φ(R₁) and τᵢ is each item's full-set opinion distribution
+// π(Rᵢ) (§4.1.4).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"comparesets/internal/linalg"
+	"comparesets/internal/model"
+	"comparesets/internal/opinion"
+)
+
+// Config carries the selection hyperparameters.
+type Config struct {
+	// M is the maximum number of reviews selected per item (m).
+	M int
+	// Lambda trades opinion-distance against aspect-distance (λ ≥ 0).
+	Lambda float64
+	// Mu weights the pairwise among-item aspect distances in
+	// CompaReSetS+ (μ ≥ 0).
+	Mu float64
+	// Scheme is the opinion definition; nil means Binary (the default).
+	Scheme opinion.Scheme
+	// Passes is the number of alternating sweeps of Algorithm 1 performed
+	// by CompaReSetS+; 0 means 1 (the paper's single sweep).
+	Passes int
+	// Seed drives the Random baseline.
+	Seed int64
+}
+
+func (c Config) scheme() opinion.Scheme {
+	if c.Scheme == nil {
+		return opinion.Binary{}
+	}
+	return c.Scheme
+}
+
+func (c Config) validate() error {
+	if c.M <= 0 {
+		return fmt.Errorf("core: M must be positive, got %d", c.M)
+	}
+	if c.Lambda < 0 || c.Mu < 0 {
+		return fmt.Errorf("core: lambda/mu must be non-negative (λ=%v, μ=%v)", c.Lambda, c.Mu)
+	}
+	return nil
+}
+
+// ErrEmptyInstance is returned when an instance has no items.
+var ErrEmptyInstance = errors.New("core: empty instance")
+
+// Selection is the result of running a selector on an instance: per item,
+// the chosen review indices (into Item.Reviews) and the achieved objective
+// value under the selector's own formulation.
+type Selection struct {
+	// Indices[i] lists the selected review positions of instance item i,
+	// ascending.
+	Indices [][]int
+	// Objective is the value of the optimized objective (Eq. 1 for
+	// CompaReSetS, Eq. 5 for CompaReSetS+) on the returned sets.
+	Objective float64
+}
+
+// Reviews materializes the selected review sets S₁..S_n.
+func (s *Selection) Reviews(inst *model.Instance) [][]*model.Review {
+	out := make([][]*model.Review, len(s.Indices))
+	for i, idx := range s.Indices {
+		rs := make([]*model.Review, 0, len(idx))
+		for _, j := range idx {
+			rs = append(rs, inst.Items[i].Reviews[j])
+		}
+		out[i] = rs
+	}
+	return out
+}
+
+// Selector is a review-set selection algorithm.
+type Selector interface {
+	// Name identifies the algorithm in experiment tables.
+	Name() string
+	// Select chooses ≤ cfg.M reviews for every item of the instance.
+	Select(inst *model.Instance, cfg Config) (*Selection, error)
+}
+
+// Targets precomputes the optimization targets of an instance: Γ = φ(R₁)
+// and τᵢ = π(Rᵢ).
+type Targets struct {
+	Gamma linalg.Vector   // target aspect vector Γ
+	Tau   []linalg.Vector // per-item target opinion vectors τᵢ
+}
+
+// NewTargets computes the targets for the instance under the configured
+// opinion scheme.
+func NewTargets(inst *model.Instance, cfg Config) *Targets {
+	z := inst.Aspects.Len()
+	sch := cfg.scheme()
+	t := &Targets{
+		Gamma: opinion.AspectVector(inst.Target().Reviews, z),
+		Tau:   make([]linalg.Vector, inst.NumItems()),
+	}
+	for i, it := range inst.Items {
+		t.Tau[i] = sch.Vector(it.Reviews, z)
+	}
+	return t
+}
+
+// ItemObjective evaluates Eq. 3 for one item's candidate set S:
+// Δ(τᵢ, π(S)) + λ²·Δ(Γ, φ(S)).
+func ItemObjective(inst *model.Instance, tg *Targets, cfg Config, item int, set []*model.Review) float64 {
+	z := inst.Aspects.Len()
+	sch := cfg.scheme()
+	pi := sch.Vector(set, z)
+	phi := opinion.AspectVector(set, z)
+	return linalg.SquaredDistance(tg.Tau[item], pi) +
+		cfg.Lambda*cfg.Lambda*linalg.SquaredDistance(tg.Gamma, phi)
+}
+
+// ObjectiveCompareSets evaluates Eq. 1 on a full selection.
+func ObjectiveCompareSets(inst *model.Instance, tg *Targets, cfg Config, sets [][]*model.Review) float64 {
+	var total float64
+	for i := range inst.Items {
+		total += ItemObjective(inst, tg, cfg, i, sets[i])
+	}
+	return total
+}
+
+// ObjectivePlus evaluates Eq. 5 on a full selection: Eq. 1 plus
+// μ²·Σ_{i<j} Δ(φ(Sᵢ), φ(Sⱼ)).
+func ObjectivePlus(inst *model.Instance, tg *Targets, cfg Config, sets [][]*model.Review) float64 {
+	total := ObjectiveCompareSets(inst, tg, cfg, sets)
+	z := inst.Aspects.Len()
+	phis := make([]linalg.Vector, len(sets))
+	for i, s := range sets {
+		phis[i] = opinion.AspectVector(s, z)
+	}
+	mu2 := cfg.Mu * cfg.Mu
+	for i := 0; i < len(phis); i++ {
+		for j := i + 1; j < len(phis); j++ {
+			total += mu2 * linalg.SquaredDistance(phis[i], phis[j])
+		}
+	}
+	return total
+}
+
+// ItemStats summarizes one item's selected set for downstream consumers
+// (the similarity graph of §3.1).
+type ItemStats struct {
+	// OpinionLoss is Δ(τᵢ, π(Sᵢ)).
+	OpinionLoss float64
+	// AspectLoss is Δ(Γ, φ(Sᵢ)).
+	AspectLoss float64
+	// Phi is φ(Sᵢ).
+	Phi linalg.Vector
+	// Pi is π(Sᵢ).
+	Pi linalg.Vector
+}
+
+// Stats computes per-item statistics of a selection.
+func Stats(inst *model.Instance, tg *Targets, cfg Config, sel *Selection) []ItemStats {
+	z := inst.Aspects.Len()
+	sch := cfg.scheme()
+	sets := sel.Reviews(inst)
+	out := make([]ItemStats, len(sets))
+	for i, s := range sets {
+		pi := sch.Vector(s, z)
+		phi := opinion.AspectVector(s, z)
+		out[i] = ItemStats{
+			OpinionLoss: linalg.SquaredDistance(tg.Tau[i], pi),
+			AspectLoss:  linalg.SquaredDistance(tg.Gamma, phi),
+			Phi:         phi,
+			Pi:          pi,
+		}
+	}
+	return out
+}
+
+// ItemDistance computes d_ij of §3.1 from two items' stats:
+// Δ(τᵢ,π(Sᵢ)) + Δ(τⱼ,π(Sⱼ)) + λ²Δ(Γ,φ(Sᵢ)) + λ²Δ(Γ,φ(Sⱼ)) + μ²Δ(φ(Sᵢ),φ(Sⱼ)).
+func ItemDistance(a, b ItemStats, cfg Config) float64 {
+	l2, m2 := cfg.Lambda*cfg.Lambda, cfg.Mu*cfg.Mu
+	return a.OpinionLoss + b.OpinionLoss +
+		l2*a.AspectLoss + l2*b.AspectLoss +
+		m2*linalg.SquaredDistance(a.Phi, b.Phi)
+}
+
+// randomSubset draws k distinct indices from [0, n) without replacement.
+func randomSubset(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	perm := rng.Perm(n)
+	idx := perm[:k]
+	sortInts(idx)
+	return idx
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"comparesets/internal/model"
+)
+
+func TestComprehensiveCoversAllAspectsWhenBudgetAllows(t *testing.T) {
+	inst := workingExampleInstance()
+	cfg := Config{M: 5, Lambda: 1}
+	sel, err := (Comprehensive{}).Select(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := inst.Aspects.Len()
+	for i, it := range inst.Items {
+		if cov := CoverageOf(it, sel.Indices[i], z); cov < 1 {
+			t.Errorf("item %s: coverage %v < 1 with ample budget", it.ID, cov)
+		}
+	}
+}
+
+func TestComprehensiveStopsWhenCovered(t *testing.T) {
+	// One review covers everything the item discusses; no second review
+	// should be selected even with budget left.
+	voc := model.NewVocabulary([]string{"a", "b"})
+	it := &model.Item{ID: "p", Reviews: []*model.Review{
+		{ID: "r1", Mentions: []model.Mention{
+			{Aspect: 0, Polarity: model.Positive}, {Aspect: 1, Polarity: model.Negative},
+		}},
+		{ID: "r2", Mentions: []model.Mention{{Aspect: 0, Polarity: model.Positive}}},
+	}}
+	inst := &model.Instance{Aspects: voc, Items: []*model.Item{it}}
+	sel, err := (Comprehensive{}).Select(inst, Config{M: 2, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Indices[0]) != 1 || sel.Indices[0][0] != 0 {
+		t.Errorf("indices = %v, want [0]", sel.Indices[0])
+	}
+}
+
+func TestCoverageOpinionsCoversBothPolarities(t *testing.T) {
+	// Aspect 0 has a praising and a panning review; both must be selected
+	// before anything else.
+	voc := model.NewVocabulary([]string{"a"})
+	it := &model.Item{ID: "p", Reviews: []*model.Review{
+		{ID: "r1", Mentions: []model.Mention{{Aspect: 0, Polarity: model.Positive}}},
+		{ID: "r2", Mentions: []model.Mention{{Aspect: 0, Polarity: model.Positive}}},
+		{ID: "r3", Mentions: []model.Mention{{Aspect: 0, Polarity: model.Negative}}},
+	}}
+	inst := &model.Instance{Aspects: voc, Items: []*model.Item{it}}
+	sel, err := (CoverageOpinions{}).Select(inst, Config{M: 2, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sel.Indices[0]
+	if len(got) != 2 {
+		t.Fatalf("indices = %v", got)
+	}
+	polarities := map[model.Polarity]bool{}
+	for _, j := range got {
+		polarities[it.Reviews[j].Mentions[0].Polarity] = true
+	}
+	if !polarities[model.Positive] || !polarities[model.Negative] {
+		t.Errorf("both polarities not covered: %v", got)
+	}
+}
+
+func TestCoverageBaselinesRespectBudgetAndValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		inst := randomTinyInstance(rng, 3, 12, 5)
+		for _, s := range []Selector{Comprehensive{}, CoverageOpinions{}} {
+			m := 1 + rng.Intn(4)
+			sel, err := s.Select(inst, Config{M: m, Lambda: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, idx := range sel.Indices {
+				if len(idx) > m {
+					t.Fatalf("%s: item %d selected %d > m=%d", s.Name(), i, len(idx), m)
+				}
+				for k := 1; k < len(idx); k++ {
+					if idx[k] <= idx[k-1] {
+						t.Fatalf("%s: indices not strictly increasing: %v", s.Name(), idx)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestComprehensiveBeatsRandomOnCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	var compTotal, randTotal float64
+	for trial := 0; trial < 20; trial++ {
+		inst := randomTinyInstance(rng, 2, 14, 6)
+		cfg := Config{M: 2, Lambda: 1, Seed: int64(trial)}
+		comp, err := (Comprehensive{}).Select(inst, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		random, err := (Random{}).Select(inst, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z := inst.Aspects.Len()
+		for i, it := range inst.Items {
+			compTotal += CoverageOf(it, comp.Indices[i], z)
+			randTotal += CoverageOf(it, random.Indices[i], z)
+		}
+	}
+	if compTotal < randTotal {
+		t.Errorf("comprehensive coverage %v < random %v", compTotal, randTotal)
+	}
+}
+
+func TestExtendedSelectorsRegistry(t *testing.T) {
+	ext := ExtendedSelectors()
+	if len(ext) != 7 {
+		t.Fatalf("extended selectors = %d", len(ext))
+	}
+	names := map[string]bool{}
+	for _, s := range ext {
+		if names[s.Name()] {
+			t.Errorf("duplicate name %s", s.Name())
+		}
+		names[s.Name()] = true
+	}
+	if !names["Comprehensive"] || !names["CoverageOpinions"] {
+		t.Error("coverage baselines missing")
+	}
+}
+
+func TestCoverageOfEdgeCases(t *testing.T) {
+	it := &model.Item{ID: "p"} // no reviews at all
+	if got := CoverageOf(it, nil, 3); got != 1 {
+		t.Errorf("empty item coverage = %v, want 1", got)
+	}
+}

@@ -1,0 +1,230 @@
+package datagen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"comparesets/internal/aspectex"
+	"comparesets/internal/lexicon"
+	"comparesets/internal/model"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{
+		Category:       lexicon.Cellphone,
+		Products:       40,
+		Reviewers:      100,
+		MeanReviews:    10,
+		MeanAlsoBought: 5,
+		Seed:           seed,
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	c, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Items) != 40 {
+		t.Fatalf("products = %d", len(c.Items))
+	}
+	if c.Aspects.Len() != len(lexicon.Cellphone.Aspects) {
+		t.Errorf("z = %d", c.Aspects.Len())
+	}
+	total := 0
+	for _, id := range c.ItemIDs() {
+		it := c.Items[id]
+		if len(it.Reviews) < 3 {
+			t.Errorf("item %s has %d reviews, want ≥ 3", id, len(it.Reviews))
+		}
+		if it.Title == "" || it.Price <= 0 {
+			t.Errorf("item %s missing title/price", id)
+		}
+		total += len(it.Reviews)
+	}
+	mean := float64(total) / 40
+	if mean < 5 || mean > 20 {
+		t.Errorf("mean reviews = %v, want near 10", mean)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(smallConfig(7))
+	b, _ := Generate(smallConfig(7))
+	if a.NumReviews() != b.NumReviews() {
+		t.Fatalf("review counts differ: %d vs %d", a.NumReviews(), b.NumReviews())
+	}
+	for _, id := range a.ItemIDs() {
+		ia, ib := a.Items[id], b.Items[id]
+		if ia.Title != ib.Title || len(ia.Reviews) != len(ib.Reviews) {
+			t.Fatalf("item %s differs", id)
+		}
+		for i := range ia.Reviews {
+			if ia.Reviews[i].Text != ib.Reviews[i].Text {
+				t.Fatalf("review text differs for %s[%d]", id, i)
+			}
+		}
+	}
+	c, _ := Generate(smallConfig(8))
+	if c.NumReviews() == a.NumReviews() {
+		t.Log("different seeds produced equal review counts (possible but unlikely)")
+	}
+}
+
+func TestGenerateValidInstances(t *testing.T) {
+	c, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range c.ItemIDs() {
+		inst, err := c.NewInstance(id, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("instance %s: %v", id, err)
+		}
+	}
+}
+
+func TestAlsoBoughtProperties(t *testing.T) {
+	c, _ := Generate(smallConfig(5))
+	for _, id := range c.ItemIDs() {
+		it := c.Items[id]
+		seen := map[string]bool{}
+		for _, ab := range it.AlsoBought {
+			if ab == id {
+				t.Errorf("item %s lists itself", id)
+			}
+			if seen[ab] {
+				t.Errorf("item %s lists %s twice", id, ab)
+			}
+			seen[ab] = true
+			if _, ok := c.Items[ab]; !ok && !strings.HasPrefix(ab, "ext-") {
+				t.Errorf("item %s lists unknown %s", id, ab)
+			}
+		}
+		if len(it.AlsoBought) < 2 {
+			t.Errorf("item %s has %d also-bought, want ≥ 2", id, len(it.AlsoBought))
+		}
+	}
+}
+
+func TestGeneratedTextMatchesAnnotations(t *testing.T) {
+	// Re-extracting annotations from the generated text must recover the
+	// ground-truth aspect sets exactly and polarities for every mention.
+	c, _ := Generate(smallConfig(11))
+	ex := aspectex.New(lexicon.Cellphone)
+	checked := 0
+	for _, id := range c.ItemIDs() {
+		for _, r := range c.Items[id].Reviews {
+			got := ex.Extract(r.Text)
+			gotBy := map[int]model.Polarity{}
+			for _, m := range got {
+				gotBy[m.Aspect] = m.Polarity
+			}
+			if len(got) != len(r.Mentions) {
+				t.Fatalf("review %s: extracted %d mentions, want %d (%q)", r.ID, len(got), len(r.Mentions), r.Text)
+			}
+			for _, want := range r.Mentions {
+				pol, ok := gotBy[want.Aspect]
+				if !ok {
+					t.Fatalf("review %s: aspect %d lost (%q)", r.ID, want.Aspect, r.Text)
+				}
+				if pol != want.Polarity {
+					t.Fatalf("review %s: aspect %d polarity %v want %v (%q)", r.ID, want.Aspect, pol, want.Polarity, r.Text)
+				}
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no reviews checked")
+	}
+}
+
+func TestRatingsCorrelateWithSentiment(t *testing.T) {
+	c, _ := Generate(smallConfig(13))
+	var posSum, posN, negSum, negN float64
+	for _, id := range c.ItemIDs() {
+		for _, r := range c.Items[id].Reviews {
+			net := 0
+			for _, m := range r.Mentions {
+				switch m.Polarity {
+				case model.Positive:
+					net++
+				case model.Negative:
+					net--
+				}
+			}
+			if net > 0 {
+				posSum += float64(r.Rating)
+				posN++
+			}
+			if net < 0 {
+				negSum += float64(r.Rating)
+				negN++
+			}
+		}
+	}
+	if posN == 0 || negN == 0 {
+		t.Fatal("no positive or negative reviews generated")
+	}
+	if posSum/posN <= negSum/negN {
+		t.Errorf("mean rating of positive reviews %v ≤ negative %v", posSum/posN, negSum/negN)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Category: lexicon.Toy, Products: 0, Reviewers: 10, MeanReviews: 5},
+		{Category: lexicon.Toy, Products: 10, Reviewers: 0, MeanReviews: 5},
+		{Category: lexicon.Toy, Products: 10, Reviewers: 10, MeanReviews: 0},
+		{Category: lexicon.Toy, Products: 10, Reviewers: 10, MeanReviews: 5, MeanAlsoBought: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultConfigsShapeMirrorsTable2(t *testing.T) {
+	cfgs := DefaultConfigs(1)
+	if len(cfgs) != 3 {
+		t.Fatalf("got %d configs", len(cfgs))
+	}
+	byName := map[string]Config{}
+	for _, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Category.Name, err)
+		}
+		byName[c.Category.Name] = c
+	}
+	// Table 2 ordering: Toy has the most comparison products, Clothing the
+	// fewest; Cellphone has the most reviews per product.
+	if !(byName["Toy"].MeanAlsoBought > byName["Cellphone"].MeanAlsoBought) {
+		t.Error("Toy should have longer comparison lists than Cellphone")
+	}
+	if !(byName["Clothing"].MeanAlsoBought < byName["Cellphone"].MeanAlsoBought) {
+		t.Error("Clothing should have shorter comparison lists than Cellphone")
+	}
+	if !(byName["Cellphone"].MeanReviews > byName["Clothing"].MeanReviews) {
+		t.Error("Cellphone should average more reviews than Clothing")
+	}
+}
+
+func TestPoissonCountMean(t *testing.T) {
+	cfg := smallConfig(21)
+	c, _ := Generate(cfg)
+	var total float64
+	for _, id := range c.ItemIDs() {
+		total += float64(len(c.Items[id].AlsoBought))
+	}
+	mean := total / float64(len(c.Items))
+	if math.Abs(mean-cfg.MeanAlsoBought) > 2.5 {
+		t.Errorf("mean also-bought = %v, want ≈ %v", mean, cfg.MeanAlsoBought)
+	}
+}

@@ -1,0 +1,122 @@
+// Package dataset computes corpus-level statistics (Table 2) and enumerates
+// problem instances: every target product induces an independent instance
+// consisting of itself plus its "also bought" comparison products that exist
+// in the corpus (§4.1.1).
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"comparesets/internal/model"
+)
+
+// MinComparison is the number of in-corpus comparison products a product
+// needs to qualify as a target (an instance with fewer than two items has
+// nothing to compare).
+const MinComparison = 2
+
+// Stats mirrors the rows of Table 2.
+type Stats struct {
+	Category             string
+	Products             int
+	Reviewers            int
+	Reviews              int
+	TargetProducts       int
+	AvgComparisonProduct float64
+	AvgReviewPerProduct  float64
+}
+
+// Compute derives the Table 2 statistics of a corpus.
+func Compute(c *model.Corpus) Stats {
+	s := Stats{Category: c.Category, Products: len(c.Items)}
+	reviewers := map[string]bool{}
+	var comparisonSum float64
+	for _, id := range c.ItemIDs() {
+		it := c.Items[id]
+		s.Reviews += len(it.Reviews)
+		for _, r := range it.Reviews {
+			reviewers[r.Reviewer] = true
+		}
+		valid := validComparisons(c, it)
+		if valid >= MinComparison {
+			s.TargetProducts++
+			comparisonSum += float64(valid)
+		}
+	}
+	s.Reviewers = len(reviewers)
+	if s.TargetProducts > 0 {
+		s.AvgComparisonProduct = comparisonSum / float64(s.TargetProducts)
+	}
+	if s.Products > 0 {
+		s.AvgReviewPerProduct = float64(s.Reviews) / float64(s.Products)
+	}
+	return s
+}
+
+func validComparisons(c *model.Corpus, it *model.Item) int {
+	n := 0
+	for _, ab := range it.AlsoBought {
+		if _, ok := c.Items[ab]; ok && ab != it.ID {
+			n++
+		}
+	}
+	return n
+}
+
+// TargetIDs returns the IDs of all qualifying target products, sorted.
+func TargetIDs(c *model.Corpus) []string {
+	var out []string
+	for _, id := range c.ItemIDs() {
+		if validComparisons(c, c.Items[id]) >= MinComparison {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Instances builds one instance per target product. maxComparative > 0
+// truncates each comparison list; maxInstances > 0 truncates the number of
+// instances (experiments subsample for speed).
+func Instances(c *model.Corpus, maxComparative, maxInstances int) ([]*model.Instance, error) {
+	ids := TargetIDs(c)
+	if maxInstances > 0 && len(ids) > maxInstances {
+		ids = ids[:maxInstances]
+	}
+	out := make([]*model.Instance, 0, len(ids))
+	for _, id := range ids {
+		inst, err := c.NewInstance(id, maxComparative)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: instance %s: %w", id, err)
+		}
+		if err := inst.Validate(); err != nil {
+			return nil, fmt.Errorf("dataset: instance %s: %w", id, err)
+		}
+		out = append(out, inst)
+	}
+	return out, nil
+}
+
+// WriteTable renders stats rows in the layout of Table 2.
+func WriteTable(w io.Writer, rows []Stats) {
+	fmt.Fprintf(w, "%-26s", "")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12s", r.Category)
+	}
+	fmt.Fprintln(w)
+	line := func(label string, f func(Stats) string) {
+		fmt.Fprintf(w, "%-26s", label)
+		for _, r := range rows {
+			fmt.Fprintf(w, "%12s", f(r))
+		}
+		fmt.Fprintln(w)
+	}
+	line("#Product", func(s Stats) string { return fmt.Sprintf("%d", s.Products) })
+	line("#Reviewer", func(s Stats) string { return fmt.Sprintf("%d", s.Reviewers) })
+	line("#Review", func(s Stats) string { return fmt.Sprintf("%d", s.Reviews) })
+	line("#Target Product", func(s Stats) string { return fmt.Sprintf("%d", s.TargetProducts) })
+	line("Avg. #Comparison Product", func(s Stats) string { return fmt.Sprintf("%.2f", s.AvgComparisonProduct) })
+	line("Avg. #Review per Product", func(s Stats) string { return fmt.Sprintf("%.2f", s.AvgReviewPerProduct) })
+}

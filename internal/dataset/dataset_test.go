@@ -1,0 +1,123 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"comparesets/internal/datagen"
+	"comparesets/internal/lexicon"
+	"comparesets/internal/model"
+)
+
+func tinyCorpus() *model.Corpus {
+	voc := model.NewVocabulary([]string{"a", "b"})
+	c := model.NewCorpus("Test", voc)
+	c.AddItem(&model.Item{ID: "p1", AlsoBought: []string{"p2", "p3", "ext-1"},
+		Reviews: []*model.Review{
+			{ID: "r1", Reviewer: "u1"}, {ID: "r2", Reviewer: "u2"},
+		}})
+	c.AddItem(&model.Item{ID: "p2", AlsoBought: []string{"p1"},
+		Reviews: []*model.Review{{ID: "r3", Reviewer: "u1"}}})
+	c.AddItem(&model.Item{ID: "p3", AlsoBought: []string{"ext-2", "ext-3"},
+		Reviews: []*model.Review{{ID: "r4", Reviewer: "u3"}}})
+	return c
+}
+
+func TestComputeStats(t *testing.T) {
+	s := Compute(tinyCorpus())
+	if s.Products != 3 || s.Reviews != 4 || s.Reviewers != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	// Only p1 has ≥2 valid comparison products.
+	if s.TargetProducts != 1 {
+		t.Errorf("TargetProducts = %d", s.TargetProducts)
+	}
+	if s.AvgComparisonProduct != 2 {
+		t.Errorf("AvgComparisonProduct = %v", s.AvgComparisonProduct)
+	}
+	if s.AvgReviewPerProduct != 4.0/3 {
+		t.Errorf("AvgReviewPerProduct = %v", s.AvgReviewPerProduct)
+	}
+}
+
+func TestComputeEmptyCorpus(t *testing.T) {
+	c := model.NewCorpus("Empty", model.NewVocabulary(nil))
+	s := Compute(c)
+	if s.Products != 0 || s.TargetProducts != 0 || s.AvgReviewPerProduct != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestTargetIDs(t *testing.T) {
+	ids := TargetIDs(tinyCorpus())
+	if len(ids) != 1 || ids[0] != "p1" {
+		t.Errorf("targets = %v", ids)
+	}
+}
+
+func TestInstances(t *testing.T) {
+	insts, err := Instances(tinyCorpus(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 1 {
+		t.Fatalf("instances = %d", len(insts))
+	}
+	if insts[0].Target().ID != "p1" || insts[0].NumItems() != 3 {
+		t.Errorf("instance = %s with %d items", insts[0].Target().ID, insts[0].NumItems())
+	}
+}
+
+func TestInstancesTruncation(t *testing.T) {
+	c, err := datagen.Generate(datagen.Config{
+		Category: lexicon.Toy, Products: 30, Reviewers: 50,
+		MeanReviews: 6, MeanAlsoBought: 6, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := Instances(c, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) > 10 {
+		t.Errorf("instances = %d, want ≤ 10", len(insts))
+	}
+	for _, inst := range insts {
+		if inst.NumItems() > 5 { // target + 4
+			t.Errorf("instance %s has %d items", inst.Target().ID, inst.NumItems())
+		}
+	}
+}
+
+func TestStatsOnGeneratedCorpus(t *testing.T) {
+	c, err := datagen.Generate(datagen.Config{
+		Category: lexicon.Clothing, Products: 50, Reviewers: 80,
+		MeanReviews: 8, MeanAlsoBought: 6, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Compute(c)
+	if s.TargetProducts == 0 || s.TargetProducts > s.Products {
+		t.Errorf("TargetProducts = %d of %d", s.TargetProducts, s.Products)
+	}
+	if s.AvgComparisonProduct <= 0 {
+		t.Errorf("AvgComparisonProduct = %v", s.AvgComparisonProduct)
+	}
+	if s.Reviewers == 0 || s.Reviewers > 80 {
+		t.Errorf("Reviewers = %d", s.Reviewers)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTable(&buf, []Stats{Compute(tinyCorpus())})
+	out := buf.String()
+	for _, want := range []string{"#Product", "#Reviewer", "#Review", "#Target Product", "Avg. #Comparison Product", "Avg. #Review per Product", "Test"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"comparesets/internal/core"
+	"comparesets/internal/rouge"
+	"comparesets/internal/simgraph"
+	"comparesets/internal/stats"
+)
+
+// HkSStressRow is one graph size of the TargetHkS stress ablation.
+type HkSStressRow struct {
+	N              int
+	OptimalPercent float64
+	// Ratios are objective-value ratios vs the exact solver (Eq. 8 style,
+	// percent; 0 means matching the incumbent/optimum).
+	GreedyRatio      float64
+	LocalSearchRatio float64
+	RemovalRatio     float64
+	TopKRatio        float64
+	RandomRatio      float64
+	MeanExactTime    time.Duration
+}
+
+// HkSStressResult probes where the exact solver stops proving optimality
+// within its budget as graphs grow — the regime behind the paper's
+// "#Optimal Solution < 100%" rows (their Gurobi runs hit a 60 s cap on
+// 25–34-item lists; our branch and bound needs larger random graphs before
+// the budget binds).
+type HkSStressResult struct {
+	K         int
+	Budget    time.Duration
+	Instances int
+	Rows      []HkSStressRow
+}
+
+// HkSStress runs the stress ablation on random complete graphs with
+// uniform [0,1) weights (the hardest case for the completion bound).
+func HkSStress(seed int64, ns []int, k, instances int, budget time.Duration) HkSStressResult {
+	res := HkSStressResult{K: k, Budget: budget, Instances: instances}
+	for _, n := range ns {
+		row := HkSStressRow{N: n}
+		var exactSum, greedySum, lsSum, removalSum, topkSum, randSum float64
+		var elapsed time.Duration
+		for inst := 0; inst < instances; inst++ {
+			rng := rand.New(rand.NewSource(seed + int64(1000*n+inst)))
+			g := simgraph.NewGraph(n)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					g.SetWeight(i, j, rng.Float64())
+				}
+			}
+			start := time.Now()
+			exact := (simgraph.Exact{Budget: budget}).Solve(g, k)
+			elapsed += time.Since(start)
+			if exact.Optimal {
+				row.OptimalPercent++
+			}
+			exactSum += exact.Weight
+			greedySum += (simgraph.Greedy{}).Solve(g, k).Weight
+			lsSum += (simgraph.LocalSearch{}).Solve(g, k).Weight
+			removalSum += (simgraph.GreedyRemoval{}).Solve(g, k).Weight
+			topkSum += (simgraph.TopK{}).Solve(g, k).Weight
+			randSum += (simgraph.RandomShortlist{Seed: seed + int64(inst)}).Solve(g, k).Weight
+		}
+		row.OptimalPercent *= 100 / float64(instances)
+		ratio := func(s float64) float64 { return 100 * (s - exactSum) / exactSum }
+		row.GreedyRatio = ratio(greedySum)
+		row.LocalSearchRatio = ratio(lsSum)
+		row.RemovalRatio = ratio(removalSum)
+		row.TopKRatio = ratio(topkSum)
+		row.RandomRatio = ratio(randSum)
+		row.MeanExactTime = elapsed / time.Duration(instances)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render renders the stress table.
+func (r HkSStressResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "TargetHkS stress: k=%d, budget %v, %d random graphs per size\n", r.K, r.Budget, r.Instances)
+	fmt.Fprintf(w, "%4s %9s %9s %11s %9s %9s %9s %12s\n",
+		"n", "optimal%", "greedy%", "localsrch%", "removal%", "topk%", "random%", "exact time")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%4d %8.1f%% %8.3f%% %10.3f%% %8.2f%% %8.2f%% %8.2f%% %12v\n",
+			row.N, row.OptimalPercent, row.GreedyRatio, row.LocalSearchRatio,
+			row.RemovalRatio, row.TopKRatio, row.RandomRatio, row.MeanExactTime)
+	}
+}
+
+// PassesRow is one sweep count of the CompaReSetS+ passes ablation.
+type PassesRow struct {
+	Passes    int
+	Objective float64 // mean Eq. 5 objective per instance
+	TargetRL  float64 // target-vs-comparative ROUGE-L ×100
+	AmongRL   float64 // among-items ROUGE-L ×100
+	MeanTime  time.Duration
+}
+
+// PassesResult is the ablation of Algorithm 1's alternating sweep count
+// (the paper runs a single sweep; more sweeps can only lower Eq. 5).
+type PassesResult struct {
+	Dataset string
+	M       int
+	Rows    []PassesRow
+}
+
+// PassesAblation measures objective and alignment as sweeps increase.
+func PassesAblation(w *Workload, ds, m int, passes []int) (PassesResult, error) {
+	res := PassesResult{Dataset: w.Corpora[ds].Category, M: m}
+	for _, p := range passes {
+		cfg := Config(m)
+		cfg.Passes = p
+		start := time.Now()
+		sels, err := w.RunSelector(ds, core.CompaReSetSPlus{}, cfg)
+		if err != nil {
+			return res, err
+		}
+		elapsed := time.Since(start)
+		var objs []float64
+		var tAll, aAll []rouge.Result
+		for i, sel := range sels {
+			objs = append(objs, sel.Objective)
+			t, a := instanceAlignments(w.Instances[ds][i], sel, nil)
+			tAll = append(tAll, t)
+			aAll = append(aAll, a)
+		}
+		res.Rows = append(res.Rows, PassesRow{
+			Passes:    p,
+			Objective: stats.Mean(objs),
+			TargetRL:  alignmentFrom(rouge.Average(tAll)).RL,
+			AmongRL:   alignmentFrom(rouge.Average(aAll)).RL,
+			MeanTime:  elapsed / time.Duration(len(sels)),
+		})
+	}
+	return res, nil
+}
+
+// Render renders the passes ablation.
+func (r PassesResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s: CompaReSetS+ sweeps ablation (m=%d)\n", r.Dataset, r.M)
+	fmt.Fprintf(w, "%7s %12s %10s %10s %12s\n", "passes", "Eq5 obj", "R-L (a)", "R-L (b)", "time/inst")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%7d %12.4f %10.2f %10.2f %12v\n",
+			row.Passes, row.Objective, row.TargetRL, row.AmongRL, row.MeanTime)
+	}
+}
+
+// LambdaZeroRow contrasts CompaReSetS against its λ=0 degenerate (which is
+// CRS per §2.2) — the ablation validating that the Γ aspect term is what
+// buys cross-item alignment.
+type LambdaZeroRow struct {
+	Dataset            string
+	WithGamma, NoGamma float64 // target-vs-comparative ROUGE-L ×100
+}
+
+// LambdaAblation runs the λ-term ablation on every dataset.
+func LambdaAblation(w *Workload, m int) ([]LambdaZeroRow, error) {
+	var rows []LambdaZeroRow
+	for ds := range w.Corpora {
+		row := LambdaZeroRow{Dataset: w.Corpora[ds].Category}
+		for _, lambda := range []float64{DefaultLambda, 0} {
+			cfg := Config(m)
+			cfg.Lambda = lambda
+			sels, err := w.RunSelector(ds, core.CompaReSetS{}, cfg)
+			if err != nil {
+				return nil, err
+			}
+			var tAll []rouge.Result
+			for i, sel := range sels {
+				t, _ := instanceAlignments(w.Instances[ds][i], sel, nil)
+				tAll = append(tAll, t)
+			}
+			rl := alignmentFrom(rouge.Average(tAll)).RL
+			if lambda == 0 {
+				row.NoGamma = rl
+			} else {
+				row.WithGamma = rl
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHkSStressSmallGraphsAllOptimal(t *testing.T) {
+	res := HkSStress(7, []int{8, 12}, 4, 5, time.Second)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.OptimalPercent != 100 {
+			t.Errorf("n=%d: optimal%% = %v with a 1s budget", row.N, row.OptimalPercent)
+		}
+		// No heuristic may beat the proven optimum.
+		for name, ratio := range map[string]float64{
+			"greedy": row.GreedyRatio, "local": row.LocalSearchRatio,
+			"removal": row.RemovalRatio, "topk": row.TopKRatio, "random": row.RandomRatio,
+		} {
+			if ratio > 1e-9 {
+				t.Errorf("n=%d: %s ratio %v > 0", row.N, name, ratio)
+			}
+		}
+		// Hierarchy: local search ≥ greedy ≥ random in aggregate.
+		if row.LocalSearchRatio < row.GreedyRatio-1e-9 {
+			t.Errorf("n=%d: local search %v below its greedy seed %v", row.N, row.LocalSearchRatio, row.GreedyRatio)
+		}
+		if row.RandomRatio > row.GreedyRatio+1e-9 {
+			t.Errorf("n=%d: random %v above greedy %v", row.N, row.RandomRatio, row.GreedyRatio)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "TargetHkS stress") {
+		t.Error("render missing title")
+	}
+}
+
+func TestHkSStressBudgetBinds(t *testing.T) {
+	// With a microscopic budget on larger graphs, optimality proofs must
+	// start failing while incumbents stay valid. Unlike the paper's Gurobi
+	// (which greedy occasionally beat on timeout, Table 5 Toy k=10), our
+	// exact solver seeds its incumbent with the greedy solution, so the
+	// greedy ratio stays ≤ 0 even when the budget binds.
+	res := HkSStress(7, []int{30}, 10, 3, 200*time.Microsecond)
+	row := res.Rows[0]
+	if row.OptimalPercent == 100 {
+		t.Skip("solver proved optimality within 200µs on n=30; machine too fast for this probe")
+	}
+	if row.GreedyRatio > 1e-9 {
+		t.Errorf("greedy ratio %v > 0: incumbent fell below its greedy seed", row.GreedyRatio)
+	}
+}
+
+func TestPassesAblationMonotoneObjective(t *testing.T) {
+	w := testWorkload(t)
+	res, err := PassesAblation(w, 0, 3, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Objective > res.Rows[i-1].Objective+1e-9 {
+			t.Errorf("objective rose from %v to %v at %d passes",
+				res.Rows[i-1].Objective, res.Rows[i].Objective, res.Rows[i].Passes)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "sweeps ablation") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTuneFollowsSweepWinners(t *testing.T) {
+	w := testWorkload(t)
+	cands := []float64{0.1, 1}
+	res, err := Tune(w, cands, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LambdaScores) != 2 || len(res.MuScores) != 2 {
+		t.Fatalf("scores = %v / %v", res.LambdaScores, res.MuScores)
+	}
+	// The reported best must actually be the argmax of its sweep.
+	if res.LambdaScores[0] > res.LambdaScores[1] && res.BestLambda != cands[0] {
+		t.Errorf("best lambda %v does not match winning score", res.BestLambda)
+	}
+	if res.LambdaScores[1] >= res.LambdaScores[0] && res.BestLambda != cands[1] {
+		t.Errorf("best lambda %v does not match winning score", res.BestLambda)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "best lambda") {
+		t.Error("render missing summary")
+	}
+}
+
+func TestSurveysBlindAndRotated(t *testing.T) {
+	w := testWorkload(t)
+	surveys, err := Surveys(w, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(surveys) != 3 {
+		t.Fatalf("surveys = %d", len(surveys))
+	}
+	nExamples := len(surveys[0].Examples)
+	if nExamples == 0 {
+		t.Fatal("no examples")
+	}
+	for _, s := range surveys {
+		if len(s.Examples) != nExamples || len(s.AnswerKey) != nExamples {
+			t.Fatalf("survey %d: %d examples, %d key entries", s.Number, len(s.Examples), len(s.AnswerKey))
+		}
+		for i, ex := range s.Examples {
+			if ex.Algorithm != s.AnswerKey[i] {
+				t.Errorf("survey %d example %d: key mismatch", s.Number, i+1)
+			}
+			if len(ex.Items) != 3 {
+				t.Errorf("survey %d example %d: %d items", s.Number, i+1, len(ex.Items))
+			}
+			for _, item := range ex.Items {
+				if len(item.Reviews) != 3 {
+					t.Errorf("survey %d example %d: item with %d reviews (parity requires 3)",
+						s.Number, i+1, len(item.Reviews))
+				}
+			}
+		}
+		// The participant sheet must not leak algorithm names.
+		var sheet bytes.Buffer
+		s.Render(&sheet)
+		for _, name := range []string{"CompaReSetS", "Crs", "Random"} {
+			if strings.Contains(sheet.String(), name) {
+				t.Errorf("survey %d sheet leaks algorithm %q", s.Number, name)
+			}
+		}
+		var key bytes.Buffer
+		s.RenderAnswerKey(&key)
+		if !strings.Contains(key.String(), "CompaReSetS+") {
+			t.Errorf("survey %d key missing algorithms", s.Number)
+		}
+	}
+	// Rotation/balance: every survey's answer key covers all three
+	// algorithms.
+	for _, s := range surveys {
+		seen := map[string]bool{}
+		for _, a := range s.AnswerKey {
+			seen[a] = true
+		}
+		if len(seen) != 3 {
+			t.Errorf("survey %d covers only %d algorithms", s.Number, len(seen))
+		}
+	}
+}
+
+func TestLambdaAblationGammaHelpsAlignment(t *testing.T) {
+	w := testWorkload(t)
+	rows, err := LambdaAblation(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	helped := 0
+	for _, row := range rows {
+		if row.WithGamma > row.NoGamma {
+			helped++
+		}
+	}
+	// The Γ term should improve target alignment on most datasets (it is
+	// the entire point of Problem 1 over CRS).
+	if helped < 2 {
+		t.Errorf("Γ term helped on only %d/3 datasets: %+v", helped, rows)
+	}
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"comparesets/internal/core"
+	"comparesets/internal/linalg"
+	"comparesets/internal/model"
+	"comparesets/internal/opinion"
+	"comparesets/internal/rouge"
+)
+
+// Alignment is the averaged ROUGE F1 triple of one measurement, on the
+// paper's ×100 scale.
+type Alignment struct {
+	R1, R2, RL float64
+}
+
+func alignmentFrom(r rouge.Result) Alignment {
+	return Alignment{R1: 100 * r.R1.F1, R2: 100 * r.R2.F1, RL: 100 * r.RL.F1}
+}
+
+// tokensOf pre-tokenizes every selected review of every item.
+func tokensOf(sets [][]*model.Review) [][][]string {
+	out := make([][][]string, len(sets))
+	for i, set := range sets {
+		out[i] = make([][]string, len(set))
+		for j, r := range set {
+			out[i][j] = rouge.Tokenize(r.Text)
+		}
+	}
+	return out
+}
+
+// AlignTargetVsComparative measures how the comparative items' selected
+// reviews align with the target item's (§4.2.1): the mean pairwise ROUGE
+// between each target-set review and each comparative-set review.
+// onlyItems, when non-nil, restricts which item positions participate
+// (Table 6 evaluates shortlists); position 0 must be present.
+func AlignTargetVsComparative(sets [][]*model.Review, onlyItems []int) rouge.Result {
+	toks := tokensOf(sets)
+	var results []rouge.Result
+	items := itemPositions(len(sets), onlyItems)
+	for _, j := range items {
+		if j == 0 {
+			continue
+		}
+		for _, a := range toks[0] {
+			for _, b := range toks[j] {
+				results = append(results, rouge.CompareTokens(b, a))
+			}
+		}
+	}
+	return rouge.Average(results)
+}
+
+// AlignAmongItems measures the alignment among all items' selected reviews
+// (§4.2.2): the mean pairwise ROUGE over review pairs from distinct items.
+func AlignAmongItems(sets [][]*model.Review, onlyItems []int) rouge.Result {
+	toks := tokensOf(sets)
+	var results []rouge.Result
+	items := itemPositions(len(sets), onlyItems)
+	for ai := 0; ai < len(items); ai++ {
+		for bi := ai + 1; bi < len(items); bi++ {
+			for _, a := range toks[items[ai]] {
+				for _, b := range toks[items[bi]] {
+					results = append(results, rouge.CompareTokens(a, b))
+				}
+			}
+		}
+	}
+	return rouge.Average(results)
+}
+
+func itemPositions(n int, only []int) []int {
+	if only != nil {
+		return only
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// instanceAlignments computes both alignment measurements for one instance
+// selection, restricted to onlyItems when non-nil.
+func instanceAlignments(inst *model.Instance, sel *core.Selection, onlyItems []int) (target, among rouge.Result) {
+	sets := sel.Reviews(inst)
+	return AlignTargetVsComparative(sets, onlyItems), AlignAmongItems(sets, onlyItems)
+}
+
+// selectionQuality computes the measurable qualities driving the simulated
+// user study (Table 7) for one instance selection over the given item
+// positions: shared-aspect fraction, opinion representativeness, and mean
+// pairwise aspect-distribution similarity.
+func selectionQuality(inst *model.Instance, cfg core.Config, sel *core.Selection, onlyItems []int) (overlap, repr, comp float64) {
+	z := inst.Aspects.Len()
+	sch := schemeOf(cfg)
+	sets := sel.Reviews(inst)
+	items := itemPositions(len(sets), onlyItems)
+
+	// Overlap: |aspects in every item's set| / |aspects in any set|.
+	inAll := make([]bool, z)
+	inAny := make([]bool, z)
+	for a := 0; a < z; a++ {
+		inAll[a] = true
+	}
+	for _, i := range items {
+		present := make([]bool, z)
+		for _, r := range sets[i] {
+			for _, a := range r.AspectSet() {
+				present[a] = true
+			}
+		}
+		for a := 0; a < z; a++ {
+			inAll[a] = inAll[a] && present[a]
+			inAny[a] = inAny[a] || present[a]
+		}
+	}
+	var all, any float64
+	for a := 0; a < z; a++ {
+		if inAll[a] {
+			all++
+		}
+		if inAny[a] {
+			any++
+		}
+	}
+	if any > 0 {
+		overlap = all / any
+	}
+
+	// Representativeness: mean cosine(τᵢ, π(Sᵢ)).
+	var cosSum float64
+	for _, i := range items {
+		tau := sch.Vector(inst.Items[i].Reviews, z)
+		pi := sch.Vector(sets[i], z)
+		cosSum += linalg.Cosine(tau, pi)
+	}
+	repr = cosSum / float64(len(items))
+
+	// Comparability: mean pairwise cosine(φ(Sᵢ), φ(Sⱼ)).
+	var pairSum float64
+	var pairs int
+	for ai := 0; ai < len(items); ai++ {
+		for bi := ai + 1; bi < len(items); bi++ {
+			pi := opinion.AspectVector(sets[items[ai]], z)
+			pj := opinion.AspectVector(sets[items[bi]], z)
+			pairSum += linalg.Cosine(pi, pj)
+			pairs++
+		}
+	}
+	if pairs > 0 {
+		comp = pairSum / float64(pairs)
+	}
+	return overlap, repr, comp
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"comparesets/internal/core"
+	"comparesets/internal/model"
+	"comparesets/internal/simgraph"
+)
+
+// CaseStudy is one printable example in the style of Figures 8–10: a target
+// item and its top-k most similar items with their selected review sets.
+type CaseStudy struct {
+	Dataset string
+	Items   []CaseStudyItem
+}
+
+// CaseStudyItem is one column of a case study.
+type CaseStudyItem struct {
+	Title    string
+	IsTarget bool
+	Reviews  []CaseStudyReview
+}
+
+// CaseStudyReview is one selected review.
+type CaseStudyReview struct {
+	Rating int
+	Text   string
+}
+
+// CaseStudies builds one example per dataset: CompaReSetS+ selections with
+// k = m = 3, shortlist by the exact TargetHkS solver (the setting of
+// Figures 8–10).
+func CaseStudies(w *Workload, budget time.Duration) ([]CaseStudy, error) {
+	const k = 3
+	var out []CaseStudy
+	for ds := range w.Corpora {
+		sels, graphs, err := shortlistInputs(w, ds, k)
+		if err != nil {
+			return nil, err
+		}
+		// Pick the first instance with at least three items.
+		pick := -1
+		for i, g := range graphs {
+			if g.N() >= 3 {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			continue
+		}
+		inst := w.Instances[ds][pick]
+		members := (simgraph.Exact{Budget: budget}).Solve(graphs[pick], k).Members
+		out = append(out, buildCaseStudy(w.Corpora[ds].Category, inst, sels[pick], members))
+	}
+	return out, nil
+}
+
+func buildCaseStudy(dsName string, inst *model.Instance, sel *core.Selection, members []int) CaseStudy {
+	cs := CaseStudy{Dataset: dsName}
+	sets := sel.Reviews(inst)
+	for _, i := range members {
+		item := CaseStudyItem{Title: inst.Items[i].Title, IsTarget: i == 0}
+		for _, r := range sets[i] {
+			item.Reviews = append(item.Reviews, CaseStudyReview{Rating: r.Rating, Text: r.Text})
+		}
+		cs.Items = append(cs.Items, item)
+	}
+	return cs
+}
+
+// Render renders the case study.
+func (cs CaseStudy) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== %s: compare with similar items ===\n", cs.Dataset)
+	for _, item := range cs.Items {
+		marker := ""
+		if item.IsTarget {
+			marker = " (this item)"
+		}
+		fmt.Fprintf(w, "\n-- %s%s\n", item.Title, marker)
+		for _, r := range item.Reviews {
+			fmt.Fprintf(w, "  [%s] %s\n", starsFor(r.Rating), r.Text)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func starsFor(rating int) string {
+	s := ""
+	for i := 0; i < 5; i++ {
+		if i < rating {
+			s += "*"
+		} else {
+			s += "."
+		}
+	}
+	return s
+}

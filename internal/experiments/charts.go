@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"comparesets/internal/plot"
+)
+
+// Chart renders a hyperparameter sweep (Figures 5a/5b) as one series per
+// dataset on a log-scaled x axis.
+func (r SweepResult) Chart() plot.Chart {
+	c := plot.Chart{
+		Title:  fmt.Sprintf("ROUGE-L vs %s", r.Param),
+		XLabel: r.Param,
+		YLabel: "ROUGE-L (x100)",
+		LogX:   true,
+	}
+	for ds, name := range r.Datasets {
+		c.Series = append(c.Series, plot.Series{Name: name, X: r.Values, Y: r.RL[ds]})
+	}
+	return c
+}
+
+// Charts renders Figure 6 as two charts (target-vs-comparative and
+// among-items), with the CompaReSetS+−Random and Crs−Random gap series over
+// bucket midpoints.
+func (r Figure6Result) Charts() []plot.Chart {
+	mid := make([]float64, len(r.Buckets))
+	plusT := make([]float64, len(r.Buckets))
+	crsT := make([]float64, len(r.Buckets))
+	plusA := make([]float64, len(r.Buckets))
+	crsA := make([]float64, len(r.Buckets))
+	for i, b := range r.Buckets {
+		mid[i] = (b.Lo + b.Hi) / 2
+		plusT[i], crsT[i] = b.PlusGapTarget, b.CrsGapTarget
+		plusA[i], crsA[i] = b.PlusGapAmong, b.CrsGapAmong
+	}
+	mk := func(part string, plus, crs []float64) plot.Chart {
+		return plot.Chart{
+			Title:  fmt.Sprintf("%s: R-L gap over Random (%s)", r.Dataset, part),
+			XLabel: "avg #reviews per item",
+			YLabel: "R-L gap (x100)",
+			Series: []plot.Series{
+				{Name: "CompaReSetS+ - Random", X: mid, Y: plus},
+				{Name: "Crs - Random", X: mid, Y: crs},
+			},
+		}
+	}
+	return []plot.Chart{mk("vs target", plusT, crsT), mk("among items", plusA, crsA)}
+}
+
+// Chart renders Figure 7's runtime series for one m: runtime (ms) vs number
+// of comparative items, one series per algorithm.
+func (r Figure7Result) Chart(m int) plot.Chart {
+	c := plot.Chart{
+		Title:  fmt.Sprintf("%s: runtime vs #items (m=%d)", r.Dataset, m),
+		XLabel: "#comparative items",
+		YLabel: "runtime (ms)",
+	}
+	series := map[string]*plot.Series{}
+	var order []string
+	for _, p := range r.Points {
+		if p.M != m {
+			continue
+		}
+		s, ok := series[p.Algorithm]
+		if !ok {
+			s = &plot.Series{Name: p.Algorithm}
+			series[p.Algorithm] = s
+			order = append(order, p.Algorithm)
+		}
+		s.X = append(s.X, float64(p.NumItems))
+		s.Y = append(s.Y, float64(p.Mean.Microseconds())/1000)
+	}
+	for _, name := range order {
+		c.Series = append(c.Series, *series[name])
+	}
+	return c
+}
+
+// Charts renders Figure 11 as two charts: squared loss and cosine vs m,
+// each with target-only and all-items series.
+func (r Figure11Result) Charts() []plot.Chart {
+	ms := make([]float64, len(r.Points))
+	lossT := make([]float64, len(r.Points))
+	lossA := make([]float64, len(r.Points))
+	cosT := make([]float64, len(r.Points))
+	cosA := make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		ms[i] = float64(p.M)
+		lossT[i], lossA[i] = p.LossTarget, p.LossAll
+		cosT[i], cosA[i] = p.CosTarget, p.CosAll
+	}
+	return []plot.Chart{
+		{
+			Title: fmt.Sprintf("%s: information loss vs m", r.Dataset), XLabel: "m", YLabel: "Δ(τ, π(S))",
+			Series: []plot.Series{
+				{Name: "target item", X: ms, Y: lossT},
+				{Name: "all items", X: ms, Y: lossA},
+			},
+		},
+		{
+			Title: fmt.Sprintf("%s: cosine similarity vs m", r.Dataset), XLabel: "m", YLabel: "cos(τ, π(S))",
+			Series: []plot.Series{
+				{Name: "target item", X: ms, Y: cosT},
+				{Name: "all items", X: ms, Y: cosA},
+			},
+		},
+	}
+}
+
+// Chart renders the HkS stress ablation: %optimal and heuristic ratios vs n.
+func (r HkSStressResult) Chart() plot.Chart {
+	n := make([]float64, len(r.Rows))
+	opt := make([]float64, len(r.Rows))
+	greedy := make([]float64, len(r.Rows))
+	random := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		n[i] = float64(row.N)
+		opt[i] = row.OptimalPercent
+		greedy[i] = -row.GreedyRatio // plot as positive gaps
+		random[i] = -row.RandomRatio
+	}
+	return plot.Chart{
+		Title:  fmt.Sprintf("TargetHkS stress (k=%d, budget %v)", r.K, r.Budget),
+		XLabel: "graph size n",
+		YLabel: "percent",
+		Series: []plot.Series{
+			{Name: "proved optimal %", X: n, Y: opt},
+			{Name: "greedy gap %", X: n, Y: greedy},
+			{Name: "random gap %", X: n, Y: random},
+		},
+	}
+}

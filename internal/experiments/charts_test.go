@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSweepChart(t *testing.T) {
+	w := testWorkload(t)
+	res, err := Figure5a(w, []float64{0.1, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Chart()
+	if !c.LogX || len(c.Series) != 3 {
+		t.Errorf("chart = %+v", c)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lambda") {
+		t.Error("x label missing")
+	}
+}
+
+func TestFigure6Charts(t *testing.T) {
+	w := testWorkload(t)
+	res, err := Figure6(w, 0, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	charts := res.Charts()
+	if len(charts) != 2 {
+		t.Fatalf("charts = %d", len(charts))
+	}
+	for _, c := range charts {
+		var buf bytes.Buffer
+		if err := c.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "Random") {
+			t.Error("series names missing")
+		}
+	}
+}
+
+func TestFigure7Chart(t *testing.T) {
+	w := testWorkload(t)
+	res, err := Figure7(w, 0, []int{3, 6}, []int{3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Chart(3)
+	if len(c.Series) != 4 {
+		t.Fatalf("series = %d", len(c.Series))
+	}
+	for _, s := range c.Series {
+		if len(s.X) != 2 {
+			t.Errorf("series %s has %d points", s.Name, len(s.X))
+		}
+	}
+	empty := res.Chart(99)
+	if len(empty.Series) != 0 {
+		t.Errorf("m=99 series = %d", len(empty.Series))
+	}
+}
+
+func TestFigure11Charts(t *testing.T) {
+	w := testWorkload(t)
+	res, err := Figure11(w, 0, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	charts := res.Charts()
+	if len(charts) != 2 {
+		t.Fatalf("charts = %d", len(charts))
+	}
+	for _, c := range charts {
+		var buf bytes.Buffer
+		if err := c.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHkSStressChart(t *testing.T) {
+	res := HkSStress(1, []int{6, 8}, 3, 2, time.Second)
+	c := res.Chart()
+	if len(c.Series) != 3 {
+		t.Fatalf("series = %d", len(c.Series))
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"comparesets/internal/core"
+	"comparesets/internal/metrics"
+	"comparesets/internal/rouge"
+	"comparesets/internal/stats"
+)
+
+// ExtendedRow is one algorithm's scores in the beyond-paper comparison: the
+// paper's alignment metric next to the §5.1 related-work axes, so the
+// trade-offs between selection families are visible in one table.
+type ExtendedRow struct {
+	Dataset   string
+	Algorithm string
+	// AlignRL is target-vs-comparative ROUGE-L ×100 (the paper's metric).
+	AlignRL float64
+	// The §5.1 axes, averaged per instance then per item ([0,1]).
+	AspectCoverage     float64
+	OpinionCoverage    float64
+	Diversity          float64
+	Representativeness float64
+}
+
+// ExtendedResult is the full extended comparison.
+type ExtendedResult struct {
+	M    int
+	Rows []ExtendedRow
+}
+
+// TableExtended evaluates every implemented selector — the paper's five
+// plus the Comprehensive and CoverageOpinions related-work baselines — on
+// alignment and the §5.1 quality axes.
+func TableExtended(w *Workload, m int) (ExtendedResult, error) {
+	res := ExtendedResult{M: m}
+	for ds := range w.Corpora {
+		for _, sel := range core.ExtendedSelectors() {
+			sels, err := w.RunSelector(ds, sel, Config(m))
+			if err != nil {
+				return res, err
+			}
+			var align []rouge.Result
+			var cov, opCov, div, repr []float64
+			for i, s := range sels {
+				inst := w.Instances[ds][i]
+				t, _ := instanceAlignments(inst, s, nil)
+				align = append(align, t)
+				im := metrics.EvaluateSelection(inst, s)
+				cov = append(cov, im.AspectCoverage)
+				opCov = append(opCov, im.OpinionCoverage)
+				div = append(div, 1-im.Redundancy)
+				repr = append(repr, im.Representativeness)
+			}
+			res.Rows = append(res.Rows, ExtendedRow{
+				Dataset:            w.Corpora[ds].Category,
+				Algorithm:          sel.Name(),
+				AlignRL:            alignmentFrom(rouge.Average(align)).RL,
+				AspectCoverage:     stats.Mean(cov),
+				OpinionCoverage:    stats.Mean(opCov),
+				Diversity:          stats.Mean(div),
+				Representativeness: stats.Mean(repr),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render renders the extended comparison.
+func (r ExtendedResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "(m=%d; alignment is the paper's metric, the rest are §5.1 family axes)\n", r.M)
+	fmt.Fprintf(w, "%-10s %-20s %9s %9s %9s %9s %9s\n",
+		"Dataset", "Algorithm", "R-L", "AspCov", "OpinCov", "Divers", "Repres")
+	lastDS := ""
+	for _, row := range r.Rows {
+		ds := row.Dataset
+		if ds == lastDS {
+			ds = ""
+		} else {
+			lastDS = ds
+		}
+		fmt.Fprintf(w, "%-10s %-20s %9.2f %9.3f %9.3f %9.3f %9.3f\n",
+			ds, row.Algorithm, row.AlignRL, row.AspectCoverage, row.OpinionCoverage,
+			row.Diversity, row.Representativeness)
+	}
+}
+
+// CSV implements CSVRows.
+func (r ExtendedResult) CSV() [][]string {
+	out := [][]string{{"dataset", "algorithm", "m", "align_rl", "aspect_coverage", "opinion_coverage", "diversity", "representativeness"}}
+	for _, row := range r.Rows {
+		out = append(out, []string{
+			row.Dataset, row.Algorithm, itoa(r.M), ftoa(row.AlignRL),
+			ftoa(row.AspectCoverage), ftoa(row.OpinionCoverage), ftoa(row.Diversity), ftoa(row.Representativeness),
+		})
+	}
+	return out
+}

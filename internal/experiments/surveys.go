@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"comparesets/internal/core"
+	"comparesets/internal/simgraph"
+)
+
+// Survey is one blind questionnaire of §4.5: nine examples (three per
+// category), each a target item plus its two most similar items with one
+// algorithm's selected reviews, presented without algorithm names in
+// randomized order. AnswerKey maps example number → algorithm.
+type Survey struct {
+	Number    int
+	Examples  []SurveyExample
+	AnswerKey []string
+}
+
+// SurveyExample is one example sheet.
+type SurveyExample struct {
+	Number    int
+	Algorithm string // hidden from participants; kept for the answer key
+	Items     []CaseStudyItem
+}
+
+// Surveys builds the three blind surveys of the user study: the same nine
+// (target, shortlist) examples in each, with the algorithm rotated so every
+// survey sees each example under a different selector, in randomized order
+// (participants compare algorithms without knowing which is which). Only
+// examples where every algorithm selects exactly m reviews for every
+// shortlisted item qualify, matching the paper's parity constraint.
+func Surveys(w *Workload, budget time.Duration) ([]Survey, error) {
+	const m = 3
+	algs := table7Algorithms() // Random, Crs, CompaReSetS+
+	type slot struct {
+		ds, inst int
+		members  []int
+	}
+	var slots []slot
+	for ds := range w.Corpora {
+		_, graphs, err := shortlistInputs(w, ds, m)
+		if err != nil {
+			return nil, err
+		}
+		count := 0
+		for i, g := range graphs {
+			if count >= 3 {
+				break
+			}
+			if g.N() < 3 {
+				continue
+			}
+			members := (simgraph.Exact{Budget: budget}).Solve(g, 3).Members
+			if !fullSelections(w, ds, i, members, algs, m) {
+				continue
+			}
+			slots = append(slots, slot{ds: ds, inst: i, members: members})
+			count++
+		}
+	}
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("experiments: no qualifying survey examples")
+	}
+
+	rng := rand.New(rand.NewSource(w.Seed))
+	var surveys []Survey
+	for sNum := 0; sNum < len(algs); sNum++ {
+		survey := Survey{Number: sNum + 1}
+		order := rng.Perm(len(slots))
+		for exNum, si := range order {
+			sl := slots[si]
+			// Rotate algorithms so survey s sees slot si under a
+			// different algorithm than the other surveys.
+			alg := algs[(si+sNum)%len(algs)]
+			sels, err := w.RunSelector(sl.ds, alg, Config(m))
+			if err != nil {
+				return nil, err
+			}
+			inst := w.Instances[sl.ds][sl.inst]
+			cs := buildCaseStudy(w.Corpora[sl.ds].Category, inst, sels[sl.inst], sl.members)
+			survey.Examples = append(survey.Examples, SurveyExample{
+				Number:    exNum + 1,
+				Algorithm: alg.Name(),
+				Items:     cs.Items,
+			})
+			survey.AnswerKey = append(survey.AnswerKey, alg.Name())
+		}
+		surveys = append(surveys, survey)
+	}
+	return surveys, nil
+}
+
+// fullSelections reports whether every algorithm selects exactly m reviews
+// for every shortlisted item of the instance (§4.5: "we only present
+// examples which have exactly 3 selected reviews" from every algorithm).
+func fullSelections(w *Workload, ds, inst int, members []int, algs []core.Selector, m int) bool {
+	for _, alg := range algs {
+		sels, err := w.RunSelector(ds, alg, Config(m))
+		if err != nil {
+			return false
+		}
+		for _, i := range members {
+			if len(sels[inst].Indices[i]) != m {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Render writes the participant-facing sheet (no algorithm names).
+func (s Survey) Render(w io.Writer) {
+	fmt.Fprintf(w, "# Survey %d\n\n", s.Number)
+	fmt.Fprintln(w, "For each example, rate on a 1-5 scale:")
+	fmt.Fprintln(w, "  Q1. How similar are the reviews among products (discussing the same aspects)?")
+	fmt.Fprintln(w, "  Q2. Do the reviews help you know more about the recommended products?")
+	fmt.Fprintln(w, "  Q3. Do the reviews help you in comparison among products?")
+	for _, ex := range s.Examples {
+		fmt.Fprintf(w, "\n## Example %d\n", ex.Number)
+		for _, item := range ex.Items {
+			marker := ""
+			if item.IsTarget {
+				marker = " (this item)"
+			}
+			fmt.Fprintf(w, "\n### %s%s\n", item.Title, marker)
+			for _, r := range item.Reviews {
+				fmt.Fprintf(w, "- [%d/5] %s\n", r.Rating, r.Text)
+			}
+		}
+		fmt.Fprintf(w, "\nQ1: __  Q2: __  Q3: __\n")
+	}
+}
+
+// RenderAnswerKey writes the experimenter-facing key.
+func (s Survey) RenderAnswerKey(w io.Writer) {
+	fmt.Fprintf(w, "# Survey %d answer key\n", s.Number)
+	for i, alg := range s.AnswerKey {
+		fmt.Fprintf(w, "example %d: %s\n", i+1, alg)
+	}
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"io"
+
+	"comparesets/internal/dataset"
+)
+
+// Table2Result holds the dataset statistics of Table 2.
+type Table2Result struct {
+	Rows []dataset.Stats
+}
+
+// Table2 computes the statistics of every workload corpus.
+func Table2(w *Workload) Table2Result {
+	var res Table2Result
+	for _, c := range w.Corpora {
+		res.Rows = append(res.Rows, dataset.Compute(c))
+	}
+	return res
+}
+
+// Render renders the table in the paper's layout.
+func (r Table2Result) Render(w io.Writer) {
+	dataset.WriteTable(w, r.Rows)
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"comparesets/internal/core"
+	"comparesets/internal/rouge"
+	"comparesets/internal/stats"
+)
+
+// Table3Cell is one (dataset, algorithm, m, measurement) cell: the three
+// ROUGE means plus significance stars on each (only ever set on the winning
+// algorithm's cells).
+type Table3Cell struct {
+	Align Alignment
+	// Star[i] marks a statistically significant improvement of metric i
+	// (R-1, R-2, R-L) over the second-best algorithm (p < 0.05).
+	Star [3]bool
+}
+
+// Table3Row is one (dataset, algorithm) row across all m values and both
+// measurements.
+type Table3Row struct {
+	Dataset   string
+	Algorithm string
+	// TargetVs[mi] and Among[mi] correspond to Ms[mi].
+	TargetVs []Table3Cell
+	Among    []Table3Cell
+}
+
+// Table3Result is the full review-alignment comparison (Table 3).
+type Table3Result struct {
+	Ms   []int
+	Rows []Table3Row
+}
+
+// Table3 runs all five algorithms for every m on every dataset and measures
+// review alignment between the target and comparative items (a) and among
+// all items (b), with paired t-tests for the significance stars.
+func Table3(w *Workload, ms []int) (Table3Result, error) {
+	res := Table3Result{Ms: ms}
+	selectors := core.Selectors()
+	for ds := range w.Corpora {
+		rows := make([]Table3Row, len(selectors))
+		for si, sel := range selectors {
+			rows[si] = Table3Row{
+				Dataset:   w.Corpora[ds].Category,
+				Algorithm: sel.Name(),
+				TargetVs:  make([]Table3Cell, len(ms)),
+				Among:     make([]Table3Cell, len(ms)),
+			}
+		}
+		for mi, m := range ms {
+			// Per-instance scores per algorithm for significance testing:
+			// perAlg[si][part][metric][instance].
+			perAlg := make([][2][3][]float64, len(selectors))
+			for si, sel := range selectors {
+				sels, err := w.RunSelector(ds, sel, Config(m))
+				if err != nil {
+					return res, err
+				}
+				var tAll, aAll []rouge.Result
+				for ii, s := range sels {
+					t, a := instanceAlignments(w.Instances[ds][ii], s, nil)
+					tAll = append(tAll, t)
+					aAll = append(aAll, a)
+					for part, r := range []rouge.Result{t, a} {
+						perAlg[si][part][0] = append(perAlg[si][part][0], r.R1.F1)
+						perAlg[si][part][1] = append(perAlg[si][part][1], r.R2.F1)
+						perAlg[si][part][2] = append(perAlg[si][part][2], r.RL.F1)
+					}
+				}
+				rows[si].TargetVs[mi] = Table3Cell{Align: alignmentFrom(rouge.Average(tAll))}
+				rows[si].Among[mi] = Table3Cell{Align: alignmentFrom(rouge.Average(aAll))}
+			}
+			// Stars: per part and metric, test the best mean against the
+			// runner-up.
+			for part := 0; part < 2; part++ {
+				for metric := 0; metric < 3; metric++ {
+					best, second := -1, -1
+					var bestMean, secondMean float64
+					for si := range selectors {
+						mean := stats.Mean(perAlg[si][part][metric])
+						switch {
+						case best < 0 || mean > bestMean:
+							second, secondMean = best, bestMean
+							best, bestMean = si, mean
+						case second < 0 || mean > secondMean:
+							second, secondMean = si, mean
+						}
+					}
+					if best < 0 || second < 0 {
+						continue
+					}
+					tt, err := stats.PairedTTest(perAlg[best][part][metric], perAlg[second][part][metric])
+					if err != nil {
+						continue
+					}
+					if tt.Significant(0.05) {
+						if part == 0 {
+							rows[best].TargetVs[mi].Star[metric] = true
+						} else {
+							rows[best].Among[mi].Star[metric] = true
+						}
+					}
+				}
+			}
+		}
+		res.Rows = append(res.Rows, rows...)
+	}
+	return res, nil
+}
+
+// Render renders the table in the paper's layout (scores ×100, stars on
+// significant wins).
+func (r Table3Result) Render(w io.Writer) {
+	header := func(part string) {
+		fmt.Fprintf(w, "\n(%s)\n%-10s %-20s", part, "Dataset", "Algorithm")
+		for _, m := range r.Ms {
+			fmt.Fprintf(w, "  |  m=%-2d R-1    R-2    R-L ", m)
+		}
+		fmt.Fprintln(w)
+	}
+	writePart := func(part string, cells func(Table3Row) []Table3Cell) {
+		header(part)
+		lastDS := ""
+		for _, row := range r.Rows {
+			ds := row.Dataset
+			if ds == lastDS {
+				ds = ""
+			} else {
+				lastDS = ds
+			}
+			fmt.Fprintf(w, "%-10s %-20s", ds, row.Algorithm)
+			for _, c := range cells(row) {
+				fmt.Fprintf(w, "  |  %s %s %s",
+					starred(c.Align.R1, c.Star[0]),
+					starred(c.Align.R2, c.Star[1]),
+					starred(c.Align.RL, c.Star[2]))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	writePart("a) Target Item vs Comparative Items", func(r Table3Row) []Table3Cell { return r.TargetVs })
+	writePart("b) Among Items", func(r Table3Row) []Table3Cell { return r.Among })
+}
+
+func starred(v float64, star bool) string {
+	if star {
+		return fmt.Sprintf("%6.2f*", v)
+	}
+	return fmt.Sprintf("%6.2f ", v)
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"comparesets/internal/core"
+	"comparesets/internal/opinion"
+	"comparesets/internal/prefmodel"
+	"comparesets/internal/rouge"
+)
+
+// Table4Result compares opinion definitions (binary / 3-polarity /
+// unary-scale) by target-vs-comparative ROUGE-L on the Cellphone dataset
+// with m = 3 (§4.2.3).
+type Table4Result struct {
+	Schemes    []string
+	Algorithms []string
+	// RL[ai][si] is the ROUGE-L (×100) of algorithm ai under scheme si.
+	RL [][]float64
+}
+
+// table4Selectors are the four algorithm rows of Table 4.
+func table4Selectors() []core.Selector {
+	return []core.Selector{core.CRS{}, core.Greedy{}, core.CompaReSetS{}, core.CompaReSetSPlus{}}
+}
+
+// Table4 runs the Table 4 comparison on dataset index ds (0 = Cellphone).
+func Table4(w *Workload, ds, m int) (Table4Result, error) {
+	return table4(w, ds, m, opinion.Schemes())
+}
+
+// Table4WithLearned additionally evaluates the EFM-style learned
+// aspect-preference scheme (internal/prefmodel) — the §4.2.3 future-work
+// alternative ("learned aspect-level preference vectors from another model
+// (e.g., EFM)") the paper leaves unexplored. The model is trained on the
+// full corpus before selection.
+func Table4WithLearned(w *Workload, ds, m int) (Table4Result, error) {
+	model, err := prefmodel.Train(w.Corpora[ds], prefmodel.Config{Seed: w.Seed})
+	if err != nil {
+		return Table4Result{}, err
+	}
+	schemes := append(opinion.Schemes(), prefmodel.Scheme{Model: model})
+	return table4(w, ds, m, schemes)
+}
+
+func table4(w *Workload, ds, m int, schemes []opinion.Scheme) (Table4Result, error) {
+	selectors := table4Selectors()
+	res := Table4Result{RL: make([][]float64, len(selectors))}
+	for _, s := range schemes {
+		res.Schemes = append(res.Schemes, s.Name())
+	}
+	for ai, sel := range selectors {
+		res.Algorithms = append(res.Algorithms, sel.Name())
+		res.RL[ai] = make([]float64, len(schemes))
+		for si, scheme := range schemes {
+			cfg := Config(m)
+			cfg.Scheme = scheme
+			sels, err := w.RunSelector(ds, sel, cfg)
+			if err != nil {
+				return res, err
+			}
+			var all []rouge.Result
+			for ii, s := range sels {
+				t, _ := instanceAlignments(w.Instances[ds][ii], s, nil)
+				all = append(all, t)
+			}
+			res.RL[ai][si] = alignmentFrom(rouge.Average(all)).RL
+		}
+	}
+	return res, nil
+}
+
+// Render renders the table in the paper's layout.
+func (r Table4Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-20s", "Algorithm")
+	for _, s := range r.Schemes {
+		fmt.Fprintf(w, "%14s", s)
+	}
+	fmt.Fprintln(w)
+	for ai, alg := range r.Algorithms {
+		fmt.Fprintf(w, "%-20s", alg)
+		for si := range r.Schemes {
+			fmt.Fprintf(w, "%14.2f", r.RL[ai][si])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"comparesets/internal/rouge"
+	"comparesets/internal/simgraph"
+)
+
+// Table6Row is one (dataset, solver) row across all k values and both
+// alignment measurements.
+type Table6Row struct {
+	Dataset string
+	Solver  string
+	// TargetVs[ki] and Among[ki] correspond to Ks[ki].
+	TargetVs []Alignment
+	Among    []Alignment
+}
+
+// Table6Result re-evaluates review alignment on the shortlisted core item
+// lists (k = m) produced by each TargetHkS solver, all over the same
+// CompaReSetS+ review selections for parity (§4.3.2).
+type Table6Result struct {
+	Ks   []int
+	Rows []Table6Row
+}
+
+// table6SolverNames lists the row order of Table 6.
+var table6SolverNames = []string{"Random", "Top-k similarity", "TargetHkS_Greedy", "TargetHkS_ILP"}
+
+// Table6 runs the core-list alignment comparison.
+func Table6(w *Workload, ks []int, budget time.Duration) (Table6Result, error) {
+	res := Table6Result{Ks: ks}
+	for ds := range w.Corpora {
+		rows := make([]Table6Row, len(table6SolverNames))
+		for si, name := range table6SolverNames {
+			rows[si] = Table6Row{
+				Dataset:  w.Corpora[ds].Category,
+				Solver:   name,
+				TargetVs: make([]Alignment, len(ks)),
+				Among:    make([]Alignment, len(ks)),
+			}
+		}
+		for ki, k := range ks {
+			sels, graphs, err := shortlistInputs(w, ds, k)
+			if err != nil {
+				return res, err
+			}
+			perSolver := make([][2][]rouge.Result, len(table6SolverNames))
+			for i, g := range graphs {
+				solvers := []simgraph.Solver{
+					simgraph.RandomShortlist{Seed: w.Seed + int64(i)},
+					simgraph.TopK{},
+					simgraph.Greedy{},
+					simgraph.Exact{Budget: budget},
+				}
+				for si, solver := range solvers {
+					members := solver.Solve(g, k).Members
+					t, a := instanceAlignments(w.Instances[ds][i], sels[i], members)
+					perSolver[si][0] = append(perSolver[si][0], t)
+					perSolver[si][1] = append(perSolver[si][1], a)
+				}
+			}
+			for si := range table6SolverNames {
+				rows[si].TargetVs[ki] = alignmentFrom(rouge.Average(perSolver[si][0]))
+				rows[si].Among[ki] = alignmentFrom(rouge.Average(perSolver[si][1]))
+			}
+		}
+		res.Rows = append(res.Rows, rows...)
+	}
+	return res, nil
+}
+
+// Render renders the table in the paper's layout.
+func (r Table6Result) Render(w io.Writer) {
+	writePart := func(part string, cells func(Table6Row) []Alignment) {
+		fmt.Fprintf(w, "\n(%s)\n%-10s %-18s", part, "Dataset", "Algorithm")
+		for _, k := range r.Ks {
+			fmt.Fprintf(w, " | k=m=%-2d R-1   R-2   R-L", k)
+		}
+		fmt.Fprintln(w)
+		lastDS := ""
+		for _, row := range r.Rows {
+			ds := row.Dataset
+			if ds == lastDS {
+				ds = ""
+			} else {
+				lastDS = ds
+			}
+			fmt.Fprintf(w, "%-10s %-18s", ds, row.Solver)
+			for _, c := range cells(row) {
+				fmt.Fprintf(w, " | %6.2f %5.2f %5.2f", c.R1, c.R2, c.RL)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	writePart("a) Target Item vs Comparative Items", func(r Table6Row) []Alignment { return r.TargetVs })
+	writePart("b) Among Items", func(r Table6Row) []Alignment { return r.Among })
+}

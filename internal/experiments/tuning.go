@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// TuningResult records the §4.1.4 selection of λ and μ: sweep λ for
+// CompaReSetS over the candidate set, fix the winner, then sweep μ for
+// CompaReSetS+. Scores are mean target-vs-comparative ROUGE-L across all
+// datasets (the criterion the paper tunes on).
+type TuningResult struct {
+	Candidates   []float64
+	LambdaScores []float64
+	MuScores     []float64
+	BestLambda   float64
+	BestMu       float64
+}
+
+// Tune reproduces the paper's hyperparameter procedure on the workload.
+// Note Figure5b (and this function's μ sweep) holds λ at DefaultLambda, as
+// the paper does after its λ sweep landed on 1.
+func Tune(w *Workload, candidates []float64, m int) (TuningResult, error) {
+	res := TuningResult{Candidates: candidates}
+	lambda, err := Figure5a(w, candidates, m)
+	if err != nil {
+		return res, err
+	}
+	res.LambdaScores = averageAcrossDatasets(lambda.RL)
+	res.BestLambda = candidates[argmax(res.LambdaScores)]
+
+	mu, err := Figure5b(w, candidates, m)
+	if err != nil {
+		return res, err
+	}
+	res.MuScores = averageAcrossDatasets(mu.RL)
+	res.BestMu = candidates[argmax(res.MuScores)]
+	return res, nil
+}
+
+func averageAcrossDatasets(rl [][]float64) []float64 {
+	if len(rl) == 0 {
+		return nil
+	}
+	out := make([]float64, len(rl[0]))
+	for _, series := range rl {
+		for i, v := range series {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(rl))
+	}
+	return out
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Render renders the tuning sweep.
+func (r TuningResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-10s", "candidate")
+	for _, c := range r.Candidates {
+		fmt.Fprintf(w, "%10g", c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s", "lambda RL")
+	for _, s := range r.LambdaScores {
+		fmt.Fprintf(w, "%10.2f", s)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s", "mu RL")
+	for _, s := range r.MuScores {
+		fmt.Fprintf(w, "%10.2f", s)
+	}
+	fmt.Fprintf(w, "\nbest lambda = %g, best mu = %g\n", r.BestLambda, r.BestMu)
+}

@@ -1,0 +1,133 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) on the synthetic substrate: Table 2 (dataset statistics),
+// Table 3 (review alignment vs baselines), Table 4 (opinion definitions),
+// Table 5 (TargetHkS optimality ratios), Table 6 (core-list alignment),
+// Table 7 (simulated user study), Figures 5a/5b (λ and μ sweeps), Figure 6
+// (gap vs review count), Figure 7 (runtime vs number of items), Figure 11
+// (information loss vs m), and the case studies of Figures 8–10.
+//
+// Each Table*/Figure* function returns a typed result with a WriteTo printer
+// that mirrors the paper's layout. All computations are deterministic for a
+// fixed workload seed.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"comparesets/internal/core"
+	"comparesets/internal/datagen"
+	"comparesets/internal/dataset"
+	"comparesets/internal/model"
+	"comparesets/internal/opinion"
+)
+
+// Size scales a workload: how many problem instances are evaluated per
+// dataset.
+type Size int
+
+// Workload sizes. Small keeps unit tests fast; Medium is the default for
+// the experiment harness; Large approaches the paper's per-category scale.
+const (
+	Small  Size = 8
+	Medium Size = 30
+	Large  Size = 120
+)
+
+// DefaultLambda and DefaultMu are the tuned hyperparameters of §4.1.4.
+const (
+	DefaultLambda = 1.0
+	DefaultMu     = 0.1
+)
+
+// Workload holds the three evaluation corpora and their problem instances,
+// plus a memoized selection cache shared by the tables and figures.
+type Workload struct {
+	Seed      int64
+	Corpora   []*model.Corpus
+	Instances [][]*model.Instance // per corpus
+
+	mu    sync.Mutex
+	cache map[string][]*core.Selection
+}
+
+// NewWorkload generates the three-category workload at the given size.
+// maxComparative > 0 truncates every comparison list (0 keeps full lists).
+func NewWorkload(seed int64, size Size, maxComparative int) (*Workload, error) {
+	w := &Workload{Seed: seed, cache: map[string][]*core.Selection{}}
+	for _, cfg := range datagen.DefaultConfigs(seed) {
+		corpus, err := datagen.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		insts, err := dataset.Instances(corpus, maxComparative, int(size))
+		if err != nil {
+			return nil, err
+		}
+		w.Corpora = append(w.Corpora, corpus)
+		w.Instances = append(w.Instances, insts)
+	}
+	return w, nil
+}
+
+// ClearCache drops all memoized selections (benchmarks clear between
+// iterations so every run measures real work).
+func (w *Workload) ClearCache() {
+	w.mu.Lock()
+	w.cache = map[string][]*core.Selection{}
+	w.mu.Unlock()
+}
+
+// DatasetNames returns the corpus category names in order.
+func (w *Workload) DatasetNames() []string {
+	out := make([]string, len(w.Corpora))
+	for i, c := range w.Corpora {
+		out[i] = c.Category
+	}
+	return out
+}
+
+// Config builds the default selection configuration for a given m.
+func Config(m int) core.Config {
+	return core.Config{M: m, Lambda: DefaultLambda, Mu: DefaultMu}
+}
+
+// RunSelector runs the selector on every instance of dataset ds with the
+// given configuration, memoizing by (dataset, selector, config).
+func (w *Workload) RunSelector(ds int, sel core.Selector, cfg core.Config) ([]*core.Selection, error) {
+	key := cacheKey(ds, sel.Name(), cfg)
+	w.mu.Lock()
+	if got, ok := w.cache[key]; ok {
+		w.mu.Unlock()
+		return got, nil
+	}
+	w.mu.Unlock()
+	// Instances are independent (§4.1.1); fan out across cores. SelectAll
+	// seeds instance i with cfg.Seed + i, keeping Random deterministic.
+	batchCfg := cfg
+	batchCfg.Seed = w.Seed
+	out, err := core.SelectAll(w.Instances[ds], sel, batchCfg, 0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", sel.Name(), w.Corpora[ds].Category, err)
+	}
+	w.mu.Lock()
+	w.cache[key] = out
+	w.mu.Unlock()
+	return out, nil
+}
+
+func cacheKey(ds int, name string, cfg core.Config) string {
+	scheme := "binary"
+	if cfg.Scheme != nil {
+		scheme = cfg.Scheme.Name()
+	}
+	return fmt.Sprintf("%d|%s|m=%d|l=%g|mu=%g|s=%s|p=%d", ds, name, cfg.M, cfg.Lambda, cfg.Mu, scheme, cfg.Passes)
+}
+
+// schemeOf returns the configured scheme with the binary default.
+func schemeOf(cfg core.Config) opinion.Scheme {
+	if cfg.Scheme == nil {
+		return opinion.Binary{}
+	}
+	return cfg.Scheme
+}

@@ -1,0 +1,39 @@
+package explain_test
+
+import (
+	"fmt"
+
+	"comparesets/internal/core"
+	"comparesets/internal/explain"
+	"comparesets/internal/model"
+)
+
+// ExampleCompare derives per-aspect comparative explanations from a
+// selection.
+func ExampleCompare() {
+	voc := model.NewVocabulary([]string{"battery", "price"})
+	inst := &model.Instance{
+		Aspects: voc,
+		Items: []*model.Item{
+			{ID: "a", Title: "Phone A", Reviews: []*model.Review{
+				{ID: "a1", Mentions: []model.Mention{
+					{Aspect: 0, Polarity: model.Positive, Score: 2},
+					{Aspect: 1, Polarity: model.Negative, Score: -1},
+				}},
+			}},
+			{ID: "b", Title: "Phone B", Reviews: []*model.Review{
+				{ID: "b1", Mentions: []model.Mention{
+					{Aspect: 0, Polarity: model.Negative, Score: -2},
+					{Aspect: 1, Polarity: model.Negative, Score: -1},
+				}},
+			}},
+		},
+	}
+	sel := &core.Selection{Indices: [][]int{{0}, {0}}}
+	for _, line := range explain.Lines(explain.Compare(inst, sel), 2) {
+		fmt.Println(line)
+	}
+	// Output:
+	// reviews favor Phone A over Phone B on battery
+	// both products draw complaints about price
+}

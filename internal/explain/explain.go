@@ -1,0 +1,174 @@
+// Package explain generates template-based comparative explanations from
+// selected review sets — the direction of the authors' WSDM'21 work on
+// "explainable recommendation with comparative constraints" that the paper
+// cites as its companion (§5.2, reference [18]): having selected comparable
+// review sets, say in one line per aspect how the target stacks up against
+// each comparison item.
+package explain
+
+import (
+	"fmt"
+	"sort"
+
+	"comparesets/internal/core"
+	"comparesets/internal/model"
+)
+
+// Verdict classifies how the target compares to another item on an aspect.
+type Verdict int
+
+// Verdict values.
+const (
+	TargetBetter Verdict = iota
+	OtherBetter
+	BothPraised
+	BothPanned
+	Mixed
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case TargetBetter:
+		return "target better"
+	case OtherBetter:
+		return "other better"
+	case BothPraised:
+		return "both praised"
+	case BothPanned:
+		return "both panned"
+	default:
+		return "mixed"
+	}
+}
+
+// AspectComparison is the judgement on one shared aspect between the target
+// and one comparative item.
+type AspectComparison struct {
+	Aspect      int
+	AspectName  string
+	TargetNet   float64 // net sentiment of the target's selected set
+	OtherNet    float64
+	Verdict     Verdict
+	Explanation string
+}
+
+// ItemComparison is the full target-vs-one-item comparison.
+type ItemComparison struct {
+	OtherID    string
+	OtherTitle string
+	Aspects    []AspectComparison
+}
+
+// Compare derives comparisons from a selection: for every comparative item,
+// every aspect discussed by both its selected set and the target's selected
+// set gets a verdict based on net selected-review sentiment.
+func Compare(inst *model.Instance, sel *core.Selection) []ItemComparison {
+	sets := sel.Reviews(inst)
+	if len(sets) == 0 {
+		return nil
+	}
+	targetNet := netSentiment(sets[0], inst.Aspects.Len())
+	target := inst.Target()
+	var out []ItemComparison
+	for i := 1; i < len(sets); i++ {
+		otherNet := netSentiment(sets[i], inst.Aspects.Len())
+		cmp := ItemComparison{OtherID: inst.Items[i].ID, OtherTitle: inst.Items[i].Title}
+		for a := 0; a < inst.Aspects.Len(); a++ {
+			t, tOK := targetNet[a]
+			o, oOK := otherNet[a]
+			if !tOK || !oOK {
+				continue // only aspects both selected sets discuss are comparable
+			}
+			ac := AspectComparison{Aspect: a, AspectName: inst.Aspects.Name(a), TargetNet: t, OtherNet: o}
+			ac.Verdict = verdictFor(t, o)
+			ac.Explanation = sentenceFor(ac, target.Title, cmp.OtherTitle)
+			cmp.Aspects = append(cmp.Aspects, ac)
+		}
+		// Most decisive aspects first.
+		sort.Slice(cmp.Aspects, func(x, y int) bool {
+			dx := abs(cmp.Aspects[x].TargetNet - cmp.Aspects[x].OtherNet)
+			dy := abs(cmp.Aspects[y].TargetNet - cmp.Aspects[y].OtherNet)
+			if dx != dy {
+				return dx > dy
+			}
+			return cmp.Aspects[x].Aspect < cmp.Aspects[y].Aspect
+		})
+		out = append(out, cmp)
+	}
+	return out
+}
+
+// netSentiment maps each discussed aspect to the summed mention score of
+// the selected reviews; aspects never discussed are absent.
+func netSentiment(set []*model.Review, z int) map[int]float64 {
+	net := map[int]float64{}
+	for _, r := range set {
+		for _, m := range r.Mentions {
+			if m.Aspect >= 0 && m.Aspect < z {
+				net[m.Aspect] += m.Score
+			}
+		}
+	}
+	return net
+}
+
+const margin = 0.5 // net-sentiment difference needed to call a winner
+
+func verdictFor(target, other float64) Verdict {
+	switch {
+	case target-other > margin:
+		return TargetBetter
+	case other-target > margin:
+		return OtherBetter
+	case target > 0 && other > 0:
+		return BothPraised
+	case target < 0 && other < 0:
+		return BothPanned
+	default:
+		return Mixed
+	}
+}
+
+func sentenceFor(ac AspectComparison, targetTitle, otherTitle string) string {
+	switch ac.Verdict {
+	case TargetBetter:
+		return fmt.Sprintf("reviews favor %s over %s on %s", targetTitle, otherTitle, ac.AspectName)
+	case OtherBetter:
+		return fmt.Sprintf("reviews favor %s over %s on %s", otherTitle, targetTitle, ac.AspectName)
+	case BothPraised:
+		return fmt.Sprintf("both products are praised for %s", ac.AspectName)
+	case BothPanned:
+		return fmt.Sprintf("both products draw complaints about %s", ac.AspectName)
+	default:
+		return fmt.Sprintf("opinions on %s are mixed for both products", ac.AspectName)
+	}
+}
+
+// Lines flattens comparisons into at most maxLines explanation sentences,
+// taking the most decisive aspect of each item first (round-robin).
+func Lines(cmps []ItemComparison, maxLines int) []string {
+	var out []string
+	for depth := 0; ; depth++ {
+		progressed := false
+		for _, c := range cmps {
+			if depth < len(c.Aspects) {
+				progressed = true
+				if len(out) < maxLines {
+					out = append(out, c.Aspects[depth].Explanation)
+				}
+			}
+		}
+		if !progressed || len(out) >= maxLines {
+			break
+		}
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

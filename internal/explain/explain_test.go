@@ -1,0 +1,137 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"comparesets/internal/core"
+	"comparesets/internal/model"
+)
+
+func testInstanceAndSelection(t *testing.T) (*model.Instance, *core.Selection) {
+	t.Helper()
+	voc := model.NewVocabulary([]string{"battery", "screen", "price"})
+	mention := func(a int, score float64) model.Mention {
+		pol := model.Positive
+		if score < 0 {
+			pol = model.Negative
+		}
+		return model.Mention{Aspect: a, Polarity: pol, Score: score}
+	}
+	target := &model.Item{ID: "t", Title: "Target Phone", Reviews: []*model.Review{
+		{ID: "t1", Mentions: []model.Mention{mention(0, 2), mention(1, 1)}},
+		{ID: "t2", Mentions: []model.Mention{mention(2, -1)}},
+	}}
+	other := &model.Item{ID: "o", Title: "Other Phone", Reviews: []*model.Review{
+		{ID: "o1", Mentions: []model.Mention{mention(0, -2), mention(1, 1)}},
+		{ID: "o2", Mentions: []model.Mention{mention(2, -1)}},
+	}}
+	inst := &model.Instance{Aspects: voc, Items: []*model.Item{target, other}}
+	sel := &core.Selection{Indices: [][]int{{0, 1}, {0, 1}}}
+	return inst, sel
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	inst, sel := testInstanceAndSelection(t)
+	cmps := Compare(inst, sel)
+	if len(cmps) != 1 {
+		t.Fatalf("comparisons = %d", len(cmps))
+	}
+	byAspect := map[string]AspectComparison{}
+	for _, a := range cmps[0].Aspects {
+		byAspect[a.AspectName] = a
+	}
+	if got := byAspect["battery"].Verdict; got != TargetBetter {
+		t.Errorf("battery verdict = %v", got)
+	}
+	if got := byAspect["screen"].Verdict; got != BothPraised {
+		t.Errorf("screen verdict = %v", got)
+	}
+	if got := byAspect["price"].Verdict; got != BothPanned {
+		t.Errorf("price verdict = %v", got)
+	}
+	// The most decisive aspect (battery, |2-(-2)|=4) leads.
+	if cmps[0].Aspects[0].AspectName != "battery" {
+		t.Errorf("first aspect = %s", cmps[0].Aspects[0].AspectName)
+	}
+}
+
+func TestCompareExplanationTemplates(t *testing.T) {
+	inst, sel := testInstanceAndSelection(t)
+	cmps := Compare(inst, sel)
+	for _, a := range cmps[0].Aspects {
+		if a.Explanation == "" {
+			t.Errorf("aspect %s: empty explanation", a.AspectName)
+		}
+		if a.Verdict == TargetBetter && !strings.Contains(a.Explanation, "Target Phone over Other Phone") {
+			t.Errorf("explanation %q does not name the winner", a.Explanation)
+		}
+	}
+}
+
+func TestCompareSkipsUnsharedAspects(t *testing.T) {
+	voc := model.NewVocabulary([]string{"a", "b"})
+	inst := &model.Instance{Aspects: voc, Items: []*model.Item{
+		{ID: "t", Reviews: []*model.Review{{ID: "r1", Mentions: []model.Mention{{Aspect: 0, Score: 1}}}}},
+		{ID: "o", Reviews: []*model.Review{{ID: "r2", Mentions: []model.Mention{{Aspect: 1, Score: 1}}}}},
+	}}
+	sel := &core.Selection{Indices: [][]int{{0}, {0}}}
+	cmps := Compare(inst, sel)
+	if len(cmps) != 1 || len(cmps[0].Aspects) != 0 {
+		t.Errorf("cmps = %+v", cmps)
+	}
+}
+
+func TestCompareEmptySelection(t *testing.T) {
+	if got := Compare(&model.Instance{Aspects: model.NewVocabulary(nil)}, &core.Selection{}); got != nil {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestLinesRoundRobinAndCap(t *testing.T) {
+	inst, sel := testInstanceAndSelection(t)
+	cmps := Compare(inst, sel)
+	lines := Lines(cmps, 2)
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	all := Lines(cmps, 100)
+	if len(all) != 3 {
+		t.Errorf("all lines = %v", all)
+	}
+	if got := Lines(nil, 5); got != nil {
+		t.Errorf("nil comparisons: %v", got)
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		TargetBetter: "target better",
+		OtherBetter:  "other better",
+		BothPraised:  "both praised",
+		BothPanned:   "both panned",
+		Mixed:        "mixed",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q", v, v.String())
+		}
+	}
+}
+
+func TestVerdictMargin(t *testing.T) {
+	cases := []struct {
+		t, o float64
+		want Verdict
+	}{
+		{2, 0, TargetBetter},
+		{0, 2, OtherBetter},
+		{1, 1.2, BothPraised},
+		{-1, -1.2, BothPanned},
+		{0.1, -0.1, Mixed},
+	}
+	for _, c := range cases {
+		if got := verdictFor(c.t, c.o); got != c.want {
+			t.Errorf("verdictFor(%v, %v) = %v, want %v", c.t, c.o, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package lexicon
+
+// Extra categories beyond the paper's evaluation trio (Table 2 uses
+// Cellphone/Toy/Clothing; Categories() keeps returning exactly those so the
+// experiment workload mirrors the paper). These are available to library
+// users through CategoryByName / AllCategories for generating or annotating
+// corpora in other domains.
+
+// Electronics is a consumer-electronics category.
+var Electronics = Category{
+	Name:   "Electronics",
+	Brands: []string{"Novatek", "Brightline", "Pulse", "Vertex", "Quanta", "Halo"},
+	Nouns: []string{
+		"4K Monitor", "Mechanical Keyboard", "Wireless Mouse", "Webcam",
+		"Soundbar", "Router", "External Drive", "Smart Plug",
+	},
+	Aspects: []Aspect{
+		{
+			Name:     "picture",
+			Surfaces: []string{"picture", "image"},
+			Positive: []string{"the %s is crisp and vivid, excellent", "%s quality is amazing out of the box"},
+			Negative: []string{"the %s is washed out, disappointing", "%s ghosting is terrible in motion"},
+			Neutral:  []string{"the %s covers the srgb gamut"},
+		},
+		{
+			Name:     "setup",
+			Surfaces: []string{"setup", "installation"},
+			Positive: []string{"%s took five minutes, great instructions", "the %s was easy and fast"},
+			Negative: []string{"%s fought me for hours, awful experience", "the %s kept failing, poor documentation"},
+			Neutral:  []string{"the %s needs the vendor app"},
+		},
+		{
+			Name:     "connectivity",
+			Surfaces: []string{"connectivity", "connection"},
+			Positive: []string{"%s is reliable across the whole house", "the %s stays solid even through walls"},
+			Negative: []string{"%s drops hourly, unreliable", "the %s is weak beyond one room, bad"},
+			Neutral:  []string{"%s includes two usb ports"},
+		},
+		{
+			Name:     "noise",
+			Surfaces: []string{"noise", "fan"},
+			Positive: []string{"the %s is whisper quiet, nice", "%s level is low even under load, impressive"},
+			Negative: []string{"the %s whines constantly, noisy", "%s is loud enough to hear over music, terrible"},
+			Neutral:  []string{"the %s spins up under load"},
+		},
+		{
+			Name:     "power",
+			Surfaces: []string{"power", "consumption"},
+			Positive: []string{"%s draw is tiny, great for always on", "the %s sips electricity, excellent"},
+			Negative: []string{"%s usage is high at idle, poor design", "the %s brick runs hot, bad"},
+			Neutral:  []string{"%s comes from a barrel connector"},
+		},
+		{
+			Name:     "build",
+			Surfaces: []string{"build", "housing"},
+			Positive: []string{"the %s feels premium and sturdy", "%s quality is solid metal, excellent"},
+			Negative: []string{"the %s creaks, feels cheap", "%s plastic flexes, flimsy"},
+			Neutral:  []string{"the %s is matte black"},
+		},
+		{
+			Name:     "software",
+			Surfaces: []string{"software", "firmware"},
+			Positive: []string{"the %s is clean and reliable", "%s updates arrive monthly, great cadence"},
+			Negative: []string{"the %s is buggy and slow", "%s resets settings after updates, awful"},
+			Neutral:  []string{"the %s exposes a web console"},
+		},
+		{
+			Name:     "price",
+			Surfaces: []string{"price", "value"},
+			Positive: []string{"the %s is great for this feature set", "excellent %s against the big names"},
+			Negative: []string{"the %s is steep for what it does, poor", "bad %s, half the cost elsewhere"},
+			Neutral:  []string{"the %s tracks the market"},
+		},
+		{
+			Name:     "latency",
+			Surfaces: []string{"latency", "lag"},
+			Positive: []string{"%s is imperceptible, great for gaming", "the %s is low and consistent, impressive"},
+			Negative: []string{"%s spikes constantly, bad for calls", "the %s makes typing feel slow"},
+			Neutral:  []string{"%s sits near eight milliseconds"},
+		},
+		{
+			Name:     "warranty",
+			Surfaces: []string{"warranty", "support"},
+			Positive: []string{"%s service replaced mine in a week, great", "the %s team is responsive and reliable"},
+			Negative: []string{"%s claims go unanswered, awful", "the %s expired conveniently early, poor"},
+			Neutral:  []string{"the %s runs two years"},
+		},
+	},
+}
+
+// Kitchen is a home-and-kitchen category.
+var Kitchen = Category{
+	Name:   "Kitchen",
+	Brands: []string{"Hearth", "Copperleaf", "Savor", "Brisk", "Yumi", "Granary"},
+	Nouns: []string{
+		"Chef Knife", "Cast Iron Skillet", "French Press", "Stand Mixer",
+		"Cutting Board", "Food Container", "Kettle", "Spice Grinder",
+	},
+	Aspects: []Aspect{
+		{
+			Name:     "sharpness",
+			Surfaces: []string{"sharpness", "edge"},
+			Positive: []string{"the %s is excellent out of the box", "%s holds through months of use, impressive"},
+			Negative: []string{"the %s dulled in a week, poor steel", "%s chips on carrots, terrible"},
+			Neutral:  []string{"the %s takes a fifteen degree bevel"},
+		},
+		{
+			Name:     "handle",
+			Surfaces: []string{"handle", "grip"},
+			Positive: []string{"the %s is comfortable for long prep", "%s balance is perfect, great feel"},
+			Negative: []string{"the %s is slippery when wet, bad", "%s seam digs into the palm, uncomfortable"},
+			Neutral:  []string{"the %s is riveted walnut"},
+		},
+		{
+			Name:     "cleaning",
+			Surfaces: []string{"cleaning", "washing"},
+			Positive: []string{"%s is quick, everything wipes off, great", "%s is easy, dishwasher safe and reliable"},
+			Negative: []string{"%s is a chore, food sticks, poor coating", "%s instructions lie, it stains, bad"},
+			Neutral:  []string{"%s calls for hand drying"},
+		},
+		{
+			Name:     "capacity",
+			Surfaces: []string{"capacity", "volume"},
+			Positive: []string{"the %s is perfect for a family of four", "%s is generous, great for batch cooking"},
+			Negative: []string{"the %s is smaller than advertised, disappointing", "%s barely fits two portions, bad"},
+			Neutral:  []string{"the %s is three quarts"},
+		},
+		{
+			Name:     "heat",
+			Surfaces: []string{"heat", "heating"},
+			Positive: []string{"%s distribution is even, excellent sear", "the %s comes up fast and steady, great"},
+			Negative: []string{"%s spots burn the center, poor base", "the %s takes forever, weak element"},
+			Neutral:  []string{"%s works on induction"},
+		},
+		{
+			Name:     "durability",
+			Surfaces: []string{"durability", "wear"},
+			Positive: []string{"%s is great, years of daily use", "the %s shrugs off drops, solid"},
+			Negative: []string{"%s is poor, body cracked early", "the %s rusted in a month, cheap"},
+			Neutral:  []string{"the %s depends on seasoning"},
+		},
+		{
+			Name:     "price",
+			Surfaces: []string{"price", "value"},
+			Positive: []string{"the %s is excellent for this quality", "great %s, outlasts pricier brands"},
+			Negative: []string{"the %s is high for thin metal, poor", "bad %s, gimmick tax"},
+			Neutral:  []string{"the %s sits mid shelf"},
+		},
+		{
+			Name:     "design",
+			Surfaces: []string{"design", "look"},
+			Positive: []string{"the %s is nice, looks great on the counter", "love the %s, clean lines"},
+			Negative: []string{"the %s is clunky, looks cheap", "%s traps crumbs in crevices, bad"},
+			Neutral:  []string{"the %s comes in four colors"},
+		},
+		{
+			Name:     "smell",
+			Surfaces: []string{"smell", "odor"},
+			Positive: []string{"no %s at all, great materials", "the %s faded after one wash, perfect"},
+			Negative: []string{"the plastic %s never leaves, awful", "%s transfers to food, terrible"},
+			Neutral:  []string{"a faint %s ships with the box"},
+		},
+		{
+			Name:     "lid",
+			Surfaces: []string{"lid", "seal"},
+			Positive: []string{"the %s locks tight, great for transport", "%s is reliable, zero leaks"},
+			Negative: []string{"the %s warps in the dishwasher, poor fit", "%s leaks in the bag, bad"},
+			Neutral:  []string{"the %s has a steam vent"},
+		},
+	},
+}
+
+// AllCategories returns every built-in category: the evaluation trio first
+// (in Table 2 order), then the extra library categories.
+func AllCategories() []Category {
+	return append(Categories(), Electronics, Kitchen)
+}

@@ -1,0 +1,374 @@
+// Package lexicon holds the category vocabularies behind the synthetic data
+// substrate: per-category aspect lexicons (aspect name, surface forms, and
+// polarity-specific description phrases) and a shared sentiment lexicon.
+//
+// It replaces the paper's Microsoft-Concepts/Sentires aspect inventory
+// (§4.1.1): the generator (internal/textgen) writes reviews *from* these
+// vocabularies and the extractor (internal/aspectex) reads aspects and
+// opinions back *with* them, so the full annotate-then-select pipeline is
+// exercised end to end.
+package lexicon
+
+// Aspect is one product aspect with its surface vocabulary.
+type Aspect struct {
+	// Name is the canonical aspect name (vocabulary entry).
+	Name string
+	// Surfaces are the word forms that signal the aspect in text; the
+	// first surface is used by the generator.
+	Surfaces []string
+	// Positive and Negative are opinionated sentence templates; "%s" is
+	// replaced by a surface form.
+	Positive []string
+	Negative []string
+	// Neutral are factual sentences about the aspect.
+	Neutral []string
+}
+
+// Category bundles a product category's aspects and naming material.
+type Category struct {
+	// Name is the dataset name as printed in the paper's tables.
+	Name string
+	// Aspects is the category's aspect lexicon.
+	Aspects []Aspect
+	// Brands and Nouns combine into product titles.
+	Brands []string
+	Nouns  []string
+}
+
+// AspectNames returns the aspect names in order.
+func (c Category) AspectNames() []string {
+	out := make([]string, len(c.Aspects))
+	for i, a := range c.Aspects {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// SentimentWord is a lexicon entry with a signed valence.
+type SentimentWord struct {
+	Word    string
+	Valence float64
+}
+
+// Sentiments is the shared opinion-word lexicon used by the extractor.
+// Positive words have valence +1, strong ones +2; negatives mirror.
+var Sentiments = []SentimentWord{
+	{"great", 1}, {"good", 1}, {"nice", 1}, {"excellent", 2}, {"amazing", 2},
+	{"love", 2}, {"perfect", 2}, {"solid", 1}, {"impressive", 1}, {"fantastic", 2},
+	{"comfortable", 1}, {"reliable", 1}, {"sturdy", 1}, {"crisp", 1}, {"fast", 1},
+	{"bad", -1}, {"poor", -1}, {"terrible", -2}, {"awful", -2}, {"disappointing", -1},
+	{"weak", -1}, {"broken", -2}, {"flimsy", -1}, {"slow", -1}, {"cheap", -1},
+	{"uncomfortable", -1}, {"unreliable", -1}, {"blurry", -1}, {"noisy", -1}, {"faulty", -2},
+}
+
+// Valence returns the valence of word, or 0 when it is not in the lexicon.
+func Valence(word string) float64 {
+	for _, s := range Sentiments {
+		if s.Word == word {
+			return s.Valence
+		}
+	}
+	return 0
+}
+
+// Cellphone is the "Cell Phones and Accessories" category.
+var Cellphone = Category{
+	Name:   "Cellphone",
+	Brands: []string{"Voltix", "Cellumax", "Nordic", "Apex", "Lumen", "Orbit"},
+	Nouns: []string{
+		"Car Charger", "Battery Case", "Wireless Earbuds", "Screen Protector",
+		"Phone Stand", "Power Bank", "USB Cable", "Bluetooth Speaker",
+	},
+	Aspects: []Aspect{
+		{
+			Name:     "battery",
+			Surfaces: []string{"battery", "charge"},
+			Positive: []string{"the %s lasts all day, great endurance", "%s life is excellent and reliable"},
+			Negative: []string{"the %s drains too quickly, bad", "%s life is disappointing"},
+			Neutral:  []string{"the %s is rated at 3000 mah"},
+		},
+		{
+			Name:     "charger",
+			Surfaces: []string{"charger", "charging"},
+			Positive: []string{"the %s works great in the car", "%s is fast and never overheats"},
+			Negative: []string{"the %s stopped working after a month, disappointing", "%s is slow and unreliable"},
+			Neutral:  []string{"the %s plugs into the lighter socket"},
+		},
+		{
+			Name:     "cable",
+			Surfaces: []string{"cable", "cord"},
+			Positive: []string{"the %s feels sturdy and well made", "%s is nice and long enough for the back seat"},
+			Negative: []string{"the %s frayed within weeks, very cheap", "%s is flimsy and broken already"},
+			Neutral:  []string{"the %s measures three feet"},
+		},
+		{
+			Name:     "screen",
+			Surfaces: []string{"screen", "display"},
+			Positive: []string{"the %s is crisp and bright", "%s quality is excellent outdoors"},
+			Negative: []string{"the %s scratches easily, looks bad", "%s is blurry at an angle"},
+			Neutral:  []string{"the %s is five inches across"},
+		},
+		{
+			Name:     "sound",
+			Surfaces: []string{"sound", "audio", "speaker"},
+			Positive: []string{"the %s is rich and impressive", "%s quality is amazing for something this small"},
+			Negative: []string{"the %s is tinny and noisy", "%s crackles at high volume, terrible"},
+			Neutral:  []string{"the %s supports two channels"},
+		},
+		{
+			Name:     "price",
+			Surfaces: []string{"price", "value"},
+			Positive: []string{"the %s is great for what you get", "excellent %s compared to the big brands"},
+			Negative: []string{"the %s is too high, poor deal", "poor %s, overpriced plastic"},
+			Neutral:  []string{"the %s matches similar products"},
+		},
+		{
+			Name:     "durability",
+			Surfaces: []string{"durability", "build"},
+			Positive: []string{"%s is solid, survived several drops", "the %s quality feels premium and sturdy"},
+			Negative: []string{"%s is poor, cracked in a week", "the %s feels cheap and flimsy"},
+			Neutral:  []string{"the %s uses an aluminum shell"},
+		},
+		{
+			Name:     "fit",
+			Surfaces: []string{"fit", "size"},
+			Positive: []string{"the %s is perfect for my phone model", "%s is snug and secure, great"},
+			Negative: []string{"the %s is wrong for newer phones, bad", "%s is loose and keeps slipping, bad"},
+			Neutral:  []string{"the %s suits most phone models"},
+		},
+		{
+			Name:     "shipping",
+			Surfaces: []string{"shipping", "delivery"},
+			Positive: []string{"%s was fast, arrived as described", "%s came quickly and well packaged, great"},
+			Negative: []string{"%s took weeks, poor experience", "%s box arrived damaged, terrible"},
+			Neutral:  []string{"%s used standard post"},
+		},
+		{
+			Name:     "compatibility",
+			Surfaces: []string{"compatibility", "pairing"},
+			Positive: []string{"%s is excellent, works with my iphone", "%s with every device i own, impressive"},
+			Negative: []string{"%s issues with android, disappointing", "%s is unreliable, keeps disconnecting"},
+			Neutral:  []string{"%s covers bluetooth five"},
+		},
+		{
+			Name:     "design",
+			Surfaces: []string{"design", "look"},
+			Positive: []string{"the %s is sleek and nice", "love the %s, very modern"},
+			Negative: []string{"the %s is bulky and ugly, bad", "the %s looks cheap in person"},
+			Neutral:  []string{"the %s comes in three colors"},
+		},
+		{
+			Name:     "warranty",
+			Surfaces: []string{"warranty", "support"},
+			Positive: []string{"%s service was great and responsive", "the %s replaced mine fast, excellent"},
+			Negative: []string{"%s claims are ignored, awful", "the %s is awful, no reply for weeks"},
+			Neutral:  []string{"the %s covers one year"},
+		},
+	},
+}
+
+// Toy is the "Toys and Games" category.
+var Toy = Category{
+	Name:   "Toy",
+	Brands: []string{"Ravenwood", "Brickline", "Playora", "Gizmo", "Whimsy", "Puzzlecraft"},
+	Nouns: []string{
+		"1000-Piece Puzzle", "Building Blocks", "Board Game", "Plush Bear",
+		"Remote Car", "Card Game", "Science Kit", "Wooden Train",
+	},
+	Aspects: []Aspect{
+		{
+			Name:     "quality",
+			Surfaces: []string{"quality", "craftsmanship"},
+			Positive: []string{"the %s is excellent, everything is well cut", "%s is impressive for the money"},
+			Negative: []string{"the %s is poor, cardboard bends easily", "%s is disappointing, feels cheap"},
+			Neutral:  []string{"the %s matches the brand standard"},
+		},
+		{
+			Name:     "difficulty",
+			Surfaces: []string{"difficulty", "challenge"},
+			Positive: []string{"the %s is perfect, engaging without frustration", "great %s for family evenings"},
+			Negative: []string{"the %s is awful, nearly impossible to finish", "%s is too high, kids gave up, bad"},
+			Neutral:  []string{"the %s suits ages eight and up"},
+		},
+		{
+			Name:     "pieces",
+			Surfaces: []string{"pieces", "parts"},
+			Positive: []string{"the %s interlock perfectly, sturdy", "%s are colorful and well made, love them"},
+			Negative: []string{"the %s were missing on arrival, terrible", "%s are flimsy and broken"},
+			Neutral:  []string{"the %s come in sealed bags"},
+		},
+		{
+			Name:     "fun",
+			Surfaces: []string{"fun", "entertainment"},
+			Positive: []string{"so much %s for the whole family, amazing", "the %s factor is great, hours of play"},
+			Negative: []string{"the %s wears off quickly, disappointing", "%s is limited, kids got bored, poor"},
+			Neutral:  []string{"the %s works best with four players"},
+		},
+		{
+			Name:     "education",
+			Surfaces: []string{"educational", "learning"},
+			Positive: []string{"very %s, great for problem solving", "the %s payoff is excellent"},
+			Negative: []string{"not %s at all, poor concept", "the %s claims are weak"},
+			Neutral:  []string{"the %s guide lists activities"},
+		},
+		{
+			Name:     "durability",
+			Surfaces: []string{"durability", "sturdiness"},
+			Positive: []string{"%s is great, survives rough play", "the %s is solid, still like new"},
+			Negative: []string{"%s is bad, snapped on day one", "the %s is poor, corners peel"},
+			Neutral:  []string{"the %s depends on storage"},
+		},
+		{
+			Name:     "box",
+			Surfaces: []string{"box", "packaging"},
+			Positive: []string{"the %s art is nice and the lid is sturdy", "%s is excellent, doubles as storage"},
+			Negative: []string{"the %s arrived crushed, bad protection", "%s picture hides half the design, poor choice"},
+			Neutral:  []string{"the %s shows the finished picture"},
+		},
+		{
+			Name:     "instructions",
+			Surfaces: []string{"instructions", "manual"},
+			Positive: []string{"the %s are clear and easy, great", "%s include nice step by step photos"},
+			Negative: []string{"the %s are confusing, awful translation", "%s skip steps, poor editing"},
+			Neutral:  []string{"the %s come in five languages"},
+		},
+		{
+			Name:     "price",
+			Surfaces: []string{"price", "value"},
+			Positive: []string{"the %s is great for this much content", "excellent %s, cheaper than the store"},
+			Negative: []string{"the %s is high for so little content, bad deal", "poor %s, not worth it"},
+			Neutral:  []string{"the %s is mid range"},
+		},
+		{
+			Name:     "size",
+			Surfaces: []string{"size", "dimensions"},
+			Positive: []string{"the finished %s is impressive on the wall", "%s is perfect for the coffee table"},
+			Negative: []string{"the %s is smaller than advertised, disappointing", "%s is awkward and bad, too big to store"},
+			Neutral:  []string{"the %s is twenty by thirty inches"},
+		},
+		{
+			Name:     "colors",
+			Surfaces: []string{"colors", "artwork"},
+			Positive: []string{"the %s are vivid and crisp, love it", "%s look amazing in person"},
+			Negative: []string{"the %s are dull, looks cheap", "%s faded after a month, poor ink"},
+			Neutral:  []string{"the %s follow the original painting"},
+		},
+		{
+			Name:     "age",
+			Surfaces: []string{"age", "audience"},
+			Positive: []string{"the %s range is perfect, grows with the child", "great for any %s, grandparents loved it"},
+			Negative: []string{"the %s label is wrong, too hard for kids, poor", "%s fit is poor, toddlers choke hazard"},
+			Neutral:  []string{"the %s range is printed on the side"},
+		},
+	},
+}
+
+// Clothing is the "Clothing" category.
+var Clothing = Category{
+	Name:   "Clothing",
+	Brands: []string{"Skyline", "Harbor", "Meadow", "Trailfit", "Urbanly", "Coastal"},
+	Nouns: []string{
+		"Wedge Sandal", "Running Shoe", "Rain Jacket", "Cotton Tee",
+		"Denim Jeans", "Wool Sweater", "Yoga Pants", "Leather Belt",
+	},
+	Aspects: []Aspect{
+		{
+			Name:     "fit",
+			Surfaces: []string{"fit", "sizing"},
+			Positive: []string{"the %s is true to size, perfect", "%s is spot on, order your usual, great"},
+			Negative: []string{"the %s runs small, disappointing", "%s is off, had to return twice, disappointing"},
+			Neutral:  []string{"the %s chart is on the listing"},
+		},
+		{
+			Name:     "comfort",
+			Surfaces: []string{"comfort", "cushioning"},
+			Positive: []string{"the %s is amazing, wore them all day", "%s is great, soft padding"},
+			Negative: []string{"the %s is poor, hurts after an hour", "%s is bad, stiff and scratchy"},
+			Neutral:  []string{"the %s comes from a foam insole"},
+		},
+		{
+			Name:     "material",
+			Surfaces: []string{"material", "fabric"},
+			Positive: []string{"the %s feels premium and sturdy", "%s quality is excellent, thick weave"},
+			Negative: []string{"the %s is thin and cheap", "%s pilled after one wash, poor"},
+			Neutral:  []string{"the %s is sixty percent cotton"},
+		},
+		{
+			Name:     "color",
+			Surfaces: []string{"color", "shade"},
+			Positive: []string{"the %s matches the photos, love it", "%s is rich and nice in person"},
+			Negative: []string{"the %s faded quickly, disappointing", "%s is nothing like the picture, bad"},
+			Neutral:  []string{"the %s comes in six options"},
+		},
+		{
+			Name:     "style",
+			Surfaces: []string{"style", "look"},
+			Positive: []string{"the %s is nice, got lots of compliments", "%s is great, dressy or casual"},
+			Negative: []string{"the %s is dated, looks cheap", "%s is awkward, boxy cut, poor"},
+			Neutral:  []string{"the %s follows this season"},
+		},
+		{
+			Name:     "heel",
+			Surfaces: []string{"heel", "wedge"},
+			Positive: []string{"the %s height is perfect for all day", "%s is comfortable and easy to walk in, great"},
+			Negative: []string{"the %s wobbles, feels unreliable", "%s rubbed my skin raw, awful"},
+			Neutral:  []string{"the %s measures two inches"},
+		},
+		{
+			Name:     "sole",
+			Surfaces: []string{"sole", "footbed"},
+			Positive: []string{"the %s has a nice cushion, comfortable all day", "%s grip is excellent on wet floors"},
+			Negative: []string{"the %s wore through in a month, poor", "%s is slippery, almost fell, bad"},
+			Neutral:  []string{"the %s is molded rubber"},
+		},
+		{
+			Name:     "straps",
+			Surfaces: []string{"straps", "laces"},
+			Positive: []string{"the %s are soft and adjustable, great", "%s hold snug without pinching, perfect"},
+			Negative: []string{"the %s dig in, uncomfortable", "%s snapped early, flimsy threadwork"},
+			Neutral:  []string{"the %s have elastic joins"},
+		},
+		{
+			Name:     "price",
+			Surfaces: []string{"price", "value"},
+			Positive: []string{"the %s is excellent for this quality", "great %s, cheaper than the mall"},
+			Negative: []string{"the %s is steep for such thin cloth, poor", "bad %s, not worth half"},
+			Neutral:  []string{"the %s sits mid market"},
+		},
+		{
+			Name:     "washing",
+			Surfaces: []string{"washing", "care"},
+			Positive: []string{"%s is easy, keeps shape, great", "survived many %s cycles, impressive"},
+			Negative: []string{"shrank after one %s, terrible", "%s instructions lie, colors bled, bad"},
+			Neutral:  []string{"%s calls for cold water"},
+		},
+		{
+			Name:     "weight",
+			Surfaces: []string{"weight", "lightness"},
+			Positive: []string{"the %s is perfect, super lightweight", "love the %s, you forget you wear them"},
+			Negative: []string{"the %s is bad, heavy and clunky", "%s drags, tiring by noon, bad"},
+			Neutral:  []string{"the %s is about ten ounces"},
+		},
+		{
+			Name:     "stitching",
+			Surfaces: []string{"stitching", "seams"},
+			Positive: []string{"the %s is clean and solid, well made", "%s quality is excellent, no loose threads"},
+			Negative: []string{"the %s unraveled in a week, poor", "%s are crooked, looks cheap"},
+			Neutral:  []string{"the %s is double reinforced"},
+		},
+	},
+}
+
+// Categories lists the three evaluation categories in Table 2 order.
+func Categories() []Category { return []Category{Cellphone, Toy, Clothing} }
+
+// CategoryByName returns the category with the given name, searching every
+// built-in category (the evaluation trio plus the extras).
+func CategoryByName(name string) (Category, bool) {
+	for _, c := range AllCategories() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Category{}, false
+}

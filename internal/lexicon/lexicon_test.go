@@ -1,0 +1,160 @@
+package lexicon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCategoriesWellFormed(t *testing.T) {
+	cats := Categories()
+	if len(cats) != 3 {
+		t.Fatalf("got %d categories", len(cats))
+	}
+	names := map[string]bool{}
+	for _, c := range cats {
+		if names[c.Name] {
+			t.Errorf("duplicate category %s", c.Name)
+		}
+		names[c.Name] = true
+		if len(c.Aspects) < 8 {
+			t.Errorf("%s: only %d aspects", c.Name, len(c.Aspects))
+		}
+		if len(c.Brands) == 0 || len(c.Nouns) == 0 {
+			t.Errorf("%s: missing brands/nouns", c.Name)
+		}
+		seen := map[string]bool{}
+		for _, a := range c.Aspects {
+			if seen[a.Name] {
+				t.Errorf("%s: duplicate aspect %s", c.Name, a.Name)
+			}
+			seen[a.Name] = true
+			if len(a.Surfaces) == 0 {
+				t.Errorf("%s/%s: no surfaces", c.Name, a.Name)
+			}
+			if len(a.Positive) == 0 || len(a.Negative) == 0 || len(a.Neutral) == 0 {
+				t.Errorf("%s/%s: missing templates", c.Name, a.Name)
+			}
+			for _, tmpl := range append(append(append([]string{}, a.Positive...), a.Negative...), a.Neutral...) {
+				if !strings.Contains(tmpl, "%s") {
+					t.Errorf("%s/%s: template %q lacks %%s", c.Name, a.Name, tmpl)
+				}
+			}
+		}
+	}
+}
+
+func TestPositiveTemplatesCarryPositiveSentiment(t *testing.T) {
+	// Every positive template must contain at least one positive lexicon
+	// word so the extractor can recover the polarity; negatives mirror.
+	for _, c := range AllCategories() {
+		for _, a := range c.Aspects {
+			for _, tmpl := range a.Positive {
+				if valenceOf(tmpl) <= 0 {
+					t.Errorf("%s/%s positive template %q has valence %v", c.Name, a.Name, tmpl, valenceOf(tmpl))
+				}
+			}
+			for _, tmpl := range a.Negative {
+				if valenceOf(tmpl) >= 0 {
+					t.Errorf("%s/%s negative template %q has valence %v", c.Name, a.Name, tmpl, valenceOf(tmpl))
+				}
+			}
+			for _, tmpl := range a.Neutral {
+				if valenceOf(tmpl) != 0 {
+					t.Errorf("%s/%s neutral template %q has valence %v", c.Name, a.Name, tmpl, valenceOf(tmpl))
+				}
+			}
+		}
+	}
+}
+
+func valenceOf(text string) float64 {
+	var total float64
+	for _, w := range strings.Fields(strings.ToLower(strings.ReplaceAll(text, ",", " "))) {
+		total += Valence(w)
+	}
+	return total
+}
+
+func TestSurfacesDistinctAcrossAspects(t *testing.T) {
+	// A surface form appearing under two aspects would make extraction
+	// ambiguous within a category.
+	for _, c := range AllCategories() {
+		owner := map[string]string{}
+		for _, a := range c.Aspects {
+			for _, s := range a.Surfaces {
+				if prev, ok := owner[s]; ok && prev != a.Name {
+					t.Errorf("%s: surface %q claimed by %s and %s", c.Name, s, prev, a.Name)
+				}
+				owner[s] = a.Name
+			}
+		}
+	}
+}
+
+func TestSurfacesAreNotSentimentWords(t *testing.T) {
+	for _, c := range AllCategories() {
+		for _, a := range c.Aspects {
+			for _, s := range a.Surfaces {
+				if Valence(s) != 0 {
+					t.Errorf("%s/%s: surface %q is also a sentiment word", c.Name, a.Name, s)
+				}
+			}
+		}
+	}
+}
+
+func TestTemplatesDoNotLeakOtherAspects(t *testing.T) {
+	// A template for aspect A must not contain a surface form of another
+	// aspect B of the same category, or extraction would hallucinate B.
+	for _, c := range AllCategories() {
+		surfaces := map[string]string{}
+		for _, a := range c.Aspects {
+			for _, s := range a.Surfaces {
+				surfaces[s] = a.Name
+			}
+		}
+		for _, a := range c.Aspects {
+			templates := append(append(append([]string{}, a.Positive...), a.Negative...), a.Neutral...)
+			for _, tmpl := range templates {
+				filled := strings.ReplaceAll(tmpl, "%s", a.Surfaces[0])
+				for _, tok := range strings.Fields(strings.ToLower(strings.NewReplacer(",", " ", ".", " ").Replace(filled))) {
+					if owner, ok := surfaces[tok]; ok && owner != a.Name {
+						t.Errorf("%s/%s template %q leaks surface %q of aspect %s",
+							c.Name, a.Name, tmpl, tok, owner)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestValence(t *testing.T) {
+	if Valence("great") <= 0 || Valence("terrible") >= 0 || Valence("the") != 0 {
+		t.Error("valence lookups wrong")
+	}
+}
+
+func TestCategoryByName(t *testing.T) {
+	for _, name := range []string{"Cellphone", "Toy", "Clothing"} {
+		c, ok := CategoryByName(name)
+		if !ok || c.Name != name {
+			t.Errorf("CategoryByName(%s) = %v, %v", name, c.Name, ok)
+		}
+	}
+	if _, ok := CategoryByName("Books"); ok {
+		t.Error("unexpected category Books")
+	}
+}
+
+func TestAspectNamesOrder(t *testing.T) {
+	c := Cellphone
+	names := c.AspectNames()
+	if len(names) != len(c.Aspects) {
+		t.Fatalf("len = %d", len(names))
+	}
+	for i, a := range c.Aspects {
+		if names[i] != a.Name {
+			t.Errorf("names[%d] = %s, want %s", i, names[i], a.Name)
+		}
+	}
+}

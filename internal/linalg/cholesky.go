@@ -1,0 +1,98 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the matrix is not
+// symmetric positive definite (within numerical tolerance).
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ for a
+// symmetric positive-definite matrix A. Only the lower triangle of A is
+// read. The returned matrix has the factor in its lower triangle and zeros
+// above the diagonal.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d -= v * v
+		}
+		if d <= 0 {
+			return nil, ErrNotPositiveDefinite
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A x = b given the Cholesky factor L of A, by forward
+// then backward substitution.
+func SolveCholesky(l *Matrix, b Vector) Vector {
+	n := l.Rows
+	checkLen(n, len(b))
+	// Forward: L y = b.
+	y := NewVector(n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Backward: Lᵀ x = y.
+	x := NewVector(n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// RidgeSolve solves the ridge-regularized least squares problem
+// min_x ||A x − b||² + reg·||x||² via the normal equations
+// (AᵀA + reg·I) x = Aᵀ b with a Cholesky factorization. reg must be
+// positive, which also guarantees positive definiteness.
+func RidgeSolve(a *Matrix, b Vector, reg float64) (Vector, error) {
+	if reg <= 0 {
+		return nil, fmt.Errorf("linalg: ridge regularizer must be positive, got %v", reg)
+	}
+	checkLen(a.Rows, len(b))
+	n := a.Cols
+	gram := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		ci := a.Col(i)
+		for j := 0; j <= i; j++ {
+			v := ci.Dot(a.Col(j))
+			if i == j {
+				v += reg
+			}
+			gram.Set(i, j, v)
+			gram.Set(j, i, v)
+		}
+	}
+	l, err := Cholesky(gram)
+	if err != nil {
+		return nil, err
+	}
+	return SolveCholesky(l, a.MulVecT(b)), nil
+}

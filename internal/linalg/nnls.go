@@ -1,0 +1,112 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNNLSNoConvergence is returned when the active-set loop exceeds its
+// iteration budget. The solver returns its best iterate alongside the error.
+var ErrNNLSNoConvergence = errors.New("linalg: NNLS did not converge")
+
+// NNLS solves min_x ||A x - b||_2 subject to x >= 0 using the Lawson–Hanson
+// active-set algorithm. It returns the solution vector of length A.Cols.
+//
+// This is the inner solver of NOMP (non-negative orthogonal matching
+// pursuit): after each atom is added to the support, the coefficients over
+// the support are re-fit under the non-negativity constraint.
+func NNLS(a *Matrix, b Vector) (Vector, error) {
+	checkLen(a.Rows, len(b))
+	n := a.Cols
+	x := NewVector(n)
+	if n == 0 {
+		return x, nil
+	}
+	passive := make([]bool, n) // true = in the passive (free) set
+	// w = Aᵀ (b - A x), the negative gradient.
+	resid := b.Clone()
+	w := a.MulVecT(resid)
+
+	const tol = 1e-10
+	maxOuter := 3 * n
+	if maxOuter < 30 {
+		maxOuter = 30
+	}
+	for outer := 0; outer < maxOuter; outer++ {
+		// Pick the most violated constraint among the active set.
+		best, bestW := -1, tol
+		for j := 0; j < n; j++ {
+			if !passive[j] && w[j] > bestW {
+				best, bestW = j, w[j]
+			}
+		}
+		if best < 0 {
+			return x, nil // KKT satisfied
+		}
+		passive[best] = true
+
+		// Inner loop: solve unconstrained LS on the passive set; if any
+		// passive coefficient goes non-positive, step back and shrink.
+		for inner := 0; inner < maxOuter; inner++ {
+			idx := passiveIndices(passive)
+			sub := a.SelectColumns(idx)
+			z, err := LeastSquares(sub, b)
+			if err != nil {
+				return x, err
+			}
+			if allPositive(z, tol) {
+				for k, j := range idx {
+					x[j] = z[k]
+				}
+				break
+			}
+			// Find the limiting step alpha along (z - x) on the passive set.
+			alpha := math.Inf(1)
+			for k, j := range idx {
+				if z[k] <= tol {
+					den := x[j] - z[k]
+					if den > 0 {
+						if r := x[j] / den; r < alpha {
+							alpha = r
+						}
+					} else {
+						alpha = 0
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) {
+				alpha = 0
+			}
+			for k, j := range idx {
+				x[j] += alpha * (z[k] - x[j])
+				if x[j] <= tol {
+					x[j] = 0
+					passive[j] = false
+				}
+			}
+		}
+		// Refresh gradient.
+		resid = b.Sub(a.MulVec(x))
+		w = a.MulVecT(resid)
+	}
+	return x, ErrNNLSNoConvergence
+}
+
+func passiveIndices(passive []bool) []int {
+	idx := make([]int, 0, len(passive))
+	for j, p := range passive {
+		if p {
+			idx = append(idx, j)
+		}
+	}
+	return idx
+}
+
+func allPositive(v Vector, tol float64) bool {
+	for _, x := range v {
+		if x <= tol {
+			return false
+		}
+	}
+	return true
+}

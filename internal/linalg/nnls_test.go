@@ -1,0 +1,116 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNNLSRecoverNonNegativeSolution(t *testing.T) {
+	// b lies exactly in the cone: x = (1, 0.5).
+	a := MatrixFromColumns([]Vector{{1, 0, 0}, {0, 2, 0}})
+	b := Vector{1, 1, 0}
+	x, err := NNLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.ApproxEqual(Vector{1, 0.5}, 1e-8) {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestNNLSClampsNegativeComponent(t *testing.T) {
+	// Unconstrained LS would need a negative coefficient on column 2.
+	a := MatrixFromColumns([]Vector{{1, 0}, {1, 1}})
+	b := Vector{2, -1}
+	x, err := NNLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range x {
+		if v < 0 {
+			t.Fatalf("x[%d] = %v < 0", j, v)
+		}
+	}
+	// KKT: gradient must be <= 0 on active components, ~0 on passive ones.
+	g := a.MulVecT(b.Sub(a.MulVec(x)))
+	for j, v := range x {
+		if v > 1e-8 && math.Abs(g[j]) > 1e-6 {
+			t.Errorf("passive gradient g[%d] = %v", j, g[j])
+		}
+		if v <= 1e-8 && g[j] > 1e-6 {
+			t.Errorf("active gradient g[%d] = %v > 0", j, g[j])
+		}
+	}
+}
+
+func TestNNLSZeroColumns(t *testing.T) {
+	x, err := NNLS(NewMatrix(3, 0), Vector{1, 2, 3})
+	if err != nil || len(x) != 0 {
+		t.Errorf("x = %v err = %v", x, err)
+	}
+}
+
+func TestNNLSZeroTarget(t *testing.T) {
+	a := MatrixFromColumns([]Vector{{1, 0}, {0, 1}})
+	x, err := NNLS(a, Vector{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Norm1() > 1e-10 {
+		t.Errorf("x = %v, want zeros", x)
+	}
+}
+
+// NNLS objective must never exceed the objective of the zero vector, and the
+// solution must satisfy the KKT conditions on random instances.
+func TestNNLSRandomKKT(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 100; trial++ {
+		r := 4 + rng.Intn(12)
+		c := 1 + rng.Intn(r) // keep supports solvable
+		a := randomMatrix(rng, r, c)
+		b := NewVector(r)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := NNLS(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for j, v := range x {
+			if v < 0 {
+				t.Fatalf("trial %d: negative x[%d] = %v", trial, j, v)
+			}
+		}
+		fit := SquaredDistance(a.MulVec(x), b)
+		zero := b.Dot(b)
+		if fit > zero+1e-8 {
+			t.Fatalf("trial %d: fit %v worse than zero vector %v", trial, fit, zero)
+		}
+		g := a.MulVecT(b.Sub(a.MulVec(x)))
+		for j := range x {
+			if x[j] > 1e-7 && math.Abs(g[j]) > 1e-5 {
+				t.Fatalf("trial %d: passive gradient %v", trial, g[j])
+			}
+			if x[j] <= 1e-7 && g[j] > 1e-5 {
+				t.Fatalf("trial %d: active gradient %v > 0", trial, g[j])
+			}
+		}
+	}
+}
+
+func TestNNLSDuplicateColumns(t *testing.T) {
+	// Identical columns: any non-negative split with the right sum is
+	// optimal; the fit must be exact.
+	a := MatrixFromColumns([]Vector{{1, 1}, {1, 1}})
+	b := Vector{3, 3}
+	x, err := NNLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := a.MulVec(x)
+	if !fit.ApproxEqual(b, 1e-8) {
+		t.Errorf("fit = %v", fit)
+	}
+}

@@ -1,0 +1,21 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"comparesets/internal/metrics"
+	"comparesets/internal/model"
+)
+
+// ExampleEvaluateSet scores a selected set on the §5.1 quality axes.
+func ExampleEvaluateSet() {
+	item := &model.Item{ID: "p", Reviews: []*model.Review{
+		{ID: "r0", Text: "battery is great", Mentions: []model.Mention{{Aspect: 0, Polarity: model.Positive}}},
+		{ID: "r1", Text: "battery died fast", Mentions: []model.Mention{{Aspect: 0, Polarity: model.Negative}}},
+		{ID: "r2", Text: "screen looks sharp", Mentions: []model.Mention{{Aspect: 1, Polarity: model.Positive}}},
+	}}
+	m := metrics.EvaluateSet(item, []int{0, 2}, 2)
+	fmt.Printf("aspect coverage %.2f opinion coverage %.2f\n", m.AspectCoverage, m.OpinionCoverage)
+	// Output:
+	// aspect coverage 1.00 opinion coverage 0.67
+}

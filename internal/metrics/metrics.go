@@ -1,0 +1,148 @@
+// Package metrics quantifies review-selection quality along the axes the
+// related-work families optimize (§5.1): aspect coverage (comprehensive
+// selection), opinion-pair coverage (Tsaparas-style), redundancy/diversity
+// (diverse selection), and representativeness (characteristic selection /
+// this paper). One selection can then be scored on every axis at once,
+// making the trade-offs between algorithm families measurable.
+package metrics
+
+import (
+	"comparesets/internal/core"
+	"comparesets/internal/linalg"
+	"comparesets/internal/model"
+	"comparesets/internal/opinion"
+	"comparesets/internal/rouge"
+)
+
+// SetMetrics scores one item's selected review set.
+type SetMetrics struct {
+	// AspectCoverage is the fraction of the item's discussed aspects that
+	// appear in the selected set.
+	AspectCoverage float64
+	// OpinionCoverage is the fraction of the item's (aspect, polarity)
+	// pairs that appear in the selected set.
+	OpinionCoverage float64
+	// Redundancy is the mean pairwise ROUGE-1 F1 among selected reviews
+	// (0 for sets smaller than 2); Diversity = 1 − Redundancy.
+	Redundancy float64
+	// Representativeness is cos(τᵢ, π(Sᵢ)) under the binary scheme.
+	Representativeness float64
+}
+
+// Diversity returns 1 − Redundancy.
+func (m SetMetrics) Diversity() float64 { return 1 - m.Redundancy }
+
+// EvaluateSet scores one selected set against its item.
+func EvaluateSet(item *model.Item, selected []int, z int) SetMetrics {
+	var out SetMetrics
+	out.AspectCoverage = coverage(item, selected, aspectElements)
+	out.OpinionCoverage = coverage(item, selected, func(r *model.Review, z int) []int {
+		return opinionElements(r, z)
+	}, z)
+
+	// Redundancy over pre-tokenized selected texts.
+	toks := make([][]string, len(selected))
+	for i, j := range selected {
+		toks[i] = rouge.Tokenize(item.Reviews[j].Text)
+	}
+	var sum float64
+	var pairs int
+	for i := 0; i < len(toks); i++ {
+		for j := i + 1; j < len(toks); j++ {
+			sum += rouge.CompareTokens(toks[i], toks[j]).R1.F1
+			pairs++
+		}
+	}
+	if pairs > 0 {
+		out.Redundancy = sum / float64(pairs)
+	}
+
+	// Representativeness.
+	sch := opinion.Binary{}
+	tau := sch.Vector(item.Reviews, z)
+	set := make([]*model.Review, 0, len(selected))
+	for _, j := range selected {
+		set = append(set, item.Reviews[j])
+	}
+	out.Representativeness = linalg.Cosine(tau, sch.Vector(set, z))
+	return out
+}
+
+// aspectElements adapts Review.AspectSet to the element-function shape.
+func aspectElements(r *model.Review, _ int) []int { return r.AspectSet() }
+
+// opinionElements encodes (aspect, polarity) pairs as integers.
+func opinionElements(r *model.Review, z int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, m := range r.Mentions {
+		el := int(m.Polarity)*z + m.Aspect
+		if !seen[el] {
+			seen[el] = true
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
+// coverage computes |elements(selected)| / |elements(all reviews)| for an
+// element extractor; an item with no elements scores 1.
+func coverage(item *model.Item, selected []int, elements func(*model.Review, int) []int, zOpt ...int) float64 {
+	z := 0
+	if len(zOpt) > 0 {
+		z = zOpt[0]
+	}
+	all := map[int]bool{}
+	for _, r := range item.Reviews {
+		for _, el := range elements(r, z) {
+			all[el] = true
+		}
+	}
+	if len(all) == 0 {
+		return 1
+	}
+	got := map[int]bool{}
+	for _, j := range selected {
+		for _, el := range elements(item.Reviews[j], z) {
+			got[el] = true
+		}
+	}
+	covered := 0
+	for el := range all {
+		if got[el] {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(all))
+}
+
+// InstanceMetrics aggregates SetMetrics over an instance selection
+// (mean across items).
+type InstanceMetrics struct {
+	AspectCoverage     float64
+	OpinionCoverage    float64
+	Redundancy         float64
+	Representativeness float64
+}
+
+// EvaluateSelection averages per-item metrics over the whole instance.
+func EvaluateSelection(inst *model.Instance, sel *core.Selection) InstanceMetrics {
+	z := inst.Aspects.Len()
+	var agg InstanceMetrics
+	n := 0
+	for i, it := range inst.Items {
+		m := EvaluateSet(it, sel.Indices[i], z)
+		agg.AspectCoverage += m.AspectCoverage
+		agg.OpinionCoverage += m.OpinionCoverage
+		agg.Redundancy += m.Redundancy
+		agg.Representativeness += m.Representativeness
+		n++
+	}
+	if n > 0 {
+		agg.AspectCoverage /= float64(n)
+		agg.OpinionCoverage /= float64(n)
+		agg.Redundancy /= float64(n)
+		agg.Representativeness /= float64(n)
+	}
+	return agg
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"comparesets/internal/core"
+	"comparesets/internal/datagen"
+	"comparesets/internal/dataset"
+	"comparesets/internal/lexicon"
+	"comparesets/internal/model"
+)
+
+func testItem() *model.Item {
+	pos := func(a int) model.Mention { return model.Mention{Aspect: a, Polarity: model.Positive, Score: 1} }
+	neg := func(a int) model.Mention { return model.Mention{Aspect: a, Polarity: model.Negative, Score: -1} }
+	return &model.Item{ID: "p", Reviews: []*model.Review{
+		{ID: "r0", Text: "battery is great", Mentions: []model.Mention{pos(0)}},
+		{ID: "r1", Text: "battery is terrible", Mentions: []model.Mention{neg(0)}},
+		{ID: "r2", Text: "screen looks sharp", Mentions: []model.Mention{pos(1)}},
+		{ID: "r3", Text: "battery is great", Mentions: []model.Mention{pos(0)}},
+	}}
+}
+
+func TestEvaluateSetCoverage(t *testing.T) {
+	it := testItem()
+	const z = 2
+	m := EvaluateSet(it, []int{0, 2}, z)
+	if !near(m.AspectCoverage, 1) {
+		t.Errorf("aspect coverage = %v, want 1 (both aspects hit)", m.AspectCoverage)
+	}
+	// Opinion pairs present in the item: battery+, battery−, screen+ (3).
+	// Selected covers battery+ and screen+ → 2/3.
+	if !near(m.OpinionCoverage, 2.0/3) {
+		t.Errorf("opinion coverage = %v, want 2/3", m.OpinionCoverage)
+	}
+}
+
+func TestEvaluateSetRedundancy(t *testing.T) {
+	it := testItem()
+	const z = 2
+	identical := EvaluateSet(it, []int{0, 3}, z) // same text twice
+	if !near(identical.Redundancy, 1) {
+		t.Errorf("identical texts redundancy = %v, want 1", identical.Redundancy)
+	}
+	if !near(identical.Diversity(), 0) {
+		t.Errorf("identical texts diversity = %v, want 0", identical.Diversity())
+	}
+	distinct := EvaluateSet(it, []int{0, 2}, z)
+	if distinct.Redundancy >= identical.Redundancy {
+		t.Errorf("distinct redundancy %v not below identical %v", distinct.Redundancy, identical.Redundancy)
+	}
+	single := EvaluateSet(it, []int{0}, z)
+	if single.Redundancy != 0 {
+		t.Errorf("singleton redundancy = %v", single.Redundancy)
+	}
+}
+
+func TestEvaluateSetRepresentativeness(t *testing.T) {
+	it := testItem()
+	const z = 2
+	// Selecting only praise skews the distribution vs the mixed truth.
+	skewed := EvaluateSet(it, []int{0, 3}, z)
+	balanced := EvaluateSet(it, []int{0, 1, 2}, z)
+	if balanced.Representativeness <= skewed.Representativeness {
+		t.Errorf("balanced %v not above skewed %v", balanced.Representativeness, skewed.Representativeness)
+	}
+}
+
+func TestEvaluateSetEmptyItem(t *testing.T) {
+	m := EvaluateSet(&model.Item{ID: "p"}, nil, 2)
+	if m.AspectCoverage != 1 || m.OpinionCoverage != 1 {
+		t.Errorf("empty item coverage = %+v", m)
+	}
+}
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// Algorithm-family trade-offs must be visible in the metrics: the
+// comprehensive baseline wins coverage, the characteristic-style selectors
+// win representativeness.
+func TestMetricsSeparateAlgorithmFamilies(t *testing.T) {
+	c, err := datagen.Generate(datagen.Config{
+		Category: lexicon.Cellphone, Products: 30, Reviewers: 60,
+		MeanReviews: 15, MeanAlsoBought: 5, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := dataset.Instances(c, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{M: 3, Lambda: 1, Mu: 0.1}
+	score := func(sel core.Selector) InstanceMetrics {
+		var agg InstanceMetrics
+		for i, inst := range insts {
+			instCfg := cfg
+			instCfg.Seed = int64(i)
+			s, err := sel.Select(inst, instCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := EvaluateSelection(inst, s)
+			agg.AspectCoverage += m.AspectCoverage
+			agg.Representativeness += m.Representativeness
+		}
+		return agg
+	}
+	comp := score(core.Comprehensive{})
+	plus := score(core.CompaReSetSPlus{})
+	random := score(core.Random{})
+	if comp.AspectCoverage <= random.AspectCoverage {
+		t.Errorf("comprehensive coverage %v not above random %v", comp.AspectCoverage, random.AspectCoverage)
+	}
+	if plus.Representativeness <= random.Representativeness {
+		t.Errorf("CompaReSetS+ representativeness %v not above random %v", plus.Representativeness, random.Representativeness)
+	}
+	if comp.AspectCoverage < plus.AspectCoverage {
+		t.Errorf("comprehensive coverage %v below CompaReSetS+ %v (set-cover should win its own metric)",
+			comp.AspectCoverage, plus.AspectCoverage)
+	}
+}

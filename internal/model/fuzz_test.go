@@ -1,0 +1,33 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzReadCorpusJSON(f *testing.F) {
+	var seed bytes.Buffer
+	c := testCorpus()
+	_ = c.WriteJSON(&seed)
+	f.Add(seed.Bytes())
+	f.Add([]byte("{}"))
+	f.Add([]byte("{nope"))
+	f.Add([]byte(`{"category":"X","aspects":["a","a"],"items":[{"id":""}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCorpusJSON(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		// A successfully decoded corpus must survive basic traversal and
+		// re-encoding.
+		_ = c.ItemIDs()
+		_ = c.NumReviews()
+		var buf bytes.Buffer
+		if err := c.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ReadCorpusJSON(&buf); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// corpusJSON is the on-disk representation of a corpus.
+type corpusJSON struct {
+	Category string   `json:"category"`
+	Aspects  []string `json:"aspects"`
+	Items    []*Item  `json:"items"`
+}
+
+// WriteJSON serializes the corpus to w with stable item ordering.
+func (c *Corpus) WriteJSON(w io.Writer) error {
+	out := corpusJSON{Category: c.Category, Aspects: c.Aspects.Names()}
+	for _, id := range c.ItemIDs() {
+		out.Items = append(out.Items, c.Items[id])
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadCorpusJSON deserializes a corpus written by WriteJSON.
+func ReadCorpusJSON(r io.Reader) (*Corpus, error) {
+	var in corpusJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("model: decoding corpus: %w", err)
+	}
+	c := NewCorpus(in.Category, NewVocabulary(in.Aspects))
+	for _, it := range in.Items {
+		c.AddItem(it)
+	}
+	return c, nil
+}
+
+// SaveCorpus writes the corpus to path.
+func SaveCorpus(c *Corpus, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCorpus reads a corpus from path.
+func LoadCorpus(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCorpusJSON(f)
+}
+
+// SortReviewsByID orders every item's reviews lexicographically by ID;
+// useful for deterministic comparisons after deserialization.
+func (c *Corpus) SortReviewsByID() {
+	for _, it := range c.Items {
+		sort.Slice(it.Reviews, func(i, j int) bool { return it.Reviews[i].ID < it.Reviews[j].ID })
+	}
+}

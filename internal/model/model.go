@@ -1,0 +1,271 @@
+// Package model defines the review-corpus data model shared by every other
+// package: aspects, sentiment-bearing aspect mentions, reviews, items
+// (products) with their "also bought" comparison lists, corpora, and problem
+// instances (one target item plus its comparative items).
+//
+// The paper treats aspect/opinion annotations "as given" (§2.1); in this
+// repository they are either produced by the synthetic generator
+// (internal/datagen) or re-derived from raw text by the frequency-based
+// extractor (internal/aspectex).
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Polarity is the sentiment polarity of an aspect mention.
+type Polarity int
+
+// Polarity values. Neutral only participates under the three-polarity
+// opinion definition (§4.2.3); the default binary scheme ignores it.
+const (
+	Positive Polarity = iota
+	Negative
+	Neutral
+)
+
+// String returns a short human-readable polarity marker.
+func (p Polarity) String() string {
+	switch p {
+	case Positive:
+		return "+"
+	case Negative:
+		return "-"
+	case Neutral:
+		return "0"
+	default:
+		return fmt.Sprintf("Polarity(%d)", int(p))
+	}
+}
+
+// Valid reports whether p is one of the defined polarities.
+func (p Polarity) Valid() bool { return p >= Positive && p <= Neutral }
+
+// Mention is one aspect-opinion observation inside a review: the aspect
+// (index into the instance vocabulary), its polarity, and a signed strength
+// score used by the unary-scale opinion definition.
+type Mention struct {
+	Aspect   int      `json:"aspect"`
+	Polarity Polarity `json:"polarity"`
+	// Score is the signed sentiment strength (positive for praise,
+	// negative for complaints). The binary and 3-polarity schemes ignore
+	// it; the unary-scale scheme aggregates it through a sigmoid.
+	Score float64 `json:"score"`
+}
+
+// Review is a single product review with its aspect-opinion annotations.
+type Review struct {
+	ID       string    `json:"id"`
+	ItemID   string    `json:"item_id"`
+	Reviewer string    `json:"reviewer"`
+	Rating   int       `json:"rating"` // 1..5 stars
+	Text     string    `json:"text"`
+	Mentions []Mention `json:"mentions"`
+}
+
+// AspectSet returns the distinct aspects mentioned in the review, sorted.
+// A review contributes at most once per aspect to the distribution vectors
+// (working example 1: per-review aspect presence).
+func (r *Review) AspectSet() []int {
+	seen := map[int]bool{}
+	for _, m := range r.Mentions {
+		seen[m.Aspect] = true
+	}
+	out := make([]int, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HasAspect reports whether the review mentions aspect a.
+func (r *Review) HasAspect(a int) bool {
+	for _, m := range r.Mentions {
+		if m.Aspect == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Item is a product with its full review set R_i and its comparison
+// ("also bought") list.
+type Item struct {
+	ID         string    `json:"id"`
+	Title      string    `json:"title"`
+	Category   string    `json:"category"`
+	Price      float64   `json:"price"`
+	Reviews    []*Review `json:"reviews"`
+	AlsoBought []string  `json:"also_bought"`
+}
+
+// ReviewByID returns the review with the given ID, or nil.
+func (it *Item) ReviewByID(id string) *Review {
+	for _, r := range it.Reviews {
+		if r.ID == id {
+			return r
+		}
+	}
+	return nil
+}
+
+// Vocabulary maps aspect names to dense indices. It is the universal aspect
+// set 𝒜 = {a₁..a_z} of the paper.
+type Vocabulary struct {
+	names []string
+	index map[string]int
+}
+
+// NewVocabulary builds a vocabulary from names; duplicates are collapsed.
+func NewVocabulary(names []string) *Vocabulary {
+	v := &Vocabulary{index: make(map[string]int, len(names))}
+	for _, n := range names {
+		v.Add(n)
+	}
+	return v
+}
+
+// Add inserts name if absent and returns its index. The zero Vocabulary is
+// ready to use.
+func (v *Vocabulary) Add(name string) int {
+	if v.index == nil {
+		v.index = map[string]int{}
+	}
+	if i, ok := v.index[name]; ok {
+		return i
+	}
+	i := len(v.names)
+	v.names = append(v.names, name)
+	v.index[name] = i
+	return i
+}
+
+// Index returns the index of name and whether it is present.
+func (v *Vocabulary) Index(name string) (int, bool) {
+	i, ok := v.index[name]
+	return i, ok
+}
+
+// Name returns the aspect name at index i.
+func (v *Vocabulary) Name(i int) string { return v.names[i] }
+
+// Len returns z, the number of aspects.
+func (v *Vocabulary) Len() int { return len(v.names) }
+
+// Names returns a copy of the aspect names in index order.
+func (v *Vocabulary) Names() []string {
+	out := make([]string, len(v.names))
+	copy(out, v.names)
+	return out
+}
+
+// Corpus is a full product category: its aspect vocabulary and items.
+type Corpus struct {
+	Category string
+	Aspects  *Vocabulary
+	Items    map[string]*Item
+}
+
+// NewCorpus returns an empty corpus for the category.
+func NewCorpus(category string, aspects *Vocabulary) *Corpus {
+	return &Corpus{Category: category, Aspects: aspects, Items: map[string]*Item{}}
+}
+
+// AddItem inserts the item, replacing any existing item with the same ID.
+func (c *Corpus) AddItem(it *Item) { c.Items[it.ID] = it }
+
+// ItemIDs returns all item IDs in sorted order (deterministic iteration).
+func (c *Corpus) ItemIDs() []string {
+	ids := make([]string, 0, len(c.Items))
+	for id := range c.Items {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// NumReviews returns the total review count across the corpus.
+func (c *Corpus) NumReviews() int {
+	var n int
+	for _, it := range c.Items {
+		n += len(it.Reviews)
+	}
+	return n
+}
+
+// Instance is one problem instance of the paper: Items[0] is the target item
+// p₁ and Items[1:] are the comparative items p₂..p_n. Every target product of
+// a corpus induces an independent instance (§4.1.1).
+type Instance struct {
+	Aspects *Vocabulary
+	Items   []*Item
+}
+
+// Errors reported by instance construction and validation.
+var (
+	ErrNoTarget      = errors.New("model: instance has no target item")
+	ErrUnknownItem   = errors.New("model: also-bought references unknown item")
+	ErrBadAspect     = errors.New("model: mention references aspect outside vocabulary")
+	ErrBadPolarity   = errors.New("model: mention has invalid polarity")
+	ErrEmptyReviewID = errors.New("model: review has empty ID")
+)
+
+// NewInstance assembles an instance from a corpus: the target item followed
+// by every also-bought item that exists in the corpus. maxComparative > 0
+// truncates the comparison list.
+func (c *Corpus) NewInstance(targetID string, maxComparative int) (*Instance, error) {
+	target, ok := c.Items[targetID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownItem, targetID)
+	}
+	inst := &Instance{Aspects: c.Aspects, Items: []*Item{target}}
+	for _, id := range target.AlsoBought {
+		if maxComparative > 0 && len(inst.Items)-1 >= maxComparative {
+			break
+		}
+		if other, ok := c.Items[id]; ok && id != targetID {
+			inst.Items = append(inst.Items, other)
+		}
+	}
+	return inst, nil
+}
+
+// Target returns the target item p₁.
+func (inst *Instance) Target() *Item { return inst.Items[0] }
+
+// NumItems returns n, the number of items in the instance.
+func (inst *Instance) NumItems() int { return len(inst.Items) }
+
+// Validate checks structural invariants: a target exists, all mentions point
+// inside the vocabulary with valid polarities, and review IDs are non-empty
+// and unique within their item.
+func (inst *Instance) Validate() error {
+	if len(inst.Items) == 0 {
+		return ErrNoTarget
+	}
+	z := inst.Aspects.Len()
+	for _, it := range inst.Items {
+		seen := map[string]bool{}
+		for _, r := range it.Reviews {
+			if r.ID == "" {
+				return fmt.Errorf("%w (item %s)", ErrEmptyReviewID, it.ID)
+			}
+			if seen[r.ID] {
+				return fmt.Errorf("model: duplicate review ID %q in item %s", r.ID, it.ID)
+			}
+			seen[r.ID] = true
+			for _, m := range r.Mentions {
+				if m.Aspect < 0 || m.Aspect >= z {
+					return fmt.Errorf("%w: aspect %d, z=%d (review %s)", ErrBadAspect, m.Aspect, z, r.ID)
+				}
+				if !m.Polarity.Valid() {
+					return fmt.Errorf("%w: %d (review %s)", ErrBadPolarity, m.Polarity, r.ID)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package model
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testCorpus() *Corpus {
+	voc := NewVocabulary([]string{"battery", "lens", "quality"})
+	c := NewCorpus("Cellphone", voc)
+	c.AddItem(&Item{
+		ID: "p1", Title: "Target", Category: "Cellphone",
+		AlsoBought: []string{"p2", "p3", "missing"},
+		Reviews: []*Review{
+			{ID: "r1", ItemID: "p1", Reviewer: "u1", Rating: 5, Text: "great battery",
+				Mentions: []Mention{{Aspect: 0, Polarity: Positive, Score: 1}}},
+			{ID: "r2", ItemID: "p1", Reviewer: "u2", Rating: 2, Text: "bad lens",
+				Mentions: []Mention{{Aspect: 1, Polarity: Negative, Score: -1}}},
+		},
+	})
+	c.AddItem(&Item{ID: "p2", Title: "Alt A", Category: "Cellphone"})
+	c.AddItem(&Item{ID: "p3", Title: "Alt B", Category: "Cellphone"})
+	return c
+}
+
+func TestPolarityString(t *testing.T) {
+	cases := map[Polarity]string{Positive: "+", Negative: "-", Neutral: "0"}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+	if got := Polarity(9).String(); got != "Polarity(9)" {
+		t.Errorf("invalid String = %q", got)
+	}
+	if Polarity(9).Valid() {
+		t.Error("Polarity(9) should be invalid")
+	}
+}
+
+func TestReviewAspectSetDeduplicates(t *testing.T) {
+	r := &Review{Mentions: []Mention{
+		{Aspect: 2}, {Aspect: 0}, {Aspect: 2, Polarity: Negative},
+	}}
+	if got := r.AspectSet(); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("AspectSet = %v", got)
+	}
+	if !r.HasAspect(2) || r.HasAspect(1) {
+		t.Error("HasAspect wrong")
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	v := NewVocabulary([]string{"a", "b", "a"})
+	if v.Len() != 2 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if i, ok := v.Index("b"); !ok || i != 1 {
+		t.Errorf("Index(b) = %d, %v", i, ok)
+	}
+	if _, ok := v.Index("zzz"); ok {
+		t.Error("unexpected hit for zzz")
+	}
+	if v.Add("c") != 2 || v.Add("a") != 0 {
+		t.Error("Add returned wrong index")
+	}
+	if got := v.Names(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Names = %v", got)
+	}
+	// Names must be a copy.
+	v.Names()[0] = "mutated"
+	if v.Name(0) != "a" {
+		t.Error("Names leaked internal storage")
+	}
+}
+
+func TestCorpusItemIDsSorted(t *testing.T) {
+	c := testCorpus()
+	if got := c.ItemIDs(); !reflect.DeepEqual(got, []string{"p1", "p2", "p3"}) {
+		t.Errorf("ItemIDs = %v", got)
+	}
+	if c.NumReviews() != 2 {
+		t.Errorf("NumReviews = %d", c.NumReviews())
+	}
+}
+
+func TestNewInstance(t *testing.T) {
+	c := testCorpus()
+	inst, err := c.NewInstance("p1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumItems() != 3 { // p1 + p2 + p3; "missing" skipped
+		t.Fatalf("NumItems = %d", inst.NumItems())
+	}
+	if inst.Target().ID != "p1" {
+		t.Errorf("Target = %s", inst.Target().ID)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestNewInstanceTruncation(t *testing.T) {
+	c := testCorpus()
+	inst, err := c.NewInstance("p1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumItems() != 2 {
+		t.Errorf("NumItems = %d, want 2", inst.NumItems())
+	}
+}
+
+func TestNewInstanceUnknownTarget(t *testing.T) {
+	c := testCorpus()
+	if _, err := c.NewInstance("nope", 0); !errors.Is(err, ErrUnknownItem) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateCatchesBadAspect(t *testing.T) {
+	c := testCorpus()
+	inst, _ := c.NewInstance("p1", 0)
+	inst.Items[0].Reviews[0].Mentions[0].Aspect = 99
+	if err := inst.Validate(); !errors.Is(err, ErrBadAspect) {
+		t.Errorf("err = %v", err)
+	}
+	inst.Items[0].Reviews[0].Mentions[0].Aspect = 0
+	inst.Items[0].Reviews[0].Mentions[0].Polarity = Polarity(9)
+	if err := inst.Validate(); !errors.Is(err, ErrBadPolarity) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateCatchesDuplicateAndEmptyReviewIDs(t *testing.T) {
+	c := testCorpus()
+	inst, _ := c.NewInstance("p1", 0)
+	inst.Items[0].Reviews[1].ID = "r1"
+	if err := inst.Validate(); err == nil {
+		t.Error("expected duplicate-ID error")
+	}
+	inst.Items[0].Reviews[1].ID = ""
+	if err := inst.Validate(); !errors.Is(err, ErrEmptyReviewID) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateEmptyInstance(t *testing.T) {
+	inst := &Instance{Aspects: NewVocabulary(nil)}
+	if err := inst.Validate(); !errors.Is(err, ErrNoTarget) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestItemReviewByID(t *testing.T) {
+	c := testCorpus()
+	it := c.Items["p1"]
+	if r := it.ReviewByID("r2"); r == nil || r.Rating != 2 {
+		t.Errorf("ReviewByID = %+v", r)
+	}
+	if r := it.ReviewByID("nope"); r != nil {
+		t.Errorf("ReviewByID(nope) = %+v", r)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := testCorpus()
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCorpusJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Category != c.Category || got.Aspects.Len() != c.Aspects.Len() {
+		t.Errorf("category/aspects mismatch: %s %d", got.Category, got.Aspects.Len())
+	}
+	if !reflect.DeepEqual(got.ItemIDs(), c.ItemIDs()) {
+		t.Errorf("ItemIDs = %v", got.ItemIDs())
+	}
+	r := got.Items["p1"].ReviewByID("r1")
+	if r == nil || len(r.Mentions) != 1 || r.Mentions[0].Polarity != Positive {
+		t.Errorf("review did not round trip: %+v", r)
+	}
+}
+
+func TestJSONDecodeError(t *testing.T) {
+	if _, err := ReadCorpusJSON(bytes.NewBufferString("{nope")); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestSaveLoadCorpus(t *testing.T) {
+	c := testCorpus()
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	if err := SaveCorpus(c, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumReviews() != c.NumReviews() {
+		t.Errorf("NumReviews = %d", got.NumReviews())
+	}
+	if _, err := LoadCorpus(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestSortReviewsByID(t *testing.T) {
+	c := testCorpus()
+	it := c.Items["p1"]
+	it.Reviews[0], it.Reviews[1] = it.Reviews[1], it.Reviews[0]
+	c.SortReviewsByID()
+	if it.Reviews[0].ID != "r1" {
+		t.Errorf("first review = %s", it.Reviews[0].ID)
+	}
+}
+
+func TestInstanceIsPerTargetIndependent(t *testing.T) {
+	// Every target product induces its own instance (§4.1.1); instances
+	// share item pointers but not slices.
+	c := testCorpus()
+	a, _ := c.NewInstance("p1", 0)
+	b, _ := c.NewInstance("p1", 0)
+	a.Items = append(a.Items, &Item{ID: "extra"})
+	if b.NumItems() != 3 {
+		t.Errorf("instances share slice storage: %d", b.NumItems())
+	}
+}
+
+func ExampleCorpus_NewInstance() {
+	c := testCorpus()
+	inst, _ := c.NewInstance("p1", 0)
+	fmt.Println(inst.Target().ID, inst.NumItems())
+	// Output: p1 3
+}

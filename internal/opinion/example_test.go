@@ -1,0 +1,27 @@
+package opinion_test
+
+import (
+	"fmt"
+
+	"comparesets/internal/model"
+	"comparesets/internal/opinion"
+)
+
+// ExampleBinary_Vector reproduces Working Example 1: π(S₁) of the optimal
+// m=3 subset equals the full-set target τ₁.
+func ExampleBinary_Vector() {
+	pos := func(a int) model.Mention { return model.Mention{Aspect: a, Polarity: model.Positive} }
+	neg := func(a int) model.Mention { return model.Mention{Aspect: a, Polarity: model.Negative} }
+	s1 := []*model.Review{
+		{ID: "r5", Mentions: []model.Mention{pos(0), pos(1)}},
+		{ID: "r6", Mentions: []model.Mention{neg(0), neg(1), pos(2)}},
+		{ID: "r7", Mentions: []model.Mention{neg(0), neg(2)}},
+	}
+	pi := opinion.Binary{}.Vector(s1, 3)
+	fmt.Printf("battery+ %.2f battery- %.2f\n", pi[0], pi[1])
+	phi := opinion.AspectVector(s1, 3)
+	fmt.Printf("phi %.2f %.2f %.2f\n", phi[0], phi[1], phi[2])
+	// Output:
+	// battery+ 0.33 battery- 0.67
+	// phi 1.00 0.67 0.67
+}

@@ -1,0 +1,212 @@
+// Package opinion implements the opinion and aspect distribution vectors of
+// the paper: π(S) ∈ ℝ₊^{d} (opinion distribution of a review set, §2.1) and
+// φ(S) ∈ ℝ₊^{z} (aspect distribution), under three opinion definitions —
+// Binary (default), ThreePolarity, and UnaryScale (§4.2.3).
+//
+// Both vectors follow the normalization of Working Example 1: raw per-aspect
+// (or per-opinion) review counts are divided by the maximum aspect occurrence
+// count within the set, e.g. φ(R₁) = (6/6, 4/6, 4/6, 0, 0) and
+// τ₁ = π(R₁) = (2/6, 4/6, 2/6, 2/6, 2/6, 2/6, 0, 0, 0, 0).
+package opinion
+
+import (
+	"fmt"
+	"math"
+
+	"comparesets/internal/linalg"
+	"comparesets/internal/model"
+)
+
+// Scheme defines how review sentiments are folded into an opinion vector and
+// how a single review contributes a (raw, unnormalized) column to the
+// Integer-Regression design matrix.
+type Scheme interface {
+	// Name identifies the scheme ("binary", "3-polarity", "unary-scale").
+	Name() string
+	// Dim returns the opinion-vector dimensionality for z aspects.
+	Dim(z int) int
+	// Column returns the raw opinion contribution of one review: for the
+	// counting schemes a 0/1 presence vector, for unary-scale the signed
+	// per-aspect sentiment mass.
+	Column(r *model.Review, z int) linalg.Vector
+	// Vector returns π(S) for a set of reviews.
+	Vector(reviews []*model.Review, z int) linalg.Vector
+}
+
+// Binary is the default two-polarity scheme: dimension 2z, rows interleaved
+// as {a₁⁺, a₁⁻, a₂⁺, a₂⁻, ...}, matching Working Example 1.
+type Binary struct{}
+
+// Name implements Scheme.
+func (Binary) Name() string { return "binary" }
+
+// Dim implements Scheme.
+func (Binary) Dim(z int) int { return 2 * z }
+
+// Column implements Scheme: entry 2a (resp. 2a+1) is 1 iff the review holds
+// a positive (resp. negative) opinion on aspect a. Neutral mentions do not
+// contribute.
+func (Binary) Column(r *model.Review, z int) linalg.Vector {
+	col := linalg.NewVector(2 * z)
+	for _, m := range r.Mentions {
+		switch m.Polarity {
+		case model.Positive:
+			col[2*m.Aspect] = 1
+		case model.Negative:
+			col[2*m.Aspect+1] = 1
+		}
+	}
+	return col
+}
+
+// Vector implements Scheme.
+func (b Binary) Vector(reviews []*model.Review, z int) linalg.Vector {
+	return countingVector(b, reviews, z)
+}
+
+// ThreePolarity adds a neutral row per aspect: dimension 3z, rows
+// {a⁺, a⁻, a⁰} per aspect.
+type ThreePolarity struct{}
+
+// Name implements Scheme.
+func (ThreePolarity) Name() string { return "3-polarity" }
+
+// Dim implements Scheme.
+func (ThreePolarity) Dim(z int) int { return 3 * z }
+
+// Column implements Scheme.
+func (ThreePolarity) Column(r *model.Review, z int) linalg.Vector {
+	col := linalg.NewVector(3 * z)
+	for _, m := range r.Mentions {
+		switch m.Polarity {
+		case model.Positive:
+			col[3*m.Aspect] = 1
+		case model.Negative:
+			col[3*m.Aspect+1] = 1
+		case model.Neutral:
+			col[3*m.Aspect+2] = 1
+		}
+	}
+	return col
+}
+
+// Vector implements Scheme.
+func (s ThreePolarity) Vector(reviews []*model.Review, z int) linalg.Vector {
+	return countingVector(s, reviews, z)
+}
+
+// UnaryScale associates each aspect with a single [0,1] score obtained by
+// passing the summed sentiment through a sigmoid (§4.2.3). Aspects never
+// mentioned stay at 0 (rather than sigmoid(0)=0.5) so that untouched aspects
+// do not register an opinion.
+type UnaryScale struct{}
+
+// Name implements Scheme.
+func (UnaryScale) Name() string { return "unary-scale" }
+
+// Dim implements Scheme.
+func (UnaryScale) Dim(z int) int { return z }
+
+// Column implements Scheme: the review's signed sentiment mass per aspect.
+func (UnaryScale) Column(r *model.Review, z int) linalg.Vector {
+	col := linalg.NewVector(z)
+	for _, m := range r.Mentions {
+		col[m.Aspect] += m.Score
+	}
+	return col
+}
+
+// Vector implements Scheme: sigmoid of the total sentiment per mentioned
+// aspect.
+func (u UnaryScale) Vector(reviews []*model.Review, z int) linalg.Vector {
+	total := linalg.NewVector(z)
+	touched := make([]bool, z)
+	for _, r := range reviews {
+		for _, m := range r.Mentions {
+			total[m.Aspect] += m.Score
+			touched[m.Aspect] = true
+		}
+	}
+	out := linalg.NewVector(z)
+	for a := 0; a < z; a++ {
+		if touched[a] {
+			out[a] = Sigmoid(total[a])
+		}
+	}
+	return out
+}
+
+// Sigmoid returns 1/(1+e^{-s}).
+func Sigmoid(s float64) float64 { return 1 / (1 + math.Exp(-s)) }
+
+// countingVector sums per-review presence columns and normalizes by the
+// maximum aspect occurrence count in the set.
+func countingVector(s Scheme, reviews []*model.Review, z int) linalg.Vector {
+	sum := linalg.NewVector(s.Dim(z))
+	for _, r := range reviews {
+		sum.AddInPlace(s.Column(r, z))
+	}
+	denom := maxAspectCount(reviews, z)
+	if denom == 0 {
+		return sum // all zeros already
+	}
+	sum.ScaleInPlace(1 / denom)
+	return sum
+}
+
+// AspectColumn returns the 0/1 aspect-presence vector of one review.
+func AspectColumn(r *model.Review, z int) linalg.Vector {
+	col := linalg.NewVector(z)
+	for _, a := range r.AspectSet() {
+		col[a] = 1
+	}
+	return col
+}
+
+// AspectVector returns φ(S): per-aspect review counts normalized by the
+// maximum aspect count within S. Opinion polarities are ignored.
+func AspectVector(reviews []*model.Review, z int) linalg.Vector {
+	sum := linalg.NewVector(z)
+	for _, r := range reviews {
+		sum.AddInPlace(AspectColumn(r, z))
+	}
+	m := sum.Max()
+	if m <= 0 {
+		return linalg.NewVector(z)
+	}
+	sum.ScaleInPlace(1 / m)
+	return sum
+}
+
+// maxAspectCount returns the largest per-aspect review count in S — the
+// shared normalization denominator of π and φ in Working Example 1.
+func maxAspectCount(reviews []*model.Review, z int) float64 {
+	counts := linalg.NewVector(z)
+	for _, r := range reviews {
+		for _, a := range r.AspectSet() {
+			counts[a]++
+		}
+	}
+	m := counts.Max()
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// SchemeByName returns the scheme with the given name.
+func SchemeByName(name string) (Scheme, error) {
+	switch name {
+	case "binary":
+		return Binary{}, nil
+	case "3-polarity":
+		return ThreePolarity{}, nil
+	case "unary-scale":
+		return UnaryScale{}, nil
+	default:
+		return nil, fmt.Errorf("opinion: unknown scheme %q", name)
+	}
+}
+
+// Schemes returns all implemented schemes in the order of Table 4.
+func Schemes() []Scheme { return []Scheme{Binary{}, ThreePolarity{}, UnaryScale{}} }

@@ -1,0 +1,238 @@
+package opinion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"comparesets/internal/linalg"
+	"comparesets/internal/model"
+)
+
+// workingExampleR1 reconstructs R₁ of Working Example 1 (Figure 2a): aspects
+// {battery, lens, quality, price, shuttle} with frequencies {6, 4, 4, 0, 0},
+// opinion counts battery(2+,4-), lens(2+,2-), quality(2+,2-), and the optimal
+// m=3 subset S₁ = {r5, r6, r7}.
+func workingExampleR1() []*model.Review {
+	const (
+		battery = 0
+		lens    = 1
+		quality = 2
+	)
+	mk := func(id string, ms ...model.Mention) *model.Review {
+		return &model.Review{ID: id, ItemID: "p1", Mentions: ms}
+	}
+	pos := func(a int) model.Mention { return model.Mention{Aspect: a, Polarity: model.Positive, Score: 1} }
+	neg := func(a int) model.Mention { return model.Mention{Aspect: a, Polarity: model.Negative, Score: -1} }
+	return []*model.Review{
+		mk("r1", pos(battery), pos(lens)),
+		mk("r2", neg(battery), neg(lens)),
+		mk("r3", neg(battery), pos(quality)),
+		mk("r4", neg(quality)),
+		mk("r5", pos(battery), pos(lens)),
+		mk("r6", neg(battery), neg(lens), pos(quality)),
+		mk("r7", neg(battery), neg(quality)),
+	}
+}
+
+const exampleZ = 5
+
+func TestBinaryVectorMatchesWorkingExample(t *testing.T) {
+	r1 := workingExampleR1()
+	tau := Binary{}.Vector(r1, exampleZ)
+	want := linalg.Vector{2.0 / 6, 4.0 / 6, 2.0 / 6, 2.0 / 6, 2.0 / 6, 2.0 / 6, 0, 0, 0, 0}
+	if !tau.ApproxEqual(want, 1e-12) {
+		t.Errorf("τ₁ = %v, want %v", tau, want)
+	}
+}
+
+func TestAspectVectorMatchesWorkingExample(t *testing.T) {
+	r1 := workingExampleR1()
+	gamma := AspectVector(r1, exampleZ)
+	want := linalg.Vector{1, 4.0 / 6, 4.0 / 6, 0, 0}
+	if !gamma.ApproxEqual(want, 1e-12) {
+		t.Errorf("Γ = %v, want %v", gamma, want)
+	}
+}
+
+func TestSelectedSubsetReproducesTargets(t *testing.T) {
+	// S₁ = {r5, r6, r7} has π(S₁) ≡ τ₁ and φ(S₁) ≡ Γ (Working Example 1).
+	r1 := workingExampleR1()
+	s1 := r1[4:7]
+	pi := Binary{}.Vector(s1, exampleZ)
+	wantPi := linalg.Vector{1.0 / 3, 2.0 / 3, 1.0 / 3, 1.0 / 3, 1.0 / 3, 1.0 / 3, 0, 0, 0, 0}
+	if !pi.ApproxEqual(wantPi, 1e-12) {
+		t.Errorf("π(S₁) = %v, want %v", pi, wantPi)
+	}
+	phi := AspectVector(s1, exampleZ)
+	wantPhi := linalg.Vector{1, 2.0 / 3, 2.0 / 3, 0, 0}
+	if !phi.ApproxEqual(wantPhi, 1e-12) {
+		t.Errorf("φ(S₁) = %v, want %v", phi, wantPhi)
+	}
+	// The alternative optimal set {r1..r4} for m ≥ 4 matches too.
+	alt := r1[0:4]
+	if altPi := (Binary{}).Vector(alt, exampleZ); !altPi.ApproxEqual(wantPi, 1e-12) {
+		t.Errorf("π({r1..r4}) = %v", altPi)
+	}
+	if !AspectVector(alt, exampleZ).ApproxEqual(wantPhi, 1e-12) {
+		t.Errorf("φ({r1..r4}) = %v", AspectVector(alt, exampleZ))
+	}
+}
+
+func TestEmptySetVectorsAreZero(t *testing.T) {
+	if v := (Binary{}).Vector(nil, 3); v.Norm1() != 0 || len(v) != 6 {
+		t.Errorf("empty π = %v", v)
+	}
+	if v := AspectVector(nil, 3); v.Norm1() != 0 || len(v) != 3 {
+		t.Errorf("empty φ = %v", v)
+	}
+	if v := (UnaryScale{}).Vector(nil, 3); v.Norm1() != 0 {
+		t.Errorf("empty unary π = %v", v)
+	}
+}
+
+func TestBinaryColumn(t *testing.T) {
+	r := &model.Review{Mentions: []model.Mention{
+		{Aspect: 0, Polarity: model.Positive},
+		{Aspect: 1, Polarity: model.Negative},
+		{Aspect: 2, Polarity: model.Neutral}, // ignored by binary
+	}}
+	col := Binary{}.Column(r, 3)
+	want := linalg.Vector{1, 0, 0, 1, 0, 0}
+	if !col.ApproxEqual(want, 0) {
+		t.Errorf("Column = %v, want %v", col, want)
+	}
+}
+
+func TestThreePolarityColumnAndVector(t *testing.T) {
+	r := &model.Review{Mentions: []model.Mention{
+		{Aspect: 0, Polarity: model.Neutral},
+		{Aspect: 1, Polarity: model.Positive},
+	}}
+	col := ThreePolarity{}.Column(r, 2)
+	want := linalg.Vector{0, 0, 1, 1, 0, 0}
+	if !col.ApproxEqual(want, 0) {
+		t.Errorf("Column = %v", col)
+	}
+	v := ThreePolarity{}.Vector([]*model.Review{r}, 2)
+	// max aspect count is 1, so the vector equals the column.
+	if !v.ApproxEqual(want, 1e-12) {
+		t.Errorf("Vector = %v", v)
+	}
+}
+
+func TestUnaryScaleVector(t *testing.T) {
+	r1 := &model.Review{Mentions: []model.Mention{{Aspect: 0, Polarity: model.Positive, Score: 2}}}
+	r2 := &model.Review{Mentions: []model.Mention{{Aspect: 0, Polarity: model.Negative, Score: -2}}}
+	v := UnaryScale{}.Vector([]*model.Review{r1, r2}, 2)
+	// Aspect 0: sigmoid(0) = 0.5 because it was mentioned with net score 0;
+	// aspect 1: untouched, stays 0.
+	if math.Abs(v[0]-0.5) > 1e-12 {
+		t.Errorf("v[0] = %v, want 0.5", v[0])
+	}
+	if v[1] != 0 {
+		t.Errorf("v[1] = %v, want 0", v[1])
+	}
+	col := UnaryScale{}.Column(r1, 2)
+	if !col.ApproxEqual(linalg.Vector{2, 0}, 0) {
+		t.Errorf("Column = %v", col)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid(0); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("Sigmoid(0) = %v", got)
+	}
+	if got := Sigmoid(100); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Sigmoid(100) = %v", got)
+	}
+	if got := Sigmoid(-100); got > 1e-12 {
+		t.Errorf("Sigmoid(-100) = %v", got)
+	}
+}
+
+func TestSchemeDims(t *testing.T) {
+	cases := []struct {
+		s    Scheme
+		want int
+	}{{Binary{}, 10}, {ThreePolarity{}, 15}, {UnaryScale{}, 5}}
+	for _, c := range cases {
+		if got := c.s.Dim(5); got != c.want {
+			t.Errorf("%s.Dim(5) = %d, want %d", c.s.Name(), got, c.want)
+		}
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	for _, s := range Schemes() {
+		got, err := SchemeByName(s.Name())
+		if err != nil || got.Name() != s.Name() {
+			t.Errorf("SchemeByName(%q) = %v, %v", s.Name(), got, err)
+		}
+	}
+	if _, err := SchemeByName("bogus"); err == nil {
+		t.Error("expected error for unknown scheme")
+	}
+}
+
+func TestAspectColumnDeduplicatesWithinReview(t *testing.T) {
+	r := &model.Review{Mentions: []model.Mention{
+		{Aspect: 1, Polarity: model.Positive},
+		{Aspect: 1, Polarity: model.Negative},
+	}}
+	col := AspectColumn(r, 3)
+	if !col.ApproxEqual(linalg.Vector{0, 1, 0}, 0) {
+		t.Errorf("AspectColumn = %v", col)
+	}
+}
+
+// Property: counting-scheme vectors always lie in [0, 1]^d — counts never
+// exceed the normalization denominator.
+func TestCountingVectorsBounded(t *testing.T) {
+	f := func(raw [12]uint8) bool {
+		const z = 3
+		var reviews []*model.Review
+		for i := 0; i < len(raw); i += 2 {
+			r := &model.Review{}
+			a := int(raw[i]) % z
+			p := model.Polarity(int(raw[i+1]) % 3)
+			r.Mentions = append(r.Mentions, model.Mention{Aspect: a, Polarity: p})
+			reviews = append(reviews, r)
+		}
+		for _, s := range []Scheme{Binary{}, ThreePolarity{}} {
+			v := s.Vector(reviews, z)
+			for _, x := range v {
+				if x < 0 || x > 1+1e-12 {
+					return false
+				}
+			}
+		}
+		phi := AspectVector(reviews, z)
+		for _, x := range phi {
+			if x < 0 || x > 1+1e-12 {
+				return false
+			}
+		}
+		return phi.Max() == 1 // the most frequent aspect normalizes to 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: φ is invariant to mention polarity (it only sees aspects).
+func TestAspectVectorPolarityInvariant(t *testing.T) {
+	f := func(raw [8]uint8) bool {
+		const z = 4
+		var a, b []*model.Review
+		for _, x := range raw {
+			asp := int(x) % z
+			a = append(a, &model.Review{Mentions: []model.Mention{{Aspect: asp, Polarity: model.Positive}}})
+			b = append(b, &model.Review{Mentions: []model.Mention{{Aspect: asp, Polarity: model.Negative}}})
+		}
+		return AspectVector(a, z).ApproxEqual(AspectVector(b, z), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,240 @@
+// Package plot renders simple line charts as standalone SVG documents on
+// the standard library — enough to regenerate the paper's figures (5a, 5b,
+// 6, 7, 11) as images rather than just printed series. It is intentionally
+// small: multi-series line charts with linear or log-scaled x axes, axis
+// ticks, a legend, and nothing else.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+)
+
+// Series is one named polyline.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a multi-series line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogX plots x on a log10 scale (hyperparameter sweeps).
+	LogX bool
+	// Width and Height are the SVG dimensions (defaults 640×400).
+	Width, Height int
+}
+
+// palette holds distinguishable stroke colors (series cycle through it).
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"}
+
+const (
+	marginLeft   = 64.0
+	marginRight  = 24.0
+	marginTop    = 40.0
+	marginBottom = 48.0
+)
+
+// Render writes the chart as an SVG document.
+func (c Chart) Render(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	width, height := c.Width, c.Height
+	if width == 0 {
+		width = 640
+	}
+	if height == 0 {
+		height = 400
+	}
+	xmin, xmax, ymin, ymax, err := c.bounds()
+	if err != nil {
+		return err
+	}
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+	xpos := func(x float64) float64 {
+		if c.LogX {
+			x = math.Log10(x)
+		}
+		if xmax == xmin {
+			return marginLeft + plotW/2
+		}
+		return marginLeft + (x-xmin)/(xmax-xmin)*plotW
+	}
+	ypos := func(y float64) float64 {
+		if ymax == ymin {
+			return marginTop + plotH/2
+		}
+		return marginTop + plotH - (y-ymin)/(ymax-ymin)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%g" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", marginLeft, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	fmt.Fprintf(&b, `<text x="%g" y="%d" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, height-8, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%g" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(c.YLabel))
+
+	// Ticks.
+	for _, t := range ticks(ymin, ymax, 5) {
+		y := ypos(t)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`+"\n", marginLeft, y, marginLeft+plotW, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end">%s</text>`+"\n", marginLeft-6, y+4, trimFloat(t))
+	}
+	for _, t := range c.xticks(xmin, xmax) {
+		x := xpos(t.value)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", x, marginTop+plotH, x, marginTop+plotH+4)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n", x, marginTop+plotH+18, t.label)
+	}
+
+	// Series polylines + legend.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xpos(s.X[i]), ypos(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n", strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", xpos(s.X[i]), ypos(s.Y[i]), color)
+		}
+		ly := marginTop + 8 + float64(si)*16
+		lx := marginLeft + plotW - 150
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n", lx, ly, lx+20, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g">%s</text>`+"\n", lx+26, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// Save renders the chart into an SVG file.
+func (c Chart) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (c Chart) bounds() (xmin, xmax, ymin, ymax float64, err error) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return 0, 0, 0, 0, fmt.Errorf("plot: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x := s.X[i]
+			if c.LogX {
+				if x <= 0 {
+					return 0, 0, 0, 0, fmt.Errorf("plot: series %q has non-positive x=%v on a log axis", s.Name, x)
+				}
+				x = math.Log10(x)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("plot: chart %q has no points", c.Title)
+	}
+	// Pad y a little so lines do not sit on the frame.
+	if ymax > ymin {
+		pad := (ymax - ymin) * 0.08
+		ymin -= pad
+		ymax += pad
+	}
+	return xmin, xmax, ymin, ymax, nil
+}
+
+type tick struct {
+	value float64
+	label string
+}
+
+// xticks places ticks at the union of series x values (charts here have few
+// distinct x positions), deduplicated.
+func (c Chart) xticks(xmin, xmax float64) []tick {
+	seen := map[float64]bool{}
+	var out []tick
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			out = append(out, tick{value: x, label: trimFloat(x)})
+		}
+	}
+	// Insertion sort by plotted position.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j].value, out[j-1].value, c.LogX); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if len(out) > 12 {
+		// Thin dense tick sets.
+		kept := out[:0]
+		step := (len(out) + 11) / 12
+		for i := 0; i < len(out); i += step {
+			kept = append(kept, out[i])
+		}
+		out = kept
+	}
+	return out
+}
+
+func less(a, b float64, logx bool) bool { return a < b }
+
+// ticks returns ~n round tick values covering [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if hi <= lo {
+		return []float64{lo}
+	}
+	rawStep := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	for _, mult := range []float64{1, 2, 5, 10} {
+		step = mult * mag
+		if step >= rawStep {
+			break
+		}
+	}
+	var out []float64
+	for t := math.Ceil(lo/step) * step; t <= hi+1e-12; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4g", v)
+	return s
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

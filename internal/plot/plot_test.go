@@ -1,0 +1,136 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleChart() Chart {
+	return Chart{
+		Title:  "ROUGE-L vs lambda",
+		XLabel: "lambda",
+		YLabel: "ROUGE-L",
+		LogX:   true,
+		Series: []Series{
+			{Name: "Cellphone", X: []float64{0.01, 0.1, 1, 10, 100}, Y: []float64{21.6, 21.7, 22.3, 21.9, 21.9}},
+			{Name: "Toy", X: []float64{0.01, 0.1, 1, 10, 100}, Y: []float64{20.7, 20.7, 21.1, 21.2, 21.2}},
+		},
+	}
+}
+
+func TestRenderWellFormedSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "Cellphone", "Toy", "ROUGE-L vs lambda", "lambda"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	// Two series × five points of markers.
+	if got := strings.Count(svg, "<circle"); got != 10 {
+		t.Errorf("circles = %d, want 10", got)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if err := (Chart{Title: "empty"}).Render(&bytes.Buffer{}); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := Chart{Series: []Series{{Name: "x", X: []float64{1, 2}, Y: []float64{1}}}}
+	if err := bad.Render(&bytes.Buffer{}); err == nil {
+		t.Error("ragged series accepted")
+	}
+	logBad := Chart{LogX: true, Series: []Series{{Name: "x", X: []float64{0}, Y: []float64{1}}}}
+	if err := logBad.Render(&bytes.Buffer{}); err == nil {
+		t.Error("non-positive x on log axis accepted")
+	}
+	none := Chart{Series: []Series{{Name: "x"}}}
+	if err := none.Render(&bytes.Buffer{}); err == nil {
+		t.Error("pointless chart accepted")
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	flat := Chart{Series: []Series{{Name: "c", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}}}}
+	var buf bytes.Buffer
+	if err := flat.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "polyline") {
+		t.Error("flat series not drawn")
+	}
+}
+
+func TestRenderEscapesMarkup(t *testing.T) {
+	c := Chart{
+		Title:  `<script>"bad"</script>`,
+		Series: []Series{{Name: "a&b", X: []float64{1}, Y: []float64{1}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if strings.Contains(svg, "<script>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&amp;b") {
+		t.Error("series name not escaped")
+	}
+}
+
+func TestSave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chart.svg")
+	if err := sampleChart().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Errorf("file starts with %q", string(data[:10]))
+	}
+	if err := sampleChart().Save(filepath.Join(t.TempDir(), "no", "dir", "x.svg")); err == nil {
+		t.Error("bad path accepted")
+	}
+}
+
+func TestTicksRound(t *testing.T) {
+	got := ticks(0, 10, 5)
+	if len(got) < 4 || len(got) > 7 {
+		t.Errorf("ticks = %v", got)
+	}
+	for _, v := range got {
+		if v < 0 || v > 10+1e-9 {
+			t.Errorf("tick %v out of range", v)
+		}
+	}
+	if one := ticks(3, 3, 5); len(one) != 1 || one[0] != 3 {
+		t.Errorf("degenerate ticks = %v", one)
+	}
+	// Steps are from the 1-2-5 family.
+	if len(got) >= 2 {
+		step := got[1] - got[0]
+		mant := step / math.Pow(10, math.Floor(math.Log10(step)))
+		ok := false
+		for _, m := range []float64{1, 2, 5, 10} {
+			if math.Abs(mant-m) < 1e-9 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("step %v not in 1-2-5 family", step)
+		}
+	}
+}

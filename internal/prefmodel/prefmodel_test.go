@@ -1,0 +1,221 @@
+package prefmodel
+
+import (
+	"errors"
+	"testing"
+
+	"comparesets/internal/core"
+	"comparesets/internal/datagen"
+	"comparesets/internal/dataset"
+	"comparesets/internal/lexicon"
+	"comparesets/internal/model"
+)
+
+func trainedModel(t *testing.T) (*Model, *model.Corpus) {
+	t.Helper()
+	c, err := datagen.Generate(datagen.Config{
+		Category: lexicon.Cellphone, Products: 30, Reviewers: 40,
+		MeanReviews: 10, MeanAlsoBought: 5, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Train(c, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, c
+}
+
+func TestTrainFitsObservations(t *testing.T) {
+	m, _ := trainedModel(t)
+	xr, yr := m.FitRMSE()
+	// Scores live in [1, 5]; a fit much worse than ~1.2 RMSE means ALS is
+	// not learning anything.
+	if xr > 1.2 || yr > 1.2 {
+		t.Errorf("RMSE x=%v y=%v too high", xr, yr)
+	}
+	if xr <= 0 || yr <= 0 {
+		t.Errorf("degenerate RMSE x=%v y=%v", xr, yr)
+	}
+}
+
+func TestTrainImprovesOverInit(t *testing.T) {
+	c, err := datagen.Generate(datagen.Config{
+		Category: lexicon.Toy, Products: 20, Reviewers: 30,
+		MeanReviews: 8, MeanAlsoBought: 4, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := Train(c, Config{Iterations: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := Train(c, Config{Iterations: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ey := early.FitRMSE()
+	lx, ly := late.FitRMSE()
+	if lx > ex+1e-9 || ly > ey+1e-9 {
+		t.Errorf("more ALS iterations worsened fit: x %v→%v, y %v→%v", ex, lx, ey, ly)
+	}
+}
+
+func TestPredictBoundsAndErrors(t *testing.T) {
+	m, c := trainedModel(t)
+	id := c.ItemIDs()[0]
+	for a := 0; a < c.Aspects.Len(); a++ {
+		s, err := m.PredictItemAspect(id, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < 1 || s > MaxScore {
+			t.Errorf("score %v out of [1,%v]", s, MaxScore)
+		}
+	}
+	if _, err := m.PredictItemAspect("nope", 0); err == nil {
+		t.Error("unknown item accepted")
+	}
+	if _, err := m.PredictItemAspect(id, 999); err == nil {
+		t.Error("bad aspect accepted")
+	}
+	if _, err := m.PredictUserAspect("nope", 0); err == nil {
+		t.Error("unknown user accepted")
+	}
+}
+
+func TestPredictTracksSentiment(t *testing.T) {
+	// An item whose reviews praise aspect A and pan aspect B should score
+	// higher on A. Use a hand-built corpus for a clean signal.
+	voc := model.NewVocabulary([]string{"battery", "screen"})
+	c := model.NewCorpus("Test", voc)
+	it := &model.Item{ID: "p1"}
+	for i := 0; i < 12; i++ {
+		it.Reviews = append(it.Reviews, &model.Review{
+			ID: idStr("r", i), ItemID: "p1", Reviewer: idStr("u", i%4),
+			Mentions: []model.Mention{
+				{Aspect: 0, Polarity: model.Positive, Score: 2},
+				{Aspect: 1, Polarity: model.Negative, Score: -2},
+			},
+		})
+	}
+	c.AddItem(it)
+	m, err := Train(c, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, _ := m.PredictItemAspect("p1", 0)
+	bad, _ := m.PredictItemAspect("p1", 1)
+	if good <= bad {
+		t.Errorf("praised aspect %v ≤ panned aspect %v", good, bad)
+	}
+}
+
+func idStr(p string, i int) string { return p + string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func TestTopAspects(t *testing.T) {
+	m, c := trainedModel(t)
+	id := c.ItemIDs()[0]
+	top, err := m.TopAspects(id, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	s0, _ := m.PredictItemAspect(id, top[0])
+	s2, _ := m.PredictItemAspect(id, top[2])
+	if s0 < s2 {
+		t.Errorf("top aspects not descending: %v < %v", s0, s2)
+	}
+	if _, err := m.TopAspects("nope", 2); err == nil {
+		t.Error("unknown item accepted")
+	}
+}
+
+func TestTrainEmptyCorpus(t *testing.T) {
+	c := model.NewCorpus("Empty", model.NewVocabulary([]string{"a"}))
+	if _, err := Train(c, Config{}); !errors.Is(err, ErrEmptyCorpus) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	_, c := trainedModel(t)
+	a, err := Train(c, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(c, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := c.ItemIDs()[3]
+	va, _ := a.PredictItemAspect(id, 2)
+	vb, _ := b.PredictItemAspect(id, 2)
+	if va != vb {
+		t.Errorf("nondeterministic training: %v vs %v", va, vb)
+	}
+}
+
+func TestSchemeDrivesSelection(t *testing.T) {
+	// The learned scheme must plug into the full selection pipeline.
+	m, c := trainedModel(t)
+	targets := dataset.TargetIDs(c)
+	if len(targets) == 0 {
+		t.Skip("no targets")
+	}
+	inst, err := c.NewInstance(targets[0], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{M: 3, Lambda: 1, Mu: 0.1, Scheme: Scheme{Model: m}}
+	sel, err := core.CompaReSetSPlus{}.Select(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Indices) != inst.NumItems() {
+		t.Fatalf("indices = %d sets", len(sel.Indices))
+	}
+	for i, idx := range sel.Indices {
+		if len(idx) > 3 {
+			t.Errorf("item %d selected %d reviews", i, len(idx))
+		}
+	}
+}
+
+func TestSchemeVectorBounds(t *testing.T) {
+	m, c := trainedModel(t)
+	s := Scheme{Model: m}
+	z := c.Aspects.Len()
+	for _, id := range c.ItemIDs()[:5] {
+		it := c.Items[id]
+		v := s.Vector(it.Reviews, z)
+		for a, x := range v {
+			if x < 0 || x > 1+1e-9 {
+				t.Errorf("item %s aspect %d: %v out of [0,1]", id, a, x)
+			}
+		}
+		for _, r := range it.Reviews {
+			col := s.Column(r, z)
+			for _, x := range col {
+				if x < 0 || x > 1+1e-9 {
+					t.Errorf("column value %v out of [0,1]", x)
+				}
+			}
+		}
+	}
+}
+
+func TestSchemeUnknownReviewerNeutral(t *testing.T) {
+	m, _ := trainedModel(t)
+	s := Scheme{Model: m}
+	r := &model.Review{ID: "x", ItemID: "ghost", Reviewer: "ghost",
+		Mentions: []model.Mention{{Aspect: 0, Polarity: model.Positive}}}
+	col := s.Column(r, 3)
+	if col[0] != 0.5 {
+		t.Errorf("unknown reviewer/item score = %v, want 0.5 prior", col[0])
+	}
+}

@@ -1,0 +1,71 @@
+package prefmodel
+
+import (
+	"comparesets/internal/linalg"
+	"comparesets/internal/model"
+	"comparesets/internal/opinion"
+)
+
+// Scheme adapts a trained preference model into an opinion-vector
+// definition (the "learned aspect-level preference vectors" alternative of
+// §4.2.3): each review contributes its reviewer's learned attention on the
+// aspects it mentions, scaled to [0, 1], and π(S) averages the
+// contributions. Aspects never mentioned in S stay at 0.
+type Scheme struct {
+	Model *Model
+}
+
+// Name implements opinion.Scheme.
+func (Scheme) Name() string { return "efm-learned" }
+
+// Dim implements opinion.Scheme: one learned score per aspect.
+func (Scheme) Dim(z int) int { return z }
+
+// Column implements opinion.Scheme.
+func (s Scheme) Column(r *model.Review, z int) linalg.Vector {
+	col := linalg.NewVector(z)
+	for _, a := range r.AspectSet() {
+		col[a] = s.scoreFor(r, a)
+	}
+	return col
+}
+
+// Vector implements opinion.Scheme: the mean per-review learned score over
+// the reviews of S that mention each aspect.
+func (s Scheme) Vector(reviews []*model.Review, z int) linalg.Vector {
+	sum := linalg.NewVector(z)
+	count := linalg.NewVector(z)
+	for _, r := range reviews {
+		for _, a := range r.AspectSet() {
+			sum[a] += s.scoreFor(r, a)
+			count[a]++
+		}
+	}
+	for a := range sum {
+		if count[a] > 0 {
+			sum[a] /= count[a]
+		}
+	}
+	return sum
+}
+
+// scoreFor blends the reviewer's learned attention with the item's learned
+// quality on aspect a, normalized from [1, MaxScore] to (0, 1].
+func (s Scheme) scoreFor(r *model.Review, a int) float64 {
+	var total, n float64
+	if v, err := s.Model.PredictUserAspect(r.Reviewer, a); err == nil {
+		total += v
+		n++
+	}
+	if v, err := s.Model.PredictItemAspect(r.ItemID, a); err == nil {
+		total += v
+		n++
+	}
+	if n == 0 {
+		return 0.5 // unknown reviewer and item: neutral prior
+	}
+	return (total / n) / MaxScore
+}
+
+// Interface conformance check.
+var _ opinion.Scheme = Scheme{}

@@ -1,0 +1,55 @@
+package regress
+
+import (
+	"math/rand"
+	"testing"
+
+	"comparesets/internal/linalg"
+)
+
+// benchProblem mimics a CompaReSetS+ design matrix: sparse 0/1 columns over
+// opinion+aspect rows for ~25 reviews.
+func benchProblem(rows, cols int) (*linalg.Matrix, linalg.Vector) {
+	rng := rand.New(rand.NewSource(2))
+	colsv := make([]linalg.Vector, cols)
+	for j := range colsv {
+		v := linalg.NewVector(rows)
+		for k := 0; k < 4; k++ {
+			v[rng.Intn(rows)] = 1
+		}
+		colsv[j] = v
+	}
+	y := linalg.NewVector(rows)
+	for i := range y {
+		y[i] = rng.Float64()
+	}
+	return linalg.MatrixFromColumns(colsv), y
+}
+
+func BenchmarkNOMPPath(b *testing.B) {
+	a, y := benchProblem(150, 25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NOMPPath(a, y, 10)
+	}
+}
+
+func BenchmarkDedup(b *testing.B) {
+	a, _ := benchProblem(150, 25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dedup(a)
+	}
+}
+
+func BenchmarkSolve(b *testing.B) {
+	a, y := benchProblem(150, 25)
+	eval := func(sel []int) float64 { return float64(len(sel)) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(a, y, 10, eval)
+	}
+}

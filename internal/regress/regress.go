@@ -1,0 +1,423 @@
+// Package regress implements the Integer-Regression algorithm of Lappas et
+// al. (KDD 2012) as generalized by the paper (Algorithm 1): solve the
+// continuous relaxation of the review-selection problem with NOMP
+// (non-negative orthogonal matching pursuit), then round the continuous
+// solution to an integer review-multiplicity vector, evaluating the true
+// (combinatorial) objective for every sparsity budget ℓ = 1..m and keeping
+// the best.
+//
+// The package is algorithm-agnostic about what the columns mean: callers
+// (internal/core) construct the design matrix W/V and target vector Υ, and
+// supply an evaluation callback computing the exact objective of a candidate
+// selection, because the true opinion/aspect vectors of a selected set are
+// normalized nonlinearly and cannot be read off the linear model.
+package regress
+
+import (
+	"math"
+	"sort"
+
+	"comparesets/internal/linalg"
+)
+
+// Dedup groups identical columns of a. It returns the deduplicated matrix,
+// the multiplicity cᵢ of each unique column, and for each unique column the
+// indices of the original columns it represents (in ascending order). This
+// is DeduplicateColumns of Algorithm 1, line 5.
+func Dedup(a *linalg.Matrix) (unique *linalg.Matrix, counts []int, members [][]int) {
+	type group struct {
+		col     linalg.Vector
+		members []int
+	}
+	index := map[string]int{}
+	var groups []group
+	for j := 0; j < a.Cols; j++ {
+		col := a.ColCopy(j)
+		key := columnKey(col)
+		if g, ok := index[key]; ok {
+			groups[g].members = append(groups[g].members, j)
+			continue
+		}
+		index[key] = len(groups)
+		groups = append(groups, group{col: col, members: []int{j}})
+	}
+	cols := make([]linalg.Vector, len(groups))
+	counts = make([]int, len(groups))
+	members = make([][]int, len(groups))
+	for g, gr := range groups {
+		cols[g] = gr.col
+		counts[g] = len(gr.members)
+		members[g] = gr.members
+	}
+	return linalg.MatrixFromColumns(cols), counts, members
+}
+
+// columnKey encodes a column's exact float64 bits; design-matrix entries come
+// from the small set {0, 1, λ, μ}, so exact equality is the right notion.
+func columnKey(col linalg.Vector) string {
+	b := make([]byte, 0, 8*len(col))
+	for _, v := range col {
+		u := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(u>>s))
+		}
+	}
+	return string(b)
+}
+
+// sparseColumns extracts each column's non-zero entries once; the NOMP
+// correlation step then iterates only those. Design matrices here are 0/1
+// opinion/aspect indicators scaled by λ/μ — typically >95% zero — so the
+// sparse walk removes the dominant cost of the greedy atom search.
+type sparseColumns struct {
+	idx [][]int32   // row indices of non-zeros, per column
+	val [][]float64 // matching values, per column
+}
+
+func newSparseColumns(a *linalg.Matrix) *sparseColumns {
+	s := &sparseColumns{
+		idx: make([][]int32, a.Cols),
+		val: make([][]float64, a.Cols),
+	}
+	for j := 0; j < a.Cols; j++ {
+		col := a.Col(j)
+		for i, v := range col {
+			if v != 0 {
+				s.idx[j] = append(s.idx[j], int32(i))
+				s.val[j] = append(s.val[j], v)
+			}
+		}
+	}
+	return s
+}
+
+// correlations computes aᵀ·resid using the sparse column structure.
+func (s *sparseColumns) correlations(resid linalg.Vector, out linalg.Vector) {
+	for j := range s.idx {
+		var acc float64
+		idx, val := s.idx[j], s.val[j]
+		for k, i := range idx {
+			acc += val[k] * resid[i]
+		}
+		out[j] = acc
+	}
+}
+
+// NOMPPath runs non-negative OMP on (a, y) and returns the solution after
+// each of the first maxAtoms greedy support extensions: path[ℓ-1] is the
+// coefficient vector with at most ℓ atoms. The greedy path realizes the
+// "for ℓ = 1..m: x = NOMP(Ṽ, Υ)" loop of Algorithm 1 in one pass.
+func NOMPPath(a *linalg.Matrix, y linalg.Vector, maxAtoms int) []linalg.Vector {
+	n := a.Cols
+	if maxAtoms > n {
+		maxAtoms = n
+	}
+	if maxAtoms > a.Rows {
+		// The NNLS subproblem needs at least as many rows as support
+		// columns; larger supports cannot improve an exact fit anyway.
+		maxAtoms = a.Rows
+	}
+	sparse := newSparseColumns(a)
+	corr := linalg.NewVector(n)
+	path := make([]linalg.Vector, 0, maxAtoms)
+	support := []int{}
+	inSupport := make([]bool, n)
+	x := linalg.NewVector(n)
+	resid := y.Clone()
+	const tol = 1e-10
+	for len(path) < maxAtoms {
+		// Greedy atom: maximum positive correlation with the residual.
+		sparse.correlations(resid, corr)
+		best, bestC := -1, tol
+		for j := 0; j < n; j++ {
+			if !inSupport[j] && corr[j] > bestC {
+				best, bestC = j, corr[j]
+			}
+		}
+		if best < 0 {
+			// No atom improves the fit; replicate the last solution for
+			// the remaining budgets so callers still get m entries.
+			for len(path) < maxAtoms {
+				path = append(path, x.Clone())
+			}
+			break
+		}
+		support = append(support, best)
+		inSupport[best] = true
+
+		sub := a.SelectColumns(support)
+		z, err := linalg.NNLS(sub, y)
+		if err != nil && z == nil {
+			// Unrecoverable; keep the previous iterate.
+			path = append(path, x.Clone())
+			continue
+		}
+		// Install coefficients; evict zeroed atoms from the support.
+		x = linalg.NewVector(n)
+		live := support[:0]
+		for k, j := range support {
+			if z[k] > tol {
+				x[j] = z[k]
+				live = append(live, j)
+			} else {
+				inSupport[j] = false
+			}
+		}
+		support = live
+		resid = y.Sub(a.MulVec(x))
+		path = append(path, x.Clone())
+	}
+	return path
+}
+
+// Round converts a continuous coefficient vector x into an integer
+// multiplicity vector ν minimizing ‖ν/‖ν‖₁ − x/‖x‖₁‖₁ subject to νᵢ ≤
+// counts[i] and ‖ν‖₁ ≤ maxTotal (Algorithm 1, line 8). It searches every
+// total T = 1..maxTotal with largest-remainder apportionment and returns the
+// best ν, or nil when x is identically zero.
+func Round(x linalg.Vector, counts []int, maxTotal int) []int {
+	u := x.Normalized()
+	if u.Norm1() == 0 {
+		return nil
+	}
+	capacity := 0
+	for _, c := range counts {
+		capacity += c
+	}
+	var best []int
+	bestDist := math.Inf(1)
+	for total := 1; total <= maxTotal && total <= capacity; total++ {
+		nu := apportion(u, counts, total)
+		if nu == nil {
+			continue
+		}
+		d := roundingDistance(nu, u, total)
+		if d < bestDist-1e-15 {
+			bestDist = d
+			best = nu
+		}
+	}
+	return best
+}
+
+// RoundCandidates returns one apportionment per feasible total T = 1..
+// maxTotal. Solve evaluates each with the exact objective, which subsumes
+// Round's L1 criterion: the L1-closest candidate is always in the pool, and
+// the true objective — not the relaxation — picks the winner.
+func RoundCandidates(x linalg.Vector, counts []int, maxTotal int) [][]int {
+	u := x.Normalized()
+	if u.Norm1() == 0 {
+		return nil
+	}
+	capacity := 0
+	for _, c := range counts {
+		capacity += c
+	}
+	var out [][]int
+	for total := 1; total <= maxTotal && total <= capacity; total++ {
+		if nu := apportion(u, counts, total); nu != nil {
+			out = append(out, nu)
+		}
+	}
+	return out
+}
+
+// RoundTopK is the naive alternative rounding used by the rounding-strategy
+// ablation: take the T columns with the largest continuous coefficients
+// (one unit each, ignoring proportionality). Comparing Solve against
+// SolveWithRounding(RoundTopK) quantifies what the largest-remainder
+// apportionment of Algorithm 1 buys.
+func RoundTopK(x linalg.Vector, counts []int, maxTotal int) [][]int {
+	type pair struct {
+		j int
+		v float64
+	}
+	var ps []pair
+	for j, v := range x {
+		if v > 0 && counts[j] > 0 {
+			ps = append(ps, pair{j, v})
+		}
+	}
+	if len(ps) == 0 {
+		return nil
+	}
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].v != ps[b].v {
+			return ps[a].v > ps[b].v
+		}
+		return ps[a].j < ps[b].j
+	})
+	var out [][]int
+	for total := 1; total <= maxTotal && total <= len(ps); total++ {
+		nu := make([]int, len(x))
+		for _, p := range ps[:total] {
+			nu[p.j] = 1
+		}
+		out = append(out, nu)
+	}
+	return out
+}
+
+// Rounding produces candidate integer multiplicity vectors from a
+// continuous NOMP iterate.
+type Rounding func(x linalg.Vector, counts []int, maxTotal int) [][]int
+
+// SolveWithRounding is Solve with a pluggable rounding strategy (see
+// RoundCandidates and RoundTopK).
+func SolveWithRounding(a *linalg.Matrix, y linalg.Vector, m int, round Rounding, eval func(selected []int) float64) ([]int, float64) {
+	if a.Cols == 0 || m <= 0 {
+		return nil, math.Inf(1)
+	}
+	unique, counts, members := Dedup(a)
+	path := NOMPPath(unique, y, m)
+	var best []int
+	bestObj := math.Inf(1)
+	seen := map[string]bool{}
+	for _, x := range path {
+		for _, nu := range round(x, counts, m) {
+			sel := Expand(nu, members)
+			key := selectionKey(sel)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if obj := eval(sel); obj < bestObj {
+				bestObj = obj
+				best = sel
+			}
+		}
+	}
+	return best, bestObj
+}
+
+// apportion distributes total units over entries proportionally to u with
+// per-entry caps, using the largest-remainder method.
+func apportion(u linalg.Vector, counts []int, total int) []int {
+	n := len(u)
+	nu := make([]int, n)
+	type frac struct {
+		idx int
+		rem float64
+	}
+	rems := make([]frac, 0, n)
+	assigned := 0
+	for i := 0; i < n; i++ {
+		ideal := u[i] * float64(total)
+		f := int(math.Floor(ideal + 1e-12))
+		if f > counts[i] {
+			f = counts[i]
+		}
+		nu[i] = f
+		assigned += f
+		if f < counts[i] {
+			rems = append(rems, frac{i, ideal - float64(f)})
+		}
+	}
+	if assigned > total {
+		// Over-assignment can only come from the floor of an exact ideal
+		// exceeding the remaining budget; shave the smallest ideals.
+		type ent struct {
+			idx   int
+			ideal float64
+		}
+		var es []ent
+		for i := 0; i < n; i++ {
+			if nu[i] > 0 {
+				es = append(es, ent{i, u[i] * float64(total)})
+			}
+		}
+		sort.Slice(es, func(a, b int) bool { return es[a].ideal < es[b].ideal })
+		for _, e := range es {
+			for assigned > total && nu[e.idx] > 0 {
+				nu[e.idx]--
+				assigned--
+			}
+		}
+	}
+	// Distribute the remainder by largest fractional part (stable on ties
+	// by index for determinism).
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].rem != rems[b].rem {
+			return rems[a].rem > rems[b].rem
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for _, r := range rems {
+		if assigned == total {
+			break
+		}
+		room := counts[r.idx] - nu[r.idx]
+		take := total - assigned
+		if take > room {
+			take = room
+		}
+		// Largest remainder normally adds one unit; allow more when the
+		// cap structure leaves no other entries with room.
+		if take > 1 {
+			take = 1
+		}
+		nu[r.idx] += take
+		assigned += take
+	}
+	// Second pass if still short (caps exhausted the 1-unit round).
+	for pass := 0; assigned < total && pass < total; pass++ {
+		progress := false
+		for _, r := range rems {
+			if assigned == total {
+				break
+			}
+			if nu[r.idx] < counts[r.idx] {
+				nu[r.idx]++
+				assigned++
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	if assigned != total {
+		return nil
+	}
+	return nu
+}
+
+func roundingDistance(nu []int, u linalg.Vector, total int) float64 {
+	var d float64
+	for i := range nu {
+		d += math.Abs(float64(nu[i])/float64(total) - u[i])
+	}
+	return d
+}
+
+// Solve runs the full Integer-Regression pipeline: deduplicate the columns
+// of a, walk the NOMP path for sparsity budgets 1..m, round each continuous
+// iterate, expand multiplicities back to original column indices, score each
+// candidate with eval (the exact combinatorial objective; smaller is
+// better), and return the best selection with its objective. It returns
+// (nil, +Inf) when no non-empty candidate exists.
+func Solve(a *linalg.Matrix, y linalg.Vector, m int, eval func(selected []int) float64) ([]int, float64) {
+	return SolveWithRounding(a, y, m, RoundCandidates, eval)
+}
+
+// Expand maps a multiplicity vector over unique columns back to original
+// column indices (Algorithm 1, line 9): for each unique column i, the first
+// ν[i] of its member columns are selected.
+func Expand(nu []int, members [][]int) []int {
+	var out []int
+	for i, k := range nu {
+		for t := 0; t < k && t < len(members[i]); t++ {
+			out = append(out, members[i][t])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func selectionKey(sel []int) string {
+	b := make([]byte, 0, 4*len(sel))
+	for _, s := range sel {
+		b = append(b, byte(s), byte(s>>8), byte(s>>16), ',')
+	}
+	return string(b)
+}

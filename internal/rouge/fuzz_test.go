@@ -1,0 +1,51 @@
+package rouge
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+func FuzzTokenize(f *testing.F) {
+	f.Add("The battery, lasts ALL day!")
+	f.Add("")
+	f.Add("日本語 mixed ascii 123")
+	f.Add("a.b,c;d:e")
+	f.Fuzz(func(t *testing.T, text string) {
+		tokens := Tokenize(text)
+		for _, tok := range tokens {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("token %q contains separator rune %q", tok, r)
+				}
+			}
+			// Lowercasing is idempotent (some symbols like U+03D4 have no
+			// lowercase mapping and legitimately survive as-is).
+			if low := strings.ToLower(tok); low != tok {
+				t.Fatalf("token %q not in lowercase normal form (%q)", tok, low)
+			}
+		}
+	})
+}
+
+func FuzzCompare(f *testing.F) {
+	f.Add("the cat sat", "the cat ate")
+	f.Add("", "x")
+	f.Add("a a a", "a")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		r := Compare(a, b)
+		rr := Compare(b, a)
+		for _, s := range []Score{r.R1, r.R2, r.RL, rr.R1, rr.R2, rr.RL} {
+			if s.F1 < 0 || s.F1 > 1+1e-9 || s.Precision < 0 || s.Precision > 1+1e-9 || s.Recall < 0 || s.Recall > 1+1e-9 {
+				t.Fatalf("score out of range: %+v", s)
+			}
+		}
+		// F1 is symmetric under swapping candidate and reference.
+		if d := r.R1.F1 - rr.R1.F1; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("R1 F1 asymmetric: %v vs %v", r.R1.F1, rr.R1.F1)
+		}
+	})
+}

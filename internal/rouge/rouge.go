@@ -1,0 +1,144 @@
+// Package rouge implements the ROUGE text-similarity metrics (Lin & Hovy
+// 2003) used by the paper's review-alignment evaluation (§4.1.3): ROUGE-1
+// (unigrams), ROUGE-2 (bigrams) and ROUGE-L (longest common subsequence),
+// each reported as precision/recall/F1. Scores range in [0, 1]; the paper
+// prints them ×100.
+package rouge
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Score holds precision, recall and their harmonic mean for one metric.
+type Score struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Result bundles the three ROUGE variants for a candidate/reference pair.
+type Result struct {
+	R1 Score // unigram overlap
+	R2 Score // bigram overlap
+	RL Score // longest common subsequence
+}
+
+// Tokenize lowercases the text and splits it into alphanumeric word tokens;
+// punctuation separates tokens and is dropped.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Compare scores candidate against reference text.
+func Compare(candidate, reference string) Result {
+	return CompareTokens(Tokenize(candidate), Tokenize(reference))
+}
+
+// CompareTokens scores pre-tokenized candidate and reference sequences.
+func CompareTokens(cand, ref []string) Result {
+	return Result{
+		R1: ngramScore(cand, ref, 1),
+		R2: ngramScore(cand, ref, 2),
+		RL: lcsScore(cand, ref),
+	}
+}
+
+// ngramScore computes clipped n-gram overlap precision/recall/F1.
+func ngramScore(cand, ref []string, n int) Score {
+	cgrams := ngramCounts(cand, n)
+	rgrams := ngramCounts(ref, n)
+	ctotal := len(cand) - n + 1
+	rtotal := len(ref) - n + 1
+	if ctotal <= 0 || rtotal <= 0 {
+		return Score{}
+	}
+	match := 0
+	for g, c := range cgrams {
+		if r, ok := rgrams[g]; ok {
+			if r < c {
+				match += r
+			} else {
+				match += c
+			}
+		}
+	}
+	return f1(float64(match)/float64(ctotal), float64(match)/float64(rtotal))
+}
+
+func ngramCounts(tokens []string, n int) map[string]int {
+	counts := map[string]int{}
+	for i := 0; i+n <= len(tokens); i++ {
+		counts[strings.Join(tokens[i:i+n], "\x1f")]++
+	}
+	return counts
+}
+
+// lcsScore computes ROUGE-L from the longest common subsequence length.
+func lcsScore(cand, ref []string) Score {
+	if len(cand) == 0 || len(ref) == 0 {
+		return Score{}
+	}
+	l := lcsLength(cand, ref)
+	return f1(float64(l)/float64(len(cand)), float64(l)/float64(len(ref)))
+}
+
+// lcsLength computes |LCS(a, b)| with a two-row dynamic program.
+func lcsLength(a, b []string) int {
+	if len(b) < len(a) {
+		a, b = b, a // keep the row buffer on the shorter sequence
+	}
+	prev := make([]int, len(a)+1)
+	cur := make([]int, len(a)+1)
+	for i := 1; i <= len(b); i++ {
+		for j := 1; j <= len(a); j++ {
+			switch {
+			case b[i-1] == a[j-1]:
+				cur[j] = prev[j-1] + 1
+			case prev[j] >= cur[j-1]:
+				cur[j] = prev[j]
+			default:
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(a)]
+}
+
+func f1(p, r float64) Score {
+	s := Score{Precision: p, Recall: r}
+	if p+r > 0 {
+		s.F1 = 2 * p * r / (p + r)
+	}
+	return s
+}
+
+// Average returns the componentwise mean of results; an empty slice yields
+// the zero Result.
+func Average(results []Result) Result {
+	if len(results) == 0 {
+		return Result{}
+	}
+	var sum Result
+	for _, r := range results {
+		sum.R1 = addScore(sum.R1, r.R1)
+		sum.R2 = addScore(sum.R2, r.R2)
+		sum.RL = addScore(sum.RL, r.RL)
+	}
+	n := float64(len(results))
+	sum.R1 = divScore(sum.R1, n)
+	sum.R2 = divScore(sum.R2, n)
+	sum.RL = divScore(sum.RL, n)
+	return sum
+}
+
+func addScore(a, b Score) Score {
+	return Score{a.Precision + b.Precision, a.Recall + b.Recall, a.F1 + b.F1}
+}
+
+func divScore(a Score, n float64) Score {
+	return Score{a.Precision / n, a.Recall / n, a.F1 / n}
+}

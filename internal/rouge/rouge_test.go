@@ -1,0 +1,171 @@
+package rouge
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("The charger, works GREAT!  5/5 stars...")
+	want := []string{"the", "charger", "works", "great", "5", "5", "stars"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v", got)
+	}
+	if toks := Tokenize(""); len(toks) != 0 {
+		t.Errorf("empty Tokenize = %v", toks)
+	}
+}
+
+func TestIdenticalTextsScoreOne(t *testing.T) {
+	r := Compare("the battery lasts all day", "the battery lasts all day")
+	for name, s := range map[string]Score{"R1": r.R1, "R2": r.R2, "RL": r.RL} {
+		if !close(s.F1, 1) || !close(s.Precision, 1) || !close(s.Recall, 1) {
+			t.Errorf("%s = %+v, want all 1", name, s)
+		}
+	}
+}
+
+func TestDisjointTextsScoreZero(t *testing.T) {
+	r := Compare("alpha beta gamma", "delta epsilon zeta")
+	if r.R1.F1 != 0 || r.R2.F1 != 0 || r.RL.F1 != 0 {
+		t.Errorf("disjoint = %+v", r)
+	}
+}
+
+func TestRouge1HandComputed(t *testing.T) {
+	// cand: "the cat sat" (3 unigrams), ref: "the cat ate fish" (4).
+	// Overlap = {the, cat} = 2. P = 2/3, R = 2/4, F1 = 2*PR/(P+R) = 4/7.
+	r := Compare("the cat sat", "the cat ate fish")
+	if !close(r.R1.Precision, 2.0/3) || !close(r.R1.Recall, 0.5) || !close(r.R1.F1, 4.0/7) {
+		t.Errorf("R1 = %+v", r.R1)
+	}
+}
+
+func TestRouge2HandComputed(t *testing.T) {
+	// cand bigrams: {the cat, cat sat}; ref bigrams: {the cat, cat ate,
+	// ate fish}. Overlap = 1. P = 1/2, R = 1/3, F1 = 2/5.
+	r := Compare("the cat sat", "the cat ate fish")
+	if !close(r.R2.Precision, 0.5) || !close(r.R2.Recall, 1.0/3) || !close(r.R2.F1, 0.4) {
+		t.Errorf("R2 = %+v", r.R2)
+	}
+}
+
+func TestRougeLHandComputed(t *testing.T) {
+	// LCS("the cat sat on mat", "the dog sat on the mat") = "the sat on
+	// mat" → 4. P = 4/5, R = 4/6, F1 = 2*(4/5)(2/3)/(4/5+2/3) = 8/11.
+	r := Compare("the cat sat on mat", "the dog sat on the mat")
+	if !close(r.RL.Precision, 0.8) || !close(r.RL.Recall, 2.0/3) || !close(r.RL.F1, 8.0/11) {
+		t.Errorf("RL = %+v", r.RL)
+	}
+}
+
+func TestClippedCounts(t *testing.T) {
+	// Candidate repeats "good" 3×, reference has it once: clipped match=1.
+	r := Compare("good good good", "good product")
+	if !close(r.R1.Precision, 1.0/3) || !close(r.R1.Recall, 0.5) {
+		t.Errorf("R1 = %+v", r.R1)
+	}
+}
+
+func TestShortTextsBigramEdge(t *testing.T) {
+	// A single-token text has no bigrams; R2 must be zero, not NaN.
+	r := Compare("battery", "battery")
+	if r.R2.F1 != 0 {
+		t.Errorf("R2 = %+v", r.R2)
+	}
+	if !close(r.R1.F1, 1) {
+		t.Errorf("R1 = %+v", r.R1)
+	}
+}
+
+func TestEmptyTexts(t *testing.T) {
+	r := Compare("", "something here")
+	if r.R1.F1 != 0 || r.RL.F1 != 0 {
+		t.Errorf("empty candidate = %+v", r)
+	}
+	r = Compare("something", "")
+	if r.R1.F1 != 0 || r.RL.F1 != 0 {
+		t.Errorf("empty reference = %+v", r)
+	}
+}
+
+func TestLCSLength(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want int
+	}{
+		{[]string{"a", "b", "c"}, []string{"a", "c"}, 2},
+		{[]string{"a", "b", "c"}, []string{"c", "b", "a"}, 1},
+		{[]string{"x"}, []string{"y"}, 0},
+		{nil, []string{"y"}, 0},
+		{[]string{"a", "b", "a", "b"}, []string{"b", "a", "b", "a"}, 3},
+	}
+	for _, c := range cases {
+		if got := lcsLength(c.a, c.b); got != c.want {
+			t.Errorf("lcs(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := lcsLength(c.b, c.a); got != c.want {
+			t.Errorf("lcs not symmetric on (%v, %v)", c.a, c.b)
+		}
+	}
+}
+
+func TestAverage(t *testing.T) {
+	a := Result{R1: Score{F1: 0.2}, RL: Score{F1: 0.4}}
+	b := Result{R1: Score{F1: 0.4}, RL: Score{F1: 0.8}}
+	avg := Average([]Result{a, b})
+	if !close(avg.R1.F1, 0.3) || !close(avg.RL.F1, 0.6) {
+		t.Errorf("avg = %+v", avg)
+	}
+	if z := Average(nil); z.R1.F1 != 0 {
+		t.Errorf("empty avg = %+v", z)
+	}
+}
+
+// Properties: all scores in [0,1]; F1 between min and max of P and R;
+// F1 symmetric in the two texts.
+func TestRougeProperties(t *testing.T) {
+	words := []string{"battery", "lens", "great", "bad", "price", "the", "a"}
+	f := func(ai, bi [6]uint8) bool {
+		var a, b []string
+		for i := 0; i < 6; i++ {
+			a = append(a, words[int(ai[i])%len(words)])
+			b = append(b, words[int(bi[i])%len(words)])
+		}
+		r := CompareTokens(a, b)
+		rr := CompareTokens(b, a)
+		for _, s := range []Score{r.R1, r.R2, r.RL} {
+			if s.F1 < 0 || s.F1 > 1+1e-12 || s.Precision < 0 || s.Precision > 1+1e-12 {
+				return false
+			}
+		}
+		// Swapping texts swaps P and R but preserves F1.
+		return close(r.R1.F1, rr.R1.F1) && close(r.R2.F1, rr.R2.F1) && close(r.RL.F1, rr.RL.F1) &&
+			close(r.R1.Precision, rr.R1.Recall)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// ROUGE-L F1 must never exceed ROUGE-1 F1: the LCS is an order-constrained
+// matching while unigram overlap is unconstrained.
+func TestRougeLBoundedByRouge1(t *testing.T) {
+	words := []string{"x", "y", "z", "w"}
+	f := func(ai, bi [8]uint8) bool {
+		var a, b []string
+		for i := range ai {
+			a = append(a, words[int(ai[i])%len(words)])
+			b = append(b, words[int(bi[i])%len(words)])
+		}
+		r := CompareTokens(a, b)
+		return r.RL.F1 <= r.R1.F1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,339 @@
+// Package service exposes comparative review selection as an HTTP JSON API
+// — the shape a storefront backend would deploy: load (or synthesize)
+// corpora at startup, then answer per-target selection and shortlist
+// queries, which are independent and served concurrently (§4.1.1).
+//
+// Endpoints:
+//
+//	GET  /healthz                     liveness probe
+//	GET  /api/v1/categories           loaded corpus names + stats
+//	GET  /api/v1/targets?category=X   qualifying target product IDs
+//	POST /api/v1/select               select review sets (+ optional shortlist)
+//	POST /api/v1/extract              aspect-sentiment extraction for raw text
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"comparesets/internal/aspectex"
+	"comparesets/internal/core"
+	"comparesets/internal/dataset"
+	"comparesets/internal/explain"
+	"comparesets/internal/lexicon"
+	"comparesets/internal/metrics"
+	"comparesets/internal/model"
+	"comparesets/internal/simgraph"
+	"comparesets/internal/summarize"
+)
+
+// Server serves the selection API over a set of loaded corpora.
+type Server struct {
+	mu      sync.RWMutex
+	corpora map[string]*model.Corpus
+	started time.Time
+	logger  *log.Logger
+}
+
+// New creates a server over the given corpora (keyed by category name).
+func New(corpora map[string]*model.Corpus, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.Default()
+	}
+	s := &Server{corpora: map[string]*model.Corpus{}, started: time.Now(), logger: logger}
+	for name, c := range corpora {
+		s.corpora[name] = c
+	}
+	return s
+}
+
+// AddCorpus registers (or replaces) a corpus at runtime.
+func (s *Server) AddCorpus(name string, c *model.Corpus) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.corpora[name] = c
+}
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /api/v1/categories", s.handleCategories)
+	mux.HandleFunc("GET /api/v1/targets", s.handleTargets)
+	mux.HandleFunc("POST /api/v1/select", s.handleSelect)
+	mux.HandleFunc("POST /api/v1/extract", s.handleExtract)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.started).String(),
+	})
+}
+
+// CategoryInfo is one row of the categories listing.
+type CategoryInfo struct {
+	Name     string `json:"name"`
+	Products int    `json:"products"`
+	Reviews  int    `json:"reviews"`
+	Targets  int    `json:"targets"`
+}
+
+func (s *Server) handleCategories(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []CategoryInfo
+	for name, c := range s.corpora {
+		st := dataset.Compute(c)
+		out = append(out, CategoryInfo{
+			Name: name, Products: st.Products, Reviews: st.Reviews, Targets: st.TargetProducts,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
+	category := r.URL.Query().Get("category")
+	s.mu.RLock()
+	c, ok := s.corpora[category]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown category %q", category))
+		return
+	}
+	writeJSON(w, http.StatusOK, dataset.TargetIDs(c))
+}
+
+// SelectRequest is the /api/v1/select request body.
+type SelectRequest struct {
+	// Category + Target reference a loaded corpus...
+	Category string `json:"category,omitempty"`
+	Target   string `json:"target,omitempty"`
+	// ...or Items + Aspects supply an inline instance (Items[0] = target).
+	Aspects []string      `json:"aspects,omitempty"`
+	Items   []*model.Item `json:"items,omitempty"`
+
+	// Algorithm defaults to "CompaReSetS+".
+	Algorithm string  `json:"algorithm,omitempty"`
+	M         int     `json:"m"`
+	Lambda    float64 `json:"lambda"`
+	Mu        float64 `json:"mu"`
+	// MaxComparative truncates the also-bought list (0 = full).
+	MaxComparative int `json:"max_comparative,omitempty"`
+	// K > 0 additionally shortlists with the given method
+	// ("exact", "greedy", "topk", "random"; default "greedy").
+	K      int    `json:"k,omitempty"`
+	Method string `json:"method,omitempty"`
+	// Summarize > 0 adds up to that many extracted summary sentences per
+	// item; Explain > 0 adds up to that many comparative explanation
+	// lines.
+	Summarize int `json:"summarize,omitempty"`
+	Explain   int `json:"explain,omitempty"`
+	// Metrics requests the §5.1 selection-quality scores in the response.
+	Metrics bool `json:"metrics,omitempty"`
+}
+
+// SelectedReview is one chosen review in the response.
+type SelectedReview struct {
+	ID     string `json:"id"`
+	Rating int    `json:"rating"`
+	Text   string `json:"text"`
+}
+
+// SelectedItem is one item with its selected reviews.
+type SelectedItem struct {
+	ID       string           `json:"id"`
+	Title    string           `json:"title"`
+	IsTarget bool             `json:"is_target"`
+	Reviews  []SelectedReview `json:"reviews"`
+	// Summary holds extracted summary sentences when requested.
+	Summary []string `json:"summary,omitempty"`
+}
+
+// SelectResponse is the /api/v1/select response body.
+type SelectResponse struct {
+	Algorithm string         `json:"algorithm"`
+	Objective float64        `json:"objective"`
+	Items     []SelectedItem `json:"items"`
+	// Shortlist holds instance positions when K > 0.
+	Shortlist       []int   `json:"shortlist,omitempty"`
+	ShortlistWeight float64 `json:"shortlist_weight,omitempty"`
+	// Explanations holds comparative explanation lines when requested.
+	Explanations []string `json:"explanations,omitempty"`
+	// Metrics holds the §5.1 quality scores when requested.
+	Metrics   *metrics.InstanceMetrics `json:"metrics,omitempty"`
+	ElapsedMS float64                  `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req SelectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	inst, status, err := s.resolveInstance(&req)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "CompaReSetS+"
+	}
+	sel, ok := core.SelectorByName(req.Algorithm)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm))
+		return
+	}
+	cfg := core.Config{M: req.M, Lambda: req.Lambda, Mu: req.Mu}
+	start := time.Now()
+	selection, err := sel.Select(inst, cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := SelectResponse{
+		Algorithm: sel.Name(),
+		Objective: selection.Objective,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	sets := selection.Reviews(inst)
+	for i, it := range inst.Items {
+		item := SelectedItem{ID: it.ID, Title: it.Title, IsTarget: i == 0}
+		for _, rv := range sets[i] {
+			item.Reviews = append(item.Reviews, SelectedReview{ID: rv.ID, Rating: rv.Rating, Text: rv.Text})
+		}
+		if req.Summarize > 0 {
+			item.Summary = summarize.Reviews(sets[i], summarize.Options{MaxSentences: req.Summarize})
+		}
+		resp.Items = append(resp.Items, item)
+	}
+	if req.Explain > 0 {
+		resp.Explanations = explain.Lines(explain.Compare(inst, selection), req.Explain)
+	}
+	if req.Metrics {
+		m := metrics.EvaluateSelection(inst, selection)
+		resp.Metrics = &m
+	}
+	if req.K > 0 {
+		method := req.Method
+		if method == "" {
+			method = "greedy"
+		}
+		solver, err := solverFor(method)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		tg := core.NewTargets(inst, cfg)
+		g := simgraph.Build(core.Stats(inst, tg, cfg, selection), cfg)
+		res := solver.Solve(g, req.K)
+		resp.Shortlist = res.Members
+		resp.ShortlistWeight = res.Weight
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func solverFor(method string) (simgraph.Solver, error) {
+	switch method {
+	case "exact", "ilp":
+		return simgraph.Exact{Budget: 10 * time.Second}, nil
+	case "greedy":
+		return simgraph.Greedy{}, nil
+	case "topk":
+		return simgraph.TopK{}, nil
+	case "random":
+		return simgraph.RandomShortlist{}, nil
+	default:
+		return nil, fmt.Errorf("unknown shortlist method %q", method)
+	}
+}
+
+// resolveInstance builds the problem instance from either a corpus
+// reference or the inline items.
+func (s *Server) resolveInstance(req *SelectRequest) (*model.Instance, int, error) {
+	switch {
+	case req.Category != "" && req.Target != "":
+		s.mu.RLock()
+		c, ok := s.corpora[req.Category]
+		s.mu.RUnlock()
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("unknown category %q", req.Category)
+		}
+		inst, err := c.NewInstance(req.Target, req.MaxComparative)
+		if err != nil {
+			return nil, http.StatusNotFound, err
+		}
+		return inst, 0, nil
+	case len(req.Items) > 0:
+		if len(req.Aspects) == 0 {
+			return nil, http.StatusBadRequest, errors.New("inline instances need a non-empty aspects list")
+		}
+		inst := &model.Instance{Aspects: model.NewVocabulary(req.Aspects), Items: req.Items}
+		if err := inst.Validate(); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		return inst, 0, nil
+	default:
+		return nil, http.StatusBadRequest, errors.New("provide either category+target or inline items")
+	}
+}
+
+// ExtractRequest is the /api/v1/extract request body.
+type ExtractRequest struct {
+	Category string `json:"category"`
+	Text     string `json:"text"`
+}
+
+// ExtractResponse is the /api/v1/extract response body.
+type ExtractResponse struct {
+	Mentions []MentionJSON `json:"mentions"`
+}
+
+// MentionJSON is one extracted mention with a resolved aspect name.
+type MentionJSON struct {
+	Aspect   int     `json:"aspect"`
+	Name     string  `json:"name"`
+	Polarity string  `json:"polarity"`
+	Score    float64 `json:"score"`
+}
+
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	var req ExtractRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	cat, ok := lexicon.CategoryByName(req.Category)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown category %q", req.Category))
+		return
+	}
+	var resp ExtractResponse
+	for _, m := range aspectex.New(cat).Extract(req.Text) {
+		resp.Mentions = append(resp.Mentions, MentionJSON{
+			Aspect:   m.Aspect,
+			Name:     cat.Aspects[m.Aspect].Name,
+			Polarity: m.Polarity.String(),
+			Score:    m.Score,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,363 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"comparesets/internal/datagen"
+	"comparesets/internal/dataset"
+	"comparesets/internal/lexicon"
+	"comparesets/internal/model"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	c, err := datagen.Generate(datagen.Config{
+		Category: lexicon.Cellphone, Products: 30, Reviewers: 60,
+		MeanReviews: 8, MeanAlsoBought: 5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(map[string]*model.Corpus{"Cellphone": c}, nil)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func post(t *testing.T, url string, payload any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Errorf("status %d body %s", resp.StatusCode, body)
+	}
+}
+
+func TestCategories(t *testing.T) {
+	_, ts := testServer(t)
+	resp, body := get(t, ts.URL+"/api/v1/categories")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var infos []CategoryInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "Cellphone" || infos[0].Products != 30 {
+		t.Errorf("infos = %+v", infos)
+	}
+}
+
+func TestTargets(t *testing.T) {
+	_, ts := testServer(t)
+	resp, body := get(t, ts.URL+"/api/v1/targets?category=Cellphone")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	var ids []string
+	if err := json.Unmarshal(body, &ids); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 {
+		t.Error("no targets")
+	}
+	resp, _ = get(t, ts.URL+"/api/v1/targets?category=Nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d for unknown category", resp.StatusCode)
+	}
+}
+
+func TestSelectCorpusReference(t *testing.T) {
+	s, ts := testServer(t)
+	s.mu.RLock()
+	targets := dataset.TargetIDs(s.corpora["Cellphone"])
+	s.mu.RUnlock()
+	req := SelectRequest{
+		Category: "Cellphone", Target: targets[0],
+		M: 3, Lambda: 1, Mu: 0.1, K: 3, Method: "exact",
+	}
+	resp, body := post(t, ts.URL+"/api/v1/select", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	var out SelectResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Algorithm != "CompaReSetS+" {
+		t.Errorf("algorithm = %s", out.Algorithm)
+	}
+	if len(out.Items) < 3 || !out.Items[0].IsTarget {
+		t.Errorf("items = %+v", out.Items)
+	}
+	for _, it := range out.Items {
+		if len(it.Reviews) > 3 {
+			t.Errorf("item %s has %d reviews", it.ID, len(it.Reviews))
+		}
+	}
+	if len(out.Shortlist) != 3 || out.Shortlist[0] != 0 {
+		t.Errorf("shortlist = %v", out.Shortlist)
+	}
+}
+
+func TestSelectInlineInstance(t *testing.T) {
+	_, ts := testServer(t)
+	mention := func(a int, pol model.Polarity) model.Mention {
+		return model.Mention{Aspect: a, Polarity: pol, Score: 1}
+	}
+	req := SelectRequest{
+		Aspects: []string{"battery", "screen"},
+		Items: []*model.Item{
+			{ID: "t", Title: "Target", Reviews: []*model.Review{
+				{ID: "r1", Mentions: []model.Mention{mention(0, model.Positive)}},
+				{ID: "r2", Mentions: []model.Mention{mention(1, model.Negative)}},
+			}},
+			{ID: "c", Title: "Comp", Reviews: []*model.Review{
+				{ID: "r3", Mentions: []model.Mention{mention(0, model.Negative)}},
+			}},
+		},
+		Algorithm: "CompaReSetS", M: 1, Lambda: 1,
+	}
+	resp, body := post(t, ts.URL+"/api/v1/select", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	var out SelectResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 2 || len(out.Items[0].Reviews) != 1 {
+		t.Errorf("out = %+v", out)
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		name   string
+		req    SelectRequest
+		status int
+	}{
+		{"missing everything", SelectRequest{M: 3}, http.StatusBadRequest},
+		{"unknown category", SelectRequest{Category: "X", Target: "y", M: 3}, http.StatusNotFound},
+		{"unknown target", SelectRequest{Category: "Cellphone", Target: "zzz", M: 3}, http.StatusNotFound},
+		{"bad algorithm", SelectRequest{
+			Aspects: []string{"a"}, Items: []*model.Item{{ID: "t"}},
+			Algorithm: "Magic", M: 3,
+		}, http.StatusBadRequest},
+		{"bad m", SelectRequest{
+			Aspects: []string{"a"}, Items: []*model.Item{{ID: "t"}}, M: 0,
+		}, http.StatusBadRequest},
+		{"inline without aspects", SelectRequest{
+			Items: []*model.Item{{ID: "t"}}, M: 3,
+		}, http.StatusBadRequest},
+		{"bad shortlist method", SelectRequest{
+			Aspects: []string{"a"}, Items: []*model.Item{{ID: "t"}},
+			M: 3, Lambda: 1, K: 1, Method: "psychic",
+		}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := post(t, ts.URL+"/api/v1/select", c.req)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d (want %d), body %s", c.name, resp.StatusCode, c.status, body)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/api/v1/select", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", resp.StatusCode)
+	}
+}
+
+func TestExtract(t *testing.T) {
+	_, ts := testServer(t)
+	req := ExtractRequest{Category: "Cellphone", Text: "the battery lasts all day, great endurance. the cable frayed within weeks, very cheap."}
+	resp, body := post(t, ts.URL+"/api/v1/extract", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	var out ExtractResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Mentions) != 2 {
+		t.Fatalf("mentions = %+v", out.Mentions)
+	}
+	byName := map[string]string{}
+	for _, m := range out.Mentions {
+		byName[m.Name] = m.Polarity
+	}
+	if byName["battery"] != "+" || byName["cable"] != "-" {
+		t.Errorf("mentions = %+v", out.Mentions)
+	}
+	resp, _ = post(t, ts.URL+"/api/v1/extract", ExtractRequest{Category: "Nope", Text: "x"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown category: status %d", resp.StatusCode)
+	}
+}
+
+func TestSelectWithSummaryAndExplanations(t *testing.T) {
+	s, ts := testServer(t)
+	s.mu.RLock()
+	targets := dataset.TargetIDs(s.corpora["Cellphone"])
+	s.mu.RUnlock()
+	req := SelectRequest{
+		Category: "Cellphone", Target: targets[0],
+		M: 3, Lambda: 1, Mu: 0.1,
+		Summarize: 1, Explain: 4,
+	}
+	resp, body := post(t, ts.URL+"/api/v1/select", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	var out SelectResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	summaries := 0
+	for _, it := range out.Items {
+		if len(it.Summary) > 1 {
+			t.Errorf("item %s summary too long: %v", it.ID, it.Summary)
+		}
+		summaries += len(it.Summary)
+	}
+	if summaries == 0 {
+		t.Error("no summaries returned")
+	}
+	if len(out.Explanations) == 0 || len(out.Explanations) > 4 {
+		t.Errorf("explanations = %v", out.Explanations)
+	}
+}
+
+func TestSelectWithMetrics(t *testing.T) {
+	s, ts := testServer(t)
+	s.mu.RLock()
+	targets := dataset.TargetIDs(s.corpora["Cellphone"])
+	s.mu.RUnlock()
+	req := SelectRequest{
+		Category: "Cellphone", Target: targets[0],
+		M: 3, Lambda: 1, Mu: 0.1, Metrics: true,
+	}
+	resp, body := post(t, ts.URL+"/api/v1/select", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	var out SelectResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Metrics == nil {
+		t.Fatal("metrics missing")
+	}
+	if out.Metrics.AspectCoverage <= 0 || out.Metrics.AspectCoverage > 1 {
+		t.Errorf("aspect coverage = %v", out.Metrics.AspectCoverage)
+	}
+	// Without the flag, metrics stay absent.
+	req.Metrics = false
+	_, body = post(t, ts.URL+"/api/v1/select", req)
+	var out2 SelectResponse
+	if err := json.Unmarshal(body, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Metrics != nil {
+		t.Error("metrics present without request")
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/api/v1/select")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET select: status %d", resp.StatusCode)
+	}
+}
+
+func TestAddCorpusAtRuntime(t *testing.T) {
+	s, ts := testServer(t)
+	c, err := datagen.Generate(datagen.Config{
+		Category: lexicon.Toy, Products: 10, Reviewers: 20,
+		MeanReviews: 5, MeanAlsoBought: 3, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddCorpus("Toy", c)
+	resp, body := get(t, ts.URL+"/api/v1/categories")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "Toy") {
+		t.Errorf("categories after add: %s", body)
+	}
+}
+
+func TestConcurrentSelects(t *testing.T) {
+	// Per-target queries are independent; hammer the endpoint in parallel.
+	s, ts := testServer(t)
+	s.mu.RLock()
+	targets := dataset.TargetIDs(s.corpora["Cellphone"])
+	s.mu.RUnlock()
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(i int) {
+			req := SelectRequest{
+				Category: "Cellphone", Target: targets[i%len(targets)],
+				M: 2, Lambda: 1, Mu: 0.1,
+			}
+			resp, body := post(t, ts.URL+"/api/v1/select", req)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			errs <- nil
+		}(i)
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}

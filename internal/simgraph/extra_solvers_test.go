@@ -1,0 +1,133 @@
+package simgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomGraph(rng *rand.Rand, n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.SetWeight(i, j, rng.Float64()*10)
+		}
+	}
+	return g
+}
+
+func TestGreedyRemovalBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(10)
+		g := randomGraph(rng, n)
+		k := 1 + rng.Intn(n)
+		res := (GreedyRemoval{}).Solve(g, k)
+		if len(res.Members) != k {
+			t.Fatalf("|members| = %d, want %d", len(res.Members), k)
+		}
+		if res.Members[0] != 0 {
+			t.Fatalf("target missing: %v", res.Members)
+		}
+		if math.Abs(res.Weight-g.SubsetWeight(res.Members)) > 1e-9 {
+			t.Fatalf("weight %v != recomputed %v", res.Weight, g.SubsetWeight(res.Members))
+		}
+	}
+}
+
+func TestGreedyRemovalOnFigure4(t *testing.T) {
+	g := figure4Graph()
+	res := (GreedyRemoval{}).Solve(g, 3)
+	// Removal keeps the target and the densest companions; its weight must
+	// be within the optimum and at least the random baseline's expected
+	// range.
+	if res.Weight > 25.4+1e-9 {
+		t.Errorf("weight %v exceeds optimum", res.Weight)
+	}
+	if res.Members[0] != 0 {
+		t.Errorf("members = %v", res.Members)
+	}
+}
+
+func TestLocalSearchNeverWorseThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	improved := 0
+	for trial := 0; trial < 60; trial++ {
+		n := 6 + rng.Intn(12)
+		g := randomGraph(rng, n)
+		k := 3 + rng.Intn(4)
+		if k > n {
+			k = n
+		}
+		greedy := (Greedy{}).Solve(g, k)
+		ls := (LocalSearch{}).Solve(g, k)
+		if ls.Weight < greedy.Weight-1e-9 {
+			t.Fatalf("trial %d: local search %v worse than its greedy seed %v", trial, ls.Weight, greedy.Weight)
+		}
+		if ls.Weight > greedy.Weight+1e-9 {
+			improved++
+		}
+		exact := (Exact{}).Solve(g, k)
+		if ls.Weight > exact.Weight+1e-9 {
+			t.Fatalf("trial %d: local search %v beat the proven optimum %v", trial, ls.Weight, exact.Weight)
+		}
+		if ls.Members[0] != 0 {
+			t.Fatalf("trial %d: target missing: %v", trial, ls.Members)
+		}
+	}
+	if improved == 0 {
+		t.Log("local search never improved on greedy across 60 trials (greedy is strong on random graphs)")
+	}
+}
+
+func TestLocalSearchWeightConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(rng, 8)
+		res := (LocalSearch{MaxIterations: 3}).Solve(g, 4)
+		if math.Abs(res.Weight-g.SubsetWeight(res.Members)) > 1e-9 {
+			t.Fatalf("weight %v != recomputed %v", res.Weight, g.SubsetWeight(res.Members))
+		}
+	}
+}
+
+func TestSolverHierarchy(t *testing.T) {
+	// Exact ≥ LocalSearch ≥ Greedy; all valid; Solvers() registry covers
+	// every solver with distinct names.
+	rng := rand.New(rand.NewSource(45))
+	names := map[string]bool{}
+	for _, s := range Solvers(1) {
+		if names[s.Name()] {
+			t.Errorf("duplicate solver name %s", s.Name())
+		}
+		names[s.Name()] = true
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + rng.Intn(8)
+		g := randomGraph(rng, n)
+		k := 3
+		exact := (Exact{}).Solve(g, k)
+		for _, s := range Solvers(int64(trial)) {
+			res := s.Solve(g, k)
+			if len(res.Members) != k || res.Members[0] != 0 {
+				t.Fatalf("%s: invalid members %v", s.Name(), res.Members)
+			}
+			if res.Weight > exact.Weight+1e-9 {
+				t.Fatalf("%s: weight %v beats the optimum %v", s.Name(), res.Weight, exact.Weight)
+			}
+		}
+	}
+}
+
+func TestGreedyRemovalClampK(t *testing.T) {
+	g := figure4Graph()
+	if res := (GreedyRemoval{}).Solve(g, 0); len(res.Members) != 1 {
+		t.Errorf("k=0: %v", res.Members)
+	}
+	if res := (GreedyRemoval{}).Solve(g, 100); len(res.Members) != g.N() {
+		t.Errorf("k=100: %v", res.Members)
+	}
+	if res := (LocalSearch{}).Solve(g, 100); len(res.Members) != g.N() {
+		t.Errorf("local k=100: %v", res.Members)
+	}
+}

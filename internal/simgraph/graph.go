@@ -1,0 +1,135 @@
+// Package simgraph implements §3 of the paper: the item-similarity graph
+// induced by a CompaReSetS+ selection, and solvers for the TARGET-ORIENTED
+// HEAVIEST K-SUBGRAPH problem (TargetHkS, Problem 3) — an exact
+// branch-and-bound maximizer standing in for the paper's Gurobi ILP
+// (TargetHkS_ILP), the greedy heuristic of Algorithm 2
+// (TargetHkS_Greedy), and the Top-k-similarity and Random shortlist
+// baselines of §4.3.
+package simgraph
+
+import (
+	"fmt"
+	"math"
+
+	"comparesets/internal/core"
+)
+
+// Graph is a complete undirected weighted graph over the instance items.
+// Vertex 0 is the target item p₁. Weights are similarities (non-negative).
+type Graph struct {
+	n int
+	w [][]float64
+}
+
+// NewGraph allocates an n-vertex graph with zero weights.
+func NewGraph(n int) *Graph {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	return &Graph{n: n, w: w}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// Weight returns w_ij (0 on the diagonal).
+func (g *Graph) Weight(i, j int) float64 { return g.w[i][j] }
+
+// SetWeight assigns the symmetric weight w_ij = w_ji.
+func (g *Graph) SetWeight(i, j int, v float64) {
+	if i == j {
+		return
+	}
+	g.w[i][j] = v
+	g.w[j][i] = v
+}
+
+// FromDistances converts a symmetric distance matrix into a similarity
+// graph: w_ij = max_{i'≠j'} d_{i'j'} − d_ij (§3.1), which is non-negative.
+func FromDistances(d [][]float64) (*Graph, error) {
+	n := len(d)
+	for i := range d {
+		if len(d[i]) != n {
+			return nil, fmt.Errorf("simgraph: distance matrix row %d has length %d, want %d", i, len(d[i]), n)
+		}
+	}
+	maxd := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d[i][j] > maxd {
+				maxd = d[i][j]
+			}
+		}
+	}
+	g := NewGraph(n)
+	if n < 2 {
+		return g, nil
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.SetWeight(i, j, maxd-d[i][j])
+		}
+	}
+	return g, nil
+}
+
+// Build constructs the similarity graph of an instance from the per-item
+// statistics of a CompaReSetS+ selection, using d_ij of §3.1.
+func Build(stats []core.ItemStats, cfg core.Config) *Graph {
+	n := len(stats)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist := core.ItemDistance(stats[i], stats[j], cfg)
+			d[i][j], d[j][i] = dist, dist
+		}
+	}
+	g, _ := FromDistances(d) // square matrix by construction
+	return g
+}
+
+// SubsetWeight returns Σ_{i<j ∈ members} w_ij (Eq. 6).
+func (g *Graph) SubsetWeight(members []int) float64 {
+	var total float64
+	for a := 0; a < len(members); a++ {
+		for b := a + 1; b < len(members); b++ {
+			total += g.w[members[a]][members[b]]
+		}
+	}
+	return total
+}
+
+// Result is the outcome of a shortlist solver.
+type Result struct {
+	// Members are the selected vertices in ascending order; the target
+	// vertex 0 is always included.
+	Members []int
+	// Weight is the total edge weight of the induced subgraph (Eq. 6).
+	Weight float64
+	// Optimal reports whether the solver proved the result optimal
+	// (always true when the exact solver finishes within budget).
+	Optimal bool
+}
+
+// Solver selects k items (including the target, vertex 0) from the graph.
+type Solver interface {
+	// Name identifies the solver in experiment tables.
+	Name() string
+	// Solve returns a k-subset including vertex 0. k is clamped to
+	// [1, g.N()].
+	Solve(g *Graph, k int) Result
+}
+
+func clampK(g *Graph, k int) int {
+	if k < 1 {
+		return 1
+	}
+	if k > g.n {
+		return g.n
+	}
+	return k
+}

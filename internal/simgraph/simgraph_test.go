@@ -1,0 +1,299 @@
+package simgraph
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"comparesets/internal/core"
+	"comparesets/internal/linalg"
+)
+
+// figure4Graph reproduces the structure of Figure 4: six items where the
+// heaviest 3-subgraph containing the target p₁ is {p₁, p₄, p₆} with weight
+// 25.4 while the unconstrained heaviest 3-subgraph is {p₂, p₅, p₆} with
+// weight 26.5.
+func figure4Graph() *Graph {
+	g := NewGraph(6)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			g.SetWeight(i, j, 1)
+		}
+	}
+	g.SetWeight(0, 3, 9)
+	g.SetWeight(0, 5, 8)
+	g.SetWeight(3, 5, 8.4)
+	g.SetWeight(1, 4, 9)
+	g.SetWeight(1, 5, 8.5)
+	g.SetWeight(4, 5, 9)
+	return g
+}
+
+func bruteForce(g *Graph, k int) Result {
+	n := g.N()
+	best := Result{Weight: math.Inf(-1)}
+	var rec func(members []int, next int)
+	rec = func(members []int, next int) {
+		if len(members) == k {
+			w := g.SubsetWeight(members)
+			if w > best.Weight {
+				best = Result{Members: append([]int(nil), members...), Weight: w, Optimal: true}
+			}
+			return
+		}
+		for v := next; v < n; v++ {
+			rec(append(members, v), v+1)
+		}
+	}
+	rec([]int{0}, 1)
+	return best
+}
+
+func TestExactMatchesFigure4(t *testing.T) {
+	g := figure4Graph()
+	res := (Exact{}).Solve(g, 3)
+	if !reflect.DeepEqual(res.Members, []int{0, 3, 5}) {
+		t.Errorf("members = %v, want [0 3 5]", res.Members)
+	}
+	if math.Abs(res.Weight-25.4) > 1e-9 {
+		t.Errorf("weight = %v, want 25.4", res.Weight)
+	}
+	if !res.Optimal {
+		t.Error("unbudgeted exact solve must be optimal")
+	}
+}
+
+func TestHkSFindsUntargetedOptimum(t *testing.T) {
+	g := figure4Graph()
+	res := HkS(g, 3, 0)
+	if !reflect.DeepEqual(res.Members, []int{1, 4, 5}) {
+		t.Errorf("members = %v, want [1 4 5]", res.Members)
+	}
+	if math.Abs(res.Weight-26.5) > 1e-9 {
+		t.Errorf("weight = %v, want 26.5", res.Weight)
+	}
+}
+
+func TestExactAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(6)
+		g := NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				g.SetWeight(i, j, rng.Float64()*10)
+			}
+		}
+		k := 2 + rng.Intn(n-2)
+		want := bruteForce(g, k)
+		got := (Exact{}).Solve(g, k)
+		if math.Abs(got.Weight-want.Weight) > 1e-9 {
+			t.Fatalf("trial %d (n=%d k=%d): exact %v != brute force %v", trial, n, k, got.Weight, want.Weight)
+		}
+		if !got.Optimal {
+			t.Fatalf("trial %d: not marked optimal", trial)
+		}
+		if got.Members[0] != 0 {
+			t.Fatalf("trial %d: target not in solution: %v", trial, got.Members)
+		}
+	}
+}
+
+func TestGreedyAlwaysIncludesTargetAndIsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(10)
+		g := NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				g.SetWeight(i, j, rng.Float64()*5)
+			}
+		}
+		k := 1 + rng.Intn(n)
+		res := (Greedy{}).Solve(g, k)
+		if len(res.Members) != k {
+			t.Fatalf("trial %d: |members| = %d, want %d", trial, len(res.Members), k)
+		}
+		if res.Members[0] != 0 {
+			t.Fatalf("trial %d: target missing: %v", trial, res.Members)
+		}
+		if w := g.SubsetWeight(res.Members); math.Abs(w-res.Weight) > 1e-9 {
+			t.Fatalf("trial %d: incremental weight %v != recomputed %v", trial, res.Weight, w)
+		}
+	}
+}
+
+func TestGreedyNearOptimalOnFigure4(t *testing.T) {
+	g := figure4Graph()
+	res := (Greedy{}).Solve(g, 3)
+	// Greedy first adds p₄ (w(0,3)=9), then p₆ (1+8.4 vs alternatives) —
+	// recovering the exact optimum on this graph.
+	if !reflect.DeepEqual(res.Members, []int{0, 3, 5}) {
+		t.Errorf("members = %v", res.Members)
+	}
+}
+
+func TestTopKPicksHighestTargetSimilarity(t *testing.T) {
+	g := NewGraph(5)
+	g.SetWeight(0, 1, 5)
+	g.SetWeight(0, 2, 1)
+	g.SetWeight(0, 3, 4)
+	g.SetWeight(0, 4, 2)
+	g.SetWeight(2, 4, 100) // irrelevant to Top-k
+	res := (TopK{}).Solve(g, 3)
+	if !reflect.DeepEqual(res.Members, []int{0, 1, 3}) {
+		t.Errorf("members = %v, want [0 1 3]", res.Members)
+	}
+}
+
+func TestRandomShortlistDeterministicPerSeed(t *testing.T) {
+	g := figure4Graph()
+	a := (RandomShortlist{Seed: 1}).Solve(g, 3)
+	b := (RandomShortlist{Seed: 1}).Solve(g, 3)
+	if !reflect.DeepEqual(a.Members, b.Members) {
+		t.Error("same seed, different members")
+	}
+	if a.Members[0] != 0 {
+		t.Errorf("target missing: %v", a.Members)
+	}
+	if w := g.SubsetWeight(a.Members); math.Abs(w-a.Weight) > 1e-12 {
+		t.Errorf("weight mismatch: %v vs %v", a.Weight, w)
+	}
+}
+
+func TestSolversClampK(t *testing.T) {
+	g := figure4Graph()
+	for _, s := range []Solver{Exact{}, Greedy{}, TopK{}, RandomShortlist{}} {
+		if res := s.Solve(g, 0); len(res.Members) != 1 || res.Members[0] != 0 {
+			t.Errorf("%s k=0: %v", s.Name(), res.Members)
+		}
+		if res := s.Solve(g, 99); len(res.Members) != g.N() {
+			t.Errorf("%s k=99: %v", s.Name(), res.Members)
+		}
+	}
+}
+
+func TestExactTimeoutReturnsIncumbent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 40
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.SetWeight(i, j, rng.Float64())
+		}
+	}
+	res := (Exact{Budget: time.Nanosecond}).Solve(g, 10)
+	if len(res.Members) != 10 || res.Members[0] != 0 {
+		t.Fatalf("incumbent invalid: %v", res.Members)
+	}
+	// The greedy seed guarantees a valid incumbent even on instant timeout.
+	greedy := (Greedy{}).Solve(g, 10)
+	if res.Weight < greedy.Weight-1e-9 {
+		t.Errorf("incumbent %v worse than greedy seed %v", res.Weight, greedy.Weight)
+	}
+}
+
+func TestFromDistances(t *testing.T) {
+	d := [][]float64{
+		{0, 1, 4},
+		{1, 0, 2},
+		{4, 2, 0},
+	}
+	g, err := FromDistances(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// maxd = 4; w01 = 3, w02 = 0, w12 = 2.
+	if g.Weight(0, 1) != 3 || g.Weight(0, 2) != 0 || g.Weight(1, 2) != 2 {
+		t.Errorf("weights = %v %v %v", g.Weight(0, 1), g.Weight(0, 2), g.Weight(1, 2))
+	}
+	if g.Weight(1, 0) != 3 {
+		t.Error("graph not symmetric")
+	}
+	if g.Weight(0, 0) != 0 {
+		t.Error("diagonal not zero")
+	}
+}
+
+func TestFromDistancesRejectsRagged(t *testing.T) {
+	if _, err := FromDistances([][]float64{{0, 1}, {1}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestFromDistancesTiny(t *testing.T) {
+	g, err := FromDistances([][]float64{{0}})
+	if err != nil || g.N() != 1 {
+		t.Errorf("g = %v err = %v", g, err)
+	}
+	g, err = FromDistances(nil)
+	if err != nil || g.N() != 0 {
+		t.Errorf("empty: %v err = %v", g, err)
+	}
+}
+
+func TestBuildFromStats(t *testing.T) {
+	cfg := core.Config{M: 3, Lambda: 1, Mu: 0.5}
+	stats := []core.ItemStats{
+		{OpinionLoss: 0.1, AspectLoss: 0.2, Phi: linalg.Vector{1, 0}},
+		{OpinionLoss: 0.3, AspectLoss: 0.1, Phi: linalg.Vector{0, 1}},
+		{OpinionLoss: 0.0, AspectLoss: 0.0, Phi: linalg.Vector{1, 0}},
+	}
+	g := Build(stats, cfg)
+	if g.N() != 3 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Pair (0,2) has the smallest distance, so the largest weight; the
+	// max-distance pair gets weight 0.
+	w02 := g.Weight(0, 2)
+	w01 := g.Weight(0, 1)
+	w12 := g.Weight(1, 2)
+	if !(w02 > w01 && w02 > w12) {
+		t.Errorf("weights: w02=%v w01=%v w12=%v", w02, w01, w12)
+	}
+	min := math.Min(w01, math.Min(w02, w12))
+	if min != 0 {
+		t.Errorf("min weight = %v, want 0", min)
+	}
+}
+
+func TestSubsetWeight(t *testing.T) {
+	g := figure4Graph()
+	if w := g.SubsetWeight([]int{0, 3, 5}); math.Abs(w-25.4) > 1e-9 {
+		t.Errorf("weight = %v", w)
+	}
+	if w := g.SubsetWeight([]int{2}); w != 0 {
+		t.Errorf("singleton weight = %v", w)
+	}
+	if w := g.SubsetWeight(nil); w != 0 {
+		t.Errorf("empty weight = %v", w)
+	}
+}
+
+// Exact with every vertex as target must dominate any fixed-target solve.
+func TestHkSDominatesTargeted(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(4)
+		g := NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				g.SetWeight(i, j, rng.Float64()*3)
+			}
+		}
+		k := 3
+		hks := HkS(g, k, 0)
+		targeted := (Exact{}).Solve(g, k)
+		if hks.Weight < targeted.Weight-1e-9 {
+			t.Fatalf("trial %d: HkS %v < targeted %v", trial, hks.Weight, targeted.Weight)
+		}
+		sorted := append([]int(nil), hks.Members...)
+		sort.Ints(sorted)
+		if !reflect.DeepEqual(sorted, hks.Members) {
+			t.Fatalf("members not sorted: %v", hks.Members)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package simgraph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Exact solves TargetHkS to proven optimality by branch and bound, standing
+// in for the paper's Gurobi-based TargetHkS_ILP. A positive Budget caps the
+// wall-clock time (the paper used 60 s); on timeout the best incumbent is
+// returned with Optimal = false, matching the "#Optimal Solution" accounting
+// of Table 5.
+type Exact struct {
+	// Budget limits the search wall-clock time; zero means unlimited.
+	Budget time.Duration
+}
+
+// Name implements Solver.
+func (Exact) Name() string { return "TargetHkS_ILP" }
+
+// Solve implements Solver.
+func (e Exact) Solve(g *Graph, k int) Result {
+	k = clampK(g, k)
+	if k == 1 {
+		return Result{Members: []int{0}, Optimal: true}
+	}
+	if k == g.n {
+		all := make([]int, g.n)
+		for i := range all {
+			all[i] = i
+		}
+		return Result{Members: all, Weight: g.SubsetWeight(all), Optimal: true}
+	}
+
+	// Seed the incumbent with the greedy solution: a strong lower bound
+	// prunes most of the tree immediately.
+	greedy := (Greedy{}).Solve(g, k)
+	bb := &bbState{
+		g:        g,
+		k:        k,
+		best:     append([]int(nil), greedy.Members...),
+		bestW:    greedy.Weight,
+		deadline: time.Time{},
+	}
+	if e.Budget > 0 {
+		bb.deadline = time.Now().Add(e.Budget)
+	}
+	// Candidates ordered by similarity to the target (descending) so that
+	// promising branches are explored first.
+	cand := make([]int, 0, g.n-1)
+	for v := 1; v < g.n; v++ {
+		cand = append(cand, v)
+	}
+	sort.Slice(cand, func(a, b int) bool { return g.w[0][cand[a]] > g.w[0][cand[b]] })
+	bb.cand = cand
+	// maxEdge[v] = the heaviest edge from v to any candidate (used by the
+	// admissible completion bound).
+	bb.maxEdge = make([]float64, g.n)
+	for _, v := range cand {
+		for _, u := range cand {
+			if u != v && g.w[v][u] > bb.maxEdge[v] {
+				bb.maxEdge[v] = g.w[v][u]
+			}
+		}
+	}
+	chosen := []int{0}
+	bb.search(chosen, 0, 0)
+	sort.Ints(bb.best)
+	return Result{Members: bb.best, Weight: bb.bestW, Optimal: !bb.timedOut}
+}
+
+type bbState struct {
+	g        *Graph
+	k        int
+	cand     []int
+	maxEdge  []float64
+	best     []int
+	bestW    float64
+	deadline time.Time
+	timedOut bool
+	ticks    int
+}
+
+// search explores extensions of chosen (which always contains vertex 0)
+// starting from candidate position pos; curW is the weight of the chosen
+// subgraph.
+func (b *bbState) search(chosen []int, pos int, curW float64) {
+	if b.timedOut {
+		return
+	}
+	b.ticks++
+	if b.ticks&1023 == 0 && !b.deadline.IsZero() && time.Now().After(b.deadline) {
+		b.timedOut = true
+		return
+	}
+	if len(chosen) == b.k {
+		if curW > b.bestW {
+			b.bestW = curW
+			b.best = append(b.best[:0], chosen...)
+		}
+		return
+	}
+	need := b.k - len(chosen)
+	remaining := len(b.cand) - pos
+	if remaining < need {
+		return
+	}
+	if b.upperBound(chosen, pos, curW, need) <= b.bestW {
+		return
+	}
+	for i := pos; i <= len(b.cand)-need; i++ {
+		v := b.cand[i]
+		add := 0.0
+		for _, u := range chosen {
+			add += b.g.w[u][v]
+		}
+		b.search(append(chosen, v), i+1, curW+add)
+		if b.timedOut {
+			return
+		}
+	}
+}
+
+// upperBound returns an admissible bound on the best completion: for each
+// remaining candidate v, its contribution is at most (edges to chosen) +
+// (need−1)/2 · maxEdge[v]; summing the `need` largest such values bounds the
+// completion weight.
+func (b *bbState) upperBound(chosen []int, pos int, curW float64, need int) float64 {
+	scores := make([]float64, 0, len(b.cand)-pos)
+	for i := pos; i < len(b.cand); i++ {
+		v := b.cand[i]
+		s := float64(need-1) / 2 * b.maxEdge[v]
+		for _, u := range chosen {
+			s += b.g.w[u][v]
+		}
+		scores = append(scores, s)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	ub := curW
+	for i := 0; i < need && i < len(scores); i++ {
+		ub += scores[i]
+	}
+	return ub
+}
+
+// Greedy is Algorithm 2: start from {p₁} and repeatedly add the item that
+// maximizes the total weight of the grown subgraph.
+type Greedy struct{}
+
+// Name implements Solver.
+func (Greedy) Name() string { return "TargetHkS_Greedy" }
+
+// Solve implements Solver.
+func (Greedy) Solve(g *Graph, k int) Result {
+	k = clampK(g, k)
+	chosen := []int{0}
+	in := make([]bool, g.n)
+	in[0] = true
+	// gain[v] = Σ_{u ∈ chosen} w_uv, updated incrementally.
+	gain := make([]float64, g.n)
+	for v := 1; v < g.n; v++ {
+		gain[v] = g.w[0][v]
+	}
+	total := 0.0
+	for len(chosen) < k {
+		best, bestGain := -1, math.Inf(-1)
+		for v := 0; v < g.n; v++ {
+			if !in[v] && gain[v] > bestGain {
+				best, bestGain = v, gain[v]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		in[best] = true
+		chosen = append(chosen, best)
+		total += bestGain
+		for v := 0; v < g.n; v++ {
+			if !in[v] {
+				gain[v] += g.w[best][v]
+			}
+		}
+	}
+	sort.Ints(chosen)
+	return Result{Members: chosen, Weight: total}
+}
+
+// TopK is the Top-k-similarity baseline of §4.3.2: the k−1 items with the
+// highest similarity to the target, ignoring inter-item edges.
+type TopK struct{}
+
+// Name implements Solver.
+func (TopK) Name() string { return "Top-k similarity" }
+
+// Solve implements Solver.
+func (TopK) Solve(g *Graph, k int) Result {
+	k = clampK(g, k)
+	cand := make([]int, 0, g.n-1)
+	for v := 1; v < g.n; v++ {
+		cand = append(cand, v)
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		if g.w[0][cand[a]] != g.w[0][cand[b]] {
+			return g.w[0][cand[a]] > g.w[0][cand[b]]
+		}
+		return cand[a] < cand[b]
+	})
+	members := append([]int{0}, cand[:k-1]...)
+	sort.Ints(members)
+	return Result{Members: members, Weight: g.SubsetWeight(members)}
+}
+
+// RandomShortlist keeps the target and samples k−1 comparative items
+// uniformly (§4.3.1's Random baseline).
+type RandomShortlist struct {
+	// Seed fixes the sampling; identical seeds yield identical shortlists.
+	Seed int64
+}
+
+// Name implements Solver.
+func (RandomShortlist) Name() string { return "Random" }
+
+// Solve implements Solver.
+func (r RandomShortlist) Solve(g *Graph, k int) Result {
+	k = clampK(g, k)
+	rng := rand.New(rand.NewSource(r.Seed))
+	perm := rng.Perm(g.n - 1)
+	members := []int{0}
+	for _, p := range perm[:k-1] {
+		members = append(members, p+1)
+	}
+	sort.Ints(members)
+	return Result{Members: members, Weight: g.SubsetWeight(members)}
+}
+
+// HkS solves the plain (untargeted) heaviest k-subgraph problem by sweeping
+// TargetHkS with every vertex as the target (§3.1's observation) and keeping
+// the heaviest result.
+func HkS(g *Graph, k int, budget time.Duration) Result {
+	best := Result{Weight: math.Inf(-1)}
+	for v := 0; v < g.N(); v++ {
+		rot := rotate(g, v)
+		res := (Exact{Budget: budget}).Solve(rot, k)
+		// Map members back to original vertex ids.
+		mapped := make([]int, len(res.Members))
+		for i, m := range res.Members {
+			mapped[i] = unrotateVertex(m, v)
+		}
+		sort.Ints(mapped)
+		if res.Weight > best.Weight {
+			best = Result{Members: mapped, Weight: res.Weight, Optimal: res.Optimal}
+		} else if !res.Optimal {
+			best.Optimal = false
+		}
+	}
+	return best
+}
+
+// rotate returns a copy of g with vertex v relabelled as 0 (swap relabelling
+// v <-> 0).
+func rotate(g *Graph, v int) *Graph {
+	out := NewGraph(g.n)
+	for i := 0; i < g.n; i++ {
+		for j := i + 1; j < g.n; j++ {
+			out.SetWeight(swap(i, v), swap(j, v), g.w[i][j])
+		}
+	}
+	return out
+}
+
+func swap(i, v int) int {
+	switch i {
+	case 0:
+		return v
+	case v:
+		return 0
+	default:
+		return i
+	}
+}
+
+func unrotateVertex(i, v int) int { return swap(i, v) }

@@ -1,0 +1,34 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"comparesets/internal/stats"
+)
+
+// ExamplePairedTTest tests whether a method's per-instance scores improve
+// significantly over a baseline (the Table 3 significance stars).
+func ExamplePairedTTest() {
+	method := []float64{0.22, 0.25, 0.23, 0.26, 0.24, 0.27, 0.25, 0.23}
+	baseline := []float64{0.20, 0.22, 0.21, 0.23, 0.22, 0.24, 0.22, 0.21}
+	res, _ := stats.PairedTTest(method, baseline)
+	fmt.Printf("significant at 0.05: %v\n", res.Significant(0.05))
+	// Output:
+	// significant at 0.05: true
+}
+
+// ExampleKrippendorffAlpha measures inter-annotator agreement for Likert
+// ratings with missing values (Table 7's reliability column).
+func ExampleKrippendorffAlpha() {
+	nan := func() float64 { var z float64; return z / z } // NaN marks missing
+	ratings := [][]float64{
+		{4, 4, nan()},
+		{2, 2, 2},
+		{5, nan(), 5},
+		{3, 3, 4},
+	}
+	alpha, _ := stats.KrippendorffAlpha(ratings)
+	fmt.Printf("alpha = %.2f\n", alpha)
+	// Output:
+	// alpha = 0.93
+}

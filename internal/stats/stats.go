@@ -1,0 +1,257 @@
+// Package stats provides the statistical machinery of the evaluation: the
+// paired two-sided t-test behind Table 3's significance stars (p < 0.05),
+// Krippendorff's alpha-reliability for the user study (Table 7), and the
+// descriptive statistics used throughout, all on the standard library
+// (regularized incomplete beta function included).
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n−1 denominator); slices
+// shorter than 2 yield 0.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Errors returned by the tests below.
+var (
+	ErrLengthMismatch = errors.New("stats: paired samples differ in length")
+	ErrTooFewSamples  = errors.New("stats: need at least two pairs")
+)
+
+// TTestResult is the outcome of a paired t-test.
+type TTestResult struct {
+	T  float64 // t statistic
+	DF float64 // degrees of freedom (n − 1)
+	P  float64 // two-sided p-value
+}
+
+// Significant reports whether the difference is significant at level alpha
+// (the paper uses 0.05).
+func (r TTestResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// PairedTTest runs a two-sided paired t-test on equal-length samples x, y.
+// Identical samples (zero variance of differences) yield T=0, P=1.
+func PairedTTest(x, y []float64) (TTestResult, error) {
+	if len(x) != len(y) {
+		return TTestResult{}, ErrLengthMismatch
+	}
+	n := len(x)
+	if n < 2 {
+		return TTestResult{}, ErrTooFewSamples
+	}
+	d := make([]float64, n)
+	for i := range x {
+		d[i] = x[i] - y[i]
+	}
+	md := Mean(d)
+	sd := StdDev(d)
+	df := float64(n - 1)
+	if sd == 0 {
+		if md == 0 {
+			return TTestResult{T: 0, DF: df, P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(md)), DF: df, P: 0}, nil
+	}
+	t := md / (sd / math.Sqrt(float64(n)))
+	p := 2 * studentTTail(math.Abs(t), df)
+	if p > 1 {
+		p = 1
+	}
+	return TTestResult{T: t, DF: df, P: p}, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// studentTTail returns P(T > t) for t ≥ 0 under a Student t distribution
+// with df degrees of freedom.
+func studentTTail(t, df float64) float64 {
+	if t < 0 {
+		return 1 - studentTTail(-t, df)
+	}
+	x := df / (df + t*t)
+	return 0.5 * RegIncBeta(df/2, 0.5, x)
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// via the Lentz continued-fraction expansion (Numerical Recipes §6.4).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// KrippendorffAlpha computes Krippendorff's alpha-reliability with the
+// interval difference metric δ²(c,k) = (c−k)², appropriate for Likert
+// ratings. ratings[u][o] is observer o's rating of unit u; math.NaN() marks
+// a missing rating. Units with fewer than two ratings are ignored. It
+// returns an error when no pairable values exist or expected disagreement is
+// zero with observed disagreement also zero (alpha undefined → 1 by
+// convention is NOT assumed; callers get ErrNoVariation).
+func KrippendorffAlpha(ratings [][]float64) (float64, error) {
+	// Gather pairable values per unit.
+	type unit struct{ vals []float64 }
+	var units []unit
+	for _, row := range ratings {
+		var vals []float64
+		for _, v := range row {
+			if !math.IsNaN(v) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) >= 2 {
+			units = append(units, unit{vals})
+		}
+	}
+	if len(units) == 0 {
+		return 0, ErrNoPairableValues
+	}
+	// Observed disagreement via pairwise differences weighted 1/(m_u − 1),
+	// and marginal totals for expected disagreement.
+	var (
+		n      float64
+		do     float64
+		values []float64
+		counts []float64
+	)
+	idx := map[float64]int{}
+	addCount := func(v, w float64) {
+		i, ok := idx[v]
+		if !ok {
+			i = len(values)
+			idx[v] = i
+			values = append(values, v)
+			counts = append(counts, 0)
+		}
+		counts[i] += w
+	}
+	for _, u := range units {
+		m := float64(len(u.vals))
+		n += m
+		for _, v := range u.vals {
+			addCount(v, 1)
+		}
+		for i := 0; i < len(u.vals); i++ {
+			for j := 0; j < len(u.vals); j++ {
+				if i == j {
+					continue
+				}
+				d := u.vals[i] - u.vals[j]
+				do += d * d / (m - 1)
+			}
+		}
+	}
+	var de float64
+	for i := range values {
+		for j := range values {
+			if i == j {
+				continue
+			}
+			d := values[i] - values[j]
+			de += counts[i] * counts[j] * d * d
+		}
+	}
+	if de == 0 {
+		return 0, ErrNoVariation
+	}
+	do /= n
+	de /= n * (n - 1)
+	return 1 - do/de, nil
+}
+
+// Errors returned by KrippendorffAlpha.
+var (
+	ErrNoPairableValues = errors.New("stats: no unit has two or more ratings")
+	ErrNoVariation      = errors.New("stats: ratings have no variation; alpha undefined")
+)

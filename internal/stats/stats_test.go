@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !near(got, 5, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	// Sample variance with n−1: Σ(x−5)² = 32, 32/7.
+	if got := Variance(xs); !near(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v", got)
+	}
+	if got := StdDev(xs); !near(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("empty/singleton cases wrong")
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); !near(got, x, 1e-10) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(2,2) = x²(3−2x).
+	for _, x := range []float64{0.25, 0.5, 0.75} {
+		want := x * x * (3 - 2*x)
+		if got := RegIncBeta(2, 2, x); !near(got, want, 1e-10) {
+			t.Errorf("I_%v(2,2) = %v, want %v", x, got, want)
+		}
+	}
+	// Boundaries.
+	if RegIncBeta(3, 4, 0) != 0 || RegIncBeta(3, 4, 1) != 1 {
+		t.Error("boundary values wrong")
+	}
+	// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+	if got := RegIncBeta(2.5, 3.5, 0.3) + RegIncBeta(3.5, 2.5, 0.7); !near(got, 1, 1e-10) {
+		t.Errorf("symmetry sum = %v", got)
+	}
+}
+
+func TestStudentTTailAgainstTables(t *testing.T) {
+	// Critical values: P(T > 2.776) = 0.025 at df=4; P(T > 1.812) = 0.05
+	// at df=10; P(T > 2.228) = 0.025 at df=10.
+	cases := []struct{ t, df, want float64 }{
+		{2.776, 4, 0.025},
+		{1.812, 10, 0.05},
+		{2.228, 10, 0.025},
+		{0, 7, 0.5},
+	}
+	for _, c := range cases {
+		if got := studentTTail(c.t, c.df); !near(got, c.want, 2e-4) {
+			t.Errorf("tail(%v, %v) = %v, want %v", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestPairedTTestDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 40
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		base := rng.NormFloat64()
+		x[i] = base + 0.5 // consistent +0.5 shift
+		y[i] = base + rng.NormFloat64()*0.1
+	}
+	res, err := PairedTTest(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.05) {
+		t.Errorf("shift not detected: %+v", res)
+	}
+	if res.T <= 0 {
+		t.Errorf("T = %v, want > 0", res.T)
+	}
+}
+
+func TestPairedTTestNullCase(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	// Identical samples: p = 1.
+	same := make([]float64, 10)
+	for i := range same {
+		same[i] = rng.Float64()
+	}
+	res, err := PairedTTest(same, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.T != 0 {
+		t.Errorf("identical samples: %+v", res)
+	}
+}
+
+func TestPairedTTestConstantShiftZeroVariance(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{0, 1, 2} // d ≡ 1, sd = 0
+	res, err := PairedTTest(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.T, 1) || res.P != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestPairedTTestErrors(t *testing.T) {
+	if _, err := PairedTTest([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := PairedTTest([]float64{1}, []float64{2}); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPairedTTestPValueCalibration(t *testing.T) {
+	// Under the null, p-values should be roughly uniform: check that the
+	// rejection rate at 0.05 is near 5%.
+	rng := rand.New(rand.NewSource(77))
+	trials, rejected := 2000, 0
+	for trial := 0; trial < trials; trial++ {
+		n := 12
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		res, err := PairedTTest(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Significant(0.05) {
+			rejected++
+		}
+	}
+	rate := float64(rejected) / float64(trials)
+	if rate < 0.02 || rate > 0.09 {
+		t.Errorf("null rejection rate = %v, want ≈ 0.05", rate)
+	}
+}
+
+func nan() float64 { return math.NaN() }
+
+func TestKrippendorffPerfectAgreement(t *testing.T) {
+	ratings := [][]float64{
+		{1, 1, 1},
+		{3, 3, 3},
+		{5, 5, 5},
+	}
+	a, err := KrippendorffAlpha(ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(a, 1, 1e-12) {
+		t.Errorf("alpha = %v, want 1", a)
+	}
+}
+
+func TestKrippendorffKnownExample(t *testing.T) {
+	// Krippendorff (2011) binary example: two observers, ten units.
+	ratings := [][]float64{
+		{0, 0}, {1, 1}, {0, 1}, {0, 0}, {0, 0},
+		{0, 0}, {0, 0}, {0, 1}, {1, 0}, {0, 0},
+	}
+	a, err := KrippendorffAlpha(ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand computation: D_o = 0.3, n = 20, counts: 15 zeros, 5 ones,
+	// D_e = 2·15·5/(20·19) = 0.39473..., alpha = 1 − 0.3/0.394736 ≈ 0.24.
+	if !near(a, 1-0.3/(2.0*15*5/(20.0*19)), 1e-9) {
+		t.Errorf("alpha = %v", a)
+	}
+}
+
+func TestKrippendorffHandlesMissing(t *testing.T) {
+	ratings := [][]float64{
+		{1, 1, nan()},
+		{2, nan(), 2},
+		{nan(), 4, 4},
+		{5, nan(), nan()}, // single rating: ignored
+	}
+	a, err := KrippendorffAlpha(ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(a, 1, 1e-12) {
+		t.Errorf("alpha = %v, want 1 (all pairable ratings agree)", a)
+	}
+}
+
+func TestKrippendorffSystematicDisagreementNegative(t *testing.T) {
+	// Observers systematically disagree within units while the overall
+	// value distribution is balanced: alpha < 0.
+	ratings := [][]float64{
+		{1, 5}, {5, 1}, {1, 5}, {5, 1},
+	}
+	a, err := KrippendorffAlpha(ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a >= 0 {
+		t.Errorf("alpha = %v, want negative", a)
+	}
+}
+
+func TestKrippendorffErrors(t *testing.T) {
+	if _, err := KrippendorffAlpha([][]float64{{1, nan()}, {nan(), 2}}); !errors.Is(err, ErrNoPairableValues) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := KrippendorffAlpha([][]float64{{2, 2}, {2, 2}}); !errors.Is(err, ErrNoVariation) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestKrippendorffOrderingMatchesReliability(t *testing.T) {
+	// More annotator noise must lower alpha (shape of Table 7).
+	rng := rand.New(rand.NewSource(5))
+	gen := func(noise float64) float64 {
+		ratings := make([][]float64, 50)
+		for u := range ratings {
+			truth := float64(1 + rng.Intn(5))
+			row := make([]float64, 5)
+			for o := range row {
+				v := truth + rng.NormFloat64()*noise
+				row[o] = math.Round(math.Min(5, math.Max(1, v)))
+			}
+			ratings[u] = row
+		}
+		a, err := KrippendorffAlpha(ratings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	low, high := gen(0.3), gen(3.0)
+	if low <= high {
+		t.Errorf("alpha(low noise)=%v should exceed alpha(high noise)=%v", low, high)
+	}
+}

@@ -1,0 +1,64 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "bench.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(review(fmt.Sprintf("r%d", i), fmt.Sprintf("p%d", i%50), i%5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkItemReviews(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "bench.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 1000; i++ {
+		s.Append(review(fmt.Sprintf("r%d", i), fmt.Sprintf("p%d", i%50), i%5))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ItemReviews(fmt.Sprintf("p%d", i%50)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpenReindex(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.log")
+	s, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		s.Append(review(fmt.Sprintf("r%d", i), fmt.Sprintf("p%d", i%100), i%8))
+	}
+	s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re, err := Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if re.Count() != 2000 {
+			b.Fatal("bad count")
+		}
+		re.Close()
+	}
+}

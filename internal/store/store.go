@@ -1,0 +1,302 @@
+// Package store is a disk-backed review store: an append-only, CRC-checked
+// record log with in-memory item and aspect indexes rebuilt on open. At the
+// paper's corpus scale (hundreds of thousands of reviews per category,
+// Table 2) instances are assembled per target product on demand; the store
+// provides exactly that access path — fetch one item's reviews, or the IDs
+// of items discussing an aspect — without holding review text for a whole
+// category in memory as JSON.
+//
+// Layout: a single segment file of length-prefixed records
+//
+//	[4-byte big-endian payload length][4-byte CRC32 (Castagnoli)][payload]
+//
+// where each payload is one JSON-encoded review. Writes are appended and
+// the index is updated atomically under the store lock; a torn tail (e.g.
+// from a crash mid-append) is detected on open and truncated away, keeping
+// every record before it.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"comparesets/internal/model"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors returned by the store.
+var (
+	ErrClosed        = errors.New("store: closed")
+	ErrCorruptRecord = errors.New("store: corrupt record")
+)
+
+const headerSize = 8 // 4-byte length + 4-byte CRC
+
+// MaxRecordSize bounds a single review payload (1 MiB is orders of
+// magnitude above any real review) so a corrupt length prefix cannot force
+// a giant allocation.
+const MaxRecordSize = 1 << 20
+
+// Store is an open review store.
+type Store struct {
+	mu   sync.RWMutex
+	f    *os.File
+	path string
+	size int64 // valid bytes (end of last good record)
+
+	// indexes
+	byItem   map[string][]int64 // item ID -> record offsets
+	byAspect map[int][]string   // aspect -> item IDs (deduplicated)
+	count    int
+	closed   bool
+}
+
+// Open opens (or creates) a store at path, scanning existing records to
+// rebuild the indexes. A torn or corrupt tail is truncated; fully corrupt
+// interior records abort with ErrCorruptRecord.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		f:        f,
+		path:     path,
+		byItem:   map[string][]int64{},
+		byAspect: map[int][]string{},
+	}
+	if err := s.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// scan replays the log, indexing every intact record and truncating a torn
+// tail.
+func (s *Store) scan() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	fileSize := info.Size()
+	r := bufio.NewReader(io.NewSectionReader(s.f, 0, fileSize))
+	var offset int64
+	aspectSeen := map[int]map[string]bool{}
+	for {
+		var header [headerSize]byte
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			// Torn header: truncate tail.
+			break
+		}
+		length := binary.BigEndian.Uint32(header[:4])
+		sum := binary.BigEndian.Uint32(header[4:8])
+		if length == 0 || length > MaxRecordSize {
+			break // corrupt length: treat as torn tail
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			break // bit rot or torn write at the tail
+		}
+		var rec model.Review
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("%w at offset %d: %v", ErrCorruptRecord, offset, err)
+		}
+		s.index(&rec, offset, aspectSeen)
+		offset += headerSize + int64(length)
+	}
+	s.size = offset
+	if offset < fileSize {
+		if err := s.f.Truncate(offset); err != nil {
+			return fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+func (s *Store) index(rec *model.Review, offset int64, aspectSeen map[int]map[string]bool) {
+	s.byItem[rec.ItemID] = append(s.byItem[rec.ItemID], offset)
+	s.count++
+	for _, a := range rec.AspectSet() {
+		seen := aspectSeen[a]
+		if seen == nil {
+			seen = map[string]bool{}
+			aspectSeen[a] = seen
+		}
+		if !seen[rec.ItemID] {
+			seen[rec.ItemID] = true
+			s.byAspect[a] = append(s.byAspect[a], rec.ItemID)
+		}
+	}
+}
+
+// Append writes a review to the log and indexes it. The record is durable
+// in the OS buffer after return; call Sync for fsync semantics.
+func (s *Store) Append(rec *model.Review) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding review %q: %w", rec.ID, err)
+	}
+	if len(payload) > MaxRecordSize {
+		return fmt.Errorf("store: review %q exceeds max record size", rec.ID)
+	}
+	var header [headerSize]byte
+	binary.BigEndian.PutUint32(header[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(header[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := s.f.WriteAt(header[:], s.size); err != nil {
+		return err
+	}
+	if _, err := s.f.WriteAt(payload, s.size+headerSize); err != nil {
+		return err
+	}
+	offset := s.size
+	s.size += headerSize + int64(len(payload))
+	// Update indexes (aspect dedup against the existing posting list).
+	s.byItem[rec.ItemID] = append(s.byItem[rec.ItemID], offset)
+	s.count++
+	for _, a := range rec.AspectSet() {
+		if !containsString(s.byAspect[a], rec.ItemID) {
+			s.byAspect[a] = append(s.byAspect[a], rec.ItemID)
+		}
+	}
+	return nil
+}
+
+func containsString(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AppendCorpus bulk-loads every review of the corpus.
+func (s *Store) AppendCorpus(c *model.Corpus) error {
+	for _, id := range c.ItemIDs() {
+		for _, r := range c.Items[id].Reviews {
+			if err := s.Append(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ItemReviews fetches all reviews of an item, in append order.
+func (s *Store) ItemReviews(itemID string) ([]*model.Review, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	offsets := s.byItem[itemID]
+	out := make([]*model.Review, 0, len(offsets))
+	for _, off := range offsets {
+		rec, err := s.readAt(off)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// readAt decodes one record at the given offset (caller holds the lock).
+func (s *Store) readAt(offset int64) (*model.Review, error) {
+	var header [headerSize]byte
+	if _, err := s.f.ReadAt(header[:], offset); err != nil {
+		return nil, fmt.Errorf("%w: header at %d: %v", ErrCorruptRecord, offset, err)
+	}
+	length := binary.BigEndian.Uint32(header[:4])
+	sum := binary.BigEndian.Uint32(header[4:8])
+	if length == 0 || length > MaxRecordSize {
+		return nil, fmt.Errorf("%w: bad length %d at %d", ErrCorruptRecord, length, offset)
+	}
+	payload := make([]byte, length)
+	if _, err := s.f.ReadAt(payload, offset+headerSize); err != nil {
+		return nil, fmt.Errorf("%w: payload at %d: %v", ErrCorruptRecord, offset, err)
+	}
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch at %d", ErrCorruptRecord, offset)
+	}
+	var rec model.Review
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, fmt.Errorf("%w: decode at %d: %v", ErrCorruptRecord, offset, err)
+	}
+	return &rec, nil
+}
+
+// ItemsWithAspect returns the sorted IDs of items whose reviews mention the
+// aspect.
+func (s *Store) ItemsWithAspect(aspect int) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := append([]string(nil), s.byAspect[aspect]...)
+	sort.Strings(out)
+	return out
+}
+
+// Items returns the sorted item IDs present in the store.
+func (s *Store) Items() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byItem))
+	for id := range s.byItem {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the number of stored reviews.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// Sync fsyncs the underlying file.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.f.Sync()
+}
+
+// Close syncs and closes the store. Further calls return ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

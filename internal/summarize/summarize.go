@@ -1,0 +1,157 @@
+// Package summarize provides extractive summarization of selected review
+// sets — the follow-on the paper sketches in §4.6.1 ("this can be further
+// addressed using text summarization methods") for when even m selected
+// reviews are too much to read. It is a TextRank-style centrality ranker:
+// sentences form a graph weighted by unigram-overlap similarity, a power
+// iteration scores centrality, and the top sentences are emitted in their
+// original order with near-duplicates suppressed.
+package summarize
+
+import (
+	"sort"
+	"strings"
+
+	"comparesets/internal/model"
+	"comparesets/internal/rouge"
+)
+
+// Options tunes the summarizer.
+type Options struct {
+	// MaxSentences caps the summary length (default 3).
+	MaxSentences int
+	// Damping is the PageRank damping factor (default 0.85).
+	Damping float64
+	// Iterations bounds the power iteration (default 30).
+	Iterations int
+	// DedupeThreshold drops a candidate whose ROUGE-1 F1 similarity to an
+	// already-kept sentence is at or above it (default 0.6).
+	DedupeThreshold float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSentences == 0 {
+		o.MaxSentences = 3
+	}
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 30
+	}
+	if o.DedupeThreshold == 0 {
+		o.DedupeThreshold = 0.6
+	}
+	return o
+}
+
+// Reviews summarizes a set of reviews (typically one item's selected set
+// Sᵢ) into at most MaxSentences sentences.
+func Reviews(reviews []*model.Review, opts Options) []string {
+	var texts []string
+	for _, r := range reviews {
+		texts = append(texts, r.Text)
+	}
+	return Texts(texts, opts)
+}
+
+// Texts summarizes raw texts.
+func Texts(texts []string, opts Options) []string {
+	opts = opts.withDefaults()
+	type sentence struct {
+		text   string
+		tokens []string
+		order  int
+	}
+	var sentences []sentence
+	for _, t := range texts {
+		for _, raw := range strings.Split(t, ".") {
+			s := strings.TrimSpace(raw)
+			toks := rouge.Tokenize(s)
+			if len(toks) < 3 {
+				continue // fragments carry no summary value
+			}
+			sentences = append(sentences, sentence{text: s, tokens: toks, order: len(sentences)})
+		}
+	}
+	n := len(sentences)
+	if n == 0 {
+		return nil
+	}
+	if n <= opts.MaxSentences {
+		out := make([]string, n)
+		for i, s := range sentences {
+			out[i] = s.text
+		}
+		return out
+	}
+
+	// Similarity graph (ROUGE-1 F1 between sentences).
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := rouge.CompareTokens(sentences[i].tokens, sentences[j].tokens).R1.F1
+			sim[i][j], sim[j][i] = s, s
+		}
+	}
+	// Power iteration.
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	outSum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			outSum[i] += sim[i][j]
+		}
+	}
+	for it := 0; it < opts.Iterations; it++ {
+		for i := 0; i < n; i++ {
+			var acc float64
+			for j := 0; j < n; j++ {
+				if i != j && outSum[j] > 0 {
+					acc += sim[j][i] / outSum[j] * rank[j]
+				}
+			}
+			next[i] = (1-opts.Damping)/float64(n) + opts.Damping*acc
+		}
+		rank, next = next, rank
+	}
+
+	// Rank, dedupe, restore document order.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if rank[order[a]] != rank[order[b]] {
+			return rank[order[a]] > rank[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	var kept []int
+	for _, cand := range order {
+		if len(kept) == opts.MaxSentences {
+			break
+		}
+		dup := false
+		for _, k := range kept {
+			if rouge.CompareTokens(sentences[cand].tokens, sentences[k].tokens).R1.F1 >= opts.DedupeThreshold {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			kept = append(kept, cand)
+		}
+	}
+	sort.Ints(kept)
+	out := make([]string, len(kept))
+	for i, k := range kept {
+		out[i] = sentences[k].text
+	}
+	return out
+}

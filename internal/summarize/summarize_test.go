@@ -1,0 +1,102 @@
+package summarize
+
+import (
+	"strings"
+	"testing"
+
+	"comparesets/internal/model"
+)
+
+func TestTextsPicksCentralSentences(t *testing.T) {
+	texts := []string{
+		"the battery lasts all day. the battery life is excellent. great battery endurance overall.",
+		"shipping box was dented.",
+		"battery performance is excellent for the price.",
+	}
+	got := Texts(texts, Options{MaxSentences: 2})
+	if len(got) != 2 {
+		t.Fatalf("got %d sentences: %v", len(got), got)
+	}
+	// The battery theme dominates the similarity graph; the outlier
+	// shipping sentence must not be chosen.
+	for _, s := range got {
+		if strings.Contains(s, "shipping") {
+			t.Errorf("outlier sentence selected: %q", s)
+		}
+	}
+}
+
+func TestTextsDeduplicates(t *testing.T) {
+	texts := []string{
+		"the battery lasts all day long",
+		"the battery lasts all day long",
+		"the battery lasts all day long",
+		"the screen is crisp and bright always",
+	}
+	got := Texts(texts, Options{MaxSentences: 3})
+	for i := 0; i < len(got); i++ {
+		for j := i + 1; j < len(got); j++ {
+			if got[i] == got[j] {
+				t.Errorf("duplicate sentence kept: %q", got[i])
+			}
+		}
+	}
+}
+
+func TestTextsShortInputPassThrough(t *testing.T) {
+	got := Texts([]string{"the battery lasts all day"}, Options{MaxSentences: 3})
+	if len(got) != 1 || got[0] != "the battery lasts all day" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestTextsEmpty(t *testing.T) {
+	if got := Texts(nil, Options{}); got != nil {
+		t.Errorf("got %v", got)
+	}
+	if got := Texts([]string{"", "a b"}, Options{}); got != nil {
+		t.Errorf("fragments kept: %v", got)
+	}
+}
+
+func TestTextsPreservesDocumentOrder(t *testing.T) {
+	texts := []string{
+		"alpha beta gamma delta. alpha beta gamma extra. unrelated words entirely here. alpha beta gamma closing.",
+	}
+	got := Texts(texts, Options{MaxSentences: 2, DedupeThreshold: 0.99})
+	for i := 1; i < len(got); i++ {
+		// Output follows input order; each summary sentence must appear
+		// after the previous one in the source.
+		prev := strings.Index(texts[0], got[i-1])
+		cur := strings.Index(texts[0], got[i])
+		if prev < 0 || cur < 0 || cur < prev {
+			t.Errorf("order not preserved: %v", got)
+		}
+	}
+}
+
+func TestReviewsWrapper(t *testing.T) {
+	reviews := []*model.Review{
+		{Text: "the battery lasts all day. the battery is excellent."},
+		{Text: "battery life is excellent and reliable."},
+	}
+	got := Reviews(reviews, Options{MaxSentences: 1})
+	if len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if !strings.Contains(got[0], "battery") {
+		t.Errorf("summary %q misses the theme", got[0])
+	}
+}
+
+func TestMaxSentencesRespected(t *testing.T) {
+	var texts []string
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for i := 0; i < 10; i++ {
+		texts = append(texts, words[i%6]+" "+words[(i+1)%6]+" "+words[(i+2)%6]+" tail"+string(rune('a'+i)))
+	}
+	got := Texts(texts, Options{MaxSentences: 4})
+	if len(got) > 4 {
+		t.Errorf("got %d sentences", len(got))
+	}
+}

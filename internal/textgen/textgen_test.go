@@ -1,0 +1,114 @@
+package textgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"comparesets/internal/lexicon"
+	"comparesets/internal/model"
+	"comparesets/internal/rouge"
+)
+
+func TestSentenceContainsSurface(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cat := lexicon.Cellphone
+	for a := range cat.Aspects {
+		for _, pol := range []model.Polarity{model.Positive, model.Negative, model.Neutral} {
+			s := Sentence(cat, model.Mention{Aspect: a, Polarity: pol}, rng)
+			found := false
+			for _, surf := range cat.Aspects[a].Surfaces {
+				if strings.Contains(s, surf) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("aspect %s %v: sentence %q lacks surface", cat.Aspects[a].Name, pol, s)
+			}
+		}
+	}
+}
+
+func TestSentenceSentimentSign(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cat := lexicon.Toy
+	for a := range cat.Aspects {
+		for trial := 0; trial < 10; trial++ {
+			pos := Sentence(cat, model.Mention{Aspect: a, Polarity: model.Positive}, rng)
+			if v := textValence(pos); v <= 0 {
+				t.Errorf("positive sentence %q valence %v", pos, v)
+			}
+			neg := Sentence(cat, model.Mention{Aspect: a, Polarity: model.Negative}, rng)
+			if v := textValence(neg); v >= 0 {
+				t.Errorf("negative sentence %q valence %v", neg, v)
+			}
+		}
+	}
+}
+
+func textValence(s string) float64 {
+	var total float64
+	for _, tok := range rouge.Tokenize(s) {
+		total += lexicon.Valence(tok)
+	}
+	return total
+}
+
+func TestSentenceOutOfRangeAspect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := Sentence(lexicon.Clothing, model.Mention{Aspect: 99}, rng)
+	if s == "" {
+		t.Error("empty sentence for out-of-range aspect")
+	}
+}
+
+func TestReviewDeterministic(t *testing.T) {
+	mentions := []model.Mention{
+		{Aspect: 0, Polarity: model.Positive},
+		{Aspect: 1, Polarity: model.Negative},
+	}
+	a := Review(lexicon.Cellphone, mentions, rand.New(rand.NewSource(7)))
+	b := Review(lexicon.Cellphone, mentions, rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Errorf("not deterministic:\n%q\n%q", a, b)
+	}
+	if !strings.HasSuffix(a, ".") {
+		t.Errorf("review %q lacks final period", a)
+	}
+}
+
+func TestReviewEmptyMentions(t *testing.T) {
+	s := Review(lexicon.Toy, nil, rand.New(rand.NewSource(4)))
+	if len(rouge.Tokenize(s)) == 0 {
+		t.Errorf("empty review text %q", s)
+	}
+}
+
+func TestOpenersAreNeutralAndSurfaceFree(t *testing.T) {
+	surfaces := map[string]bool{}
+	for _, cat := range lexicon.Categories() {
+		for _, a := range cat.Aspects {
+			for _, s := range a.Surfaces {
+				surfaces[s] = true
+			}
+		}
+	}
+	for _, o := range openers {
+		for _, tok := range rouge.Tokenize(o) {
+			if lexicon.Valence(tok) != 0 {
+				t.Errorf("opener %q contains sentiment word %q", o, tok)
+			}
+			if surfaces[tok] {
+				t.Errorf("opener %q contains aspect surface %q", o, tok)
+			}
+		}
+	}
+}
+
+func TestTitle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	title := Title(lexicon.Clothing, rng)
+	if title == "" || !strings.Contains(title, "Model") {
+		t.Errorf("title = %q", title)
+	}
+}

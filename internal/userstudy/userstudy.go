@@ -1,0 +1,90 @@
+// Package userstudy simulates the paper's qualitative study (§4.5): 15 human
+// participants rating selected review sets on three five-point Likert
+// questions (Q1 similarity among products, Q2 informativeness, Q3 usefulness
+// for comparison).
+//
+// Substitution note (DESIGN.md): humans are replaced by annotator models
+// whose latent judgment is a noisy linear reading of measurable selection
+// qualities — the aspect overlap among the selected sets, how representative
+// each set is of its item, and how comparable the sets are pairwise. The
+// shape of Table 7 (ordering of algorithms, agreement levels) emerges from
+// the same signals human raters were reacting to; absolute values are not
+// claimed to match.
+package userstudy
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Quality holds the measurable [0, 1] qualities of one example (one target
+// item with its shortlisted comparison items and selected review sets).
+type Quality struct {
+	// Overlap is the fraction of discussed aspects shared by all items'
+	// selected sets (drives Q1).
+	Overlap float64
+	// Representativeness is the mean cosine similarity between each item's
+	// selected-set opinion vector and its full-set vector (drives Q2).
+	Representativeness float64
+	// Comparability is the mean pairwise aspect-distribution similarity
+	// between items' selected sets (drives Q3).
+	Comparability float64
+}
+
+// Panel is a pool of simulated annotators.
+type Panel struct {
+	// Annotators is the panel size (the paper used 5 raters per example).
+	Annotators int
+	// Noise is the annotator judgment noise (std dev in Likert units).
+	// Larger noise lowers both scores' separation and Krippendorff's α.
+	Noise float64
+	// Leniency shifts every rating upward (the paper observed means > 3
+	// even for Random — raters are generous with real reviews).
+	Leniency float64
+	// Seed fixes the panel; rater b of example u is reproducible.
+	Seed int64
+}
+
+// Ratings holds one example's Likert answers: Ratings[q][b] is annotator b's
+// answer to question q (Q1, Q2, Q3).
+type Ratings [3][]float64
+
+// Rate produces the panel's ratings for one example. exampleID decorrelates
+// noise across examples while keeping determinism.
+func (p Panel) Rate(exampleID int64, q Quality) Ratings {
+	var out Ratings
+	for qi := range out {
+		out[qi] = make([]float64, p.Annotators)
+	}
+	for b := 0; b < p.Annotators; b++ {
+		rng := rand.New(rand.NewSource(p.Seed ^ exampleID<<17 ^ int64(b)<<34))
+		// Per-annotator idiosyncrasy: a stable personal offset.
+		personal := rng.NormFloat64() * 0.3
+		latents := [3]float64{q.Overlap, q.Representativeness, q.Comparability}
+		for qi, latent := range latents {
+			raw := 1 + 4*clamp01(latent) + p.Leniency + personal + rng.NormFloat64()*p.Noise
+			out[qi][b] = clampLikert(math.Round(raw))
+		}
+	}
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func clampLikert(x float64) float64 {
+	if x < 1 {
+		return 1
+	}
+	if x > 5 {
+		return 5
+	}
+	return x
+}

@@ -1,0 +1,82 @@
+package userstudy
+
+import (
+	"testing"
+
+	"comparesets/internal/stats"
+)
+
+func TestRateDeterministic(t *testing.T) {
+	p := Panel{Annotators: 5, Noise: 0.5, Seed: 3}
+	q := Quality{Overlap: 0.6, Representativeness: 0.8, Comparability: 0.5}
+	a := p.Rate(7, q)
+	b := p.Rate(7, q)
+	for qi := range a {
+		for bi := range a[qi] {
+			if a[qi][bi] != b[qi][bi] {
+				t.Fatalf("nondeterministic rating at q%d annotator %d", qi+1, bi)
+			}
+		}
+	}
+}
+
+func TestRatingsInLikertRange(t *testing.T) {
+	p := Panel{Annotators: 20, Noise: 3, Leniency: 2, Seed: 1}
+	for ex := int64(0); ex < 30; ex++ {
+		r := p.Rate(ex, Quality{Overlap: 0.5, Representativeness: 0.5, Comparability: 0.5})
+		for qi := range r {
+			for _, v := range r[qi] {
+				if v < 1 || v > 5 || v != float64(int(v)) {
+					t.Fatalf("rating %v out of Likert range", v)
+				}
+			}
+		}
+	}
+}
+
+func TestHigherQualityHigherScores(t *testing.T) {
+	p := Panel{Annotators: 5, Noise: 0.4, Seed: 5}
+	var goodSum, badSum float64
+	for ex := int64(0); ex < 40; ex++ {
+		good := p.Rate(ex, Quality{Overlap: 0.9, Representativeness: 0.9, Comparability: 0.9})
+		bad := p.Rate(ex, Quality{Overlap: 0.2, Representativeness: 0.2, Comparability: 0.2})
+		for qi := range good {
+			goodSum += stats.Mean(good[qi])
+			badSum += stats.Mean(bad[qi])
+		}
+	}
+	if goodSum <= badSum {
+		t.Errorf("good quality sum %v ≤ bad %v", goodSum, badSum)
+	}
+}
+
+func TestNoiseLowersAgreement(t *testing.T) {
+	alpha := func(noise float64) float64 {
+		p := Panel{Annotators: 5, Noise: noise, Seed: 11}
+		var units [][]float64
+		for ex := int64(0); ex < 60; ex++ {
+			// Vary true quality across units so there is signal to agree on.
+			q := Quality{
+				Overlap:            float64(ex%5) / 4,
+				Representativeness: float64(ex%3) / 2,
+				Comparability:      float64(ex%7) / 6,
+			}
+			r := p.Rate(ex, q)
+			for qi := range r {
+				units = append(units, r[qi])
+			}
+		}
+		a, err := stats.KrippendorffAlpha(units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	low, high := alpha(0.3), alpha(2.5)
+	if low <= high {
+		t.Errorf("alpha(noise=0.3)=%v should exceed alpha(noise=2.5)=%v", low, high)
+	}
+	if low < 0.3 {
+		t.Errorf("low-noise alpha = %v, expected some reliability", low)
+	}
+}
