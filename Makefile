@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race cover bench experiments examples clean
+.PHONY: all build vet test race cover bench bench-json experiments examples clean
 
 all: build vet test
 
@@ -21,6 +21,11 @@ cover:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Record the hot-path benchmarks (core, regress, linalg) into
+# BENCH_core.json; commit the diff alongside performance changes.
+bench-json:
+	go run ./cmd/bench -out BENCH_core.json
 
 # Regenerate every table and figure (plus CSVs and SVG charts) into results/.
 experiments:

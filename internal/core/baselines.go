@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"math"
 	"math/rand"
 
@@ -107,7 +109,7 @@ func greedyItem(inst *model.Instance, tg *Targets, cfg Config, item int, it *mod
 		inSet[best] = true
 		cur = bestObj
 	}
-	sortInts(chosen)
+	sort.Ints(chosen)
 	return chosen
 }
 

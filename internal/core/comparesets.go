@@ -1,9 +1,10 @@
 package core
 
 import (
+	"sync"
+
 	"comparesets/internal/linalg"
 	"comparesets/internal/model"
-	"comparesets/internal/opinion"
 	"comparesets/internal/regress"
 )
 
@@ -17,7 +18,10 @@ type CompaReSetS struct{}
 // Name implements Selector.
 func (CompaReSetS) Name() string { return "CompaReSetS" }
 
-// Select implements Selector.
+// Select implements Selector. Because Eq. 1 decomposes over items, the
+// per-item regressions run on a bounded worker pool (cfg.Workers); results
+// are byte-identical to a sequential run since every item's subproblem is
+// independent and deterministic.
 func (CompaReSetS) Select(inst *model.Instance, cfg Config) (*Selection, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -26,43 +30,68 @@ func (CompaReSetS) Select(inst *model.Instance, cfg Config) (*Selection, error) 
 		return nil, ErrEmptyInstance
 	}
 	tg := NewTargets(inst, cfg)
-	sel := &Selection{Indices: make([][]int, inst.NumItems())}
-	for i := range inst.Items {
-		sel.Indices[i] = selectForItem(inst, tg, cfg, i)
-	}
+	fc := newFeatureCache(inst, cfg, tg)
+	sel := &Selection{Indices: selectItems(fc)}
 	sel.Objective = ObjectiveCompareSets(inst, tg, cfg, sel.Reviews(inst))
 	return sel, nil
 }
 
+// selectItems fans the independent per-item regressions across cfg.Workers
+// goroutines (the SelectAll idiom one level down). out[i] depends only on
+// item i, so scheduling cannot change results.
+func selectItems(fc *featureCache) [][]int {
+	n := fc.inst.NumItems()
+	out := make([][]int, n)
+	workers := fc.cfg.workerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = selectForItem(fc, i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = selectForItem(fc, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
 // selectForItem runs Integer-Regression for a single item against the
-// CompaReSetS target [τᵢ; λΓ].
-func selectForItem(inst *model.Instance, tg *Targets, cfg Config, item int) []int {
-	it := inst.Items[item]
-	if len(it.Reviews) == 0 {
+// CompaReSetS target [τᵢ; λΓ], using the item's cached problem.
+func selectForItem(fc *featureCache, item int) []int {
+	if len(fc.inst.Items[item].Reviews) == 0 {
 		return nil
 	}
-	z := inst.Aspects.Len()
-	sch := cfg.scheme()
-	cols := make([]linalg.Vector, len(it.Reviews))
-	for j, r := range it.Reviews {
-		cols[j] = linalg.Concat(
-			sch.Column(r, z),
-			opinion.AspectColumn(r, z).Scale(cfg.Lambda),
-		)
-	}
-	w := linalg.MatrixFromColumns(cols)
-	target := linalg.Concat(tg.Tau[item], tg.Gamma.Scale(cfg.Lambda))
+	p := fc.baseProblem(item)
 	eval := func(selected []int) float64 {
-		return ItemObjective(inst, tg, cfg, item, gather(it.Reviews, selected))
+		return fc.itemObjective(item, selected)
 	}
-	sel, _ := regress.Solve(w, target, cfg.M, eval)
+	sel, _ := p.Solve(fc.items[item].baseTarget, fc.cfg.M, regress.RoundCandidates, eval)
 	return sel
 }
 
 // CompaReSetSPlus solves Problem 2 with Algorithm 1: initialize with
 // CompaReSetS, then sweep the items, re-running Integer-Regression for item
 // pᵢ against the extended target Υ = [τᵢ; λΓ; μφ(S₁); …; μφ(Sᵢ₋₁);
-// μφ(Sᵢ₊₁); …; μφ(S_n)] with the other items' selections held fixed.
+// μφ(Sᵢ₊₁); …; μφ(S_n)] with the other items' selections held fixed. The
+// implementation collapses the n−1 identical μ-blocks of Υ's design into a
+// single √(n−1)·μ block (see featureCache), so each sweep step reuses the
+// item's cached problem and only rebuilds the dim+2z-row target.
 type CompaReSetSPlus struct{}
 
 // Name implements Selector.
@@ -77,18 +106,22 @@ func (CompaReSetSPlus) Select(inst *model.Instance, cfg Config) (*Selection, err
 		return nil, ErrEmptyInstance
 	}
 	tg := NewTargets(inst, cfg)
-	init, err := (CompaReSetS{}).Select(inst, cfg)
-	if err != nil {
-		return nil, err
+	fc := newFeatureCache(inst, cfg, tg)
+	indices := selectItems(fc)
+	// φ(Sᵢ) of every item's current selection, maintained incrementally:
+	// each sweep step changes exactly one item's set.
+	phis := make([]linalg.Vector, len(indices))
+	for i := range phis {
+		phis[i] = fc.phi(i, indices[i])
 	}
-	indices := init.Indices
 	passes := cfg.Passes
 	if passes <= 0 {
 		passes = 1
 	}
 	for pass := 0; pass < passes; pass++ {
 		for i := range inst.Items {
-			indices[i] = resyncItem(inst, tg, cfg, i, indices)
+			indices[i] = resyncItem(fc, i, indices, phis)
+			phis[i] = fc.phi(i, indices[i])
 		}
 	}
 	sel := &Selection{Indices: indices}
@@ -98,59 +131,42 @@ func (CompaReSetSPlus) Select(inst *model.Instance, cfg Config) (*Selection, err
 
 // resyncItem re-selects item i's reviews against the synchronized target of
 // Algorithm 1, keeping the incumbent when no candidate improves the exact
-// conditional objective.
-func resyncItem(inst *model.Instance, tg *Targets, cfg Config, item int, indices [][]int) []int {
-	it := inst.Items[item]
-	if len(it.Reviews) == 0 {
+// conditional objective. phis holds φ(S_b) for every item's current
+// selection.
+func resyncItem(fc *featureCache, item int, indices [][]int, phis []linalg.Vector) []int {
+	if len(fc.inst.Items[item].Reviews) == 0 {
 		return nil
 	}
-	z := inst.Aspects.Len()
-	sch := cfg.scheme()
-
-	// Aspect vectors of the other items' current selections.
-	others := make([]linalg.Vector, 0, len(inst.Items)-1)
-	for j := range inst.Items {
-		if j == item {
+	n := fc.inst.NumItems()
+	// Aggregates of the other items' aspect vectors: Σ_b φ_b feeds the
+	// collapsed regression target, and together with Σ_b ‖φ_b‖² it turns
+	// the exact conditional objective's pairwise term into O(z):
+	// Σ_b ‖φ − φ_b‖² = (n−1)‖φ‖² − 2·φ·Σ_b φ_b + Σ_b ‖φ_b‖².
+	othersSum := linalg.NewVector(fc.z)
+	var othersSq float64
+	for b := 0; b < n; b++ {
+		if b == item {
 			continue
 		}
-		others = append(others, opinion.AspectVector(gather(inst.Items[j].Reviews, indices[j]), z))
+		othersSum.AddInPlace(phis[b])
+		othersSq += phis[b].Dot(phis[b])
 	}
-
-	// Design matrix V: opinion rows, λ aspect rows, (n−1) μ aspect blocks.
-	cols := make([]linalg.Vector, len(it.Reviews))
-	for j, r := range it.Reviews {
-		asp := opinion.AspectColumn(r, z)
-		parts := make([]linalg.Vector, 0, 2+len(others))
-		parts = append(parts, sch.Column(r, z), asp.Scale(cfg.Lambda))
-		muAsp := asp.Scale(cfg.Mu)
-		for range others {
-			parts = append(parts, muAsp)
-		}
-		cols[j] = linalg.Concat(parts...)
-	}
-	v := linalg.MatrixFromColumns(cols)
-
-	// Target Υ.
-	parts := make([]linalg.Vector, 0, 2+len(others))
-	parts = append(parts, tg.Tau[item], tg.Gamma.Scale(cfg.Lambda))
-	for _, phi := range others {
-		parts = append(parts, phi.Scale(cfg.Mu))
-	}
-	target := linalg.Concat(parts...)
-
-	// Exact conditional objective for item i given the others.
-	mu2 := cfg.Mu * cfg.Mu
+	l2 := fc.cfg.Lambda * fc.cfg.Lambda
+	mu2 := fc.cfg.Mu * fc.cfg.Mu
 	eval := func(selected []int) float64 {
-		set := gather(it.Reviews, selected)
-		obj := ItemObjective(inst, tg, cfg, item, set)
-		phi := opinion.AspectVector(set, z)
-		for _, o := range others {
-			obj += mu2 * linalg.SquaredDistance(phi, o)
+		pi, phi := fc.piPhi(item, selected)
+		obj := linalg.SquaredDistance(fc.tg.Tau[item], pi) +
+			l2*linalg.SquaredDistance(fc.tg.Gamma, phi)
+		cross := float64(n-1)*phi.Dot(phi) - 2*phi.Dot(othersSum) + othersSq
+		if cross < 0 {
+			cross = 0 // guard the expansion against rounding
 		}
-		return obj
+		return obj + mu2*cross
 	}
 
-	sel, obj := regress.Solve(v, target, cfg.M, eval)
+	p := fc.plusProblem(item)
+	y := fc.plusTarget(item, othersSum)
+	sel, obj := p.Solve(y, fc.cfg.M, regress.RoundCandidates, eval)
 	// Keep the incumbent if strictly better (Algorithm 1 tracks min_Δ; we
 	// seed it with the current selection so a sweep never regresses).
 	if cur := indices[item]; len(cur) > 0 {

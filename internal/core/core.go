@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 
 	"comparesets/internal/linalg"
 	"comparesets/internal/model"
@@ -35,6 +37,18 @@ type Config struct {
 	Passes int
 	// Seed drives the Random baseline.
 	Seed int64
+	// Workers bounds the intra-instance parallelism of the per-item
+	// regressions (Eq. 1 decomposes over items): ≤ 0 uses GOMAXPROCS, 1
+	// forces a sequential run. Parallel and sequential runs return
+	// identical selections.
+	Workers int
+}
+
+func (c Config) workerCount() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
 }
 
 func (c Config) scheme() opinion.Scheme {
@@ -133,18 +147,18 @@ func ObjectiveCompareSets(inst *model.Instance, tg *Targets, cfg Config, sets []
 }
 
 // ObjectivePlus evaluates Eq. 5 on a full selection: Eq. 1 plus
-// μ²·Σ_{i<j} Δ(φ(Sᵢ), φ(Sⱼ)).
+// μ²·Σ_{i<j} Δ(φ(Sᵢ), φ(Sⱼ)). A single shared pass computes every set's π
+// and φ once; Eq. 1's losses and the pairwise term both read from it.
 func ObjectivePlus(inst *model.Instance, tg *Targets, cfg Config, sets [][]*model.Review) float64 {
-	total := ObjectiveCompareSets(inst, tg, cfg, sets)
-	z := inst.Aspects.Len()
-	phis := make([]linalg.Vector, len(sets))
-	for i, s := range sets {
-		phis[i] = opinion.AspectVector(s, z)
+	stats := statsForSets(inst, tg, cfg, sets)
+	l2, mu2 := cfg.Lambda*cfg.Lambda, cfg.Mu*cfg.Mu
+	var total float64
+	for _, st := range stats {
+		total += st.OpinionLoss + l2*st.AspectLoss
 	}
-	mu2 := cfg.Mu * cfg.Mu
-	for i := 0; i < len(phis); i++ {
-		for j := i + 1; j < len(phis); j++ {
-			total += mu2 * linalg.SquaredDistance(phis[i], phis[j])
+	for i := 0; i < len(stats); i++ {
+		for j := i + 1; j < len(stats); j++ {
+			total += mu2 * linalg.SquaredDistance(stats[i].Phi, stats[j].Phi)
 		}
 	}
 	return total
@@ -165,9 +179,14 @@ type ItemStats struct {
 
 // Stats computes per-item statistics of a selection.
 func Stats(inst *model.Instance, tg *Targets, cfg Config, sel *Selection) []ItemStats {
+	return statsForSets(inst, tg, cfg, sel.Reviews(inst))
+}
+
+// statsForSets is the shared φ/π pass behind Stats and ObjectivePlus: each
+// set's vectors are computed exactly once.
+func statsForSets(inst *model.Instance, tg *Targets, cfg Config, sets [][]*model.Review) []ItemStats {
 	z := inst.Aspects.Len()
 	sch := cfg.scheme()
-	sets := sel.Reviews(inst)
 	out := make([]ItemStats, len(sets))
 	for i, s := range sets {
 		pi := sch.Vector(s, z)
@@ -198,14 +217,6 @@ func randomSubset(rng *rand.Rand, n, k int) []int {
 	}
 	perm := rng.Perm(n)
 	idx := perm[:k]
-	sortInts(idx)
+	sort.Ints(idx)
 	return idx
-}
-
-func sortInts(v []int) {
-	for i := 1; i < len(v); i++ {
-		for j := i; j > 0 && v[j] < v[j-1]; j-- {
-			v[j], v[j-1] = v[j-1], v[j]
-		}
-	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"comparesets/internal/model"
 )
 
@@ -114,7 +116,7 @@ func coverGreedy(reviews []*model.Review, m int, elements func(*model.Review) []
 			covered[el] = true
 		}
 	}
-	sortInts(chosen)
+	sort.Ints(chosen)
 	return chosen
 }
 

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSelectorsDeterministicAcrossWorkers locks in the parallel ≡ sequential
+// guarantee of the intra-instance fan-out: the per-item regressions are
+// independent, so the selections and objective of a run with any worker
+// count must be identical to a sequential run, down to the last bit.
+func TestSelectorsDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	inst := randomTinyInstance(rng, 8, 30, 8)
+	for _, sel := range []Selector{CompaReSetS{}, CompaReSetSPlus{}} {
+		base := Config{M: 4, Lambda: 1, Mu: 0.2, Passes: 2, Workers: 1}
+		ref, err := sel.Select(inst, base)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", sel.Name(), err)
+		}
+		for _, workers := range []int{0, 2, 4, 16} {
+			cfg := base
+			cfg.Workers = workers
+			got, err := sel.Select(inst, cfg)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", sel.Name(), workers, err)
+			}
+			if !reflect.DeepEqual(got.Indices, ref.Indices) {
+				t.Fatalf("%s workers=%d: indices diverge from sequential run\n got: %v\nwant: %v",
+					sel.Name(), workers, got.Indices, ref.Indices)
+			}
+			if got.Objective != ref.Objective {
+				t.Fatalf("%s workers=%d: objective %v != sequential %v",
+					sel.Name(), workers, got.Objective, ref.Objective)
+			}
+		}
+	}
+}
+
+// TestSelectorsDeterministicAcrossRepeats guards against hidden map-order or
+// scratch-reuse nondeterminism: repeated runs with the same inputs must
+// agree exactly.
+func TestSelectorsDeterministicAcrossRepeats(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	inst := randomTinyInstance(rng, 6, 25, 7)
+	cfg := Config{M: 5, Lambda: 0.8, Mu: 0.3, Passes: 2}
+	for _, sel := range []Selector{CompaReSetS{}, CompaReSetSPlus{}} {
+		ref, err := sel.Select(inst, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", sel.Name(), err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			got, err := sel.Select(inst, cfg)
+			if err != nil {
+				t.Fatalf("%s rep %d: %v", sel.Name(), rep, err)
+			}
+			if !reflect.DeepEqual(got.Indices, ref.Indices) || got.Objective != ref.Objective {
+				t.Fatalf("%s rep %d: run diverged", sel.Name(), rep)
+			}
+		}
+	}
+}

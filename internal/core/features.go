@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+
+	"comparesets/internal/linalg"
+	"comparesets/internal/model"
+	"comparesets/internal/opinion"
+	"comparesets/internal/regress"
+)
+
+// featureCache precomputes every (instance, Config)-invariant artifact of
+// the Integer-Regression hot path so that neither the per-item selection nor
+// the CompaReSetS+ sweeps rebuild review features: each review's opinion and
+// aspect columns, the per-item deduplicated design problems (whose grouping,
+// sparsity, and Gram structure only depend on the reviews, λ, μ, and n —
+// never on the sweep state), and the fixed parts of the regression targets.
+//
+// The CompaReSetS+ design is restructured on the way in: Algorithm 1's
+// matrix V stacks n−1 identical μ-scaled copies of each review's aspect
+// column (one block per other item). Since
+//
+//	Σ_b ‖μ·φ(S_b) − μ·φ‖² = (n−1)‖μ·φ − μ·Φ̄‖² + const,  Φ̄ = Σ_b φ(S_b)/(n−1),
+//
+// the n−1 blocks collapse into a single √(n−1)·μ-scaled aspect block
+// against the mean of the other items' aspect vectors. The collapsed
+// problem has identical NOMP correlations and NNLS minimizers (constants
+// never enter either), identical dedup grouping, and dim+2z rows regardless
+// of n — so a sweep step no longer scales with the item count.
+type featureCache struct {
+	inst *model.Instance
+	cfg  Config
+	z    int
+	sch  opinion.Scheme
+	// counting is true for schemes whose π(S) is a normalized column sum,
+	// enabling candidate evaluation straight from the cached columns.
+	counting bool
+	tg       *Targets
+	items    []itemFeatures
+}
+
+// itemFeatures is the per-item slice of the cache.
+type itemFeatures struct {
+	// opCols[j] is sch.Column(reviews[j], z); aspCols[j] is the 0/1 aspect
+	// column of reviews[j].
+	opCols  []linalg.Vector
+	aspCols []linalg.Vector
+	// base is the CompaReSetS problem over columns [op; λ·asp], built on
+	// first use; baseTarget is its fixed target [τᵢ; λ·Γ].
+	base       *regress.Problem
+	baseTarget linalg.Vector
+	// plus is the collapsed CompaReSetS+ problem over columns
+	// [op; λ·asp; √(n−1)·μ·asp], built on first use. Its target changes
+	// every sweep; the problem itself never does.
+	plus *regress.Problem
+	// piBuf/phiBuf are the scratch vectors piPhi returns for counting
+	// schemes; per-item so the parallel fan-out never shares them.
+	piBuf, phiBuf linalg.Vector
+}
+
+func newFeatureCache(inst *model.Instance, cfg Config, tg *Targets) *featureCache {
+	fc := &featureCache{
+		inst:  inst,
+		cfg:   cfg,
+		z:     inst.Aspects.Len(),
+		sch:   cfg.scheme(),
+		tg:    tg,
+		items: make([]itemFeatures, inst.NumItems()),
+	}
+	fc.counting = opinion.IsCounting(fc.sch)
+	for i, it := range inst.Items {
+		f := &fc.items[i]
+		f.opCols = make([]linalg.Vector, len(it.Reviews))
+		f.aspCols = make([]linalg.Vector, len(it.Reviews))
+		for j, r := range it.Reviews {
+			f.opCols[j] = fc.sch.Column(r, fc.z)
+			f.aspCols[j] = opinion.AspectColumn(r, fc.z)
+		}
+	}
+	return fc
+}
+
+// muWeight is the collapsed-block scale √(n−1)·μ.
+func (fc *featureCache) muWeight() float64 {
+	n := fc.inst.NumItems()
+	if n <= 1 {
+		return 0
+	}
+	return fc.cfg.Mu * math.Sqrt(float64(n-1))
+}
+
+// baseProblem returns item i's CompaReSetS regression problem, building and
+// memoizing it on first use. Not safe for concurrent calls on the same
+// item; the parallel fan-out assigns each item to exactly one worker.
+func (fc *featureCache) baseProblem(i int) *regress.Problem {
+	f := &fc.items[i]
+	if f.base == nil {
+		dim := fc.sch.Dim(fc.z)
+		a := linalg.NewMatrix(dim+fc.z, len(f.opCols))
+		for j := range f.opCols {
+			col := a.Col(j)
+			copy(col[:dim], f.opCols[j])
+			for k, v := range f.aspCols[j] {
+				col[dim+k] = v * fc.cfg.Lambda
+			}
+		}
+		f.base = regress.NewProblem(a)
+		f.baseTarget = linalg.Concat(fc.tg.Tau[i], fc.tg.Gamma.Scale(fc.cfg.Lambda))
+	}
+	return f.base
+}
+
+// plusProblem returns item i's collapsed CompaReSetS+ regression problem,
+// building and memoizing it on first use. Columns are assembled straight
+// into the design matrix's backing array — one allocation for the whole
+// block instead of per-review concatenations.
+func (fc *featureCache) plusProblem(i int) *regress.Problem {
+	f := &fc.items[i]
+	if f.plus == nil {
+		w := fc.muWeight()
+		dim := fc.sch.Dim(fc.z)
+		a := linalg.NewMatrix(dim+2*fc.z, len(f.opCols))
+		for j := range f.opCols {
+			col := a.Col(j)
+			copy(col[:dim], f.opCols[j])
+			for k, v := range f.aspCols[j] {
+				col[dim+k] = v * fc.cfg.Lambda
+				col[dim+fc.z+k] = v * w
+			}
+		}
+		f.plus = regress.NewProblem(a)
+	}
+	return f.plus
+}
+
+// plusTarget assembles item i's sweep target [τᵢ; λ·Γ; √(n−1)·μ·Φ̄] where
+// othersSum is Σ_{b≠i} φ(S_b) over the other items' current selections.
+func (fc *featureCache) plusTarget(i int, othersSum linalg.Vector) linalg.Vector {
+	n := fc.inst.NumItems()
+	scaled := linalg.NewVector(fc.z)
+	if n > 1 {
+		scaled = othersSum.Scale(fc.muWeight() / float64(n-1))
+	}
+	return linalg.Concat(fc.tg.Tau[i], fc.tg.Gamma.Scale(fc.cfg.Lambda), scaled)
+}
+
+// phi computes φ(S) for item i's candidate selection from the cached aspect
+// columns: per-aspect review counts normalized by the maximum count.
+// Identical to opinion.AspectVector on the gathered reviews.
+func (fc *featureCache) phi(i int, selected []int) linalg.Vector {
+	sum := linalg.NewVector(fc.z)
+	for _, j := range selected {
+		sum.AddInPlace(fc.items[i].aspCols[j])
+	}
+	if m := sum.Max(); m > 0 {
+		sum.ScaleInPlace(1 / m)
+	}
+	return sum
+}
+
+// piPhi computes (π(S), φ(S)) for item i's candidate selection. For
+// counting schemes both come from one pass over the cached columns; other
+// schemes fall back to the reviews themselves. The returned vectors are
+// per-item scratch, valid only until the next piPhi call for the same item
+// — callers must not retain them.
+func (fc *featureCache) piPhi(i int, selected []int) (pi, phi linalg.Vector) {
+	if !fc.counting {
+		set := gather(fc.inst.Items[i].Reviews, selected)
+		return fc.sch.Vector(set, fc.z), opinion.AspectVector(set, fc.z)
+	}
+	f := &fc.items[i]
+	if f.piBuf == nil {
+		f.piBuf = linalg.NewVector(fc.sch.Dim(fc.z))
+		f.phiBuf = linalg.NewVector(fc.z)
+	}
+	pi, phi = f.piBuf, f.phiBuf
+	for k := range pi {
+		pi[k] = 0
+	}
+	for k := range phi {
+		phi[k] = 0
+	}
+	for _, j := range selected {
+		pi.AddInPlace(f.opCols[j])
+		phi.AddInPlace(f.aspCols[j])
+	}
+	// The shared normalization denominator of Working Example 1: the
+	// maximum per-aspect review count within the set.
+	if m := phi.Max(); m > 0 {
+		pi.ScaleInPlace(1 / m)
+		phi.ScaleInPlace(1 / m)
+	}
+	return pi, phi
+}
+
+// itemObjective evaluates Eq. 3 for item i's candidate selection using the
+// cached columns: Δ(τᵢ, π(S)) + λ²·Δ(Γ, φ(S)).
+func (fc *featureCache) itemObjective(i int, selected []int) float64 {
+	pi, phi := fc.piPhi(i, selected)
+	return linalg.SquaredDistance(fc.tg.Tau[i], pi) +
+		fc.cfg.Lambda*fc.cfg.Lambda*linalg.SquaredDistance(fc.tg.Gamma, phi)
+}

@@ -1,0 +1,179 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// referenceSolve solves A x = b for the SPD matrix restricted to idx via a
+// fresh Cholesky factorization.
+func referenceSolve(a *Matrix, idx []int, b Vector) Vector {
+	k := len(idx)
+	sub := NewMatrix(k, k)
+	for i, ii := range idx {
+		for j, jj := range idx {
+			sub.Set(i, j, a.At(ii, jj))
+		}
+	}
+	l, err := Cholesky(sub)
+	if err != nil {
+		panic(err)
+	}
+	return SolveCholesky(l, b)
+}
+
+func TestUpdatableCholeskyExtendMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(8)
+		a := spdMatrix(rng, n)
+		u := NewUpdatableCholesky(2) // tiny hint to exercise grow()
+		for k := 0; k < n; k++ {
+			row := NewVector(k)
+			for j := 0; j < k; j++ {
+				row[j] = a.At(k, j)
+			}
+			if err := u.Extend(row, a.At(k, k)); err != nil {
+				t.Fatalf("trial %d: extend %d: %v", trial, k, err)
+			}
+		}
+		b := NewVector(n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		got := NewVector(n)
+		u.Solve(b, got)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		want := referenceSolve(a, idx, b)
+		if !got.ApproxEqual(want, 1e-7) {
+			t.Fatalf("trial %d: x = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestUpdatableCholeskyRemoveMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(7)
+		a := spdMatrix(rng, n)
+		u := NewUpdatableCholesky(n)
+		idx := []int{}
+		for k := 0; k < n; k++ {
+			row := NewVector(len(idx))
+			for j, jj := range idx {
+				row[j] = a.At(k, jj)
+			}
+			if err := u.Extend(row, a.At(k, k)); err != nil {
+				t.Fatal(err)
+			}
+			idx = append(idx, k)
+		}
+		// Remove a few random positions, re-checking the solve after each.
+		for rounds := 0; rounds < 2 && len(idx) > 1; rounds++ {
+			k := rng.Intn(len(idx))
+			u.Remove(k)
+			idx = append(idx[:k], idx[k+1:]...)
+			b := NewVector(len(idx))
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			got := NewVector(len(idx))
+			u.Solve(b, got)
+			want := referenceSolve(a, idx, b)
+			if !got.ApproxEqual(want, 1e-6) {
+				t.Fatalf("trial %d after Remove(%d): x = %v, want %v", trial, k, got, want)
+			}
+		}
+	}
+}
+
+func TestUpdatableCholeskyInterleavedGrowShrink(t *testing.T) {
+	// Mimic the NNLS access pattern: grow, drop an interior atom, grow
+	// again, and check against a fresh factorization each time.
+	rng := rand.New(rand.NewSource(43))
+	a := spdMatrix(rng, 12)
+	u := NewUpdatableCholesky(4)
+	idx := []int{}
+	add := func(col int) {
+		row := NewVector(len(idx))
+		for j, jj := range idx {
+			row[j] = a.At(col, jj)
+		}
+		if err := u.Extend(row, a.At(col, col)); err != nil {
+			t.Fatal(err)
+		}
+		idx = append(idx, col)
+	}
+	check := func() {
+		t.Helper()
+		b := NewVector(len(idx))
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		got := NewVector(len(idx))
+		u.Solve(b, got)
+		if want := referenceSolve(a, idx, b); !got.ApproxEqual(want, 1e-6) {
+			t.Fatalf("idx %v: x = %v, want %v", idx, got, want)
+		}
+	}
+	for _, col := range []int{0, 3, 7, 1} {
+		add(col)
+	}
+	check()
+	u.Remove(1)
+	idx = append(idx[:1], idx[2:]...)
+	check()
+	add(5)
+	add(9)
+	check()
+	u.Remove(0)
+	idx = idx[1:]
+	check()
+	u.Remove(len(idx) - 1)
+	idx = idx[:len(idx)-1]
+	check()
+}
+
+func TestUpdatableCholeskyRejectsDependentColumn(t *testing.T) {
+	// Gram matrix of two identical columns is singular: the second Extend
+	// must fail and leave the factorization usable.
+	u := NewUpdatableCholesky(4)
+	if err := u.Extend(nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Extend(Vector{4}, 4); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatalf("err = %v, want ErrNotPositiveDefinite", err)
+	}
+	if u.Size() != 1 {
+		t.Fatalf("size = %d after failed extend, want 1", u.Size())
+	}
+	out := NewVector(1)
+	u.Solve(Vector{8}, out)
+	if math.Abs(out[0]-2) > 1e-12 {
+		t.Fatalf("solve = %v, want 2", out[0])
+	}
+}
+
+func TestUpdatableCholeskyReset(t *testing.T) {
+	u := NewUpdatableCholesky(4)
+	if err := u.Extend(nil, 9); err != nil {
+		t.Fatal(err)
+	}
+	u.Reset()
+	if u.Size() != 0 {
+		t.Fatalf("size = %d after reset", u.Size())
+	}
+	if err := u.Extend(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := NewVector(1)
+	u.Solve(Vector{5}, out)
+	if math.Abs(out[0]-5) > 1e-12 {
+		t.Fatalf("solve = %v, want 5", out[0])
+	}
+}

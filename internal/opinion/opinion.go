@@ -33,9 +33,26 @@ type Scheme interface {
 	Vector(reviews []*model.Review, z int) linalg.Vector
 }
 
+// counting marks schemes whose π(S) is countingVector: the sum of the
+// per-review Column vectors divided by the set's maximum aspect count.
+// Feature caches exploit this to evaluate candidate sets from precomputed
+// columns without touching the reviews again.
+type counting interface{ isCountingScheme() }
+
+// IsCounting reports whether π(S) under s equals the sum of per-review
+// Column vectors normalized by the set's maximum aspect count (true for
+// Binary and ThreePolarity; false for UnaryScale, whose aggregation is a
+// sigmoid of summed scores).
+func IsCounting(s Scheme) bool {
+	_, ok := s.(counting)
+	return ok
+}
+
 // Binary is the default two-polarity scheme: dimension 2z, rows interleaved
 // as {a₁⁺, a₁⁻, a₂⁺, a₂⁻, ...}, matching Working Example 1.
 type Binary struct{}
+
+func (Binary) isCountingScheme() {}
 
 // Name implements Scheme.
 func (Binary) Name() string { return "binary" }
@@ -67,6 +84,8 @@ func (b Binary) Vector(reviews []*model.Review, z int) linalg.Vector {
 // ThreePolarity adds a neutral row per aspect: dimension 3z, rows
 // {a⁺, a⁻, a⁰} per aspect.
 type ThreePolarity struct{}
+
+func (ThreePolarity) isCountingScheme() {}
 
 // Name implements Scheme.
 func (ThreePolarity) Name() string { return "3-polarity" }
@@ -143,8 +162,55 @@ func Sigmoid(s float64) float64 { return 1 / (1 + math.Exp(-s)) }
 // maximum aspect occurrence count in the set.
 func countingVector(s Scheme, reviews []*model.Review, z int) linalg.Vector {
 	sum := linalg.NewVector(s.Dim(z))
-	for _, r := range reviews {
-		sum.AddInPlace(s.Column(r, z))
+	// Accumulate presence counts directly from the mentions for the two
+	// counting schemes; a review's repeated mentions of the same cell are
+	// deduplicated with a review-index stamp, matching Column's 0/1
+	// semantics without materializing a column per review.
+	switch s.(type) {
+	case Binary:
+		stamp := make([]int, 2*z)
+		for ri, r := range reviews {
+			for _, m := range r.Mentions {
+				var idx int
+				switch m.Polarity {
+				case model.Positive:
+					idx = 2 * m.Aspect
+				case model.Negative:
+					idx = 2*m.Aspect + 1
+				default:
+					continue
+				}
+				if stamp[idx] != ri+1 {
+					stamp[idx] = ri + 1
+					sum[idx]++
+				}
+			}
+		}
+	case ThreePolarity:
+		stamp := make([]int, 3*z)
+		for ri, r := range reviews {
+			for _, m := range r.Mentions {
+				var idx int
+				switch m.Polarity {
+				case model.Positive:
+					idx = 3 * m.Aspect
+				case model.Negative:
+					idx = 3*m.Aspect + 1
+				case model.Neutral:
+					idx = 3*m.Aspect + 2
+				default:
+					continue
+				}
+				if stamp[idx] != ri+1 {
+					stamp[idx] = ri + 1
+					sum[idx]++
+				}
+			}
+		}
+	default:
+		for _, r := range reviews {
+			sum.AddInPlace(s.Column(r, z))
+		}
 	}
 	denom := maxAspectCount(reviews, z)
 	if denom == 0 {
@@ -157,8 +223,8 @@ func countingVector(s Scheme, reviews []*model.Review, z int) linalg.Vector {
 // AspectColumn returns the 0/1 aspect-presence vector of one review.
 func AspectColumn(r *model.Review, z int) linalg.Vector {
 	col := linalg.NewVector(z)
-	for _, a := range r.AspectSet() {
-		col[a] = 1
+	for _, m := range r.Mentions {
+		col[m.Aspect] = 1
 	}
 	return col
 }
@@ -167,8 +233,14 @@ func AspectColumn(r *model.Review, z int) linalg.Vector {
 // maximum aspect count within S. Opinion polarities are ignored.
 func AspectVector(reviews []*model.Review, z int) linalg.Vector {
 	sum := linalg.NewVector(z)
-	for _, r := range reviews {
-		sum.AddInPlace(AspectColumn(r, z))
+	stamp := make([]int, z)
+	for ri, r := range reviews {
+		for _, m := range r.Mentions {
+			if stamp[m.Aspect] != ri+1 {
+				stamp[m.Aspect] = ri + 1
+				sum[m.Aspect]++
+			}
+		}
 	}
 	m := sum.Max()
 	if m <= 0 {
@@ -179,12 +251,18 @@ func AspectVector(reviews []*model.Review, z int) linalg.Vector {
 }
 
 // maxAspectCount returns the largest per-aspect review count in S — the
-// shared normalization denominator of π and φ in Working Example 1.
+// shared normalization denominator of π and φ in Working Example 1. A
+// review-index stamp deduplicates repeated mentions within one review
+// without allocating a per-review aspect set.
 func maxAspectCount(reviews []*model.Review, z int) float64 {
 	counts := linalg.NewVector(z)
-	for _, r := range reviews {
-		for _, a := range r.AspectSet() {
-			counts[a]++
+	stamp := make([]int, z)
+	for ri, r := range reviews {
+		for _, m := range r.Mentions {
+			if stamp[m.Aspect] != ri+1 {
+				stamp[m.Aspect] = ri + 1
+				counts[m.Aspect]++
+			}
 		}
 	}
 	m := counts.Max()

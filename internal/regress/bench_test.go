@@ -35,6 +35,20 @@ func BenchmarkNOMPPath(b *testing.B) {
 	}
 }
 
+// BenchmarkProblemNOMPPath measures the incremental Gram-space NOMP against
+// the same workload as BenchmarkNOMPPath (the dense reference above),
+// amortizing the Problem preprocessing across targets the way the
+// CompaReSetS+ sweeps do.
+func BenchmarkProblemNOMPPath(b *testing.B) {
+	a, y := benchProblem(150, 25)
+	p := NewProblem(a)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.NOMPPath(y, 10)
+	}
+}
+
 func BenchmarkDedup(b *testing.B) {
 	a, _ := benchProblem(150, 25)
 	b.ReportAllocs()

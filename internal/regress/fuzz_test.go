@@ -1,0 +1,72 @@
+package regress
+
+import (
+	"testing"
+
+	"comparesets/internal/linalg"
+)
+
+// FuzzApportion checks the largest-remainder apportionment invariants on
+// arbitrary weight/cap inputs: a returned multiplicity vector sums exactly
+// to the requested total, never exceeds a per-entry cap, is non-negative,
+// exists whenever the caps can accommodate the total, and is deterministic
+// (ties broken by index, not map or sort order).
+func FuzzApportion(f *testing.F) {
+	f.Add([]byte{10, 20, 30}, []byte{1, 2, 3}, uint8(3))
+	f.Add([]byte{1, 1, 1, 1}, []byte{1, 1, 1, 1}, uint8(2))
+	f.Add([]byte{255, 0, 255}, []byte{0, 5, 5}, uint8(7))
+	f.Add([]byte{7}, []byte{3}, uint8(9))
+	f.Add([]byte{}, []byte{}, uint8(1))
+	f.Fuzz(func(t *testing.T, weights, caps []byte, totalRaw uint8) {
+		n := len(weights)
+		if len(caps) < n {
+			n = len(caps)
+		}
+		if n == 0 {
+			return
+		}
+		x := linalg.NewVector(n)
+		counts := make([]int, n)
+		for i := 0; i < n; i++ {
+			x[i] = float64(weights[i])
+			counts[i] = int(caps[i] % 5)
+		}
+		u := x.Normalized()
+		if u.Norm1() == 0 {
+			return
+		}
+		total := 1 + int(totalRaw%8)
+		capacity := 0
+		for _, c := range counts {
+			capacity += c
+		}
+
+		nu := apportion(u, counts, total)
+		if nu == nil {
+			if capacity >= total {
+				t.Fatalf("apportion returned nil with capacity %d >= total %d", capacity, total)
+			}
+			return
+		}
+		sum := 0
+		for i, v := range nu {
+			if v < 0 {
+				t.Fatalf("negative multiplicity nu[%d] = %d", i, v)
+			}
+			if v > counts[i] {
+				t.Fatalf("nu[%d] = %d exceeds cap %d", i, v, counts[i])
+			}
+			sum += v
+		}
+		if sum != total {
+			t.Fatalf("sum(nu) = %d, want total %d (nu=%v counts=%v u=%v)", sum, total, nu, counts, u)
+		}
+
+		again := apportion(u, counts, total)
+		for i := range nu {
+			if nu[i] != again[i] {
+				t.Fatalf("apportion not deterministic at %d: %v vs %v", i, nu, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,385 @@
+package regress
+
+import (
+	"math"
+
+	"comparesets/internal/linalg"
+)
+
+// Problem is a preprocessed Integer-Regression instance: the deduplicated
+// design matrix together with every target-independent structure the solver
+// needs — the sparse column forms for correlation, and the unique-column
+// Gram matrix that powers the incremental NNLS. Build one per design matrix
+// and reuse it across targets: CompaReSetS+ re-solves the same per-item
+// design against a fresh target on every sweep, and the dedup grouping,
+// sparsity pattern, and Gram matrix are all invariant across those sweeps.
+//
+// A Problem additionally owns reusable solver scratch, so it is NOT safe
+// for concurrent use; give each goroutine its own Problem (the per-item
+// fan-out in internal/core assigns every item's Problem to one worker).
+type Problem struct {
+	// Unique, Counts, Members are the Dedup outputs for the design matrix.
+	Unique  *linalg.Matrix
+	Counts  []int
+	Members [][]int
+	sparse  *sparseColumns
+	gram    *linalg.Matrix // Uniqueᵀ·Unique over the unique columns
+	scratch *solverScratch
+}
+
+// solverScratch holds every buffer the NOMP/rounding pipeline needs, sized
+// on first use and reused across Solve calls on the same Problem.
+type solverScratch struct {
+	c         linalg.Vector // Aᵀy over unique columns
+	corr      linalg.Vector // residual correlations
+	x         linalg.Vector // current NOMP iterate
+	inSupport []bool
+	support   []int
+	passive   []int // NNLS passive set, in factorization order
+	chol      *linalg.UpdatableCholesky
+	ss        linalg.Vector // supportSolver row/solve workspace
+	selBuf    []int         // candidate selection buffer
+	keyBuf    []byte        // candidate dedup key buffer
+	seen      map[string]struct{}
+}
+
+func (p *Problem) scratchState(maxAtoms int) *solverScratch {
+	n := p.Unique.Cols
+	if p.scratch == nil {
+		p.scratch = &solverScratch{
+			c:         linalg.NewVector(n),
+			corr:      linalg.NewVector(n),
+			x:         linalg.NewVector(n),
+			inSupport: make([]bool, n),
+			support:   make([]int, 0, n),
+			passive:   make([]int, 0, n),
+			chol:      linalg.NewUpdatableCholesky(maxAtoms),
+			seen:      make(map[string]struct{}),
+		}
+	}
+	s := p.scratch
+	if cap(s.ss) < 2*maxAtoms+2 {
+		s.ss = linalg.NewVector(2*maxAtoms + 2)
+	}
+	return s
+}
+
+// NewProblem preprocesses the design matrix a: deduplicate columns, extract
+// sparse forms, and compute the unique-column Gram matrix.
+func NewProblem(a *linalg.Matrix) *Problem {
+	unique, counts, members := Dedup(a)
+	p := &Problem{
+		Unique:  unique,
+		Counts:  counts,
+		Members: members,
+		sparse:  newSparseColumns(unique),
+	}
+	n := unique.Cols
+	p.gram = linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		idx, val := p.sparse.idx[j], p.sparse.val[j]
+		for k := 0; k <= j; k++ {
+			ck := unique.Col(k)
+			var s float64
+			for t, i := range idx {
+				s += val[t] * ck[i]
+			}
+			p.gram.Set(j, k, s)
+			p.gram.Set(k, j, s)
+		}
+	}
+	return p
+}
+
+// Solve runs the Integer-Regression pipeline on the preprocessed problem for
+// the given target: NOMP path over sparsity budgets 1..m, rounding of each
+// iterate, and exact scoring of every candidate with eval. It is
+// SolveWithRounding minus the per-call preprocessing.
+//
+// The selection slice passed to eval is scratch reused across candidates;
+// eval must not retain it past the call. The returned best selection is
+// freshly allocated and owned by the caller.
+func (p *Problem) Solve(y linalg.Vector, m int, round Rounding, eval func(selected []int) float64) ([]int, float64) {
+	if p.Unique.Cols == 0 || m <= 0 {
+		return nil, math.Inf(1)
+	}
+	path := p.NOMPPath(y, m)
+	sc := p.scratchState(1)
+	clear(sc.seen)
+	var best []int
+	bestObj := math.Inf(1)
+	for _, x := range path {
+		for _, nu := range round(x, p.Counts, m) {
+			sel := appendExpand(sc.selBuf[:0], nu, p.Members)
+			sc.selBuf = sel
+			key := appendSelectionKey(sc.keyBuf[:0], sel)
+			sc.keyBuf = key
+			if _, ok := sc.seen[string(key)]; ok {
+				continue
+			}
+			sc.seen[string(key)] = struct{}{}
+			if obj := eval(sel); obj < bestObj {
+				bestObj = obj
+				best = append(best[:0], sel...)
+			}
+		}
+	}
+	return best, bestObj
+}
+
+// NOMPPath is the incremental counterpart of the package-level NOMPPath: it
+// returns the non-negative OMP solution after each of the first maxAtoms
+// greedy support extensions. Instead of gathering the support columns and
+// re-solving a dense least-squares problem from scratch on every atom
+// addition (O(rows·|support|²) per atom), it works entirely in Gram space:
+// correlations come from c = Aᵀy and the cached Gram matrix, and the NNLS
+// subproblem is solved by a warm-started Lawson–Hanson iteration whose
+// normal-equations factorization grows by rank-1 extension on atom add and
+// shrinks by rotation on eviction. On any numerical failure it falls back
+// to the dense reference path for the whole call.
+func (p *Problem) NOMPPath(y linalg.Vector, maxAtoms int) []linalg.Vector {
+	n := p.Unique.Cols
+	if maxAtoms > n {
+		maxAtoms = n
+	}
+	if maxAtoms > p.Unique.Rows {
+		// The NNLS subproblem needs at least as many rows as support
+		// columns; larger supports cannot improve an exact fit anyway.
+		maxAtoms = p.Unique.Rows
+	}
+	path, ok := p.nompGram(y, maxAtoms)
+	if !ok {
+		return NOMPPath(p.Unique, y, maxAtoms)
+	}
+	return path
+}
+
+// nompGram runs the Gram-space NOMP loop. It reports ok=false when the
+// incremental factorization hits a numerical failure, in which case the
+// caller re-runs the dense reference implementation. All working state
+// lives in the Problem's reusable scratch; only the returned path vectors
+// are allocated per call.
+func (p *Problem) nompGram(y linalg.Vector, maxAtoms int) ([]linalg.Vector, bool) {
+	n := p.Unique.Cols
+	const tol = 1e-10
+	sc := p.scratchState(maxAtoms)
+	sc.resetSolver()
+	// c = Aᵀy over the unique columns, via the sparse forms.
+	p.sparse.correlations(y, sc.c)
+
+	s := &supportSolver{p: p, sc: sc}
+	path := make([]linalg.Vector, 0, maxAtoms)
+	support := sc.support
+	inSupport := sc.inSupport
+	corr := sc.corr
+	for len(path) < maxAtoms {
+		// Greedy atom: maximum positive correlation with the residual,
+		// corrⱼ = cⱼ − Σ_{k passive} G_jk·x_k (no dense residual needed).
+		for j := 0; j < n; j++ {
+			acc := sc.c[j]
+			for _, k := range sc.passive {
+				acc -= p.gram.At(j, k) * sc.x[k]
+			}
+			corr[j] = acc
+		}
+		best, bestC := -1, tol
+		for j := 0; j < n; j++ {
+			if !inSupport[j] && corr[j] > bestC {
+				best, bestC = j, corr[j]
+			}
+		}
+		if best < 0 {
+			// No atom improves the fit; replicate the last solution for
+			// the remaining budgets so callers still get maxAtoms entries.
+			for len(path) < maxAtoms {
+				path = append(path, sc.x.Clone())
+			}
+			break
+		}
+		support = append(support, best)
+		inSupport[best] = true
+
+		if !s.refit(support) {
+			return nil, false
+		}
+		// Evict zeroed atoms from the support (they may be re-added by a
+		// later greedy step, matching the dense path's semantics).
+		live := support[:0]
+		for _, j := range support {
+			if sc.x[j] > tol {
+				live = append(live, j)
+			} else {
+				inSupport[j] = false
+			}
+		}
+		support = live
+		path = append(path, sc.x.Clone())
+	}
+	sc.support = support[:0]
+	return path, true
+}
+
+// resetSolver clears the NOMP working state for a fresh target; buffer
+// capacities are kept.
+func (s *solverScratch) resetSolver() {
+	for i := range s.x {
+		s.x[i] = 0
+	}
+	for i := range s.inSupport {
+		s.inSupport[i] = false
+	}
+	s.support = s.support[:0]
+	s.passive = s.passive[:0]
+	s.chol.Reset()
+}
+
+// supportSolver maintains the state of the warm-started Lawson–Hanson NNLS
+// over the current NOMP support: the passive set (atoms with strictly
+// positive coefficients), the Cholesky factorization of its Gram block, and
+// the solution vector over all unique columns. The state itself lives in
+// the Problem's solverScratch.
+type supportSolver struct {
+	p  *Problem
+	sc *solverScratch
+}
+
+// enter adds unique column j to the passive set, extending the
+// factorization by one row. It reports false on numerical failure.
+func (s *supportSolver) enter(j int) bool {
+	sc := s.sc
+	k := len(sc.passive)
+	if cap(sc.ss) < k {
+		sc.ss = linalg.NewVector(2*k + 4)
+	}
+	row := sc.ss[:k]
+	for i, jj := range sc.passive {
+		row[i] = s.p.gram.At(j, jj)
+	}
+	if err := sc.chol.Extend(row, s.p.gram.At(j, j)); err != nil {
+		return false
+	}
+	sc.passive = append(sc.passive, j)
+	return true
+}
+
+// leave drops the atom at passive position k, clamping its coefficient.
+func (s *supportSolver) leave(k int) {
+	sc := s.sc
+	sc.x[sc.passive[k]] = 0
+	sc.chol.Remove(k)
+	sc.passive = append(sc.passive[:k], sc.passive[k+1:]...)
+}
+
+// refit re-optimizes the NNLS coefficients after the support gained the
+// atoms in support that are not yet passive (in NOMP: exactly one new
+// atom). It runs Lawson–Hanson restricted to the support, warm-started from
+// the current passive set, and reports false on numerical failure.
+func (s *supportSolver) refit(support []int) bool {
+	const tol = 1e-10
+	sc := s.sc
+	inPassive := func(j int) bool {
+		for _, k := range sc.passive {
+			if k == j {
+				return true
+			}
+		}
+		return false
+	}
+	// Admit the new support atoms to the passive set.
+	for _, j := range support {
+		if !inPassive(j) {
+			if !s.enter(j) {
+				return false
+			}
+		}
+	}
+	maxIter := 3 * len(support)
+	if maxIter < 30 {
+		maxIter = 30
+	}
+	for outer := 0; outer < maxIter; outer++ {
+		// Inner loop: unconstrained solve on the passive Gram block; step
+		// back and shrink while any passive coefficient is non-positive.
+		for inner := 0; inner < maxIter; inner++ {
+			k := len(sc.passive)
+			if k == 0 {
+				break
+			}
+			if cap(sc.ss) < 2*k {
+				sc.ss = linalg.NewVector(4*k + 4)
+			}
+			b := sc.ss[:k]
+			z := sc.ss[k : 2*k]
+			for i, j := range sc.passive {
+				b[i] = sc.c[j]
+			}
+			sc.chol.Solve(b, z)
+			if allPositiveSlice(z, tol) {
+				for i, j := range sc.passive {
+					sc.x[j] = z[i]
+				}
+				break
+			}
+			// Limiting step α along (z − x) over the passive set.
+			alpha := math.Inf(1)
+			for i, j := range sc.passive {
+				if z[i] <= tol {
+					den := sc.x[j] - z[i]
+					if den > 0 {
+						if r := sc.x[j] / den; r < alpha {
+							alpha = r
+						}
+					} else {
+						alpha = 0
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) {
+				alpha = 0
+			}
+			for i, j := range sc.passive {
+				sc.x[j] += alpha * (z[i] - sc.x[j])
+			}
+			// Clamp and evict atoms that hit the boundary (reverse order so
+			// positions stay valid while removing).
+			for i := len(sc.passive) - 1; i >= 0; i-- {
+				if sc.x[sc.passive[i]] <= tol {
+					s.leave(i)
+				}
+			}
+		}
+		// KKT over the support: wⱼ = cⱼ − Σ_k G_jk·x_k must be ≤ tol for
+		// every support atom outside the passive set.
+		best, bestW := -1, tol
+		for _, j := range support {
+			if inPassive(j) {
+				continue
+			}
+			w := sc.c[j]
+			for _, k := range sc.passive {
+				w -= s.p.gram.At(j, k) * sc.x[k]
+			}
+			if w > bestW {
+				best, bestW = j, w
+			}
+		}
+		if best < 0 {
+			return true
+		}
+		if !s.enter(best) {
+			return false
+		}
+	}
+	// Iteration budget exhausted: keep the best iterate, mirroring the
+	// dense solver's ErrNNLSNoConvergence behavior.
+	return true
+}
+
+func allPositiveSlice(v []float64, tol float64) bool {
+	for _, x := range v {
+		if x <= tol {
+			return false
+		}
+	}
+	return true
+}

@@ -29,16 +29,20 @@ func Dedup(a *linalg.Matrix) (unique *linalg.Matrix, counts []int, members [][]i
 		col     linalg.Vector
 		members []int
 	}
-	index := map[string]int{}
-	var groups []group
+	index := make(map[string]int, a.Cols)
+	groups := make([]group, 0, a.Cols)
+	// One scratch key buffer reused across columns: the map lookup with
+	// string(buf) does not allocate, so only unique columns pay for a key
+	// string (this runs once per design column on the selection hot path).
+	buf := make([]byte, 0, 8*a.Rows)
 	for j := 0; j < a.Cols; j++ {
-		col := a.ColCopy(j)
-		key := columnKey(col)
-		if g, ok := index[key]; ok {
+		col := a.Col(j)
+		buf = appendColumnKey(buf[:0], col)
+		if g, ok := index[string(buf)]; ok {
 			groups[g].members = append(groups[g].members, j)
 			continue
 		}
-		index[key] = len(groups)
+		index[string(buf)] = len(groups)
 		groups = append(groups, group{col: col, members: []int{j}})
 	}
 	cols := make([]linalg.Vector, len(groups))
@@ -52,17 +56,17 @@ func Dedup(a *linalg.Matrix) (unique *linalg.Matrix, counts []int, members [][]i
 	return linalg.MatrixFromColumns(cols), counts, members
 }
 
-// columnKey encodes a column's exact float64 bits; design-matrix entries come
-// from the small set {0, 1, λ, μ}, so exact equality is the right notion.
-func columnKey(col linalg.Vector) string {
-	b := make([]byte, 0, 8*len(col))
+// appendColumnKey appends a column's exact float64 bits to dst;
+// design-matrix entries come from the small set {0, 1, λ, μ}, so exact
+// equality is the right notion.
+func appendColumnKey(dst []byte, col linalg.Vector) []byte {
 	for _, v := range col {
 		u := math.Float64bits(v)
 		for s := 0; s < 64; s += 8 {
-			b = append(b, byte(u>>s))
+			dst = append(dst, byte(u>>s))
 		}
 	}
-	return string(b)
+	return dst
 }
 
 // sparseColumns extracts each column's non-zero entries once; the NOMP
@@ -75,18 +79,32 @@ type sparseColumns struct {
 }
 
 func newSparseColumns(a *linalg.Matrix) *sparseColumns {
+	nnz := 0
+	for j := 0; j < a.Cols; j++ {
+		for _, v := range a.Col(j) {
+			if v != 0 {
+				nnz++
+			}
+		}
+	}
+	// All columns share two flat backing arrays: one pair of allocations
+	// for the whole matrix instead of an append-growth chain per column.
+	idxFlat := make([]int32, 0, nnz)
+	valFlat := make([]float64, 0, nnz)
 	s := &sparseColumns{
 		idx: make([][]int32, a.Cols),
 		val: make([][]float64, a.Cols),
 	}
 	for j := 0; j < a.Cols; j++ {
-		col := a.Col(j)
-		for i, v := range col {
+		start := len(idxFlat)
+		for i, v := range a.Col(j) {
 			if v != 0 {
-				s.idx[j] = append(s.idx[j], int32(i))
-				s.val[j] = append(s.val[j], v)
+				idxFlat = append(idxFlat, int32(i))
+				valFlat = append(valFlat, v)
 			}
 		}
+		s.idx[j] = idxFlat[start:len(idxFlat):len(idxFlat)]
+		s.val[j] = valFlat[start:len(valFlat):len(valFlat)]
 	}
 	return s
 }
@@ -213,7 +231,7 @@ func RoundCandidates(x linalg.Vector, counts []int, maxTotal int) [][]int {
 	for _, c := range counts {
 		capacity += c
 	}
-	var out [][]int
+	out := make([][]int, 0, maxTotal)
 	for total := 1; total <= maxTotal && total <= capacity; total++ {
 		if nu := apportion(u, counts, total); nu != nil {
 			out = append(out, nu)
@@ -263,31 +281,14 @@ func RoundTopK(x linalg.Vector, counts []int, maxTotal int) [][]int {
 type Rounding func(x linalg.Vector, counts []int, maxTotal int) [][]int
 
 // SolveWithRounding is Solve with a pluggable rounding strategy (see
-// RoundCandidates and RoundTopK).
+// RoundCandidates and RoundTopK). One-shot convenience over
+// NewProblem(a).Solve; callers re-solving the same design against many
+// targets should build the Problem once instead.
 func SolveWithRounding(a *linalg.Matrix, y linalg.Vector, m int, round Rounding, eval func(selected []int) float64) ([]int, float64) {
 	if a.Cols == 0 || m <= 0 {
 		return nil, math.Inf(1)
 	}
-	unique, counts, members := Dedup(a)
-	path := NOMPPath(unique, y, m)
-	var best []int
-	bestObj := math.Inf(1)
-	seen := map[string]bool{}
-	for _, x := range path {
-		for _, nu := range round(x, counts, m) {
-			sel := Expand(nu, members)
-			key := selectionKey(sel)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			if obj := eval(sel); obj < bestObj {
-				bestObj = obj
-				best = sel
-			}
-		}
-	}
-	return best, bestObj
+	return NewProblem(a).Solve(y, m, round, eval)
 }
 
 // apportion distributes total units over entries proportionally to u with
@@ -326,7 +327,18 @@ func apportion(u linalg.Vector, counts []int, total int) []int {
 				es = append(es, ent{i, u[i] * float64(total)})
 			}
 		}
-		sort.Slice(es, func(a, b int) bool { return es[a].ideal < es[b].ideal })
+		// Insertion sort ascending by ideal (slices here are small; a
+		// hand-rolled sort avoids sort.Slice's reflection machinery on the
+		// rounding hot path).
+		for i := 1; i < len(es); i++ {
+			e := es[i]
+			j := i - 1
+			for j >= 0 && es[j].ideal > e.ideal {
+				es[j+1] = es[j]
+				j--
+			}
+			es[j+1] = e
+		}
 		for _, e := range es {
 			for assigned > total && nu[e.idx] > 0 {
 				nu[e.idx]--
@@ -335,13 +347,17 @@ func apportion(u linalg.Vector, counts []int, total int) []int {
 		}
 	}
 	// Distribute the remainder by largest fractional part (stable on ties
-	// by index for determinism).
-	sort.Slice(rems, func(a, b int) bool {
-		if rems[a].rem != rems[b].rem {
-			return rems[a].rem > rems[b].rem
+	// by index for determinism); insertion sort, descending by remainder
+	// then ascending by index.
+	for i := 1; i < len(rems); i++ {
+		r := rems[i]
+		j := i - 1
+		for j >= 0 && (rems[j].rem < r.rem || (rems[j].rem == r.rem && rems[j].idx > r.idx)) {
+			rems[j+1] = rems[j]
+			j--
 		}
-		return rems[a].idx < rems[b].idx
-	})
+		rems[j+1] = r
+	}
 	for _, r := range rems {
 		if assigned == total {
 			break
@@ -404,20 +420,33 @@ func Solve(a *linalg.Matrix, y linalg.Vector, m int, eval func(selected []int) f
 // column indices (Algorithm 1, line 9): for each unique column i, the first
 // ν[i] of its member columns are selected.
 func Expand(nu []int, members [][]int) []int {
-	var out []int
+	size := 0
 	for i, k := range nu {
-		for t := 0; t < k && t < len(members[i]); t++ {
-			out = append(out, members[i][t])
+		if k > len(members[i]) {
+			k = len(members[i])
 		}
+		size += k
 	}
-	sort.Ints(out)
-	return out
+	return appendExpand(make([]int, 0, size), nu, members)
 }
 
-func selectionKey(sel []int) string {
-	b := make([]byte, 0, 4*len(sel))
-	for _, s := range sel {
-		b = append(b, byte(s), byte(s>>8), byte(s>>16), ',')
+// appendExpand is Expand into a caller-provided buffer (reused across the
+// candidate loop of Problem.Solve).
+func appendExpand(dst []int, nu []int, members [][]int) []int {
+	for i, k := range nu {
+		for t := 0; t < k && t < len(members[i]); t++ {
+			dst = append(dst, members[i][t])
+		}
 	}
-	return string(b)
+	sort.Ints(dst)
+	return dst
+}
+
+// appendSelectionKey appends a compact byte encoding of a sorted selection;
+// used as a map key to deduplicate candidate evaluations.
+func appendSelectionKey(dst []byte, sel []int) []byte {
+	for _, s := range sel {
+		dst = append(dst, byte(s), byte(s>>8), byte(s>>16), ',')
+	}
+	return dst
 }
