@@ -6,17 +6,26 @@
 //	server -addr :8080 -synthetic            # synthesize the three categories
 //
 // Endpoints: GET /healthz, GET /api/v1/categories,
-// GET /api/v1/targets?category=X, POST /api/v1/select, POST /api/v1/extract.
+// GET /api/v1/targets?category=X, POST /api/v1/select, POST /api/v1/extract,
+// plus operational routes: GET /metrics (Prometheus text exposition of
+// per-endpoint latency histograms and pipeline-stage timers),
+// GET /debug/vars (expvar), and GET /debug/pprof/* (runtime profiles).
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: in-flight requests get up
+// to 10 s to finish before the listener is torn down.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"comparesets/internal/datagen"
@@ -44,9 +53,25 @@ func main() {
 		Handler:           logRequests(logger, service.New(corpora, logger).Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	logger.Printf("listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		logger.Fatal(err)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			logger.Fatal(err)
+		}
+	case <-ctx.Done():
+		logger.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
 	}
 }
 

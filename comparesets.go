@@ -31,6 +31,7 @@
 package comparesets
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -43,6 +44,7 @@ import (
 	"comparesets/internal/lexicon"
 	"comparesets/internal/metrics"
 	"comparesets/internal/model"
+	"comparesets/internal/obs"
 	"comparesets/internal/opinion"
 	"comparesets/internal/rouge"
 	"comparesets/internal/simgraph"
@@ -101,14 +103,30 @@ func DefaultConfig(m int) Config {
 // Select solves CompaReSetS (Problem 1): independent per-item
 // Integer-Regression against the target opinion and aspect distributions.
 func Select(inst *Instance, cfg Config) (*Selection, error) {
-	return core.CompaReSetS{}.Select(inst, cfg)
+	return SelectContext(context.Background(), inst, cfg)
+}
+
+// SelectContext is Select with cooperative cancellation: the pipeline
+// checks ctx at deterministic checkpoints (before each per-item regression
+// and each NOMP atom extension) and returns ctx.Err() once the context is
+// done, without corrupting any shared state. An uncancelled call returns
+// results byte-identical to Select.
+func SelectContext(ctx context.Context, inst *Instance, cfg Config) (*Selection, error) {
+	return core.CompaReSetS{}.SelectContext(ctx, inst, cfg)
 }
 
 // SelectSynchronized solves CompaReSetS+ (Problem 2, Algorithm 1):
 // CompaReSetS followed by alternating re-selection that synchronizes the
 // aspect distributions across items.
 func SelectSynchronized(inst *Instance, cfg Config) (*Selection, error) {
-	return core.CompaReSetSPlus{}.Select(inst, cfg)
+	return SelectSynchronizedContext(context.Background(), inst, cfg)
+}
+
+// SelectSynchronizedContext is SelectSynchronized with cooperative
+// cancellation; Algorithm 1 additionally checks ctx before every
+// alternating resync step. See SelectContext for the semantics.
+func SelectSynchronizedContext(ctx context.Context, inst *Instance, cfg Config) (*Selection, error) {
+	return core.CompaReSetSPlus{}.SelectContext(ctx, inst, cfg)
 }
 
 // SelectBatch runs a selector over many independent instances in parallel
@@ -116,7 +134,14 @@ func SelectSynchronized(inst *Instance, cfg Config) (*Selection, error) {
 // uses all cores; instance i is solved with Seed = cfg.Seed + i so results
 // are deterministic regardless of scheduling.
 func SelectBatch(insts []*Instance, sel Selector, cfg Config, workers int) ([]*Selection, error) {
-	return core.SelectAll(insts, sel, cfg, workers)
+	return SelectBatchContext(context.Background(), insts, sel, cfg, workers)
+}
+
+// SelectBatchContext is SelectBatch with cooperative cancellation: once ctx
+// is done, unstarted instances are skipped, in-flight instances stop at
+// their next checkpoint, and the call returns ctx.Err().
+func SelectBatchContext(ctx context.Context, insts []*Instance, sel Selector, cfg Config, workers int) ([]*Selection, error) {
+	return core.SelectAllContext(ctx, insts, sel, cfg, workers)
 }
 
 // Selectors returns all implemented selection algorithms, including the
@@ -135,31 +160,122 @@ func SimilarityGraph(inst *Instance, sel *Selection, cfg Config) *Graph {
 	return simgraph.Build(core.Stats(inst, tg, cfg, sel), cfg)
 }
 
+// ShortlistMethod identifies a TargetHkS solver in the typed v2 API.
+type ShortlistMethod int
+
+// Shortlist methods, in the paper's §4.3 order.
+const (
+	// ShortlistExact is branch and bound, provably optimal within its time
+	// budget (the paper's TargetHkS_ILP stand-in).
+	ShortlistExact ShortlistMethod = iota
+	// ShortlistGreedy is Algorithm 2.
+	ShortlistGreedy
+	// ShortlistTopK keeps the k−1 items most similar to the target.
+	ShortlistTopK
+	// ShortlistRandom samples k−1 comparative items uniformly.
+	ShortlistRandom
+)
+
+// String returns the canonical parseable name of the method.
+func (m ShortlistMethod) String() string {
+	switch m {
+	case ShortlistExact:
+		return "exact"
+	case ShortlistGreedy:
+		return "greedy"
+	case ShortlistTopK:
+		return "topk"
+	case ShortlistRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("ShortlistMethod(%d)", int(m))
+	}
+}
+
+// ParseShortlistMethod resolves the string names of the v1 API ("exact" —
+// with "ilp" as an alias — "greedy", "topk", "random") to a typed method.
+func ParseShortlistMethod(s string) (ShortlistMethod, error) {
+	switch s {
+	case "exact", "ilp":
+		return ShortlistExact, nil
+	case "greedy":
+		return ShortlistGreedy, nil
+	case "topk":
+		return ShortlistTopK, nil
+	case "random":
+		return ShortlistRandom, nil
+	default:
+		return 0, fmt.Errorf("comparesets: unknown shortlist method %q (want exact, greedy, topk, or random)", s)
+	}
+}
+
+// DefaultShortlistBudget is the exact solver's wall-clock budget when
+// ShortlistOptions.Budget is zero — the 60 s the paper used (§4.3).
+const DefaultShortlistBudget = 60 * time.Second
+
+// ShortlistOptions configures a TargetHkS solve.
+type ShortlistOptions struct {
+	// Method selects the solver; the zero value is ShortlistExact.
+	Method ShortlistMethod
+	// Budget caps the exact solver's wall-clock time; zero means
+	// DefaultShortlistBudget, negative means unlimited. On timeout the
+	// best incumbent is returned with Optimal = false. Heuristic methods
+	// ignore it.
+	Budget time.Duration
+}
+
 // Shortlist narrows the instance to the k most mutually similar items
-// including the target (TargetHkS, Problem 3). method is "exact" (branch
-// and bound, provably optimal within its time budget), "greedy"
-// (Algorithm 2), "topk" (highest similarity to the target), or "random".
+// including the target (TargetHkS, Problem 3). method is "exact", "greedy",
+// "topk", or "random".
+//
+// Deprecated: use ShortlistWith (or ShortlistContext) with a typed
+// ShortlistMethod; this stringly-typed form remains for v1 compatibility.
 func Shortlist(inst *Instance, sel *Selection, cfg Config, k int, method string) (ShortlistResult, error) {
-	g := SimilarityGraph(inst, sel, cfg)
-	solver, err := shortlistSolver(method, cfg.Seed)
+	m, err := ParseShortlistMethod(method)
 	if err != nil {
 		return ShortlistResult{}, err
 	}
-	return solver.Solve(g, k), nil
+	return ShortlistWith(inst, sel, cfg, k, ShortlistOptions{Method: m})
 }
 
-func shortlistSolver(method string, seed int64) (simgraph.Solver, error) {
-	switch method {
-	case "exact", "ilp":
-		return simgraph.Exact{Budget: 60 * time.Second}, nil
-	case "greedy":
+// ShortlistWith solves TargetHkS with typed options; it is
+// ShortlistContext with context.Background().
+func ShortlistWith(inst *Instance, sel *Selection, cfg Config, k int, opts ShortlistOptions) (ShortlistResult, error) {
+	return ShortlistContext(context.Background(), inst, sel, cfg, k, opts)
+}
+
+// ShortlistContext solves TargetHkS with typed options and cooperative
+// cancellation: the exact solver treats an earlier ctx deadline like an
+// exhausted budget and returns its best incumbent flagged Optimal = false.
+func ShortlistContext(ctx context.Context, inst *Instance, sel *Selection, cfg Config, k int, opts ShortlistOptions) (ShortlistResult, error) {
+	solver, err := shortlistSolver(opts, cfg.Seed)
+	if err != nil {
+		return ShortlistResult{}, err
+	}
+	defer obs.StageTimer(obs.StageShortlist)()
+	g := SimilarityGraph(inst, sel, cfg)
+	return solver.SolveContext(ctx, g, k), nil
+}
+
+func shortlistSolver(opts ShortlistOptions, seed int64) (simgraph.Solver, error) {
+	switch opts.Method {
+	case ShortlistExact:
+		budget := opts.Budget
+		switch {
+		case budget == 0:
+			budget = DefaultShortlistBudget
+		case budget < 0:
+			budget = 0 // simgraph.Exact treats zero as unlimited
+		}
+		return simgraph.Exact{Budget: budget}, nil
+	case ShortlistGreedy:
 		return simgraph.Greedy{}, nil
-	case "topk":
+	case ShortlistTopK:
 		return simgraph.TopK{}, nil
-	case "random":
+	case ShortlistRandom:
 		return simgraph.RandomShortlist{Seed: seed}, nil
 	default:
-		return nil, fmt.Errorf("comparesets: unknown shortlist method %q (want exact, greedy, topk, or random)", method)
+		return nil, fmt.Errorf("comparesets: invalid shortlist method %v", opts.Method)
 	}
 }
 

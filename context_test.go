@@ -1,0 +1,257 @@
+package comparesets_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"comparesets"
+)
+
+// heavyInstance builds an inline instance large enough that selection takes
+// well over a millisecond: 80 items × 200 reviews with distinct mention
+// patterns, so the regression has thousands of distinct columns to rank.
+func heavyInstance() *comparesets.Instance {
+	aspects := make([]string, 20)
+	for i := range aspects {
+		aspects[i] = fmt.Sprintf("aspect%02d", i)
+	}
+	items := make([]*comparesets.Item, 80)
+	for i := range items {
+		item := &comparesets.Item{ID: fmt.Sprintf("p%02d", i), Title: fmt.Sprintf("Product %d", i)}
+		for j := 0; j < 200; j++ {
+			pol := comparesets.Positive
+			if (i+j)%2 == 1 {
+				pol = comparesets.Negative
+			}
+			item.Reviews = append(item.Reviews, &comparesets.Review{
+				ID:     fmt.Sprintf("p%02d-r%03d", i, j),
+				Rating: 1 + (i+j)%5,
+				Mentions: []comparesets.Mention{
+					{Aspect: j % 20, Polarity: pol, Score: 1},
+					{Aspect: (j / 20) % 20, Polarity: comparesets.Positive, Score: 1},
+					{Aspect: (i + j) % 20, Polarity: comparesets.Negative, Score: 1},
+				},
+			})
+		}
+		items[i] = item
+	}
+	return &comparesets.Instance{
+		Aspects: comparesets.NewVocabulary(aspects),
+		Items:   items,
+	}
+}
+
+func TestSelectContextExpiredFailsFast(t *testing.T) {
+	inst := heavyInstance()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for name, run := range map[string]func() (*comparesets.Selection, error){
+		"SelectContext": func() (*comparesets.Selection, error) {
+			return comparesets.SelectContext(ctx, inst, comparesets.DefaultConfig(3))
+		},
+		"SelectSynchronizedContext": func() (*comparesets.Selection, error) {
+			return comparesets.SelectSynchronizedContext(ctx, inst, comparesets.DefaultConfig(3))
+		},
+	} {
+		start := time.Now()
+		sel, err := run()
+		elapsed := time.Since(start)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: err = %v (want DeadlineExceeded)", name, err)
+		}
+		if sel != nil {
+			t.Errorf("%s: non-nil selection on expired context", name)
+		}
+		if elapsed > 50*time.Millisecond {
+			t.Errorf("%s: took %v (want < 50ms)", name, elapsed)
+		}
+	}
+}
+
+func TestSelectContextCancelMidSelect(t *testing.T) {
+	inst := heavyInstance()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := comparesets.SelectSynchronizedContext(ctx, inst, comparesets.DefaultConfig(5))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v (want Canceled); run took %v", err, elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("cancellation honored only after %v", elapsed)
+	}
+	// The abandoned solve must not corrupt shared state: the same instance
+	// still selects correctly afterwards.
+	sel, err := comparesets.SelectSynchronized(inst, comparesets.DefaultConfig(5))
+	if err != nil || len(sel.Indices) != inst.NumItems() {
+		t.Fatalf("post-cancel select: sel=%v err=%v", sel, err)
+	}
+}
+
+func TestSelectBatchContextCancelNoLeak(t *testing.T) {
+	corpus, err := comparesets.GenerateCorpus("Cellphone", 40, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var insts []*comparesets.Instance
+	for _, id := range comparesets.TargetProducts(corpus) {
+		inst, err := corpus.NewInstance(id, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, inst)
+	}
+	if len(insts) < 4 {
+		t.Fatalf("only %d instances", len(insts))
+	}
+	sel, _ := comparesets.SelectorByName("CompaReSetS+")
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: workers must drain without doing work
+	if _, err := comparesets.SelectBatchContext(ctx, insts, sel, comparesets.DefaultConfig(3), 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v (want Canceled)", err)
+	}
+
+	// All worker goroutines must have exited; poll briefly to let the
+	// scheduler retire them.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+func TestContextFreeAndContextFormsAgree(t *testing.T) {
+	inst := buildInstance(t)
+	cfg := comparesets.DefaultConfig(3)
+	ctx := context.Background()
+
+	plain, err := comparesets.Select(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainCtx, err := comparesets.SelectContext(ctx, inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, plainCtx) {
+		t.Error("Select and SelectContext disagree on an uncancelled run")
+	}
+
+	sync, err := comparesets.SelectSynchronized(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncCtx, err := comparesets.SelectSynchronizedContext(ctx, inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sync, syncCtx) {
+		t.Error("SelectSynchronized and SelectSynchronizedContext disagree on an uncancelled run")
+	}
+}
+
+func TestShortlistTypedMethods(t *testing.T) {
+	cases := []struct {
+		method comparesets.ShortlistMethod
+		name   string
+	}{
+		{comparesets.ShortlistExact, "exact"},
+		{comparesets.ShortlistGreedy, "greedy"},
+		{comparesets.ShortlistTopK, "topk"},
+		{comparesets.ShortlistRandom, "random"},
+	}
+	for _, c := range cases {
+		if got := c.method.String(); got != c.name {
+			t.Errorf("%v.String() = %q", c.method, got)
+		}
+		parsed, err := comparesets.ParseShortlistMethod(c.name)
+		if err != nil || parsed != c.method {
+			t.Errorf("ParseShortlistMethod(%q) = %v, %v", c.name, parsed, err)
+		}
+	}
+	if m, err := comparesets.ParseShortlistMethod("ilp"); err != nil || m != comparesets.ShortlistExact {
+		t.Errorf(`ParseShortlistMethod("ilp") = %v, %v (want alias for exact)`, m, err)
+	}
+	if _, err := comparesets.ParseShortlistMethod("bogus"); err == nil {
+		t.Error("bogus method parsed")
+	}
+
+	inst := buildInstance(t)
+	cfg := comparesets.DefaultConfig(3)
+	sel, err := comparesets.Select(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deprecated string form and the typed form must agree.
+	for _, c := range cases {
+		old, err1 := comparesets.Shortlist(inst, sel, cfg, 3, c.name)
+		typed, err2 := comparesets.ShortlistWith(inst, sel, cfg, 3, comparesets.ShortlistOptions{Method: c.method})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: errs %v / %v", c.name, err1, err2)
+		}
+		if !reflect.DeepEqual(old, typed) {
+			t.Errorf("%s: string form %+v != typed form %+v", c.name, old, typed)
+		}
+	}
+	if _, err := comparesets.ShortlistWith(inst, sel, cfg, 3, comparesets.ShortlistOptions{Method: comparesets.ShortlistMethod(99)}); err == nil {
+		t.Error("invalid typed method accepted")
+	}
+}
+
+func TestShortlistExactBudgetReturnsBestSoFar(t *testing.T) {
+	inst := buildInstance(t)
+	cfg := comparesets.DefaultConfig(3)
+	sel, err := comparesets.Select(inst, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A one-nanosecond budget expires before the branch-and-bound starts:
+	// the solver must still return the (feasible, greedy-seeded) incumbent
+	// flagged non-optimal — never an empty result.
+	short, err := comparesets.ShortlistWith(inst, sel, cfg, 3, comparesets.ShortlistOptions{
+		Method: comparesets.ShortlistExact,
+		Budget: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Optimal {
+		t.Error("1ns budget reported a proven optimum")
+	}
+	if len(short.Members) != 3 || short.Members[0] != 0 {
+		t.Errorf("best-so-far members = %v (want 3 members incl. target)", short.Members)
+	}
+
+	// An expired context behaves like an exhausted budget.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	short, err = comparesets.ShortlistContext(ctx, inst, sel, cfg, 3, comparesets.ShortlistOptions{Method: comparesets.ShortlistExact, Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Optimal || len(short.Members) != 3 {
+		t.Errorf("expired ctx: %+v", short)
+	}
+
+	// A negative (unlimited) budget proves optimality on this tiny graph.
+	short, err = comparesets.ShortlistWith(inst, sel, cfg, 3, comparesets.ShortlistOptions{Method: comparesets.ShortlistExact, Budget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !short.Optimal {
+		t.Error("unlimited budget failed to prove optimality on a tiny graph")
+	}
+}

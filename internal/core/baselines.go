@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"math"
@@ -22,7 +23,12 @@ type CRS struct{}
 func (CRS) Name() string { return "Crs" }
 
 // Select implements Selector.
-func (CRS) Select(inst *model.Instance, cfg Config) (*Selection, error) {
+func (s CRS) Select(inst *model.Instance, cfg Config) (*Selection, error) {
+	return s.SelectContext(context.Background(), inst, cfg)
+}
+
+// SelectContext implements Selector.
+func (CRS) SelectContext(ctx context.Context, inst *model.Instance, cfg Config) (*Selection, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -50,7 +56,11 @@ func (CRS) Select(inst *model.Instance, cfg Config) (*Selection, error) {
 			set := gather(it.Reviews, selected)
 			return linalg.SquaredDistance(tg.Tau[item], sch.Vector(set, z))
 		}
-		sel.Indices[i], _ = regress.Solve(w, tg.Tau[i], crsCfg.M, eval)
+		var err error
+		sel.Indices[i], _, err = regress.SolveContext(ctx, w, tg.Tau[i], crsCfg.M, eval)
+		if err != nil {
+			return nil, err
+		}
 	}
 	sel.Objective = ObjectiveCompareSets(inst, NewTargets(inst, cfg), cfg, sel.Reviews(inst))
 	return sel, nil
@@ -66,7 +76,12 @@ type Greedy struct{}
 func (Greedy) Name() string { return "CompaReSetS_Greedy" }
 
 // Select implements Selector.
-func (Greedy) Select(inst *model.Instance, cfg Config) (*Selection, error) {
+func (s Greedy) Select(inst *model.Instance, cfg Config) (*Selection, error) {
+	return s.SelectContext(context.Background(), inst, cfg)
+}
+
+// SelectContext implements Selector; ctx is checked before each item.
+func (Greedy) SelectContext(ctx context.Context, inst *model.Instance, cfg Config) (*Selection, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -76,6 +91,9 @@ func (Greedy) Select(inst *model.Instance, cfg Config) (*Selection, error) {
 	tg := NewTargets(inst, cfg)
 	sel := &Selection{Indices: make([][]int, inst.NumItems())}
 	for i, it := range inst.Items {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sel.Indices[i] = greedyItem(inst, tg, cfg, i, it)
 	}
 	sel.Objective = ObjectiveCompareSets(inst, tg, cfg, sel.Reviews(inst))
@@ -122,8 +140,17 @@ type Random struct{}
 func (Random) Name() string { return "Random" }
 
 // Select implements Selector.
-func (Random) Select(inst *model.Instance, cfg Config) (*Selection, error) {
+func (s Random) Select(inst *model.Instance, cfg Config) (*Selection, error) {
+	return s.SelectContext(context.Background(), inst, cfg)
+}
+
+// SelectContext implements Selector; the draw is fast enough that only the
+// entry checkpoint applies.
+func (Random) SelectContext(ctx context.Context, inst *model.Instance, cfg Config) (*Selection, error) {
 	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if inst.NumItems() == 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,11 +10,20 @@ import (
 )
 
 // SelectAll runs the selector over many independent problem instances in
-// parallel (§4.1.1: every target item is an independent instance). workers
-// ≤ 0 uses GOMAXPROCS. Results are returned in instance order; per-instance
-// configurations receive Seed = cfg.Seed + index so the Random baseline
-// stays decorrelated and deterministic regardless of scheduling.
+// parallel; it is SelectAllContext with context.Background().
 func SelectAll(insts []*model.Instance, sel Selector, cfg Config, workers int) ([]*Selection, error) {
+	return SelectAllContext(context.Background(), insts, sel, cfg, workers)
+}
+
+// SelectAllContext runs the selector over many independent problem
+// instances in parallel (§4.1.1: every target item is an independent
+// instance). workers ≤ 0 uses GOMAXPROCS. Results are returned in instance
+// order; per-instance configurations receive Seed = cfg.Seed + index so the
+// Random baseline stays decorrelated and deterministic regardless of
+// scheduling. Once ctx is done, unstarted instances are skipped and the
+// call returns ctx.Err() (cancellation inside an instance surfaces through
+// the selector's own checkpoints).
+func SelectAllContext(ctx context.Context, insts []*model.Instance, sel Selector, cfg Config, workers int) ([]*Selection, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -35,9 +45,12 @@ func SelectAll(insts []*model.Instance, sel Selector, cfg Config, workers int) (
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain: the ctx error is reported below
+				}
 				instCfg := cfg
 				instCfg.Seed = cfg.Seed + int64(i)
-				s, err := sel.Select(insts[i], instCfg)
+				s, err := sel.SelectContext(ctx, insts[i], instCfg)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -55,6 +68,9 @@ func SelectAll(insts []*model.Instance, sel Selector, cfg Config, workers int) (
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

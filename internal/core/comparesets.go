@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"comparesets/internal/linalg"
 	"comparesets/internal/model"
+	"comparesets/internal/obs"
 	"comparesets/internal/regress"
 )
 
@@ -18,28 +21,42 @@ type CompaReSetS struct{}
 // Name implements Selector.
 func (CompaReSetS) Name() string { return "CompaReSetS" }
 
-// Select implements Selector. Because Eq. 1 decomposes over items, the
-// per-item regressions run on a bounded worker pool (cfg.Workers); results
-// are byte-identical to a sequential run since every item's subproblem is
-// independent and deterministic.
-func (CompaReSetS) Select(inst *model.Instance, cfg Config) (*Selection, error) {
+// Select implements Selector.
+func (s CompaReSetS) Select(inst *model.Instance, cfg Config) (*Selection, error) {
+	return s.SelectContext(context.Background(), inst, cfg)
+}
+
+// SelectContext implements Selector. Because Eq. 1 decomposes over items,
+// the per-item regressions run on a bounded worker pool (cfg.Workers);
+// results are byte-identical to a sequential run since every item's
+// subproblem is independent and deterministic.
+func (CompaReSetS) SelectContext(ctx context.Context, inst *model.Instance, cfg Config) (*Selection, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	if inst.NumItems() == 0 {
 		return nil, ErrEmptyInstance
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tg := NewTargets(inst, cfg)
 	fc := newFeatureCache(inst, cfg, tg)
-	sel := &Selection{Indices: selectItems(fc)}
+	indices, err := selectItems(ctx, fc)
+	if err != nil {
+		return nil, err
+	}
+	sel := &Selection{Indices: indices}
 	sel.Objective = ObjectiveCompareSets(inst, tg, cfg, sel.Reviews(inst))
 	return sel, nil
 }
 
 // selectItems fans the independent per-item regressions across cfg.Workers
 // goroutines (the SelectAll idiom one level down). out[i] depends only on
-// item i, so scheduling cannot change results.
-func selectItems(fc *featureCache) [][]int {
+// item i, so scheduling cannot change results. Every worker checks ctx
+// before starting an item; the first error (including ctx.Err()) wins and
+// the remaining items are skipped.
+func selectItems(ctx context.Context, fc *featureCache) ([][]int, error) {
 	n := fc.inst.NumItems()
 	out := make([][]int, n)
 	workers := fc.cfg.workerCount()
@@ -48,18 +65,40 @@ func selectItems(fc *featureCache) [][]int {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			out[i] = selectForItem(fc, i)
+			sel, err := selectForItem(ctx, fc, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = sel
 		}
-		return out
+		return out, nil
 	}
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		failed   atomic.Bool
+	)
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = selectForItem(fc, i)
+				if failed.Load() {
+					continue // drain remaining jobs without working
+				}
+				sel, err := selectForItem(ctx, fc, i)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					continue
+				}
+				out[i] = sel
 			}
 		}()
 	}
@@ -68,21 +107,27 @@ func selectItems(fc *featureCache) [][]int {
 	}
 	close(jobs)
 	wg.Wait()
-	return out
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // selectForItem runs Integer-Regression for a single item against the
 // CompaReSetS target [τᵢ; λΓ], using the item's cached problem.
-func selectForItem(fc *featureCache, item int) []int {
+func selectForItem(ctx context.Context, fc *featureCache, item int) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(fc.inst.Items[item].Reviews) == 0 {
-		return nil
+		return nil, nil
 	}
 	p := fc.baseProblem(item)
 	eval := func(selected []int) float64 {
 		return fc.itemObjective(item, selected)
 	}
-	sel, _ := p.Solve(fc.items[item].baseTarget, fc.cfg.M, regress.RoundCandidates, eval)
-	return sel
+	sel, _, err := p.SolveContext(ctx, fc.items[item].baseTarget, fc.cfg.M, regress.RoundCandidates, eval)
+	return sel, err
 }
 
 // CompaReSetSPlus solves Problem 2 with Algorithm 1: initialize with
@@ -98,16 +143,27 @@ type CompaReSetSPlus struct{}
 func (CompaReSetSPlus) Name() string { return "CompaReSetS+" }
 
 // Select implements Selector.
-func (CompaReSetSPlus) Select(inst *model.Instance, cfg Config) (*Selection, error) {
+func (s CompaReSetSPlus) Select(inst *model.Instance, cfg Config) (*Selection, error) {
+	return s.SelectContext(context.Background(), inst, cfg)
+}
+
+// SelectContext implements Selector.
+func (CompaReSetSPlus) SelectContext(ctx context.Context, inst *model.Instance, cfg Config) (*Selection, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	if inst.NumItems() == 0 {
 		return nil, ErrEmptyInstance
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tg := NewTargets(inst, cfg)
 	fc := newFeatureCache(inst, cfg, tg)
-	indices := selectItems(fc)
+	indices, err := selectItems(ctx, fc)
+	if err != nil {
+		return nil, err
+	}
 	// φ(Sᵢ) of every item's current selection, maintained incrementally:
 	// each sweep step changes exactly one item's set.
 	phis := make([]linalg.Vector, len(indices))
@@ -119,10 +175,16 @@ func (CompaReSetSPlus) Select(inst *model.Instance, cfg Config) (*Selection, err
 		passes = 1
 	}
 	for pass := 0; pass < passes; pass++ {
+		sweepStop := obs.StageTimer(obs.StageSweep)
 		for i := range inst.Items {
-			indices[i] = resyncItem(fc, i, indices, phis)
+			idx, err := resyncItem(ctx, fc, i, indices, phis)
+			if err != nil {
+				return nil, err
+			}
+			indices[i] = idx
 			phis[i] = fc.phi(i, indices[i])
 		}
+		sweepStop()
 	}
 	sel := &Selection{Indices: indices}
 	sel.Objective = ObjectivePlus(inst, tg, cfg, sel.Reviews(inst))
@@ -133,9 +195,12 @@ func (CompaReSetSPlus) Select(inst *model.Instance, cfg Config) (*Selection, err
 // Algorithm 1, keeping the incumbent when no candidate improves the exact
 // conditional objective. phis holds φ(S_b) for every item's current
 // selection.
-func resyncItem(fc *featureCache, item int, indices [][]int, phis []linalg.Vector) []int {
+func resyncItem(ctx context.Context, fc *featureCache, item int, indices [][]int, phis []linalg.Vector) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(fc.inst.Items[item].Reviews) == 0 {
-		return nil
+		return nil, nil
 	}
 	n := fc.inst.NumItems()
 	// Aggregates of the other items' aspect vectors: Σ_b φ_b feeds the
@@ -166,15 +231,18 @@ func resyncItem(fc *featureCache, item int, indices [][]int, phis []linalg.Vecto
 
 	p := fc.plusProblem(item)
 	y := fc.plusTarget(item, othersSum)
-	sel, obj := p.Solve(y, fc.cfg.M, regress.RoundCandidates, eval)
+	sel, obj, err := p.SolveContext(ctx, y, fc.cfg.M, regress.RoundCandidates, eval)
+	if err != nil {
+		return nil, err
+	}
 	// Keep the incumbent if strictly better (Algorithm 1 tracks min_Δ; we
 	// seed it with the current selection so a sweep never regresses).
 	if cur := indices[item]; len(cur) > 0 {
 		if eval(cur) <= obj {
-			return cur
+			return cur, nil
 		}
 	}
-	return sel
+	return sel, nil
 }
 
 func gather(reviews []*model.Review, idx []int) []*model.Review {

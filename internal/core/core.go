@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -100,8 +101,16 @@ func (s *Selection) Reviews(inst *model.Instance) [][]*model.Review {
 type Selector interface {
 	// Name identifies the algorithm in experiment tables.
 	Name() string
-	// Select chooses ≤ cfg.M reviews for every item of the instance.
+	// Select chooses ≤ cfg.M reviews for every item of the instance. It is
+	// SelectContext with context.Background().
 	Select(inst *model.Instance, cfg Config) (*Selection, error)
+	// SelectContext is Select with cooperative cancellation: the pipeline
+	// checks ctx at deterministic checkpoints (before each per-item
+	// regression, each NOMP atom extension, and each Algorithm 1 resync
+	// step) and returns ctx.Err() once the context is done. Cancellation
+	// never corrupts shared state, and uncancelled runs return results
+	// byte-identical to Select.
+	SelectContext(ctx context.Context, inst *model.Instance, cfg Config) (*Selection, error)
 }
 
 // Targets precomputes the optimization targets of an instance: Γ = φ(R₁)

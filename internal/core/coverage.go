@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"comparesets/internal/model"
@@ -18,7 +19,12 @@ type Comprehensive struct{}
 func (Comprehensive) Name() string { return "Comprehensive" }
 
 // Select implements Selector.
-func (Comprehensive) Select(inst *model.Instance, cfg Config) (*Selection, error) {
+func (s Comprehensive) Select(inst *model.Instance, cfg Config) (*Selection, error) {
+	return s.SelectContext(context.Background(), inst, cfg)
+}
+
+// SelectContext implements Selector; ctx is checked before each item.
+func (Comprehensive) SelectContext(ctx context.Context, inst *model.Instance, cfg Config) (*Selection, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -27,6 +33,9 @@ func (Comprehensive) Select(inst *model.Instance, cfg Config) (*Selection, error
 	}
 	sel := &Selection{Indices: make([][]int, inst.NumItems())}
 	for i, it := range inst.Items {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sel.Indices[i] = coverGreedy(it.Reviews, cfg.M, func(r *model.Review) []int {
 			return r.AspectSet()
 		})
@@ -46,7 +55,12 @@ type CoverageOpinions struct{}
 func (CoverageOpinions) Name() string { return "CoverageOpinions" }
 
 // Select implements Selector.
-func (CoverageOpinions) Select(inst *model.Instance, cfg Config) (*Selection, error) {
+func (s CoverageOpinions) Select(inst *model.Instance, cfg Config) (*Selection, error) {
+	return s.SelectContext(context.Background(), inst, cfg)
+}
+
+// SelectContext implements Selector; ctx is checked before each item.
+func (CoverageOpinions) SelectContext(ctx context.Context, inst *model.Instance, cfg Config) (*Selection, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -56,6 +70,9 @@ func (CoverageOpinions) Select(inst *model.Instance, cfg Config) (*Selection, er
 	z := inst.Aspects.Len()
 	sel := &Selection{Indices: make([][]int, inst.NumItems())}
 	for i, it := range inst.Items {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sel.Indices[i] = coverGreedy(it.Reviews, cfg.M, func(r *model.Review) []int {
 			// Elements are (aspect, polarity) pairs encoded as integers.
 			seen := map[int]bool{}

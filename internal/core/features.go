@@ -5,6 +5,7 @@ import (
 
 	"comparesets/internal/linalg"
 	"comparesets/internal/model"
+	"comparesets/internal/obs"
 	"comparesets/internal/opinion"
 	"comparesets/internal/regress"
 )
@@ -59,6 +60,7 @@ type itemFeatures struct {
 }
 
 func newFeatureCache(inst *model.Instance, cfg Config, tg *Targets) *featureCache {
+	defer obs.StageTimer(obs.StageFeatureBuild)()
 	fc := &featureCache{
 		inst:  inst,
 		cfg:   cfg,

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every family in the Prometheus text exposition
+// format (version 0.0.4): families in name order, series in label order,
+// histograms as cumulative _bucket/_sum/_count triples.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := append([]string(nil), r.names...)
+	r.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		r.mu.RLock()
+		f := r.families[name]
+		series := append([]*series(nil), f.series...)
+		r.mu.RUnlock()
+		sort.Slice(series, func(a, b int) bool { return series[a].labels < series[b].labels })
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch f.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.c.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(s.g.Value()))
+		return err
+	default:
+		cumulative, count, sum := s.h.snapshot()
+		for i, bound := range f.bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, withLabel(s.labels, "le", formatFloat(bound)), cumulative[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, withLabel(s.labels, "le", "+Inf"), count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatFloat(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, count)
+		return err
+	}
+}
+
+// withLabel splices one more label pair into an already-rendered label
+// string.
+func withLabel(rendered, key, value string) string {
+	pair := fmt.Sprintf("%s=%q", key, value)
+	if rendered == "" {
+		return "{" + pair + "}"
+	}
+	return strings.TrimSuffix(rendered, "}") + "," + pair + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MetricsHandler serves the registry in Prometheus text format.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,68 @@
+package obs
+
+import "time"
+
+// Pipeline stage names instrumented across the selection pipeline. Each
+// stage is one series of the comparesets_pipeline_stage_duration_seconds
+// histogram family.
+const (
+	// StageFeatureBuild is the per-instance feature-cache construction
+	// (internal/core.newFeatureCache).
+	StageFeatureBuild = "feature_build"
+	// StageNOMP is one non-negative OMP path computation
+	// (internal/regress.Problem NOMP loop).
+	StageNOMP = "nomp"
+	// StageNNLS is the cumulative warm-started NNLS time within one NOMP
+	// path (the Lawson–Hanson refits).
+	StageNNLS = "nnls"
+	// StageSweep is one full alternating re-selection pass of Algorithm 1
+	// (internal/core.CompaReSetSPlus).
+	StageSweep = "sweep"
+	// StageShortlist is one TargetHkS solve (internal/simgraph).
+	StageShortlist = "shortlist"
+)
+
+const stageMetricName = "comparesets_pipeline_stage_duration_seconds"
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that the selection pipeline's
+// stage timers record into and that internal/service exposes at /metrics.
+func Default() *Registry { return defaultRegistry }
+
+// stageHists is populated once at init and read-only afterwards, so the
+// hot-path lookup in ObserveStage is a plain map read with no locking.
+var stageHists = func() map[string]*Histogram {
+	known := []string{StageFeatureBuild, StageNOMP, StageNNLS, StageSweep, StageShortlist}
+	m := make(map[string]*Histogram, len(known))
+	for _, stage := range known {
+		m[stage] = defaultRegistry.Histogram(stageMetricName,
+			"Wall-clock time of one selection pipeline stage execution.",
+			nil, Labels{"stage": stage})
+	}
+	return m
+}()
+
+// StageHistogram returns the histogram series for a pipeline stage,
+// registering unknown stages on first use.
+func StageHistogram(stage string) *Histogram {
+	if h, ok := stageHists[stage]; ok {
+		return h
+	}
+	return defaultRegistry.Histogram(stageMetricName,
+		"Wall-clock time of one selection pipeline stage execution.",
+		nil, Labels{"stage": stage})
+}
+
+// ObserveStage records one execution of the named stage.
+func ObserveStage(stage string, d time.Duration) {
+	StageHistogram(stage).ObserveDuration(d)
+}
+
+// StageTimer starts timing a stage; the returned stop function records the
+// elapsed time: defer obs.StageTimer(obs.StageNOMP)().
+func StageTimer(stage string) func() {
+	h := StageHistogram(stage)
+	t := time.Now()
+	return func() { h.ObserveDuration(time.Since(t)) }
+}

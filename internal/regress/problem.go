@@ -1,10 +1,19 @@
 package regress
 
 import (
+	"context"
+	"errors"
 	"math"
+	"time"
 
 	"comparesets/internal/linalg"
+	"comparesets/internal/obs"
 )
+
+// errGramFallback signals that the incremental Gram-space solver hit a
+// numerical failure and the dense reference path must be used instead. It
+// never escapes the package.
+var errGramFallback = errors.New("regress: gram solver fallback")
 
 // Problem is a preprocessed Integer-Regression instance: the deduplicated
 // design matrix together with every target-independent structure the solver
@@ -100,15 +109,37 @@ func NewProblem(a *linalg.Matrix) *Problem {
 // eval must not retain it past the call. The returned best selection is
 // freshly allocated and owned by the caller.
 func (p *Problem) Solve(y linalg.Vector, m int, round Rounding, eval func(selected []int) float64) ([]int, float64) {
+	sel, obj, _ := p.SolveContext(context.Background(), y, m, round, eval)
+	return sel, obj
+}
+
+// SolveContext is Solve with cooperative cancellation: the NOMP atom loop
+// and the candidate-scoring loop check ctx at deterministic points, and a
+// cancelled call returns ctx.Err() with a nil selection. Abandoning a call
+// midway never corrupts the Problem's scratch — every buffer is reset at
+// the start of the next solve — and an uncancelled call returns exactly
+// what Solve returns.
+func (p *Problem) SolveContext(ctx context.Context, y linalg.Vector, m int, round Rounding, eval func(selected []int) float64) ([]int, float64, error) {
 	if p.Unique.Cols == 0 || m <= 0 {
-		return nil, math.Inf(1)
+		return nil, math.Inf(1), nil
 	}
-	path := p.NOMPPath(y, m)
+	if err := ctx.Err(); err != nil {
+		return nil, math.Inf(1), err
+	}
+	nompStop := obs.StageTimer(obs.StageNOMP)
+	path, err := p.nompPath(ctx, y, m)
+	nompStop()
+	if err != nil {
+		return nil, math.Inf(1), err
+	}
 	sc := p.scratchState(1)
 	clear(sc.seen)
 	var best []int
 	bestObj := math.Inf(1)
 	for _, x := range path {
+		if err := ctx.Err(); err != nil {
+			return nil, math.Inf(1), err
+		}
 		for _, nu := range round(x, p.Counts, m) {
 			sel := appendExpand(sc.selBuf[:0], nu, p.Members)
 			sc.selBuf = sel
@@ -124,7 +155,7 @@ func (p *Problem) Solve(y linalg.Vector, m int, round Rounding, eval func(select
 			}
 		}
 	}
-	return best, bestObj
+	return best, bestObj, nil
 }
 
 // NOMPPath is the incremental counterpart of the package-level NOMPPath: it
@@ -138,6 +169,14 @@ func (p *Problem) Solve(y linalg.Vector, m int, round Rounding, eval func(select
 // shrinks by rotation on eviction. On any numerical failure it falls back
 // to the dense reference path for the whole call.
 func (p *Problem) NOMPPath(y linalg.Vector, maxAtoms int) []linalg.Vector {
+	path, _ := p.nompPath(context.Background(), y, maxAtoms)
+	return path
+}
+
+// nompPath clamps the atom budget, runs the Gram-space solver, and falls
+// back to the dense reference path on numerical failure. Cancellation
+// propagates from either path as ctx.Err().
+func (p *Problem) nompPath(ctx context.Context, y linalg.Vector, maxAtoms int) ([]linalg.Vector, error) {
 	n := p.Unique.Cols
 	if maxAtoms > n {
 		maxAtoms = n
@@ -147,19 +186,21 @@ func (p *Problem) NOMPPath(y linalg.Vector, maxAtoms int) []linalg.Vector {
 		// columns; larger supports cannot improve an exact fit anyway.
 		maxAtoms = p.Unique.Rows
 	}
-	path, ok := p.nompGram(y, maxAtoms)
-	if !ok {
-		return NOMPPath(p.Unique, y, maxAtoms)
+	path, err := p.nompGram(ctx, y, maxAtoms)
+	if errors.Is(err, errGramFallback) {
+		return nompPathDense(ctx, p.Unique, y, maxAtoms)
 	}
-	return path
+	return path, err
 }
 
-// nompGram runs the Gram-space NOMP loop. It reports ok=false when the
-// incremental factorization hits a numerical failure, in which case the
-// caller re-runs the dense reference implementation. All working state
-// lives in the Problem's reusable scratch; only the returned path vectors
-// are allocated per call.
-func (p *Problem) nompGram(y linalg.Vector, maxAtoms int) ([]linalg.Vector, bool) {
+// nompGram runs the Gram-space NOMP loop. It returns errGramFallback when
+// the incremental factorization hits a numerical failure, in which case the
+// caller re-runs the dense reference implementation, and ctx.Err() when the
+// call is cancelled (checked once per atom extension — a deterministic
+// checkpoint that never changes results of uncancelled runs). All working
+// state lives in the Problem's reusable scratch; only the returned path
+// vectors are allocated per call.
+func (p *Problem) nompGram(ctx context.Context, y linalg.Vector, maxAtoms int) ([]linalg.Vector, error) {
 	n := p.Unique.Cols
 	const tol = 1e-10
 	sc := p.scratchState(maxAtoms)
@@ -172,7 +213,16 @@ func (p *Problem) nompGram(y linalg.Vector, maxAtoms int) ([]linalg.Vector, bool
 	support := sc.support
 	inSupport := sc.inSupport
 	corr := sc.corr
+	var nnlsTime time.Duration
+	defer func() {
+		if nnlsTime > 0 {
+			obs.ObserveStage(obs.StageNNLS, nnlsTime)
+		}
+	}()
 	for len(path) < maxAtoms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Greedy atom: maximum positive correlation with the residual,
 		// corrⱼ = cⱼ − Σ_{k passive} G_jk·x_k (no dense residual needed).
 		for j := 0; j < n; j++ {
@@ -199,8 +249,11 @@ func (p *Problem) nompGram(y linalg.Vector, maxAtoms int) ([]linalg.Vector, bool
 		support = append(support, best)
 		inSupport[best] = true
 
-		if !s.refit(support) {
-			return nil, false
+		nnlsStart := time.Now()
+		ok := s.refit(support)
+		nnlsTime += time.Since(nnlsStart)
+		if !ok {
+			return nil, errGramFallback
 		}
 		// Evict zeroed atoms from the support (they may be re-added by a
 		// later greedy step, matching the dense path's semantics).
@@ -216,7 +269,7 @@ func (p *Problem) nompGram(y linalg.Vector, maxAtoms int) ([]linalg.Vector, bool
 		path = append(path, sc.x.Clone())
 	}
 	sc.support = support[:0]
-	return path, true
+	return path, nil
 }
 
 // resetSolver clears the NOMP working state for a fresh target; buffer

@@ -14,6 +14,7 @@
 package regress
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -126,6 +127,14 @@ func (s *sparseColumns) correlations(resid linalg.Vector, out linalg.Vector) {
 // coefficient vector with at most ℓ atoms. The greedy path realizes the
 // "for ℓ = 1..m: x = NOMP(Ṽ, Υ)" loop of Algorithm 1 in one pass.
 func NOMPPath(a *linalg.Matrix, y linalg.Vector, maxAtoms int) []linalg.Vector {
+	path, _ := nompPathDense(context.Background(), a, y, maxAtoms)
+	return path
+}
+
+// nompPathDense is the reference NOMP implementation behind NOMPPath, with
+// a cancellation checkpoint per atom extension; it also serves as the
+// fallback when the Gram-space solver hits a numerical failure.
+func nompPathDense(ctx context.Context, a *linalg.Matrix, y linalg.Vector, maxAtoms int) ([]linalg.Vector, error) {
 	n := a.Cols
 	if maxAtoms > n {
 		maxAtoms = n
@@ -144,6 +153,9 @@ func NOMPPath(a *linalg.Matrix, y linalg.Vector, maxAtoms int) []linalg.Vector {
 	resid := y.Clone()
 	const tol = 1e-10
 	for len(path) < maxAtoms {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Greedy atom: maximum positive correlation with the residual.
 		sparse.correlations(resid, corr)
 		best, bestC := -1, tol
@@ -185,7 +197,7 @@ func NOMPPath(a *linalg.Matrix, y linalg.Vector, maxAtoms int) []linalg.Vector {
 		resid = y.Sub(a.MulVec(x))
 		path = append(path, x.Clone())
 	}
-	return path
+	return path, nil
 }
 
 // Round converts a continuous coefficient vector x into an integer
@@ -414,6 +426,15 @@ func roundingDistance(nu []int, u linalg.Vector, total int) float64 {
 // (nil, +Inf) when no non-empty candidate exists.
 func Solve(a *linalg.Matrix, y linalg.Vector, m int, eval func(selected []int) float64) ([]int, float64) {
 	return SolveWithRounding(a, y, m, RoundCandidates, eval)
+}
+
+// SolveContext is Solve with cooperative cancellation (see
+// Problem.SolveContext for the checkpoint semantics).
+func SolveContext(ctx context.Context, a *linalg.Matrix, y linalg.Vector, m int, eval func(selected []int) float64) ([]int, float64, error) {
+	if a.Cols == 0 || m <= 0 {
+		return nil, math.Inf(1), nil
+	}
+	return NewProblem(a).SolveContext(ctx, y, m, RoundCandidates, eval)
 }
 
 // Expand maps a multiplicity vector over unique columns back to original

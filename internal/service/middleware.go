@@ -1,0 +1,115 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"comparesets/internal/obs"
+)
+
+// API error codes used in the error envelope.
+const (
+	// CodeBadRequest marks malformed requests: unparseable JSON or a body
+	// missing a required combination of fields (HTTP 400).
+	CodeBadRequest = "bad_request"
+	// CodeNotFound marks references to unknown resources: categories or
+	// target products not loaded on this server (HTTP 404).
+	CodeNotFound = "not_found"
+	// CodeUnprocessable marks well-formed requests with semantically
+	// invalid values: unknown algorithms or methods, invalid
+	// hyperparameters, inconsistent inline instances (HTTP 422).
+	CodeUnprocessable = "unprocessable"
+	// CodeDeadlineExceeded marks requests that ran out of their timeout_ms
+	// budget or were cancelled by the client (HTTP 504).
+	CodeDeadlineExceeded = "deadline_exceeded"
+)
+
+// ErrorBody is the machine-readable error payload.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the envelope every non-2xx response carries:
+// {"error":{"code":"...","message":"..."}}.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// apiError couples an HTTP status and a stable code with the underlying
+// error; handlers return it and a single writer renders the envelope.
+type apiError struct {
+	status int
+	code   string
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+func (e *apiError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: CodeBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+func notFound(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusNotFound, code: CodeNotFound, err: fmt.Errorf(format, args...)}
+}
+
+func unprocessable(err error) *apiError {
+	return &apiError{status: http.StatusUnprocessableEntity, code: CodeUnprocessable, err: err}
+}
+
+// asAPIError normalizes any handler error into an apiError: context
+// cancellation maps to 504/deadline_exceeded, everything else to 422 (the
+// request parsed but could not be served as stated).
+func asAPIError(err error) *apiError {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &apiError{status: http.StatusGatewayTimeout, code: CodeDeadlineExceeded, err: err}
+	}
+	return unprocessable(err)
+}
+
+func writeAPIError(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.status, ErrorResponse{Error: ErrorBody{Code: e.code, Message: e.err.Error()}})
+}
+
+// statusRecorder captures the status code written by a handler so the
+// middleware can label the request counter with it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps a handler with per-endpoint observability: an in-flight
+// gauge, a latency histogram (resolved once, at wrap time), and a request
+// counter labeled with endpoint and status code.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	hist := s.reg.Histogram("comparesets_http_request_duration_seconds",
+		"HTTP request latency by endpoint.", nil, obs.Labels{"endpoint": endpoint})
+	inflight := s.reg.Gauge("comparesets_http_inflight_requests",
+		"Requests currently being served.", nil)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inflight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		inflight.Add(-1)
+		hist.ObserveDuration(time.Since(start))
+		s.reg.Counter("comparesets_http_requests_total",
+			"HTTP requests by endpoint and status code.",
+			obs.Labels{"endpoint": endpoint, "code": strconv.Itoa(rec.status)}).Inc()
+	})
+}

@@ -10,11 +10,22 @@
 //	GET  /api/v1/targets?category=X   qualifying target product IDs
 //	POST /api/v1/select               select review sets (+ optional shortlist)
 //	POST /api/v1/extract              aspect-sentiment extraction for raw text
+//	GET  /metrics                     Prometheus text exposition
+//	GET  /debug/vars                  expvar JSON
+//	GET  /debug/pprof/*               runtime profiles
+//
+// Errors are returned as a structured envelope
+// {"error":{"code":"...","message":"..."}} with 400 for malformed
+// requests, 404 for unknown resources, 422 for semantically invalid
+// parameters, and 504 when a request exceeds its timeout_ms deadline.
+// Every API endpoint is wrapped in middleware that records request counts,
+// status codes, and latency histograms into the internal/obs registry
+// served at GET /metrics.
 package service
 
 import (
+	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -29,6 +40,7 @@ import (
 	"comparesets/internal/lexicon"
 	"comparesets/internal/metrics"
 	"comparesets/internal/model"
+	"comparesets/internal/obs"
 	"comparesets/internal/simgraph"
 	"comparesets/internal/summarize"
 )
@@ -39,19 +51,30 @@ type Server struct {
 	corpora map[string]*model.Corpus
 	started time.Time
 	logger  *log.Logger
+	reg     *obs.Registry
 }
 
-// New creates a server over the given corpora (keyed by category name).
+// New creates a server over the given corpora (keyed by category name),
+// recording metrics into the process-wide obs.Default registry so that
+// /metrics also exposes the selection pipeline's stage timers.
 func New(corpora map[string]*model.Corpus, logger *log.Logger) *Server {
 	if logger == nil {
 		logger = log.Default()
 	}
-	s := &Server{corpora: map[string]*model.Corpus{}, started: time.Now(), logger: logger}
+	s := &Server{
+		corpora: map[string]*model.Corpus{},
+		started: time.Now(),
+		logger:  logger,
+		reg:     obs.Default(),
+	}
 	for name, c := range corpora {
 		s.corpora[name] = c
 	}
 	return s
 }
+
+// Registry returns the metrics registry the server records into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // AddCorpus registers (or replaces) a corpus at runtime.
 func (s *Server) AddCorpus(name string, c *model.Corpus) {
@@ -60,14 +83,16 @@ func (s *Server) AddCorpus(name string, c *model.Corpus) {
 	s.corpora[name] = c
 }
 
-// Handler returns the HTTP handler with all routes mounted.
+// Handler returns the HTTP handler with all API and operational routes
+// mounted. Every /api and /healthz route is instrumented.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /api/v1/categories", s.handleCategories)
-	mux.HandleFunc("GET /api/v1/targets", s.handleTargets)
-	mux.HandleFunc("POST /api/v1/select", s.handleSelect)
-	mux.HandleFunc("POST /api/v1/extract", s.handleExtract)
+	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.Handle("GET /api/v1/categories", s.instrument("categories", s.handleCategories))
+	mux.Handle("GET /api/v1/targets", s.instrument("targets", s.handleTargets))
+	mux.Handle("POST /api/v1/select", s.instrument("select", s.handleSelect))
+	mux.Handle("POST /api/v1/extract", s.instrument("extract", s.handleExtract))
+	obs.RegisterOps(mux, s.reg)
 	return mux
 }
 
@@ -106,7 +131,7 @@ func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
 	c, ok := s.corpora[category]
 	s.mu.RUnlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown category %q", category))
+		writeAPIError(w, notFound("unknown category %q", category))
 		return
 	}
 	writeJSON(w, http.StatusOK, dataset.TargetIDs(c))
@@ -139,6 +164,11 @@ type SelectRequest struct {
 	Explain   int `json:"explain,omitempty"`
 	// Metrics requests the §5.1 selection-quality scores in the response.
 	Metrics bool `json:"metrics,omitempty"`
+	// TimeoutMS bounds the request's total processing time; when the
+	// deadline passes, the selection is cancelled at its next checkpoint
+	// and the request fails with 504/deadline_exceeded. 0 means no
+	// per-request deadline beyond the client connection's.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // SelectedReview is one chosen review in the response.
@@ -176,12 +206,18 @@ type SelectResponse struct {
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	var req SelectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		writeAPIError(w, badRequest("decoding request: %v", err))
 		return
 	}
-	inst, status, err := s.resolveInstance(&req)
-	if err != nil {
-		writeError(w, status, err)
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	inst, apiErr := s.resolveInstance(&req)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
 		return
 	}
 	if req.Algorithm == "" {
@@ -189,14 +225,14 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	sel, ok := core.SelectorByName(req.Algorithm)
 	if !ok {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm))
+		writeAPIError(w, unprocessable(fmt.Errorf("unknown algorithm %q", req.Algorithm)))
 		return
 	}
 	cfg := core.Config{M: req.M, Lambda: req.Lambda, Mu: req.Mu}
 	start := time.Now()
-	selection, err := sel.Select(inst, cfg)
+	selection, err := sel.SelectContext(ctx, inst, cfg)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeAPIError(w, asAPIError(err))
 		return
 	}
 	resp := SelectResponse{
@@ -229,12 +265,18 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		}
 		solver, err := solverFor(method)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeAPIError(w, unprocessable(err))
 			return
 		}
 		tg := core.NewTargets(inst, cfg)
 		g := simgraph.Build(core.Stats(inst, tg, cfg, selection), cfg)
-		res := solver.Solve(g, req.K)
+		shortlistStop := obs.StageTimer(obs.StageShortlist)
+		res := solver.SolveContext(ctx, g, req.K)
+		shortlistStop()
+		if err := ctx.Err(); err != nil {
+			writeAPIError(w, asAPIError(err))
+			return
+		}
 		resp.Shortlist = res.Members
 		resp.ShortlistWeight = res.Weight
 	}
@@ -258,31 +300,31 @@ func solverFor(method string) (simgraph.Solver, error) {
 
 // resolveInstance builds the problem instance from either a corpus
 // reference or the inline items.
-func (s *Server) resolveInstance(req *SelectRequest) (*model.Instance, int, error) {
+func (s *Server) resolveInstance(req *SelectRequest) (*model.Instance, *apiError) {
 	switch {
 	case req.Category != "" && req.Target != "":
 		s.mu.RLock()
 		c, ok := s.corpora[req.Category]
 		s.mu.RUnlock()
 		if !ok {
-			return nil, http.StatusNotFound, fmt.Errorf("unknown category %q", req.Category)
+			return nil, notFound("unknown category %q", req.Category)
 		}
 		inst, err := c.NewInstance(req.Target, req.MaxComparative)
 		if err != nil {
-			return nil, http.StatusNotFound, err
+			return nil, notFound("%v", err)
 		}
-		return inst, 0, nil
+		return inst, nil
 	case len(req.Items) > 0:
 		if len(req.Aspects) == 0 {
-			return nil, http.StatusBadRequest, errors.New("inline instances need a non-empty aspects list")
+			return nil, unprocessable(fmt.Errorf("inline instances need a non-empty aspects list"))
 		}
 		inst := &model.Instance{Aspects: model.NewVocabulary(req.Aspects), Items: req.Items}
 		if err := inst.Validate(); err != nil {
-			return nil, http.StatusBadRequest, err
+			return nil, unprocessable(err)
 		}
-		return inst, 0, nil
+		return inst, nil
 	default:
-		return nil, http.StatusBadRequest, errors.New("provide either category+target or inline items")
+		return nil, badRequest("provide either category+target or inline items")
 	}
 }
 
@@ -308,12 +350,12 @@ type MentionJSON struct {
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	var req ExtractRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		writeAPIError(w, badRequest("decoding request: %v", err))
 		return
 	}
 	cat, ok := lexicon.CategoryByName(req.Category)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown category %q", req.Category))
+		writeAPIError(w, notFound("unknown category %q", req.Category))
 		return
 	}
 	var resp ExtractResponse
@@ -332,8 +374,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

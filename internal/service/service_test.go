@@ -182,22 +182,36 @@ func TestSelectValidation(t *testing.T) {
 		{"bad algorithm", SelectRequest{
 			Aspects: []string{"a"}, Items: []*model.Item{{ID: "t"}},
 			Algorithm: "Magic", M: 3,
-		}, http.StatusBadRequest},
+		}, http.StatusUnprocessableEntity},
 		{"bad m", SelectRequest{
 			Aspects: []string{"a"}, Items: []*model.Item{{ID: "t"}}, M: 0,
-		}, http.StatusBadRequest},
+		}, http.StatusUnprocessableEntity},
 		{"inline without aspects", SelectRequest{
 			Items: []*model.Item{{ID: "t"}}, M: 3,
-		}, http.StatusBadRequest},
+		}, http.StatusUnprocessableEntity},
 		{"bad shortlist method", SelectRequest{
 			Aspects: []string{"a"}, Items: []*model.Item{{ID: "t"}},
 			M: 3, Lambda: 1, K: 1, Method: "psychic",
-		}, http.StatusBadRequest},
+		}, http.StatusUnprocessableEntity},
+	}
+	wantCode := map[int]string{
+		http.StatusBadRequest:          CodeBadRequest,
+		http.StatusNotFound:            CodeNotFound,
+		http.StatusUnprocessableEntity: CodeUnprocessable,
 	}
 	for _, c := range cases {
 		resp, body := post(t, ts.URL+"/api/v1/select", c.req)
 		if resp.StatusCode != c.status {
 			t.Errorf("%s: status %d (want %d), body %s", c.name, resp.StatusCode, c.status, body)
+			continue
+		}
+		var envelope ErrorResponse
+		if err := json.Unmarshal(body, &envelope); err != nil {
+			t.Errorf("%s: unmarshalling envelope from %s: %v", c.name, body, err)
+			continue
+		}
+		if envelope.Error.Code != wantCode[c.status] || envelope.Error.Message == "" {
+			t.Errorf("%s: envelope = %+v (want code %s)", c.name, envelope, wantCode[c.status])
 		}
 	}
 	// Malformed JSON.

@@ -1,6 +1,7 @@
 package simgraph
 
 import (
+	"context"
 	"sort"
 )
 
@@ -13,6 +14,11 @@ type GreedyRemoval struct{}
 
 // Name implements Solver.
 func (GreedyRemoval) Name() string { return "TargetHkS_Removal" }
+
+// SolveContext implements Solver; the O(n²) run finishes regardless of ctx.
+func (s GreedyRemoval) SolveContext(_ context.Context, g *Graph, k int) Result {
+	return s.Solve(g, k)
+}
 
 // Solve implements Solver.
 func (GreedyRemoval) Solve(g *Graph, k int) Result {
@@ -64,6 +70,12 @@ type LocalSearch struct {
 
 // Name implements Solver.
 func (LocalSearch) Name() string { return "TargetHkS_LocalSearch" }
+
+// SolveContext implements Solver; the bounded hill climb finishes
+// regardless of ctx.
+func (ls LocalSearch) SolveContext(_ context.Context, g *Graph, k int) Result {
+	return ls.Solve(g, k)
+}
 
 // Solve implements Solver.
 func (ls LocalSearch) Solve(g *Graph, k int) Result {

@@ -8,6 +8,7 @@
 package simgraph
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -122,6 +123,11 @@ type Solver interface {
 	// Solve returns a k-subset including vertex 0. k is clamped to
 	// [1, g.N()].
 	Solve(g *Graph, k int) Result
+	// SolveContext is Solve with cooperative cancellation. The exact
+	// branch-and-bound treats an earlier ctx deadline like an exhausted
+	// time budget — it returns its best incumbent with Optimal = false —
+	// while the polynomial heuristics finish their (fast) run regardless.
+	SolveContext(ctx context.Context, g *Graph, k int) Result
 }
 
 func clampK(g *Graph, k int) int {

@@ -1,6 +1,7 @@
 package simgraph
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -22,6 +23,15 @@ func (Exact) Name() string { return "TargetHkS_ILP" }
 
 // Solve implements Solver.
 func (e Exact) Solve(g *Graph, k int) Result {
+	return e.SolveContext(context.Background(), g, k)
+}
+
+// SolveContext implements Solver. The effective deadline is the earlier of
+// the Budget and the ctx deadline, and ctx cancellation is polled at the
+// same checkpoint as the deadline, so a cancelled solve returns its best
+// incumbent so far (never a zero result — the greedy seed guarantees a
+// feasible solution) flagged Optimal = false.
+func (e Exact) SolveContext(ctx context.Context, g *Graph, k int) Result {
 	k = clampK(g, k)
 	if k == 1 {
 		return Result{Members: []int{0}, Optimal: true}
@@ -35,17 +45,26 @@ func (e Exact) Solve(g *Graph, k int) Result {
 	}
 
 	// Seed the incumbent with the greedy solution: a strong lower bound
-	// prunes most of the tree immediately.
+	// prunes most of the tree immediately, and it is the best-so-far
+	// fallback when the budget is already exhausted.
 	greedy := (Greedy{}).Solve(g, k)
 	bb := &bbState{
 		g:        g,
 		k:        k,
+		ctx:      ctx,
 		best:     append([]int(nil), greedy.Members...),
 		bestW:    greedy.Weight,
 		deadline: time.Time{},
 	}
 	if e.Budget > 0 {
 		bb.deadline = time.Now().Add(e.Budget)
+	}
+	if d, ok := ctx.Deadline(); ok && (bb.deadline.IsZero() || d.Before(bb.deadline)) {
+		bb.deadline = d
+	}
+	if ctx.Err() != nil || (!bb.deadline.IsZero() && !time.Now().Before(bb.deadline)) {
+		sort.Ints(bb.best)
+		return Result{Members: bb.best, Weight: bb.bestW, Optimal: false}
 	}
 	// Candidates ordered by similarity to the target (descending) so that
 	// promising branches are explored first.
@@ -74,6 +93,7 @@ func (e Exact) Solve(g *Graph, k int) Result {
 type bbState struct {
 	g        *Graph
 	k        int
+	ctx      context.Context
 	cand     []int
 	maxEdge  []float64
 	best     []int
@@ -91,9 +111,11 @@ func (b *bbState) search(chosen []int, pos int, curW float64) {
 		return
 	}
 	b.ticks++
-	if b.ticks&1023 == 0 && !b.deadline.IsZero() && time.Now().After(b.deadline) {
-		b.timedOut = true
-		return
+	if b.ticks&1023 == 0 {
+		if b.ctx.Err() != nil || (!b.deadline.IsZero() && time.Now().After(b.deadline)) {
+			b.timedOut = true
+			return
+		}
 	}
 	if len(chosen) == b.k {
 		if curW > b.bestW {
@@ -152,6 +174,9 @@ type Greedy struct{}
 // Name implements Solver.
 func (Greedy) Name() string { return "TargetHkS_Greedy" }
 
+// SolveContext implements Solver; the O(k·n) run finishes regardless of ctx.
+func (s Greedy) SolveContext(_ context.Context, g *Graph, k int) Result { return s.Solve(g, k) }
+
 // Solve implements Solver.
 func (Greedy) Solve(g *Graph, k int) Result {
 	k = clampK(g, k)
@@ -194,6 +219,9 @@ type TopK struct{}
 // Name implements Solver.
 func (TopK) Name() string { return "Top-k similarity" }
 
+// SolveContext implements Solver; the O(n log n) run finishes regardless of ctx.
+func (s TopK) SolveContext(_ context.Context, g *Graph, k int) Result { return s.Solve(g, k) }
+
 // Solve implements Solver.
 func (TopK) Solve(g *Graph, k int) Result {
 	k = clampK(g, k)
@@ -221,6 +249,11 @@ type RandomShortlist struct {
 
 // Name implements Solver.
 func (RandomShortlist) Name() string { return "Random" }
+
+// SolveContext implements Solver; the draw finishes regardless of ctx.
+func (r RandomShortlist) SolveContext(_ context.Context, g *Graph, k int) Result {
+	return r.Solve(g, k)
+}
 
 // Solve implements Solver.
 func (r RandomShortlist) Solve(g *Graph, k int) Result {
