@@ -22,10 +22,13 @@ cover:
 bench:
 	go test -bench=. -benchmem ./...
 
-# Record the hot-path benchmarks (core, regress, linalg) into
-# BENCH_core.json; commit the diff alongside performance changes.
+# Record the hot-path benchmarks into versioned JSON; commit the diff
+# alongside performance changes. BENCH_core.json covers the selection
+# pipeline (core, regress, linalg, store, service); BENCH_service.json
+# isolates the serving path (cold vs warm cache vs coalesced).
 bench-json:
 	go run ./cmd/bench -out BENCH_core.json
+	go run ./cmd/bench -out BENCH_service.json ./internal/service/
 
 # Regenerate every table and figure (plus CSVs and SVG charts) into results/.
 experiments:

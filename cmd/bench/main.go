@@ -30,12 +30,13 @@ type Result struct {
 
 // Report is the BENCH_core.json document.
 type Report struct {
-	GoVersion string            `json:"go_version"`
-	NumCPU    int               `json:"num_cpu"`
-	Generated string            `json:"generated"`
-	Benchtime string            `json:"benchtime"`
-	Packages  []string          `json:"packages"`
-	Results   map[string]Result `json:"results"`
+	GoVersion  string            `json:"go_version"`
+	NumCPU     int               `json:"num_cpu"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Generated  string            `json:"generated"`
+	Benchtime  string            `json:"benchtime"`
+	Packages   []string          `json:"packages"`
+	Results    map[string]Result `json:"results"`
 }
 
 // benchLine matches `BenchmarkName-8  30  136568 ns/op  190648 B/op  1269 allocs/op`.
@@ -48,16 +49,20 @@ func main() {
 	flag.Parse()
 	pkgs := flag.Args()
 	if len(pkgs) == 0 {
-		pkgs = []string{"./internal/core/", "./internal/regress/", "./internal/linalg/"}
+		pkgs = []string{
+			"./internal/core/", "./internal/regress/", "./internal/linalg/",
+			"./internal/store/", "./internal/service/",
+		}
 	}
 
 	report := Report{
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Benchtime: *benchtime,
-		Packages:  pkgs,
-		Results:   map[string]Result{},
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Benchtime:  *benchtime,
+		Packages:   pkgs,
+		Results:    map[string]Result{},
 	}
 	for _, pkg := range pkgs {
 		if err := runPackage(&report, pkg, *pattern, *benchtime); err != nil {

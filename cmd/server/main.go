@@ -11,6 +11,11 @@
 // per-endpoint latency histograms and pipeline-stage timers),
 // GET /debug/vars (expvar), and GET /debug/pprof/* (runtime profiles).
 //
+// Select responses for named corpora are cached in a sharded LRU
+// (-cache-bytes budget, default 64 MiB) and identical concurrent requests
+// are coalesced into one pipeline execution; -cache-disabled turns both
+// layers off.
+//
 // SIGINT/SIGTERM triggers a graceful shutdown: in-flight requests get up
 // to 10 s to finish before the listener is torn down.
 package main
@@ -35,10 +40,12 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		dataDir   = flag.String("data", "", "directory of corpus JSON files (from cmd/datagen)")
-		synthetic = flag.Bool("synthetic", false, "synthesize the three default corpora at startup")
-		seed      = flag.Int64("seed", 1, "synthesis seed")
+		addr          = flag.String("addr", ":8080", "listen address")
+		dataDir       = flag.String("data", "", "directory of corpus JSON files (from cmd/datagen)")
+		synthetic     = flag.Bool("synthetic", false, "synthesize the three default corpora at startup")
+		seed          = flag.Int64("seed", 1, "synthesis seed")
+		cacheBytes    = flag.Int64("cache-bytes", service.DefaultCacheBytes, "selection result cache budget in bytes")
+		cacheDisabled = flag.Bool("cache-disabled", false, "disable the selection result cache and request coalescing")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "server: ", log.LstdFlags)
@@ -48,9 +55,13 @@ func main() {
 		logger.Fatal(err)
 	}
 
+	svc := service.NewWithOptions(corpora, logger, service.Options{
+		CacheBytes:    *cacheBytes,
+		CacheDisabled: *cacheDisabled,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(logger, service.New(corpora, logger).Handler()),
+		Handler:           logRequests(logger, svc.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -43,6 +43,21 @@ type Config struct {
 	// forces a sequential run. Parallel and sequential runs return
 	// identical selections.
 	Workers int
+	// Features optionally supplies precomputed per-review feature columns
+	// (internal/featstore); nil recomputes them per instance. Selections
+	// are identical either way — the source only skips the per-request
+	// column computation.
+	Features FeatureSource
+}
+
+// FeatureSource supplies precomputed per-review feature columns for an
+// item: op[j] must equal sch.Column(it.Reviews[j], z) and asp[j] must equal
+// opinion.AspectColumn(it.Reviews[j], z). Implementations return ok=false
+// when they cannot serve the item (e.g. it belongs to another corpus), in
+// which case the caller computes the columns itself. The returned vectors
+// are shared across requests and must never be mutated.
+type FeatureSource interface {
+	ItemColumns(it *model.Item, sch opinion.Scheme, z int) (op, asp []linalg.Vector, ok bool)
 }
 
 func (c Config) workerCount() int {

@@ -72,6 +72,15 @@ func newFeatureCache(inst *model.Instance, cfg Config, tg *Targets) *featureCach
 	fc.counting = opinion.IsCounting(fc.sch)
 	for i, it := range inst.Items {
 		f := &fc.items[i]
+		// A corpus-resident feature source (internal/featstore) hands out
+		// the columns precomputed; the slabs are shared and read-only —
+		// every downstream use copies into request-private buffers.
+		if src := cfg.Features; src != nil {
+			if op, asp, ok := src.ItemColumns(it, fc.sch, fc.z); ok {
+				f.opCols, f.aspCols = op, asp
+				continue
+			}
+		}
 		f.opCols = make([]linalg.Vector, len(it.Reviews))
 		f.aspCols = make([]linalg.Vector, len(it.Reviews))
 		for j, r := range it.Reviews {

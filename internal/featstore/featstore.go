@@ -1,0 +1,146 @@
+// Package featstore holds corpus-resident precomputed review features.
+//
+// Every selection request that references a loaded corpus used to recompute
+// each review's opinion column π and aspect column φ inside the per-request
+// feature cache (internal/core), even though those columns depend only on
+// the review and the opinion scheme — never on the request. featstore
+// computes them once per (corpus, scheme): either eagerly when a corpus is
+// loaded (Precompute) or lazily on first touch, guarded per shard so
+// concurrent requests for different items never contend on one lock.
+//
+// The columns of one item live in two immutable flat []float64 slabs (one
+// for opinion columns, one for aspect columns); the returned
+// linalg.Vector views alias those slabs. Callers must treat them as
+// read-only — internal/core's featureCache only ever reads them (it copies
+// into design matrices and accumulates into private scratch), which is what
+// makes sharing across concurrent requests safe.
+//
+// A Store is bound to one corpus; replacing a corpus at runtime replaces
+// its Store wholesale, so stale features can never leak across corpus
+// generations.
+package featstore
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"comparesets/internal/linalg"
+	"comparesets/internal/model"
+	"comparesets/internal/obs"
+	"comparesets/internal/opinion"
+)
+
+// shardCount is the power-of-two number of lazy-compute shards.
+const shardCount = 16
+
+// Store caches per-review feature columns for one corpus.
+type Store struct {
+	corpus *model.Corpus
+	z      int
+	shards [shardCount]shard
+	m      *obs.CacheMetrics
+}
+
+type shard struct {
+	mu    sync.Mutex
+	items map[string]*entry
+}
+
+// entry is one (scheme, item) feature block: vector views over two flat
+// slabs.
+type entry struct {
+	op, asp []linalg.Vector
+}
+
+// New returns an empty store bound to the corpus. Features are computed
+// lazily on first touch; call Precompute to front-load them.
+func New(c *model.Corpus) *Store {
+	s := &Store{
+		corpus: c,
+		z:      c.Aspects.Len(),
+		m:      obs.NewCacheMetrics(obs.Default(), "featstore"),
+	}
+	for i := range s.shards {
+		s.shards[i].items = map[string]*entry{}
+	}
+	return s
+}
+
+// key is the (scheme, item) cache key; 0x1f cannot occur in scheme names.
+func key(schemeName, itemID string) string { return schemeName + "\x1f" + itemID }
+
+func (s *Store) shardFor(k string) *shard {
+	h := fnv.New64a()
+	h.Write([]byte(k))
+	return &s.shards[h.Sum64()&(shardCount-1)]
+}
+
+// ItemColumns implements core.FeatureSource: it returns the precomputed
+// opinion and aspect columns of the item's reviews under the scheme,
+// computing and memoizing them on first touch. ok is false when the item
+// does not belong to the bound corpus or z disagrees with the corpus
+// vocabulary — callers then fall back to computing features themselves.
+func (s *Store) ItemColumns(it *model.Item, sch opinion.Scheme, z int) (op, asp []linalg.Vector, ok bool) {
+	if z != s.z || s.corpus.Items[it.ID] != it {
+		return nil, nil, false
+	}
+	k := key(sch.Name(), it.ID)
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.items[k]
+	if !ok {
+		s.m.Misses.Inc()
+		e = s.compute(it, sch)
+		sh.items[k] = e
+	} else {
+		s.m.Hits.Inc()
+	}
+	return e.op, e.asp, true
+}
+
+// compute builds one item's feature block: both column families are
+// assembled into single flat slabs (one allocation each) that the returned
+// vector views alias.
+func (s *Store) compute(it *model.Item, sch opinion.Scheme) *entry {
+	defer obs.StageTimer(obs.StagePrecompute)()
+	dim := sch.Dim(s.z)
+	n := len(it.Reviews)
+	opSlab := make([]float64, n*dim)
+	aspSlab := make([]float64, n*s.z)
+	e := &entry{
+		op:  make([]linalg.Vector, n),
+		asp: make([]linalg.Vector, n),
+	}
+	for j, r := range it.Reviews {
+		e.op[j] = linalg.Vector(opSlab[j*dim : (j+1)*dim])
+		copy(e.op[j], sch.Column(r, s.z))
+		e.asp[j] = linalg.Vector(aspSlab[j*s.z : (j+1)*s.z])
+		copy(e.asp[j], opinion.AspectColumn(r, s.z))
+	}
+	s.m.Entries.Add(1)
+	s.m.Bytes.Add(float64(8 * (len(opSlab) + len(aspSlab))))
+	return e
+}
+
+// Precompute eagerly builds the feature blocks of every corpus item under
+// the scheme, so the first request after a corpus load pays no lazy
+// compute. Safe to call concurrently with ItemColumns.
+func (s *Store) Precompute(sch opinion.Scheme) {
+	for _, id := range s.corpus.ItemIDs() {
+		it := s.corpus.Items[id]
+		s.ItemColumns(it, sch, s.z)
+	}
+}
+
+// Len returns the number of resident (scheme, item) feature blocks.
+func (s *Store) Len() int {
+	var n int
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,175 @@
+package featstore
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"comparesets/internal/core"
+	"comparesets/internal/linalg"
+	"comparesets/internal/model"
+	"comparesets/internal/opinion"
+)
+
+// The store must satisfy the injection point core exposes.
+var _ core.FeatureSource = (*Store)(nil)
+
+func testCorpus(tb testing.TB) *model.Corpus {
+	tb.Helper()
+	c := model.NewCorpus("Test", model.NewVocabulary([]string{"a0", "a1", "a2"}))
+	for i := 0; i < 12; i++ {
+		it := &model.Item{ID: fmt.Sprintf("p%d", i), Title: fmt.Sprintf("P%d", i)}
+		for j := 0; j < 7; j++ {
+			pol := model.Positive
+			if (i+j)%2 == 1 {
+				pol = model.Negative
+			}
+			it.Reviews = append(it.Reviews, &model.Review{
+				ID: fmt.Sprintf("p%d-r%d", i, j), ItemID: it.ID, Rating: 1 + (i+j)%5,
+				Mentions: []model.Mention{
+					{Aspect: j % 3, Polarity: pol, Score: 1},
+					{Aspect: (i + j) % 3, Polarity: model.Positive, Score: 0.5},
+				},
+			})
+		}
+		c.AddItem(it)
+	}
+	return c
+}
+
+func TestItemColumnsMatchDirectComputation(t *testing.T) {
+	c := testCorpus(t)
+	s := New(c)
+	z := c.Aspects.Len()
+	for _, sch := range opinion.Schemes() {
+		for _, id := range c.ItemIDs() {
+			it := c.Items[id]
+			op, asp, ok := s.ItemColumns(it, sch, z)
+			if !ok {
+				t.Fatalf("%s/%s: not ok", sch.Name(), id)
+			}
+			if len(op) != len(it.Reviews) || len(asp) != len(it.Reviews) {
+				t.Fatalf("%s/%s: got %d/%d columns, want %d", sch.Name(), id, len(op), len(asp), len(it.Reviews))
+			}
+			for j, r := range it.Reviews {
+				if want := sch.Column(r, z); !reflect.DeepEqual(op[j], want) {
+					t.Errorf("%s/%s review %d: op = %v want %v", sch.Name(), id, j, op[j], want)
+				}
+				if want := opinion.AspectColumn(r, z); !reflect.DeepEqual(asp[j], want) {
+					t.Errorf("%s/%s review %d: asp = %v want %v", sch.Name(), id, j, asp[j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestItemColumnsMemoizes(t *testing.T) {
+	c := testCorpus(t)
+	s := New(c)
+	z := c.Aspects.Len()
+	it := c.Items[c.ItemIDs()[0]]
+	op1, asp1, _ := s.ItemColumns(it, opinion.Binary{}, z)
+	op2, asp2, _ := s.ItemColumns(it, opinion.Binary{}, z)
+	if &op1[0][0] != &op2[0][0] || &asp1[0][0] != &asp2[0][0] {
+		t.Error("repeated lookup did not return the memoized slabs")
+	}
+	// Distinct schemes are distinct entries.
+	op3, _, _ := s.ItemColumns(it, opinion.ThreePolarity{}, z)
+	if len(op3[0]) == len(op1[0]) {
+		t.Error("3-polarity columns should have a different dim than binary")
+	}
+}
+
+func TestItemColumnsRejectsForeignItems(t *testing.T) {
+	c := testCorpus(t)
+	s := New(c)
+	z := c.Aspects.Len()
+	foreign := &model.Item{ID: "p0"} // same ID, different pointer
+	if _, _, ok := s.ItemColumns(foreign, opinion.Binary{}, z); ok {
+		t.Error("foreign item pointer accepted")
+	}
+	if _, _, ok := s.ItemColumns(c.Items["p0"], opinion.Binary{}, z+1); ok {
+		t.Error("mismatched z accepted")
+	}
+}
+
+func TestPrecomputeAndConcurrentAccess(t *testing.T) {
+	c := testCorpus(t)
+	s := New(c)
+	z := c.Aspects.Len()
+	s.Precompute(opinion.Binary{})
+	if got, want := s.Len(), len(c.Items); got != want {
+		t.Fatalf("Len() = %d, want %d", got, want)
+	}
+	var wg sync.WaitGroup
+	ids := c.ItemIDs()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; n < 50; n++ {
+				it := c.Items[ids[(w+n)%len(ids)]]
+				sch := opinion.Schemes()[n%len(opinion.Schemes())]
+				op, _, ok := s.ItemColumns(it, sch, z)
+				if !ok || len(op) != len(it.Reviews) {
+					t.Errorf("concurrent lookup failed for %s", it.ID)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Selections driven through the store must be identical to selections that
+// recompute features per request.
+func TestSelectionsIdenticalWithStore(t *testing.T) {
+	c := testCorpus(t)
+	s := New(c)
+	inst, err := instanceOf(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := core.Config{M: 3, Lambda: 1, Mu: 0.2}
+	withStore := base
+	withStore.Features = s
+	for _, sel := range []core.Selector{core.CompaReSetS{}, core.CompaReSetSPlus{}} {
+		a, err := sel.Select(inst, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sel.Select(inst, withStore)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Indices, b.Indices) || a.Objective != b.Objective {
+			t.Errorf("%s: selection differs with feature store: %+v vs %+v", sel.Name(), a, b)
+		}
+	}
+}
+
+// instanceOf builds an instance over the first corpus item with every other
+// item as comparison.
+func instanceOf(c *model.Corpus) (*model.Instance, error) {
+	ids := c.ItemIDs()
+	target := c.Items[ids[0]]
+	target.AlsoBought = append([]string(nil), ids[1:]...)
+	return c.NewInstance(target.ID, 0)
+}
+
+var sinkVec linalg.Vector
+
+func BenchmarkItemColumnsWarm(b *testing.B) {
+	c := testCorpus(b)
+	s := New(c)
+	s.Precompute(opinion.Binary{})
+	it := c.Items[c.ItemIDs()[0]]
+	z := c.Aspects.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op, _, _ := s.ItemColumns(it, opinion.Binary{}, z)
+		sinkVec = op[0]
+	}
+}

@@ -1,0 +1,46 @@
+package model
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Fingerprint returns a structural hash of the corpus: category, aspect
+// vocabulary, item IDs with their also-bought lists, and every review's ID
+// and rating. Two corpora with the same fingerprint induce the same
+// selection instances for all practical purposes, so serving caches use it
+// (together with a load epoch) to key cached results and to invalidate
+// them when a corpus is replaced.
+//
+// The walk is deterministic (ItemIDs sorts) and O(total reviews); callers
+// that need it repeatedly should compute it once per corpus load.
+func (c *Corpus) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeStr := func(s string) {
+		binary.BigEndian.PutUint64(buf[:], uint64(len(s)))
+		h.Write(buf[:])
+		h.Write([]byte(s))
+	}
+	writeStr(c.Category)
+	if c.Aspects != nil {
+		for _, name := range c.Aspects.Names() {
+			writeStr(name)
+		}
+	}
+	for _, id := range c.ItemIDs() {
+		it := c.Items[id]
+		writeStr(it.ID)
+		for _, ab := range it.AlsoBought {
+			writeStr(ab)
+		}
+		for _, r := range it.Reviews {
+			writeStr(r.ID)
+			binary.BigEndian.PutUint64(buf[:], uint64(int64(r.Rating)))
+			h.Write(buf[:])
+			binary.BigEndian.PutUint64(buf[:], uint64(len(r.Mentions)))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,32 @@
+package model
+
+import "testing"
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	a := testCorpus()
+	b := testCorpus()
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identically built corpora should share a fingerprint")
+	}
+
+	// Adding a review changes it.
+	before := b.Fingerprint()
+	for _, id := range b.ItemIDs() {
+		it := b.Items[id]
+		it.Reviews = append(it.Reviews, &Review{ID: "fp-extra", ItemID: it.ID, Rating: 4})
+		break
+	}
+	if b.Fingerprint() == before {
+		t.Error("fingerprint unchanged after adding a review")
+	}
+
+	// Renaming the category changes it.
+	c := testCorpus()
+	c.Category = "Other"
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Error("fingerprint unchanged after category rename")
+	}
+}

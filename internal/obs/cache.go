@@ -1,0 +1,51 @@
+package obs
+
+// CacheMetrics bundles the standard counter/gauge set every caching layer
+// of the serving path records into: the feature precompute store
+// (internal/featstore), the sharded selection result cache
+// (internal/servecache), and the request coalescer. Each layer is one
+// value of the `cache` label, so /metrics exposes, e.g.,
+//
+//	comparesets_cache_hits_total{cache="servecache"}
+//	comparesets_cache_evictions_total{cache="servecache"}
+//	comparesets_cache_bytes{cache="servecache"}
+//	comparesets_cache_coalesced_waiters_total{cache="selectflight"}
+//
+// Handles are resolved once at construction so the hot paths touch only
+// atomics.
+type CacheMetrics struct {
+	// Hits / Misses count lookups.
+	Hits, Misses *Counter
+	// Evictions counts entries removed to satisfy the byte budget.
+	Evictions *Counter
+	// Coalesced counts callers that joined an in-flight computation
+	// instead of starting their own.
+	Coalesced *Counter
+	// Executions counts computations actually run (flight leaders).
+	Executions *Counter
+	// Bytes and Entries track the current cache footprint.
+	Bytes, Entries *Gauge
+}
+
+// NewCacheMetrics returns the metric set for the named cache layer in reg.
+// Calling it twice with the same (reg, name) returns handles to the same
+// underlying series.
+func NewCacheMetrics(reg *Registry, name string) *CacheMetrics {
+	l := Labels{"cache": name}
+	return &CacheMetrics{
+		Hits: reg.Counter("comparesets_cache_hits_total",
+			"Cache lookups answered from the cache.", l),
+		Misses: reg.Counter("comparesets_cache_misses_total",
+			"Cache lookups that fell through to computation.", l),
+		Evictions: reg.Counter("comparesets_cache_evictions_total",
+			"Entries evicted to satisfy the cache byte budget.", l),
+		Coalesced: reg.Counter("comparesets_cache_coalesced_waiters_total",
+			"Callers coalesced onto an already-running identical computation.", l),
+		Executions: reg.Counter("comparesets_cache_executions_total",
+			"Computations actually executed (flight leaders).", l),
+		Bytes: reg.Gauge("comparesets_cache_bytes",
+			"Current bytes resident in the cache.", l),
+		Entries: reg.Gauge("comparesets_cache_entries",
+			"Current entries resident in the cache.", l),
+	}
+}

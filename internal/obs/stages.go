@@ -20,6 +20,9 @@ const (
 	StageSweep = "sweep"
 	// StageShortlist is one TargetHkS solve (internal/simgraph).
 	StageShortlist = "shortlist"
+	// StagePrecompute is one item's corpus-resident feature slab build
+	// (internal/featstore).
+	StagePrecompute = "feature_precompute"
 )
 
 const stageMetricName = "comparesets_pipeline_stage_duration_seconds"
@@ -33,7 +36,7 @@ func Default() *Registry { return defaultRegistry }
 // stageHists is populated once at init and read-only afterwards, so the
 // hot-path lookup in ObserveStage is a plain map read with no locking.
 var stageHists = func() map[string]*Histogram {
-	known := []string{StageFeatureBuild, StageNOMP, StageNNLS, StageSweep, StageShortlist}
+	known := []string{StageFeatureBuild, StageNOMP, StageNNLS, StageSweep, StageShortlist, StagePrecompute}
 	m := make(map[string]*Histogram, len(known))
 	for _, stage := range known {
 		m[stage] = defaultRegistry.Histogram(stageMetricName,

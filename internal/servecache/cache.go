@@ -1,0 +1,222 @@
+// Package servecache is the serving-path result cache: a sharded,
+// byte-budgeted LRU over immutable []byte payloads, plus a request
+// coalescer (FlightGroup) that collapses concurrent identical computations
+// into one.
+//
+// The cache is built for a hot-key read pattern — comparison endpoints are
+// dominated by a small set of hot (target, parameters) pairs — so the
+// design optimizes the hit path: the key is hashed once, exactly one
+// shard mutex is taken, and the entry is spliced to the front of that
+// shard's intrusive doubly-linked LRU list. Shard count is a power of two
+// so shard selection is a mask, and the byte budget is split evenly across
+// shards so eviction never takes a global lock.
+//
+// Values are stored and returned as []byte. Callers hand in payloads they
+// will never mutate (the service layer stores fully marshaled JSON
+// responses) and must treat returned slices the same way; that convention
+// is what makes cached responses deep-immutable without defensive copies.
+package servecache
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"comparesets/internal/obs"
+)
+
+// entryOverhead approximates the per-entry bookkeeping bytes (map slot,
+// entry struct, pointers) charged against the budget in addition to the
+// key and payload bytes.
+const entryOverhead = 128
+
+// Cache is a sharded byte-budgeted LRU. The zero value is not usable; use
+// New.
+type Cache struct {
+	shards []cacheShard
+	mask   uint64
+	m      *obs.CacheMetrics
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	// head is the most recently used entry, tail the eviction candidate.
+	head, tail *entry
+	bytes      int64
+	budget     int64
+}
+
+// entry is an intrusive LRU node.
+type entry struct {
+	key        string
+	val        []byte
+	prev, next *entry
+}
+
+func (e *entry) size() int64 { return int64(len(e.key) + len(e.val) + entryOverhead) }
+
+// New returns a cache with the given total byte budget spread over
+// shardCount shards (rounded up to a power of two; ≤ 0 picks 16). Metrics
+// may be nil.
+func New(totalBytes int64, shardCount int, m *obs.CacheMetrics) *Cache {
+	if shardCount <= 0 {
+		shardCount = 16
+	}
+	n := 1
+	for n < shardCount {
+		n <<= 1
+	}
+	if totalBytes < int64(n) {
+		totalBytes = int64(n) // degenerate budgets still give ≥ 1 byte/shard
+	}
+	c := &Cache{shards: make([]cacheShard, n), mask: uint64(n - 1), m: m}
+	for i := range c.shards {
+		c.shards[i].entries = map[string]*entry{}
+		c.shards[i].budget = totalBytes / int64(n)
+	}
+	return c
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+func (c *Cache) shardFor(key string) *cacheShard {
+	return &c.shards[hashKey(key)&c.mask]
+}
+
+// Get returns the payload cached under key, marking it most recently used.
+// The returned slice is shared — callers must not mutate it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if ok {
+		sh.moveToFront(e)
+	}
+	sh.mu.Unlock()
+	if c.m != nil {
+		if ok {
+			c.m.Hits.Inc()
+		} else {
+			c.m.Misses.Inc()
+		}
+	}
+	if !ok {
+		return nil, false
+	}
+	return e.val, true
+}
+
+// Put stores val under key (replacing any existing entry) and evicts
+// least-recently-used entries until the shard fits its budget. val must
+// not be mutated by the caller afterwards. Payloads larger than a whole
+// shard budget are not cached.
+func (c *Cache) Put(key string, val []byte) {
+	sh := c.shardFor(key)
+	e := &entry{key: key, val: val}
+	if e.size() > sh.budget {
+		return
+	}
+	var evicted int
+	sh.mu.Lock()
+	if old, ok := sh.entries[key]; ok {
+		sh.unlink(old)
+		delete(sh.entries, key)
+		sh.bytes -= old.size()
+	}
+	sh.entries[key] = e
+	sh.pushFront(e)
+	sh.bytes += e.size()
+	for sh.bytes > sh.budget && sh.tail != nil && sh.tail != e {
+		victim := sh.tail
+		sh.unlink(victim)
+		delete(sh.entries, victim.key)
+		sh.bytes -= victim.size()
+		evicted++
+	}
+	sh.mu.Unlock()
+	if c.m != nil {
+		c.m.Evictions.Add(evicted)
+		c.syncGauges()
+	}
+}
+
+// syncGauges publishes the current footprint to the metrics gauges.
+func (c *Cache) syncGauges() {
+	if c.m == nil {
+		return
+	}
+	bytes, entries := c.stats()
+	c.m.Bytes.Set(float64(bytes))
+	c.m.Entries.Set(float64(entries))
+}
+
+func (c *Cache) stats() (bytes int64, entries int) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		bytes += sh.bytes
+		entries += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return bytes, entries
+}
+
+// Bytes returns the current resident payload bytes (including overhead).
+func (c *Cache) Bytes() int64 { b, _ := c.stats(); return b }
+
+// Len returns the current number of resident entries.
+func (c *Cache) Len() int { _, n := c.stats(); return n }
+
+// Purge drops every entry.
+func (c *Cache) Purge() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = map[string]*entry{}
+		sh.head, sh.tail = nil, nil
+		sh.bytes = 0
+		sh.mu.Unlock()
+	}
+	c.syncGauges()
+}
+
+// pushFront inserts a detached entry at the head. Caller holds sh.mu.
+func (sh *cacheShard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+// unlink removes the entry from the list. Caller holds sh.mu.
+func (sh *cacheShard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// moveToFront splices an in-list entry to the head. Caller holds sh.mu.
+func (sh *cacheShard) moveToFront(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}

@@ -1,0 +1,156 @@
+package servecache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"comparesets/internal/obs"
+)
+
+func TestGetPutBasics(t *testing.T) {
+	c := New(1<<20, 4, nil)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", []byte("v1"))
+	if v, ok := c.Get("k"); !ok || string(v) != "v1" {
+		t.Fatalf("got %q %v", v, ok)
+	}
+	// Replacement.
+	c.Put("k", []byte("v2"))
+	if v, _ := c.Get("k"); string(v) != "v2" {
+		t.Fatalf("after replace: %q", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	c.Purge()
+	if _, ok := c.Get("k"); ok || c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatal("purge left entries behind")
+	}
+}
+
+func TestByteBudgetEvictionIsLRU(t *testing.T) {
+	// Single shard so the LRU order is fully observable.
+	m := obs.NewCacheMetrics(obs.NewRegistry(), "test")
+	c := New(3*(1+4+entryOverhead), 1, m)
+	c.Put("a", []byte("aaaa"))
+	c.Put("b", []byte("bbbb"))
+	c.Put("c", []byte("cccc"))
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	// Touch "a" so "b" is now least recently used, then overflow.
+	c.Get("a")
+	c.Put("d", []byte("dddd"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %s evicted unexpectedly", k)
+		}
+	}
+	if m.Evictions.Value() == 0 {
+		t.Error("eviction counter not incremented")
+	}
+}
+
+func TestOversizedPayloadNotCached(t *testing.T) {
+	c := New(256, 1, nil)
+	c.Put("big", make([]byte, 4096))
+	if _, ok := c.Get("big"); ok {
+		t.Error("payload larger than the shard budget was cached")
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	c := New(1<<22, 8, nil)
+	for i := 0; i < 512; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), []byte("x"))
+	}
+	if c.Len() != 512 {
+		t.Fatalf("Len = %d, want 512", c.Len())
+	}
+	occupied := 0
+	for i := range c.shards {
+		if len(c.shards[i].entries) > 0 {
+			occupied++
+		}
+	}
+	if occupied < 4 {
+		t.Errorf("only %d/8 shards occupied — hash is not spreading keys", occupied)
+	}
+}
+
+// TestConcurrentStress hammers get/put/purge across shards; run under
+// -race this is the cache's data-race certificate.
+func TestConcurrentStress(t *testing.T) {
+	m := obs.NewCacheMetrics(obs.NewRegistry(), "stress")
+	c := New(1<<16, 8, m)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("k%d", rng.Intn(64))
+				switch rng.Intn(10) {
+				case 0:
+					c.Purge()
+				case 1, 2, 3:
+					c.Put(key, []byte(key))
+				default:
+					if v, ok := c.Get(key); ok && string(v) != key {
+						t.Errorf("corrupt read: key %s val %s", key, v)
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	// Invariants after the storm: accounted bytes match entry count
+	// within per-entry bounds.
+	bytes, entries := c.stats()
+	if entries == 0 && bytes != 0 {
+		t.Errorf("bytes = %d with 0 entries", bytes)
+	}
+	if entries > 0 && bytes < int64(entries)*entryOverhead {
+		t.Errorf("bytes = %d too small for %d entries", bytes, entries)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c := New(1<<20, 16, nil)
+	c.Put("hot", make([]byte, 2048))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get("hot"); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkGetHitParallel(b *testing.B) {
+	c := New(1<<24, 16, nil)
+	for i := 0; i < 64; i++ {
+		c.Put(fmt.Sprintf("hot-%d", i), make([]byte, 2048))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			key := fmt.Sprintf("hot-%d", i&63)
+			if _, ok := c.Get(key); !ok {
+				b.Fatal("miss")
+			}
+			i++
+		}
+	})
+}

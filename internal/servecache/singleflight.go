@@ -1,0 +1,113 @@
+package servecache
+
+import (
+	"context"
+	"sync"
+
+	"comparesets/internal/obs"
+)
+
+// FlightGroup coalesces concurrent identical computations: while a
+// computation for a key is in flight, further Do calls for the same key
+// wait for its result instead of starting their own.
+//
+// Context semantics differ deliberately from the classic singleflight: the
+// flight runs on its own context, detached from any single caller's, and
+// is canceled only when every participant has detached. A caller whose ctx
+// expires stops waiting and gets its own ctx.Err() — the flight keeps
+// running for the remaining participants (and, on success, still populates
+// whatever cache the compute function writes to). Only when the last
+// participant leaves is the flight's context canceled, so abandoned work
+// is reclaimed at the pipeline's next cancellation checkpoint.
+type FlightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+	m       *obs.CacheMetrics
+}
+
+type flight struct {
+	done   chan struct{} // closed when val/err are set
+	val    []byte
+	err    error
+	refs   int // participants still waiting
+	cancel context.CancelFunc
+}
+
+// NewFlightGroup returns an empty group. Metrics may be nil; when set,
+// Executions counts flight leaders and Coalesced counts joiners.
+func NewFlightGroup(m *obs.CacheMetrics) *FlightGroup {
+	return &FlightGroup{flights: map[string]*flight{}, m: m}
+}
+
+// Do returns the result of fn for key, coalescing concurrent calls: one
+// caller (the leader) starts fn on a detached context; every concurrent
+// caller with the same key shares the outcome. shared is true when the
+// result came from a flight this caller did not lead.
+//
+// If ctx is done before the flight finishes, Do detaches and returns
+// ctx.Err() without canceling the flight — unless this caller was the last
+// participant, in which case the flight's context is canceled too.
+func (g *FlightGroup) Do(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) (val []byte, shared bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		f.refs++
+		g.mu.Unlock()
+		if g.m != nil {
+			g.m.Coalesced.Inc()
+		}
+		return g.wait(ctx, key, f, true)
+	}
+	// Leader: run fn on a context that survives this caller's cancellation
+	// but still carries its values, and dies when the last waiter detaches.
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f := &flight{done: make(chan struct{}), refs: 1, cancel: cancel}
+	g.flights[key] = f
+	g.mu.Unlock()
+	if g.m != nil {
+		g.m.Executions.Inc()
+	}
+	go func() {
+		v, ferr := fn(fctx)
+		g.mu.Lock()
+		f.val, f.err = v, ferr
+		delete(g.flights, key)
+		g.mu.Unlock()
+		close(f.done)
+		cancel()
+	}()
+	return g.wait(ctx, key, f, false)
+}
+
+// wait blocks until the flight completes or ctx is done, handling the
+// participant refcount on early exit.
+func (g *FlightGroup) wait(ctx context.Context, key string, f *flight, shared bool) ([]byte, bool, error) {
+	select {
+	case <-f.done:
+		return f.val, shared, f.err
+	case <-ctx.Done():
+	}
+	// Detach. The flight may have completed while we were acquiring the
+	// lock; prefer its result in that case so a result computed anyway is
+	// never thrown away.
+	g.mu.Lock()
+	select {
+	case <-f.done:
+		g.mu.Unlock()
+		return f.val, shared, f.err
+	default:
+	}
+	f.refs--
+	last := f.refs == 0
+	g.mu.Unlock()
+	if last {
+		f.cancel()
+	}
+	return nil, shared, ctx.Err()
+}
+
+// InFlight returns the number of keys currently being computed.
+func (g *FlightGroup) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}

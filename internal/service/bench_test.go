@@ -1,0 +1,80 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"comparesets/internal/model"
+)
+
+// benchServer builds a handler over a synthetic corpus; the driver posts
+// directly (no sockets) so the numbers isolate the serving path itself.
+func benchServer(b *testing.B, opts Options) (*Server, http.Handler, SelectRequest) {
+	b.Helper()
+	c := cellphoneCorpus(b, 3)
+	s := NewWithOptions(map[string]*model.Corpus{"Cellphone": c}, nil, opts)
+	return s, s.Handler(), hotRequest(b, s)
+}
+
+func postBench(b *testing.B, h http.Handler, body []byte) {
+	b.Helper()
+	r := httptest.NewRequest(http.MethodPost, "/api/v1/select", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkSelectCold measures the full pipeline per request: cache and
+// coalescing disabled, every call recomputes (the pre-accelerator
+// serving cost).
+func BenchmarkSelectCold(b *testing.B) {
+	_, h, req := benchServer(b, Options{CacheDisabled: true})
+	body, _ := json.Marshal(req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postBench(b, h, body)
+	}
+}
+
+// BenchmarkSelectWarm measures the hot-key fast path: one priming request,
+// then every call is a shard-local cache hit.
+func BenchmarkSelectWarm(b *testing.B) {
+	_, h, req := benchServer(b, Options{})
+	body, _ := json.Marshal(req)
+	postBench(b, h, body) // prime
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		postBench(b, h, body)
+	}
+}
+
+// BenchmarkSelectCoalesced measures the hot-key miss under concurrency:
+// each iteration purges the cache and fires 8 identical requests at once,
+// so one pipeline execution is amortized over all of them.
+func BenchmarkSelectCoalesced(b *testing.B) {
+	s, h, req := benchServer(b, Options{})
+	body, _ := json.Marshal(req)
+	const fanout = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.cache.Purge()
+		var wg sync.WaitGroup
+		for j := 0; j < fanout; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				postBench(b, h, body)
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,54 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"comparesets/internal/opinion"
+)
+
+// selectKeyVersion is bumped whenever the select pipeline changes in a way
+// that alters response payloads for the same request, so stale processes
+// never serve incompatible cached bytes after a rolling upgrade.
+const selectKeyVersion = "v1"
+
+// selectKey builds the canonical cache key of a corpus-referenced select
+// request. Every request field that can influence the response payload
+// participates; TimeoutMS deliberately does not (it bounds computation
+// time, not the result). The epoch token — bumped whenever the category's
+// corpus is replaced — makes invalidation a key change rather than a cache
+// sweep. The request must already be canonicalized (algorithm and
+// shortlist method defaults applied).
+func selectKey(req *SelectRequest, epoch string) string {
+	var b strings.Builder
+	b.Grow(160)
+	b.WriteString(selectKeyVersion)
+	sep := func(field, val string) {
+		b.WriteByte('|')
+		b.WriteString(field)
+		b.WriteByte('=')
+		b.WriteString(val)
+	}
+	sep("epoch", epoch)
+	sep("cat", req.Category)
+	sep("tgt", req.Target)
+	sep("alg", req.Algorithm)
+	sep("m", strconv.Itoa(req.M))
+	sep("l", formatFloat(req.Lambda))
+	sep("mu", formatFloat(req.Mu))
+	sep("maxc", strconv.Itoa(req.MaxComparative))
+	// The API currently always selects under the default opinion scheme;
+	// keying it keeps cached payloads correct the day requests can choose.
+	sep("sch", opinion.Binary{}.Name())
+	sep("k", strconv.Itoa(req.K))
+	if req.K > 0 {
+		sep("meth", req.Method)
+	}
+	sep("sum", strconv.Itoa(req.Summarize))
+	sep("exp", strconv.Itoa(req.Explain))
+	sep("met", strconv.FormatBool(req.Metrics))
+	return b.String()
+}
+
+func formatFloat(f float64) string { return fmt.Sprintf("%g", f) }

@@ -14,6 +14,14 @@
 //	GET  /debug/vars                  expvar JSON
 //	GET  /debug/pprof/*               runtime profiles
 //
+// The select endpoint is served through a three-layer accelerator sized
+// for hot-key traffic: corpus-resident precomputed review features
+// (internal/featstore), a sharded byte-budgeted LRU over fully marshaled
+// responses keyed by a canonical request key that includes the corpus
+// epoch (internal/servecache), and request coalescing so N concurrent
+// identical requests run the pipeline once. Replacing a corpus with
+// AddCorpus bumps its epoch, invalidating its cached results atomically.
+//
 // Errors are returned as a structured envelope
 // {"error":{"code":"...","message":"..."}} with 400 for malformed
 // requests, 404 for unknown resources, 422 for semantically invalid
@@ -37,38 +45,80 @@ import (
 	"comparesets/internal/core"
 	"comparesets/internal/dataset"
 	"comparesets/internal/explain"
+	"comparesets/internal/featstore"
 	"comparesets/internal/lexicon"
 	"comparesets/internal/metrics"
 	"comparesets/internal/model"
 	"comparesets/internal/obs"
+	"comparesets/internal/servecache"
 	"comparesets/internal/simgraph"
 	"comparesets/internal/summarize"
 )
+
+// DefaultCacheBytes is the select result cache budget when Options leaves
+// CacheBytes unset.
+const DefaultCacheBytes int64 = 64 << 20
+
+// Options tunes the serving accelerators.
+type Options struct {
+	// CacheBytes is the byte budget of the select result cache; ≤ 0 uses
+	// DefaultCacheBytes.
+	CacheBytes int64
+	// CacheDisabled turns off the result cache and request coalescing.
+	// Corpus-resident feature precompute stays on either way — it only
+	// changes where feature columns come from, never what is computed.
+	CacheDisabled bool
+}
 
 // Server serves the selection API over a set of loaded corpora.
 type Server struct {
 	mu      sync.RWMutex
 	corpora map[string]*model.Corpus
-	started time.Time
-	logger  *log.Logger
-	reg     *obs.Registry
+	// feats holds each corpus's resident precomputed features; epochs
+	// holds the cache-key epoch token bumped whenever AddCorpus replaces a
+	// corpus, which atomically invalidates all of its cached results.
+	feats    map[string]*featstore.Store
+	epochs   map[string]string
+	epochSeq uint64
+	started  time.Time
+	logger   *log.Logger
+	reg      *obs.Registry
+	// cache and flights are nil when Options.CacheDisabled.
+	cache   *servecache.Cache
+	flights *servecache.FlightGroup
 }
 
-// New creates a server over the given corpora (keyed by category name),
-// recording metrics into the process-wide obs.Default registry so that
-// /metrics also exposes the selection pipeline's stage timers.
+// New creates a server over the given corpora (keyed by category name)
+// with default options, recording metrics into the process-wide
+// obs.Default registry so that /metrics also exposes the selection
+// pipeline's stage timers.
 func New(corpora map[string]*model.Corpus, logger *log.Logger) *Server {
+	return NewWithOptions(corpora, logger, Options{})
+}
+
+// NewWithOptions is New with explicit serving-accelerator options.
+func NewWithOptions(corpora map[string]*model.Corpus, logger *log.Logger, opts Options) *Server {
 	if logger == nil {
 		logger = log.Default()
 	}
 	s := &Server{
 		corpora: map[string]*model.Corpus{},
+		feats:   map[string]*featstore.Store{},
+		epochs:  map[string]string{},
 		started: time.Now(),
 		logger:  logger,
 		reg:     obs.Default(),
 	}
+	if !opts.CacheDisabled {
+		bytes := opts.CacheBytes
+		if bytes <= 0 {
+			bytes = DefaultCacheBytes
+		}
+		s.cache = servecache.New(bytes, 0, obs.NewCacheMetrics(s.reg, "servecache"))
+		s.flights = servecache.NewFlightGroup(obs.NewCacheMetrics(s.reg, "selectflight"))
+	}
 	for name, c := range corpora {
-		s.corpora[name] = c
+		s.registerCorpus(name, c)
 	}
 	return s
 }
@@ -76,11 +126,23 @@ func New(corpora map[string]*model.Corpus, logger *log.Logger) *Server {
 // Registry returns the metrics registry the server records into.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// AddCorpus registers (or replaces) a corpus at runtime.
+// AddCorpus registers (or replaces) a corpus at runtime. The category's
+// cache epoch is bumped, so every cached result and precomputed feature of
+// a replaced corpus becomes unreachable in one atomic step; stale cache
+// entries then age out through the LRU.
 func (s *Server) AddCorpus(name string, c *model.Corpus) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.registerCorpus(name, c)
+}
+
+// registerCorpus installs the corpus, its feature store, and its epoch
+// token. Caller holds s.mu (or the server is not yet shared).
+func (s *Server) registerCorpus(name string, c *model.Corpus) {
+	s.epochSeq++
 	s.corpora[name] = c
+	s.feats[name] = featstore.New(c)
+	s.epochs[name] = fmt.Sprintf("%d.%016x", s.epochSeq, c.Fingerprint())
 }
 
 // Handler returns the HTTP handler with all API and operational routes
@@ -215,11 +277,9 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
-	inst, apiErr := s.resolveInstance(&req)
-	if apiErr != nil {
-		writeAPIError(w, apiErr)
-		return
-	}
+	// Canonicalize and validate the request-shaping parameters up front:
+	// they are part of the cache key, and invalid requests must never
+	// occupy a flight.
 	if req.Algorithm == "" {
 		req.Algorithm = "CompaReSetS+"
 	}
@@ -228,14 +288,91 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, unprocessable(fmt.Errorf("unknown algorithm %q", req.Algorithm)))
 		return
 	}
+	var solver simgraph.Solver
+	if req.K > 0 {
+		if req.Method == "" {
+			req.Method = "greedy"
+		}
+		var err error
+		if solver, err = solverFor(req.Method); err != nil {
+			writeAPIError(w, unprocessable(err))
+			return
+		}
+	}
+
+	// Corpus-referenced requests ride the full accelerator: result cache,
+	// then request coalescing, then the precompute-backed pipeline.
+	if s.cache != nil && req.Category != "" && req.Target != "" {
+		s.mu.RLock()
+		c, ok := s.corpora[req.Category]
+		fs := s.feats[req.Category]
+		epoch := s.epochs[req.Category]
+		s.mu.RUnlock()
+		if !ok {
+			writeAPIError(w, notFound("unknown category %q", req.Category))
+			return
+		}
+		key := selectKey(&req, epoch)
+		if body, hit := s.cache.Get(key); hit {
+			writeRawJSON(w, body)
+			return
+		}
+		body, _, err := s.flights.Do(ctx, key, func(fctx context.Context) ([]byte, error) {
+			inst, err := c.NewInstance(req.Target, req.MaxComparative)
+			if err != nil {
+				return nil, notFound("%v", err)
+			}
+			resp, apiErr := s.computeSelect(fctx, &req, inst, fs, sel, solver)
+			if apiErr != nil {
+				return nil, apiErr
+			}
+			payload, err := json.Marshal(resp)
+			if err != nil {
+				return nil, unprocessable(err)
+			}
+			// Match writeJSON's json.Encoder framing byte for byte.
+			payload = append(payload, '\n')
+			s.cache.Put(key, payload)
+			return payload, nil
+		})
+		if err != nil {
+			writeAPIError(w, asAPIError(err))
+			return
+		}
+		writeRawJSON(w, body)
+		return
+	}
+
+	// Inline instances and cache-disabled servers take the direct path
+	// (still precompute-backed for corpus references).
+	inst, fs, apiErr := s.resolveInstance(&req)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	resp, apiErr := s.computeSelect(ctx, &req, inst, fs, sel, solver)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// computeSelect runs the full selection pipeline for a validated request:
+// selection, response assembly, optional summaries/explanations/metrics,
+// and the optional shortlist solve. fs supplies corpus-resident features
+// (nil for inline instances); solver is non-nil exactly when req.K > 0.
+func (s *Server) computeSelect(ctx context.Context, req *SelectRequest, inst *model.Instance, fs *featstore.Store, sel core.Selector, solver simgraph.Solver) (*SelectResponse, *apiError) {
 	cfg := core.Config{M: req.M, Lambda: req.Lambda, Mu: req.Mu}
+	if fs != nil {
+		cfg.Features = fs
+	}
 	start := time.Now()
 	selection, err := sel.SelectContext(ctx, inst, cfg)
 	if err != nil {
-		writeAPIError(w, asAPIError(err))
-		return
+		return nil, asAPIError(err)
 	}
-	resp := SelectResponse{
+	resp := &SelectResponse{
 		Algorithm: sel.Name(),
 		Objective: selection.Objective,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
@@ -258,29 +395,19 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		m := metrics.EvaluateSelection(inst, selection)
 		resp.Metrics = &m
 	}
-	if req.K > 0 {
-		method := req.Method
-		if method == "" {
-			method = "greedy"
-		}
-		solver, err := solverFor(method)
-		if err != nil {
-			writeAPIError(w, unprocessable(err))
-			return
-		}
+	if solver != nil {
 		tg := core.NewTargets(inst, cfg)
 		g := simgraph.Build(core.Stats(inst, tg, cfg, selection), cfg)
 		shortlistStop := obs.StageTimer(obs.StageShortlist)
 		res := solver.SolveContext(ctx, g, req.K)
 		shortlistStop()
 		if err := ctx.Err(); err != nil {
-			writeAPIError(w, asAPIError(err))
-			return
+			return nil, asAPIError(err)
 		}
 		resp.Shortlist = res.Members
 		resp.ShortlistWeight = res.Weight
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 func solverFor(method string) (simgraph.Solver, error) {
@@ -299,32 +426,34 @@ func solverFor(method string) (simgraph.Solver, error) {
 }
 
 // resolveInstance builds the problem instance from either a corpus
-// reference or the inline items.
-func (s *Server) resolveInstance(req *SelectRequest) (*model.Instance, *apiError) {
+// reference or the inline items, returning the category's feature store
+// for corpus references (nil for inline instances).
+func (s *Server) resolveInstance(req *SelectRequest) (*model.Instance, *featstore.Store, *apiError) {
 	switch {
 	case req.Category != "" && req.Target != "":
 		s.mu.RLock()
 		c, ok := s.corpora[req.Category]
+		fs := s.feats[req.Category]
 		s.mu.RUnlock()
 		if !ok {
-			return nil, notFound("unknown category %q", req.Category)
+			return nil, nil, notFound("unknown category %q", req.Category)
 		}
 		inst, err := c.NewInstance(req.Target, req.MaxComparative)
 		if err != nil {
-			return nil, notFound("%v", err)
+			return nil, nil, notFound("%v", err)
 		}
-		return inst, nil
+		return inst, fs, nil
 	case len(req.Items) > 0:
 		if len(req.Aspects) == 0 {
-			return nil, unprocessable(fmt.Errorf("inline instances need a non-empty aspects list"))
+			return nil, nil, unprocessable(fmt.Errorf("inline instances need a non-empty aspects list"))
 		}
 		inst := &model.Instance{Aspects: model.NewVocabulary(req.Aspects), Items: req.Items}
 		if err := inst.Validate(); err != nil {
-			return nil, unprocessable(err)
+			return nil, nil, unprocessable(err)
 		}
-		return inst, nil
+		return inst, nil, nil
 	default:
-		return nil, badRequest("provide either category+target or inline items")
+		return nil, nil, badRequest("provide either category+target or inline items")
 	}
 }
 
@@ -374,4 +503,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeRawJSON writes a pre-marshaled JSON payload (already carrying the
+// trailing newline that json.Encoder emits, so cached and freshly encoded
+// responses are byte-identical).
+func writeRawJSON(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }

@@ -11,6 +11,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"comparesets/internal/core"
 )
@@ -75,22 +78,73 @@ func FromDistances(d [][]float64) (*Graph, error) {
 	return g, nil
 }
 
+// parallelBuildThreshold is the instance size above which Build fans the
+// O(n²) pairwise distance loop across workers. Below it the sequential
+// loop wins: goroutine startup costs more than the whole triangle.
+const parallelBuildThreshold = 64
+
 // Build constructs the similarity graph of an instance from the per-item
-// statistics of a CompaReSetS+ selection, using d_ij of §3.1.
+// statistics of a CompaReSetS+ selection, using d_ij of §3.1. For n ≥
+// parallelBuildThreshold the pairwise loop runs on GOMAXPROCS workers;
+// every d_ij is computed by exactly one worker from the same inputs in the
+// same order, so parallel and sequential builds are byte-identical.
 func Build(stats []core.ItemStats, cfg core.Config) *Graph {
 	n := len(stats)
 	d := make([][]float64, n)
 	for i := range d {
 		d[i] = make([]float64, n)
 	}
+	if workers := runtime.GOMAXPROCS(0); n >= parallelBuildThreshold && workers > 1 {
+		buildDistancesParallel(d, stats, cfg, workers)
+	} else {
+		buildDistancesSequential(d, stats, cfg)
+	}
+	g, _ := FromDistances(d) // square matrix by construction
+	return g
+}
+
+// buildDistancesSequential fills the symmetric distance matrix row by row.
+func buildDistancesSequential(d [][]float64, stats []core.ItemStats, cfg core.Config) {
+	n := len(stats)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			dist := core.ItemDistance(stats[i], stats[j], cfg)
 			d[i][j], d[j][i] = dist, dist
 		}
 	}
-	g, _ := FromDistances(d) // square matrix by construction
-	return g
+}
+
+// buildDistancesParallel computes the same matrix with workers claiming
+// rows off a shared atomic counter. Row i owns cells (i, j>i) exclusively
+// — including the mirrored write to (j, i), which no other row touches
+// since row j only writes columns > j — so there are no write conflicts,
+// and each d_ij is a single deterministic float expression: bytes match
+// the sequential loop exactly. The atomic row counter load-balances the
+// shrinking triangle rows.
+func buildDistancesParallel(d [][]float64, stats []core.ItemStats, cfg core.Config, workers int) {
+	n := len(stats)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				for j := i + 1; j < n; j++ {
+					dist := core.ItemDistance(stats[i], stats[j], cfg)
+					d[i][j], d[j][i] = dist, dist
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // SubsetWeight returns Σ_{i<j ∈ members} w_ij (Eq. 6).

@@ -39,6 +39,52 @@ func BenchmarkItemReviews(b *testing.B) {
 	}
 }
 
+// BenchmarkItemReviewsClustered reads an item whose records sit
+// back-to-back in the log — the batch reader's best case: one buffered
+// sweep, no discards.
+func BenchmarkItemReviewsClustered(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "bench.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for p := 0; p < 20; p++ {
+		for i := 0; i < 100; i++ {
+			s.Append(review(fmt.Sprintf("p%d-r%d", p, i), fmt.Sprintf("p%d", p), i%5))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := s.ItemReviews(fmt.Sprintf("p%d", i%20))
+		if err != nil || len(rs) != 100 {
+			b.Fatalf("got %d reviews, err %v", len(rs), err)
+		}
+	}
+}
+
+// BenchmarkItemReviewsScattered interleaves 50 items round-robin so each
+// item's records are maximally spread — the batch reader must discard 49
+// foreign records between every hit.
+func BenchmarkItemReviewsScattered(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "bench.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 2000; i++ {
+		s.Append(review(fmt.Sprintf("r%d", i), fmt.Sprintf("p%d", i%50), i%5))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := s.ItemReviews(fmt.Sprintf("p%d", i%50))
+		if err != nil || len(rs) != 40 {
+			b.Fatalf("got %d reviews, err %v", len(rs), err)
+		}
+	}
+}
+
 func BenchmarkOpenReindex(b *testing.B) {
 	path := filepath.Join(b.TempDir(), "bench.log")
 	s, err := Open(path)

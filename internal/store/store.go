@@ -25,6 +25,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"slices"
 	"sort"
 	"sync"
 
@@ -175,20 +176,11 @@ func (s *Store) Append(rec *model.Review) error {
 	s.byItem[rec.ItemID] = append(s.byItem[rec.ItemID], offset)
 	s.count++
 	for _, a := range rec.AspectSet() {
-		if !containsString(s.byAspect[a], rec.ItemID) {
+		if !slices.Contains(s.byAspect[a], rec.ItemID) {
 			s.byAspect[a] = append(s.byAspect[a], rec.ItemID)
 		}
 	}
 	return nil
-}
-
-func containsString(list []string, v string) bool {
-	for _, x := range list {
-		if x == v {
-			return true
-		}
-	}
-	return false
 }
 
 // AppendCorpus bulk-loads every review of the corpus.
@@ -203,7 +195,20 @@ func (s *Store) AppendCorpus(c *model.Corpus) error {
 	return nil
 }
 
+// itemReviewsBufferSize is the read-ahead window of the batch reader. One
+// OS read covers many adjacent records; gaps are skipped with Discard,
+// which only refills when the gap outruns the buffer.
+const itemReviewsBufferSize = 64 << 10
+
 // ItemReviews fetches all reviews of an item, in append order.
+//
+// Instead of one positioned read per record, the offsets are visited in
+// ascending file order through a single buffered reader: records of one
+// item cluster by append time, so a batch usually costs a handful of large
+// sequential reads rather than 2×len(offsets) syscalls. Results are
+// reordered back to append order on the way out (for this log they
+// coincide, since the posting list is built append-only, but the batch
+// reader does not rely on that).
 func (s *Store) ItemReviews(itemID string) ([]*model.Review, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -211,40 +216,65 @@ func (s *Store) ItemReviews(itemID string) ([]*model.Review, error) {
 		return nil, ErrClosed
 	}
 	offsets := s.byItem[itemID]
-	out := make([]*model.Review, 0, len(offsets))
-	for _, off := range offsets {
-		rec, err := s.readAt(off)
-		if err != nil {
-			return nil, err
+	if len(offsets) == 0 {
+		return nil, nil
+	}
+	// order[k] visits the k-th smallest offset; out[order[k].pos] keeps
+	// append order in the result.
+	type visit struct {
+		off int64
+		pos int
+	}
+	order := make([]visit, len(offsets))
+	for i, off := range offsets {
+		order[i] = visit{off: off, pos: i}
+	}
+	slices.SortFunc(order, func(a, b visit) int {
+		switch {
+		case a.off < b.off:
+			return -1
+		case a.off > b.off:
+			return 1
+		default:
+			return 0
 		}
-		out = append(out, rec)
+	})
+
+	start := order[0].off
+	r := bufio.NewReaderSize(io.NewSectionReader(s.f, start, s.size-start), itemReviewsBufferSize)
+	cursor := start
+	out := make([]*model.Review, len(offsets))
+	var header [headerSize]byte
+	for _, v := range order {
+		if skip := v.off - cursor; skip > 0 {
+			if _, err := r.Discard(int(skip)); err != nil {
+				return nil, fmt.Errorf("%w: seeking to %d: %v", ErrCorruptRecord, v.off, err)
+			}
+			cursor = v.off
+		}
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			return nil, fmt.Errorf("%w: header at %d: %v", ErrCorruptRecord, v.off, err)
+		}
+		length := binary.BigEndian.Uint32(header[:4])
+		sum := binary.BigEndian.Uint32(header[4:8])
+		if length == 0 || length > MaxRecordSize {
+			return nil, fmt.Errorf("%w: bad length %d at %d", ErrCorruptRecord, length, v.off)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("%w: payload at %d: %v", ErrCorruptRecord, v.off, err)
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			return nil, fmt.Errorf("%w: checksum mismatch at %d", ErrCorruptRecord, v.off)
+		}
+		var rec model.Review
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return nil, fmt.Errorf("%w: decode at %d: %v", ErrCorruptRecord, v.off, err)
+		}
+		out[v.pos] = &rec
+		cursor = v.off + headerSize + int64(length)
 	}
 	return out, nil
-}
-
-// readAt decodes one record at the given offset (caller holds the lock).
-func (s *Store) readAt(offset int64) (*model.Review, error) {
-	var header [headerSize]byte
-	if _, err := s.f.ReadAt(header[:], offset); err != nil {
-		return nil, fmt.Errorf("%w: header at %d: %v", ErrCorruptRecord, offset, err)
-	}
-	length := binary.BigEndian.Uint32(header[:4])
-	sum := binary.BigEndian.Uint32(header[4:8])
-	if length == 0 || length > MaxRecordSize {
-		return nil, fmt.Errorf("%w: bad length %d at %d", ErrCorruptRecord, length, offset)
-	}
-	payload := make([]byte, length)
-	if _, err := s.f.ReadAt(payload, offset+headerSize); err != nil {
-		return nil, fmt.Errorf("%w: payload at %d: %v", ErrCorruptRecord, offset, err)
-	}
-	if crc32.Checksum(payload, crcTable) != sum {
-		return nil, fmt.Errorf("%w: checksum mismatch at %d", ErrCorruptRecord, offset)
-	}
-	var rec model.Review
-	if err := json.Unmarshal(payload, &rec); err != nil {
-		return nil, fmt.Errorf("%w: decode at %d: %v", ErrCorruptRecord, offset, err)
-	}
-	return &rec, nil
 }
 
 // ItemsWithAspect returns the sorted IDs of items whose reviews mention the

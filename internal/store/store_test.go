@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
@@ -199,6 +200,37 @@ func TestReadAtDetectsPostOpenCorruption(t *testing.T) {
 	}
 	if _, err := s.ItemReviews("p1"); !errors.Is(err, ErrCorruptRecord) {
 		t.Errorf("err = %v, want ErrCorruptRecord", err)
+	}
+}
+
+func TestItemReviewsInterleavedKeepsAppendOrder(t *testing.T) {
+	// Interleave three items so every record of an item is separated by
+	// foreign records: the batch reader must discard the gaps and still
+	// return each item's reviews in append order.
+	s, _ := tempStore(t)
+	const rounds = 25
+	for i := 0; i < rounds; i++ {
+		for p := 0; p < 3; p++ {
+			item := fmt.Sprintf("p%d", p)
+			if err := s.Append(review(fmt.Sprintf("%s-r%03d", item, i), item, i%4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for p := 0; p < 3; p++ {
+		item := fmt.Sprintf("p%d", p)
+		rs, err := s.ItemReviews(item)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != rounds {
+			t.Fatalf("%s: %d reviews, want %d", item, len(rs), rounds)
+		}
+		for i, r := range rs {
+			if want := fmt.Sprintf("%s-r%03d", item, i); r.ID != want {
+				t.Fatalf("%s[%d] = %s, want %s", item, i, r.ID, want)
+			}
+		}
 	}
 }
 
