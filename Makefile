@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race cover bench bench-json experiments examples clean
+.PHONY: all build vet test race cover bench bench-json chaos fuzz experiments examples clean
 
 all: build vet test
 
@@ -21,6 +21,23 @@ cover:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Chaos run: the fault-injection and resilience suites under the race
+# detector with injection enabled and a fresh random seed. The seed is
+# printed up front and again on failure — rerun with
+# FAULTINJECT_SEED=<seed> to reproduce a failing draw sequence exactly.
+chaos:
+	@seed=$${FAULTINJECT_SEED:-$$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')}; \
+	echo "chaos: FAULTINJECT_SEED=$$seed"; \
+	FAULTINJECT=1 FAULTINJECT_SEED=$$seed go test -race -count=1 \
+		-run 'Fault|Chaos|Panic|Stale|Resilience|Recovery|Retries' \
+		./internal/faultinject/... ./internal/store/... ./internal/core/... \
+		./internal/featstore/... ./internal/servecache/... ./internal/service/... \
+	|| { echo "chaos FAILED — reproduce with: FAULTINJECT_SEED=$$seed make chaos"; exit 1; }
+
+# Fuzz the store's crash-recovery scan (bounded; raise -fuzztime locally).
+fuzz:
+	go test -run '^$$' -fuzz FuzzStoreScan -fuzztime 30s ./internal/store/
 
 # Record the hot-path benchmarks into versioned JSON; commit the diff
 # alongside performance changes. BENCH_core.json covers the selection

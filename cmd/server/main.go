@@ -16,8 +16,15 @@
 // are coalesced into one pipeline execution; -cache-disabled turns both
 // layers off.
 //
-// SIGINT/SIGTERM triggers a graceful shutdown: in-flight requests get up
-// to 10 s to finish before the listener is torn down.
+// -max-inflight bounds concurrently executing select requests; excess
+// requests queue briefly and are shed with 503 + Retry-After once the
+// queue fills or their deadline cannot outlast the expected wait. -store
+// opens an append-only review store log whose health feeds GET /readyz.
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: /readyz flips to
+// overloaded (so load balancers drain the instance), in-flight requests
+// get up to -drain to finish, the store is synced and closed, and stderr
+// is flushed.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"comparesets/internal/datagen"
 	"comparesets/internal/model"
 	"comparesets/internal/service"
+	"comparesets/internal/store"
 )
 
 func main() {
@@ -46,6 +54,10 @@ func main() {
 		seed          = flag.Int64("seed", 1, "synthesis seed")
 		cacheBytes    = flag.Int64("cache-bytes", service.DefaultCacheBytes, "selection result cache budget in bytes")
 		cacheDisabled = flag.Bool("cache-disabled", false, "disable the selection result cache and request coalescing")
+		maxInflight   = flag.Int("max-inflight", 0, "bound on concurrently executing select requests (0 = unlimited)")
+		maxQueue      = flag.Int("max-queue", 0, "admission queue bound (0 = 4×max-inflight, negative = no queue)")
+		storePath     = flag.String("store", "", "append-only review store log to open (health feeds /readyz)")
+		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight requests")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "server: ", log.LstdFlags)
@@ -55,10 +67,25 @@ func main() {
 		logger.Fatal(err)
 	}
 
-	svc := service.NewWithOptions(corpora, logger, service.Options{
+	opts := service.Options{
 		CacheBytes:    *cacheBytes,
 		CacheDisabled: *cacheDisabled,
-	})
+		MaxInflight:   *maxInflight,
+		MaxQueue:      *maxQueue,
+	}
+	var st *store.Store
+	if *storePath != "" {
+		st, err = store.OpenWithOptions(*storePath, store.OpenOptions{Logger: logger})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if rec := st.Recovery(); rec.DroppedRecords > 0 {
+			logger.Printf("store: recovered %s dropping %d record(s) (%s)", *storePath, rec.DroppedRecords, rec.Reason)
+		}
+		logger.Printf("store: %s (%d records)", *storePath, st.Count())
+		opts.StoreProbe = st.Healthy
+	}
+	svc := service.NewWithOptions(corpora, logger, opts)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           logRequests(logger, svc.Handler()),
@@ -77,13 +104,27 @@ func main() {
 			logger.Fatal(err)
 		}
 	case <-ctx.Done():
-		logger.Print("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Flip readiness before tearing the listener down so load
+		// balancers stop routing here while in-flight requests finish.
+		svc.SetDraining(true)
+		logger.Printf("shutting down (drain %v)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			logger.Printf("shutdown: %v", err)
 		}
 	}
+	if st != nil {
+		if err := st.Sync(); err != nil {
+			logger.Printf("store sync: %v", err)
+		}
+		if err := st.Close(); err != nil {
+			logger.Printf("store close: %v", err)
+		}
+	}
+	// log.Logger writes are unbuffered, but the underlying fd may not be
+	// durable yet; best-effort flush before exit.
+	_ = os.Stderr.Sync()
 }
 
 // loadCorpora assembles the serving corpora: every *.json in dataDir, plus

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"comparesets/internal/faultinject"
 	"comparesets/internal/linalg"
 	"comparesets/internal/model"
 	"comparesets/internal/obs"
@@ -38,6 +39,9 @@ func (CompaReSetS) SelectContext(ctx context.Context, inst *model.Instance, cfg 
 		return nil, ErrEmptyInstance
 	}
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := faultinject.CheckCtx(ctx, faultinject.PointCoreSelect); err != nil {
 		return nil, err
 	}
 	tg := NewTargets(inst, cfg)
@@ -156,6 +160,9 @@ func (CompaReSetSPlus) SelectContext(ctx context.Context, inst *model.Instance, 
 		return nil, ErrEmptyInstance
 	}
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := faultinject.CheckCtx(ctx, faultinject.PointCoreSelect); err != nil {
 		return nil, err
 	}
 	tg := NewTargets(inst, cfg)

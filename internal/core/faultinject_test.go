@@ -1,0 +1,40 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"comparesets/internal/faultinject"
+)
+
+func TestSelectContextFaultInjection(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	inst := workingExampleInstance()
+	cfg := Config{M: 2, Lambda: 0.5, Mu: 0.5}
+
+	faultinject.Arm(faultinject.PointCoreSelect, faultinject.Fault{Mode: faultinject.ModeError})
+	for _, sel := range []Selector{CompaReSetS{}, CompaReSetSPlus{}} {
+		if _, err := sel.SelectContext(context.Background(), inst, cfg); !errors.Is(err, faultinject.ErrInjected) {
+			t.Errorf("%s: err = %v, want ErrInjected", sel.Name(), err)
+		}
+	}
+
+	// Disarmed, the exact same calls succeed and agree with Select.
+	faultinject.Reset()
+	for _, sel := range []Selector{CompaReSetS{}, CompaReSetSPlus{}} {
+		got, err := sel.SelectContext(context.Background(), inst, cfg)
+		if err != nil {
+			t.Fatalf("%s after disarm: %v", sel.Name(), err)
+		}
+		want, err := sel.Select(inst, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Indices, want.Indices) {
+			t.Errorf("%s: post-fault selection diverged", sel.Name())
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"hash/fnv"
 	"sync"
 
+	"comparesets/internal/faultinject"
 	"comparesets/internal/linalg"
 	"comparesets/internal/model"
 	"comparesets/internal/obs"
@@ -90,6 +91,12 @@ func (s *Store) ItemColumns(it *model.Item, sch opinion.Scheme, z int) (op, asp 
 	defer sh.mu.Unlock()
 	e, ok := sh.items[k]
 	if !ok {
+		// An injected fill fault declines the item (ok=false): callers fall
+		// back to computing the columns per request, so a failing feature
+		// store degrades throughput, never correctness.
+		if err := faultinject.Check(faultinject.PointFeatstoreFill); err != nil {
+			return nil, nil, false
+		}
 		s.m.Misses.Inc()
 		e = s.compute(it, sch)
 		sh.items[k] = e

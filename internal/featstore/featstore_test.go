@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"comparesets/internal/core"
+	"comparesets/internal/faultinject"
 	"comparesets/internal/linalg"
 	"comparesets/internal/model"
 	"comparesets/internal/opinion"
@@ -171,5 +172,34 @@ func BenchmarkItemColumnsWarm(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		op, _, _ := s.ItemColumns(it, opinion.Binary{}, z)
 		sinkVec = op[0]
+	}
+}
+
+func TestFillFaultFallsBackGracefully(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	c := testCorpus(t)
+	s := New(c)
+	z := c.Aspects.Len()
+	it := c.Items[c.ItemIDs()[0]]
+	sch := opinion.Binary{}
+
+	// An injected fill fault declines the item instead of failing the
+	// request: callers recompute the columns themselves.
+	faultinject.Arm(faultinject.PointFeatstoreFill, faultinject.Fault{
+		Mode: faultinject.ModeError, Remaining: 1,
+	})
+	if _, _, ok := s.ItemColumns(it, sch, z); ok {
+		t.Fatal("ItemColumns ok under injected fill fault, want decline")
+	}
+	// The fault self-disarmed: the next touch fills and serves normally.
+	op, asp, ok := s.ItemColumns(it, sch, z)
+	if !ok || len(op) != len(it.Reviews) || len(asp) != len(it.Reviews) {
+		t.Fatalf("post-fault fill: ok=%v op=%d asp=%d", ok, len(op), len(asp))
+	}
+	// Already-resident entries are immune to fill faults (nothing to fill).
+	faultinject.Arm(faultinject.PointFeatstoreFill, faultinject.Fault{Mode: faultinject.ModeError})
+	if _, _, ok := s.ItemColumns(it, sch, z); !ok {
+		t.Error("resident entry declined under fill fault")
 	}
 }

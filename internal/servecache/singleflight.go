@@ -2,10 +2,28 @@ package servecache
 
 import (
 	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"comparesets/internal/obs"
 )
+
+// PanicError is what every participant of a flight receives when the
+// flight's compute function panics: the panic is recovered (so one bad key
+// cannot kill the process or deadlock its waiters) and propagated as an
+// error carrying the panic value and the captured stack.
+type PanicError struct {
+	// Value is what the compute function panicked with.
+	Value any
+	// Stack is the flight goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error keeps the message short; the stack is for the caller's logger.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("servecache: flight panicked: %v", e.Value)
+}
 
 // FlightGroup coalesces concurrent identical computations: while a
 // computation for a key is in flight, further Do calls for the same key
@@ -19,6 +37,10 @@ import (
 // whatever cache the compute function writes to). Only when the last
 // participant leaves is the flight's context canceled, so abandoned work
 // is reclaimed at the pipeline's next cancellation checkpoint.
+//
+// A compute function that panics does not crash the process or strand its
+// waiters: the panic is recovered in the flight goroutine and every
+// participant receives a *PanicError.
 type FlightGroup struct {
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -67,7 +89,18 @@ func (g *FlightGroup) Do(ctx context.Context, key string, fn func(context.Contex
 		g.m.Executions.Inc()
 	}
 	go func() {
-		v, ferr := fn(fctx)
+		var v []byte
+		var ferr error
+		// A panicking fn must not kill the process or strand the waiters:
+		// recover it and propagate a PanicError to every participant.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					v, ferr = nil, &PanicError{Value: r, Stack: debug.Stack()}
+				}
+			}()
+			v, ferr = fn(fctx)
+		}()
 		g.mu.Lock()
 		f.val, f.err = v, ferr
 		delete(g.flights, key)

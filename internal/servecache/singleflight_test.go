@@ -183,3 +183,54 @@ func TestFlightStress(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+func TestFlightPanicPropagatesToAllWaiters(t *testing.T) {
+	m := obs.NewCacheMetrics(obs.NewRegistry(), "flight")
+	g := NewFlightGroup(m)
+	release := make(chan struct{})
+
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := g.Do(context.Background(), "doomed", func(context.Context) ([]byte, error) {
+				<-release
+				panic("injected compute panic")
+			})
+			errs[i] = err
+		}(i)
+	}
+	// All joiners queued on the one flight, then let it blow up.
+	deadline := time.Now().Add(2 * time.Second)
+	for g.InFlight() != 1 || m.Coalesced.Value() != callers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("flights=%d coalesced=%d — joiners never queued", g.InFlight(), m.Coalesced.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait() // a deadlock here is the bug this test exists to catch
+
+	for i, err := range errs {
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("caller %d: err = %v, want *PanicError", i, err)
+		}
+		if pe.Value != "injected compute panic" || len(pe.Stack) == 0 {
+			t.Errorf("caller %d: PanicError = {%v, stack %d bytes}", i, pe.Value, len(pe.Stack))
+		}
+	}
+	if g.InFlight() != 0 {
+		t.Errorf("InFlight = %d after panic, want 0", g.InFlight())
+	}
+	// The key is not poisoned: the next Do runs a fresh flight.
+	v, _, err := g.Do(context.Background(), "doomed", func(context.Context) ([]byte, error) {
+		return []byte("recovered"), nil
+	})
+	if err != nil || string(v) != "recovered" {
+		t.Errorf("post-panic Do = %q %v", v, err)
+	}
+}

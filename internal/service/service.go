@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	GET  /healthz                     liveness probe
+//	GET  /readyz                      readiness probe (ok|degraded|overloaded)
 //	GET  /api/v1/categories           loaded corpus names + stats
 //	GET  /api/v1/targets?category=X   qualifying target product IDs
 //	POST /api/v1/select               select review sets (+ optional shortlist)
@@ -34,17 +35,21 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"comparesets/internal/aspectex"
 	"comparesets/internal/core"
 	"comparesets/internal/dataset"
 	"comparesets/internal/explain"
+	"comparesets/internal/faultinject"
 	"comparesets/internal/featstore"
 	"comparesets/internal/lexicon"
 	"comparesets/internal/metrics"
@@ -68,6 +73,18 @@ type Options struct {
 	// Corpus-resident feature precompute stays on either way — it only
 	// changes where feature columns come from, never what is computed.
 	CacheDisabled bool
+	// MaxInflight bounds concurrently executing select requests; excess
+	// requests wait in a bounded queue and are shed with 503 + Retry-After
+	// when the queue is full or the expected wait exceeds their deadline.
+	// ≤ 0 disables admission control.
+	MaxInflight int
+	// MaxQueue bounds the admission wait queue; 0 defaults to
+	// 4×MaxInflight, negative disables queueing entirely (requests beyond
+	// MaxInflight are shed immediately).
+	MaxQueue int
+	// StoreProbe, when set, is consulted by /readyz: a non-nil error marks
+	// the backing review store unhealthy and the server degraded.
+	StoreProbe func() error
 }
 
 // Server serves the selection API over a set of loaded corpora.
@@ -83,9 +100,20 @@ type Server struct {
 	started  time.Time
 	logger   *log.Logger
 	reg      *obs.Registry
-	// cache and flights are nil when Options.CacheDisabled.
-	cache   *servecache.Cache
-	flights *servecache.FlightGroup
+	// cache and flights are nil when Options.CacheDisabled; staleCache
+	// keeps the last good payload per epochless key for
+	// stale-while-error serving.
+	cache      *servecache.Cache
+	flights    *servecache.FlightGroup
+	staleCache *servecache.Cache
+	// limiter is nil unless Options.MaxInflight > 0.
+	limiter    *limiter
+	storeProbe func() error
+	draining   atomic.Bool
+
+	clientAborts *obs.Counter
+	staleServed  *obs.Counter
+	flightPanics *obs.Counter
 }
 
 // New creates a server over the given corpora (keyed by category name)
@@ -109,6 +137,21 @@ func NewWithOptions(corpora map[string]*model.Corpus, logger *log.Logger, opts O
 		logger:  logger,
 		reg:     obs.Default(),
 	}
+	s.clientAborts = s.reg.Counter("comparesets_client_aborts_total",
+		"Responses whose write failed because the client disconnected.", nil)
+	s.staleServed = s.reg.Counter("comparesets_degraded_responses_total",
+		"Stale-while-error responses served from the last good cached result.",
+		obs.Labels{"reason": "stale_cache"})
+	s.flightPanics = s.reg.Counter("comparesets_http_panics_total",
+		"Handler panics recovered by the middleware.", obs.Labels{"endpoint": "select.flight"})
+	s.storeProbe = opts.StoreProbe
+	if opts.MaxInflight > 0 {
+		maxQueue := opts.MaxQueue
+		if maxQueue == 0 {
+			maxQueue = 4 * opts.MaxInflight
+		}
+		s.limiter = newLimiter(opts.MaxInflight, maxQueue, s.reg)
+	}
 	if !opts.CacheDisabled {
 		bytes := opts.CacheBytes
 		if bytes <= 0 {
@@ -116,6 +159,11 @@ func NewWithOptions(corpora map[string]*model.Corpus, logger *log.Logger, opts O
 		}
 		s.cache = servecache.New(bytes, 0, obs.NewCacheMetrics(s.reg, "servecache"))
 		s.flights = servecache.NewFlightGroup(obs.NewCacheMetrics(s.reg, "selectflight"))
+		staleBytes := bytes / 8
+		if staleBytes < 1<<20 {
+			staleBytes = 1 << 20
+		}
+		s.staleCache = servecache.New(staleBytes, 0, obs.NewCacheMetrics(s.reg, "stalecache"))
 	}
 	for name, c := range corpora {
 		s.registerCorpus(name, c)
@@ -150,6 +198,7 @@ func (s *Server) registerCorpus(name string, c *model.Corpus) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealth))
+	mux.Handle("GET /readyz", s.instrument("readyz", s.handleReady))
 	mux.Handle("GET /api/v1/categories", s.instrument("categories", s.handleCategories))
 	mux.Handle("GET /api/v1/targets", s.instrument("targets", s.handleTargets))
 	mux.Handle("POST /api/v1/select", s.instrument("select", s.handleSelect))
@@ -159,10 +208,83 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"uptime": time.Since(s.started).String(),
 	})
+}
+
+// Readiness states reported by /readyz.
+const (
+	// ReadyOK: serving normally.
+	ReadyOK = "ok"
+	// ReadyDegraded: serving, but impaired — the backing store probe
+	// fails, or no corpora are loaded (the latter also answers 503 so load
+	// balancers route elsewhere).
+	ReadyDegraded = "degraded"
+	// ReadyOverloaded: not accepting more load — the admission queue is
+	// saturated or the server is draining for shutdown (503 + Retry-After).
+	ReadyOverloaded = "overloaded"
+)
+
+// SetDraining flips the drain flag consulted by /readyz. Flip it before
+// http.Server.Shutdown so load balancers stop routing new traffic while
+// in-flight requests finish.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Readiness evaluates the readiness state machine: overloaded (draining or
+// admission queue saturated) takes precedence over degraded (store
+// unhealthy, or no corpora loaded), else ok. The checks map explains every
+// contributing probe.
+func (s *Server) Readiness() (state string, checks map[string]string) {
+	s.mu.RLock()
+	ncorpora := len(s.corpora)
+	s.mu.RUnlock()
+	state = ReadyOK
+	checks = map[string]string{}
+
+	checks["corpora"] = fmt.Sprintf("%d loaded", ncorpora)
+	if ncorpora == 0 {
+		checks["corpora"] = "none loaded"
+		state = ReadyDegraded
+	}
+	checks["store"] = "unconfigured"
+	if s.storeProbe != nil {
+		if err := s.storeProbe(); err != nil {
+			checks["store"] = err.Error()
+			state = ReadyDegraded
+		} else {
+			checks["store"] = "ok"
+		}
+	}
+	checks["limiter"] = "disabled"
+	if s.limiter != nil {
+		checks["limiter"] = s.limiter.state()
+		if s.limiter.saturated() {
+			state = ReadyOverloaded
+		}
+	}
+	checks["draining"] = "false"
+	if s.draining.Load() {
+		checks["draining"] = "true"
+		state = ReadyOverloaded
+	}
+	return state, checks
+}
+
+// handleReady serves the readiness probe: 200 for ok, 200 for degraded
+// (the server still answers what it can), 503 for overloaded or for a
+// degraded server with nothing loaded at all.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	state, checks := s.Readiness()
+	status := http.StatusOK
+	if state == ReadyOverloaded || checks["corpora"] == "none loaded" {
+		status = http.StatusServiceUnavailable
+	}
+	if state == ReadyOverloaded {
+		w.Header().Set("Retry-After", "1")
+	}
+	s.writeJSON(w, status, map[string]any{"status": state, "checks": checks})
 }
 
 // CategoryInfo is one row of the categories listing.
@@ -184,7 +306,7 @@ func (s *Server) handleCategories(w http.ResponseWriter, _ *http.Request) {
 		})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
@@ -193,10 +315,10 @@ func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
 	c, ok := s.corpora[category]
 	s.mu.RUnlock()
 	if !ok {
-		writeAPIError(w, notFound("unknown category %q", category))
+		s.writeAPIError(w, notFound("unknown category %q", category))
 		return
 	}
-	writeJSON(w, http.StatusOK, dataset.TargetIDs(c))
+	s.writeJSON(w, http.StatusOK, dataset.TargetIDs(c))
 }
 
 // SelectRequest is the /api/v1/select request body.
@@ -258,6 +380,15 @@ type SelectResponse struct {
 	// Shortlist holds instance positions when K > 0.
 	Shortlist       []int   `json:"shortlist,omitempty"`
 	ShortlistWeight float64 `json:"shortlist_weight,omitempty"`
+	// Optimal is present (and false) only when the exact shortlist solver
+	// was shed — by its time budget, the request deadline, or server
+	// overload — and a greedy/best-so-far result is served instead.
+	// Optimal exact solves and non-exact methods omit it.
+	Optimal *bool `json:"optimal,omitempty"`
+	// Degraded marks a stale-while-error response: the pipeline failed and
+	// this payload is the last good (possibly previous-epoch) cached
+	// result for the same request shape.
+	Degraded bool `json:"degraded,omitempty"`
 	// Explanations holds comparative explanation lines when requested.
 	Explanations []string `json:"explanations,omitempty"`
 	// Metrics holds the §5.1 quality scores when requested.
@@ -266,9 +397,19 @@ type SelectResponse struct {
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	// Admission control first: a request we cannot serve in time should
+	// cost one queue probe, not a decoded body and a pipeline slot.
+	if s.limiter != nil {
+		release, aerr := s.limiter.acquire(r.Context())
+		if aerr != nil {
+			s.writeAPIError(w, aerr)
+			return
+		}
+		defer release()
+	}
 	var req SelectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeAPIError(w, badRequest("decoding request: %v", err))
+		s.writeAPIError(w, badRequest("decoding request: %v", err))
 		return
 	}
 	ctx := r.Context()
@@ -285,7 +426,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	sel, ok := core.SelectorByName(req.Algorithm)
 	if !ok {
-		writeAPIError(w, unprocessable(fmt.Errorf("unknown algorithm %q", req.Algorithm)))
+		s.writeAPIError(w, unprocessable(fmt.Errorf("unknown algorithm %q", req.Algorithm)))
 		return
 	}
 	var solver simgraph.Solver
@@ -295,7 +436,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		}
 		var err error
 		if solver, err = solverFor(req.Method); err != nil {
-			writeAPIError(w, unprocessable(err))
+			s.writeAPIError(w, unprocessable(err))
 			return
 		}
 	}
@@ -309,12 +450,13 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		epoch := s.epochs[req.Category]
 		s.mu.RUnlock()
 		if !ok {
-			writeAPIError(w, notFound("unknown category %q", req.Category))
+			s.writeAPIError(w, notFound("unknown category %q", req.Category))
 			return
 		}
 		key := selectKey(&req, epoch)
+		staleKey := selectKey(&req, "")
 		if body, hit := s.cache.Get(key); hit {
-			writeRawJSON(w, body)
+			s.writeRawJSON(w, body)
 			return
 		}
 		body, _, err := s.flights.Do(ctx, key, func(fctx context.Context) ([]byte, error) {
@@ -332,14 +474,39 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 			}
 			// Match writeJSON's json.Encoder framing byte for byte.
 			payload = append(payload, '\n')
-			s.cache.Put(key, payload)
+			// Degraded results (shed exact solves) are correct but not
+			// canonical: caching them would freeze the degradation.
+			if resp.Optimal == nil {
+				s.cache.Put(key, payload)
+				// The stale copy is keyed without the epoch so it stays
+				// reachable after AddCorpus bumps it — by design:
+				// stale-while-error may serve previous-epoch data, flagged.
+				s.staleCache.Put(staleKey, payload)
+			}
 			return payload, nil
 		})
 		if err != nil {
-			writeAPIError(w, asAPIError(err))
+			ae := asAPIError(err)
+			if ae.code == CodeInternal {
+				// A panicking flight is a recovered panic too: account for
+				// it like the middleware does for direct handlers.
+				var pe *servecache.PanicError
+				if errors.As(err, &pe) {
+					s.flightPanics.Inc()
+					s.logger.Printf("panic in select flight: %v\n%s", pe.Value, pe.Stack)
+				}
+				// Stale-while-error: a 5xx pipeline failure on a key we have
+				// served before returns the last good payload, flagged.
+				if stale, ok := s.staleCache.Get(staleKey); ok {
+					s.staleServed.Inc()
+					s.writeRawJSON(w, degradeBody(stale))
+					return
+				}
+			}
+			s.writeAPIError(w, ae)
 			return
 		}
-		writeRawJSON(w, body)
+		s.writeRawJSON(w, body)
 		return
 	}
 
@@ -347,15 +514,26 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	// (still precompute-backed for corpus references).
 	inst, fs, apiErr := s.resolveInstance(&req)
 	if apiErr != nil {
-		writeAPIError(w, apiErr)
+		s.writeAPIError(w, apiErr)
 		return
 	}
 	resp, apiErr := s.computeSelect(ctx, &req, inst, fs, sel, solver)
 	if apiErr != nil {
-		writeAPIError(w, apiErr)
+		s.writeAPIError(w, apiErr)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// degradeBody marks a cached select payload as degraded by splicing
+// "degraded":true into the (always non-empty) top-level object, keeping
+// the rest of the bytes exactly as originally served.
+func degradeBody(body []byte) []byte {
+	const marker = `"degraded":true,`
+	out := make([]byte, 0, len(body)+len(marker))
+	out = append(out, '{')
+	out = append(out, marker...)
+	return append(out, body[1:]...)
 }
 
 // computeSelect runs the full selection pipeline for a validated request:
@@ -366,6 +544,9 @@ func (s *Server) computeSelect(ctx context.Context, req *SelectRequest, inst *mo
 	cfg := core.Config{M: req.M, Lambda: req.Lambda, Mu: req.Mu}
 	if fs != nil {
 		cfg.Features = fs
+	}
+	if err := faultinject.CheckCtx(ctx, faultinject.PointServiceSelect); err != nil {
+		return nil, asAPIError(err)
 	}
 	start := time.Now()
 	selection, err := sel.SelectContext(ctx, inst, cfg)
@@ -399,15 +580,50 @@ func (s *Server) computeSelect(ctx context.Context, req *SelectRequest, inst *mo
 		tg := core.NewTargets(inst, cfg)
 		g := simgraph.Build(core.Stats(inst, tg, cfg, selection), cfg)
 		shortlistStop := obs.StageTimer(obs.StageShortlist)
-		res := solver.SolveContext(ctx, g, req.K)
+		res, reason := s.solveShortlist(ctx, g, req.K, solver, req.Method)
 		shortlistStop()
 		if err := ctx.Err(); err != nil {
 			return nil, asAPIError(err)
+		}
+		if reason != "" {
+			f := false
+			resp.Optimal = &f
+			s.reg.Counter("comparesets_shortlist_fallback_total",
+				"Exact shortlist solves degraded to greedy or best-so-far.",
+				obs.Labels{"reason": reason}).Inc()
 		}
 		resp.Shortlist = res.Members
 		resp.ShortlistWeight = res.Weight
 	}
 	return resp, nil
+}
+
+// exactMinHeadroom is the least remaining request deadline worth starting
+// an exact branch-and-bound solve with; anything shorter goes straight to
+// greedy.
+const exactMinHeadroom = 50 * time.Millisecond
+
+// solveShortlist runs the requested shortlist solver, degrading exact
+// solves down the ladder when the server cannot afford them: under
+// admission-queue pressure ("overload") or with too little deadline left
+// ("deadline") it serves greedy instead; an exact solve that exhausts its
+// internal budget reports "budget". A non-empty reason means the result is
+// feasible but not proven optimal. Non-exact methods never degrade.
+func (s *Server) solveShortlist(ctx context.Context, g *simgraph.Graph, k int, solver simgraph.Solver, method string) (simgraph.Result, string) {
+	if method != "exact" && method != "ilp" {
+		return solver.SolveContext(ctx, g, k), ""
+	}
+	if s.limiter != nil && s.limiter.busy() {
+		return simgraph.Greedy{}.SolveContext(ctx, g, k), "overload"
+	}
+	if d, ok := ctx.Deadline(); ok && time.Until(d) < exactMinHeadroom {
+		return simgraph.Greedy{}.SolveContext(ctx, g, k), "deadline"
+	}
+	res := solver.SolveContext(ctx, g, k)
+	if !res.Optimal {
+		return res, "budget"
+	}
+	return res, ""
 }
 
 func solverFor(method string) (simgraph.Solver, error) {
@@ -479,12 +695,12 @@ type MentionJSON struct {
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	var req ExtractRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeAPIError(w, badRequest("decoding request: %v", err))
+		s.writeAPIError(w, badRequest("decoding request: %v", err))
 		return
 	}
 	cat, ok := lexicon.CategoryByName(req.Category)
 	if !ok {
-		writeAPIError(w, notFound("unknown category %q", req.Category))
+		s.writeAPIError(w, notFound("unknown category %q", req.Category))
 		return
 	}
 	var resp ExtractResponse
@@ -496,20 +712,38 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 			Score:    m.Score,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Encoding of our own response types cannot fail; a write error
+		// means the client went away mid-response.
+		s.clientAborts.Inc()
+	}
 }
 
 // writeRawJSON writes a pre-marshaled JSON payload (already carrying the
 // trailing newline that json.Encoder emits, so cached and freshly encoded
 // responses are byte-identical).
-func writeRawJSON(w http.ResponseWriter, body []byte) {
+func (s *Server) writeRawJSON(w http.ResponseWriter, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(body)
+	if _, err := w.Write(body); err != nil {
+		s.clientAborts.Inc()
+	}
+}
+
+// writeAPIError renders the error envelope, attaching Retry-After for shed
+// requests and logging (never leaking) the details of 5xx-class failures.
+func (s *Server) writeAPIError(w http.ResponseWriter, e *apiError) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
+	if e.status >= 500 && e.err != nil {
+		s.logger.Printf("%s (%d): %v", e.code, e.status, e.err)
+	}
+	s.writeJSON(w, e.status, ErrorResponse{Error: ErrorBody{Code: e.code, Message: e.message()}})
 }

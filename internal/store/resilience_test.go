@@ -1,0 +1,221 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc32"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"comparesets/internal/faultinject"
+)
+
+// encodeRecord frames one payload exactly as the pre-versioning format did:
+// [len][crc32c][payload].
+func encodeRecord(payload []byte) []byte {
+	var header [headerSize]byte
+	binary.BigEndian.PutUint32(header[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(header[4:8], crc32.Checksum(payload, crcTable))
+	return append(header[:], payload...)
+}
+
+func TestCleanLogByteIdenticalToLegacyFormat(t *testing.T) {
+	// A clean round-trip through the default (legacy) format must produce
+	// exactly the bytes the pre-versioning store wrote: no file header, the
+	// same record framing.
+	s, path := tempStore(t)
+	r1, r2 := review("r1", "p1", 0), review("r2", "p2", 1)
+	if err := s.Append(r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(r2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for _, r := range []any{r1, r2} {
+		payload, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, encodeRecord(payload)...)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("log bytes differ from legacy format:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestV1HeaderRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reviews.log")
+	s, err := OpenWithOptions(path, OpenOptions{FormatVersion: FormatV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FormatVersion() != FormatV1 {
+		t.Errorf("FormatVersion = %d, want %d", s.FormatVersion(), FormatV1)
+	}
+	s.Append(review("r1", "p1", 0))
+	s.Append(review("r2", "p1", 1))
+	s.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < fileHeaderSize || string(data[:4]) != "CSLG" || data[4] != FormatV1 {
+		t.Fatalf("v1 header missing: %x", data[:fileHeaderSize])
+	}
+
+	// Plain Open (default options) must sniff the header and read it back.
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.FormatVersion() != FormatV1 {
+		t.Errorf("reopened FormatVersion = %d, want %d", re.FormatVersion(), FormatV1)
+	}
+	got, err := re.ItemReviews("p1")
+	if err != nil || len(got) != 2 || got[0].ID != "r1" || got[1].ID != "r2" {
+		t.Errorf("v1 reviews = %+v err = %v", got, err)
+	}
+	// Appends land after the header and survive another reopen.
+	if err := re.Append(review("r3", "p2", 0)); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	re2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.Count() != 3 {
+		t.Errorf("Count after v1 reopen = %d, want 3", re2.Count())
+	}
+}
+
+func TestUnsupportedFormatVersionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reviews.log")
+	hdr := []byte{'C', 'S', 'L', 'G', 9, 0, 0, 0}
+	if err := os.WriteFile(path, hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil || !strings.Contains(err.Error(), "unsupported log format") {
+		t.Errorf("Open = %v, want unsupported-version error", err)
+	}
+	if _, err := OpenWithOptions(path, OpenOptions{FormatVersion: 7}); err == nil {
+		t.Error("OpenWithOptions accepted format version 7")
+	}
+}
+
+func TestBitFlippedMiddleRecordRecovery(t *testing.T) {
+	// The acceptance scenario: a log with a bit-flipped middle record AND a
+	// torn final record must open, serve every record before the first
+	// corruption, and report how much was dropped.
+	s, path := tempStore(t)
+	s.Append(review("r1", "p1", 0))
+	s.Append(review("r2", "p2", 1))
+	s.Append(review("r3", "p3", 2))
+	s.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate record 2's payload and flip a byte in it.
+	rec1Len := headerSize + int(binary.BigEndian.Uint32(data[:4]))
+	rec2Start := rec1Len
+	data[rec2Start+headerSize+4] ^= 0xFF
+	// Tear the final record: drop its last 3 bytes.
+	data = data[:len(data)-3]
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logBuf bytes.Buffer
+	re, err := OpenWithOptions(path, OpenOptions{Logger: log.New(&logBuf, "", 0)})
+	if err != nil {
+		t.Fatalf("Open = %v, want recovery", err)
+	}
+	defer re.Close()
+	if re.Count() != 1 {
+		t.Errorf("Count = %d, want 1 (records after first corruption dropped)", re.Count())
+	}
+	got, err := re.ItemReviews("p1")
+	if err != nil || len(got) != 1 || got[0].ID != "r1" {
+		t.Errorf("surviving record = %+v err = %v", got, err)
+	}
+	rec := re.Recovery()
+	// Record 2 (bit-flipped) and record 3 (torn) are both gone.
+	if rec.DroppedRecords != 2 {
+		t.Errorf("DroppedRecords = %d, want 2", rec.DroppedRecords)
+	}
+	if rec.DroppedBytes != int64(len(data)-rec1Len) {
+		t.Errorf("DroppedBytes = %d, want %d", rec.DroppedBytes, len(data)-rec1Len)
+	}
+	if rec.Reason == "" {
+		t.Error("Reason empty")
+	}
+	if !strings.Contains(logBuf.String(), "dropped 2 record(s)") {
+		t.Errorf("recovery not logged: %q", logBuf.String())
+	}
+	// The corrupt region is truncated, so appends start clean again.
+	if err := re.Append(review("r4", "p4", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := re.ItemReviews("p4"); err != nil || len(got) != 1 {
+		t.Errorf("post-recovery append unreadable: %+v err = %v", got, err)
+	}
+}
+
+func TestItemReviewsRetriesTransientErrors(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	s, _ := tempStore(t)
+	s.Append(review("r1", "p1", 0))
+
+	// Two injected transient failures: the third attempt succeeds.
+	faultinject.Arm(faultinject.PointStoreRead, faultinject.Fault{
+		Mode: faultinject.ModeError, Remaining: 2,
+	})
+	got, err := s.ItemReviews("p1")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("ItemReviews = %+v err = %v, want retry success", got, err)
+	}
+	if s.ReadRetries() != 2 {
+		t.Errorf("ReadRetries = %d, want 2", s.ReadRetries())
+	}
+
+	// A persistent fault exhausts the attempts and surfaces the injected
+	// error.
+	faultinject.Arm(faultinject.PointStoreRead, faultinject.Fault{Mode: faultinject.ModeError})
+	if _, err := s.ItemReviews("p1"); !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("err = %v, want ErrInjected after exhausted retries", err)
+	}
+	faultinject.Disarm(faultinject.PointStoreRead)
+
+	// Corruption must NOT be retried: it fails fast with ErrCorruptRecord.
+	if _, err := s.ItemReviews("p1"); err != nil {
+		t.Fatalf("clean read after disarm: %v", err)
+	}
+}
+
+func TestScanFaultInjection(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	faultinject.Arm(faultinject.PointStoreScan, faultinject.Fault{Mode: faultinject.ModeError})
+	if _, err := Open(filepath.Join(t.TempDir(), "x.log")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Errorf("Open = %v, want ErrInjected", err)
+	}
+}

@@ -10,10 +10,27 @@
 //
 //	[4-byte big-endian payload length][4-byte CRC32 (Castagnoli)][payload]
 //
-// where each payload is one JSON-encoded review. Writes are appended and
-// the index is updated atomically under the store lock; a torn tail (e.g.
-// from a crash mid-append) is detected on open and truncated away, keeping
-// every record before it.
+// where each payload is one JSON-encoded review. Two file formats share
+// that record framing:
+//
+//   - legacy (version 0): records start at byte 0 — the format every log
+//     written before versioning used, and still the default for new files
+//     so clean round-trips stay byte-identical across releases;
+//   - version 1: an 8-byte file header ("CSLG", version byte, three
+//     reserved zero bytes) precedes the records, giving future format
+//     changes a place to declare themselves. Opt in with
+//     OpenOptions.FormatVersion; Open reads either format transparently.
+//
+// The two formats cannot be confused: a legacy log would need a first
+// record longer than MaxRecordSize to begin with the header magic.
+//
+// Crash safety: writes are appended and the index is updated atomically
+// under the store lock. On open, scan replays the log and stops at the
+// first invalid record — a torn tail from a crash mid-append, a
+// bit-flipped payload, a corrupt length — keeping every record before it,
+// truncating the rest, and reporting what was dropped (Recovery).
+// Transient read errors in ItemReviews are retried with jittered backoff;
+// corruption is not.
 package store
 
 import (
@@ -24,11 +41,16 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log"
+	"math/rand"
 	"os"
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"comparesets/internal/faultinject"
 	"comparesets/internal/model"
 )
 
@@ -42,29 +64,90 @@ var (
 
 const headerSize = 8 // 4-byte length + 4-byte CRC
 
+// File format versions accepted by OpenOptions.FormatVersion.
+const (
+	// FormatLegacy is the headerless original layout (records at byte 0).
+	FormatLegacy = 0
+	// FormatV1 prefixes the log with the 8-byte versioned file header.
+	FormatV1 = 1
+)
+
+// fileMagic introduces the versioned file header; fileHeaderSize is its
+// total length (magic + version byte + three reserved zero bytes).
+var fileMagic = [4]byte{'C', 'S', 'L', 'G'}
+
+const fileHeaderSize = 8
+
 // MaxRecordSize bounds a single review payload (1 MiB is orders of
 // magnitude above any real review) so a corrupt length prefix cannot force
 // a giant allocation.
 const MaxRecordSize = 1 << 20
 
+// readAttempts bounds ItemReviews retries on transient (non-corruption)
+// read errors; backoff doubles from readBackoffBase with up to one base
+// unit of jitter per attempt.
+const (
+	readAttempts    = 3
+	readBackoffBase = time.Millisecond
+)
+
+// RecoveryStats reports what scan dropped while opening a log.
+type RecoveryStats struct {
+	// DroppedRecords is the best-effort count of records lost after the
+	// first corruption (≥ 1 whenever DroppedBytes > 0). When record
+	// framing past the corruption is unreadable the count stops early, so
+	// treat it as a lower bound.
+	DroppedRecords int
+	// DroppedBytes is the exact number of bytes truncated from the tail.
+	DroppedBytes int64
+	// Reason describes the first corruption encountered ("" for a clean
+	// open).
+	Reason string
+}
+
+// OpenOptions tunes Open.
+type OpenOptions struct {
+	// FormatVersion selects the file format for newly created (empty)
+	// files: FormatLegacy (the default, byte-identical to logs written
+	// before versioning) or FormatV1. Existing files keep the format they
+	// were written with regardless of this setting.
+	FormatVersion int
+	// Logger receives a recovery report when scan drops corrupt data; nil
+	// discards it.
+	Logger *log.Logger
+}
+
 // Store is an open review store.
 type Store struct {
-	mu   sync.RWMutex
-	f    *os.File
-	path string
-	size int64 // valid bytes (end of last good record)
+	mu      sync.RWMutex
+	f       *os.File
+	path    string
+	size    int64 // valid bytes (end of last good record)
+	version int   // file format version (FormatLegacy or FormatV1)
 
 	// indexes
 	byItem   map[string][]int64 // item ID -> record offsets
 	byAspect map[int][]string   // aspect -> item IDs (deduplicated)
 	count    int
 	closed   bool
+
+	recovery RecoveryStats
+	retries  atomic.Uint64 // transient-read retry count (ItemReviews)
 }
 
-// Open opens (or creates) a store at path, scanning existing records to
-// rebuild the indexes. A torn or corrupt tail is truncated; fully corrupt
-// interior records abort with ErrCorruptRecord.
+// Open opens (or creates) a store at path with default options, scanning
+// existing records to rebuild the indexes. Corruption is never fatal: the
+// scan keeps every record before the first invalid one, truncates the
+// rest, and reports the loss through Recovery.
 func Open(path string) (*Store, error) {
+	return OpenWithOptions(path, OpenOptions{})
+}
+
+// OpenWithOptions is Open with explicit options.
+func OpenWithOptions(path string, opts OpenOptions) (*Store, error) {
+	if opts.FormatVersion != FormatLegacy && opts.FormatVersion != FormatV1 {
+		return nil, fmt.Errorf("store: unsupported format version %d", opts.FormatVersion)
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
@@ -75,57 +158,146 @@ func Open(path string) (*Store, error) {
 		byItem:   map[string][]int64{},
 		byAspect: map[int][]string{},
 	}
-	if err := s.scan(); err != nil {
+	if err := s.scan(opts); err != nil {
 		f.Close()
 		return nil, err
+	}
+	if s.recovery.DroppedBytes > 0 && opts.Logger != nil {
+		opts.Logger.Printf("store: %s: dropped %d record(s) (%d bytes) past offset %d: %s",
+			path, s.recovery.DroppedRecords, s.recovery.DroppedBytes, s.size, s.recovery.Reason)
 	}
 	return s, nil
 }
 
-// scan replays the log, indexing every intact record and truncating a torn
-// tail.
-func (s *Store) scan() error {
+// scan replays the log, indexing every intact record, stopping at the
+// first corruption, and truncating everything past it.
+func (s *Store) scan(opts OpenOptions) error {
+	if err := faultinject.Check(faultinject.PointStoreScan); err != nil {
+		return err
+	}
 	info, err := s.f.Stat()
 	if err != nil {
 		return err
 	}
 	fileSize := info.Size()
-	r := bufio.NewReader(io.NewSectionReader(s.f, 0, fileSize))
 	var offset int64
+	s.version = FormatLegacy
+	if fileSize == 0 {
+		// New file: stamp the header if a versioned format was requested.
+		if opts.FormatVersion == FormatV1 {
+			if err := s.writeFileHeader(); err != nil {
+				return err
+			}
+			s.version = FormatV1
+			offset = fileHeaderSize
+		}
+		s.size = offset
+		return nil
+	}
+	if fileSize >= fileHeaderSize {
+		var hdr [fileHeaderSize]byte
+		if _, err := s.f.ReadAt(hdr[:], 0); err != nil {
+			return err
+		}
+		if [4]byte(hdr[:4]) == fileMagic {
+			version := int(hdr[4])
+			if version != FormatV1 {
+				return fmt.Errorf("store: %s: unsupported log format version %d", s.path, version)
+			}
+			s.version = version
+			offset = fileHeaderSize
+		}
+	}
+	r := bufio.NewReader(io.NewSectionReader(s.f, offset, fileSize-offset))
 	aspectSeen := map[int]map[string]bool{}
+	var reason string
 	for {
 		var header [headerSize]byte
 		if _, err := io.ReadFull(r, header[:]); err != nil {
-			if err == io.EOF {
-				break
+			if err != io.EOF {
+				reason = "torn record header"
 			}
-			// Torn header: truncate tail.
 			break
 		}
 		length := binary.BigEndian.Uint32(header[:4])
 		sum := binary.BigEndian.Uint32(header[4:8])
 		if length == 0 || length > MaxRecordSize {
-			break // corrupt length: treat as torn tail
+			reason = fmt.Sprintf("implausible record length %d", length)
+			break
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			break // torn payload
+			reason = "torn record payload"
+			break
 		}
 		if crc32.Checksum(payload, crcTable) != sum {
-			break // bit rot or torn write at the tail
+			reason = "checksum mismatch"
+			break
 		}
 		var rec model.Review
 		if err := json.Unmarshal(payload, &rec); err != nil {
-			return fmt.Errorf("%w at offset %d: %v", ErrCorruptRecord, offset, err)
+			reason = fmt.Sprintf("undecodable payload: %v", err)
+			break
 		}
 		s.index(&rec, offset, aspectSeen)
 		offset += headerSize + int64(length)
 	}
 	s.size = offset
 	if offset < fileSize {
-		if err := s.f.Truncate(offset); err != nil {
-			return fmt.Errorf("store: truncating torn tail: %w", err)
+		s.recovery = RecoveryStats{
+			DroppedRecords: s.countDroppedRecords(offset, fileSize),
+			DroppedBytes:   fileSize - offset,
+			Reason:         reason,
 		}
+		if err := s.f.Truncate(offset); err != nil {
+			return fmt.Errorf("store: truncating corrupt tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// countDroppedRecords walks the record framing past the first corruption
+// to estimate how many records the truncation discards. The first dropped
+// record's own length field may be corrupt, so the walk stops at the first
+// implausible frame; the count is therefore a lower bound, never less
+// than 1.
+func (s *Store) countDroppedRecords(from, fileSize int64) int {
+	count := 0
+	r := bufio.NewReader(io.NewSectionReader(s.f, from, fileSize-from))
+	for {
+		var header [headerSize]byte
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			// A trailing fragment too short to be a record still loses
+			// (at least the tail of) one record.
+			if err != io.EOF {
+				count++
+			}
+			break
+		}
+		length := binary.BigEndian.Uint32(header[:4])
+		if length == 0 || length > MaxRecordSize {
+			count++ // unframeable: at least this record is gone
+			break
+		}
+		if _, err := r.Discard(int(length)); err != nil {
+			count++ // torn payload
+			break
+		}
+		count++
+	}
+	if count == 0 {
+		count = 1
+	}
+	return count
+}
+
+// writeFileHeader stamps the v1 header on a new empty file.
+func (s *Store) writeFileHeader() error {
+	var hdr [fileHeaderSize]byte
+	copy(hdr[:4], fileMagic[:])
+	hdr[4] = FormatV1
+	if _, err := s.f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("store: writing file header: %w", err)
 	}
 	return nil
 }
@@ -144,6 +316,38 @@ func (s *Store) index(rec *model.Review, offset int64, aspectSeen map[int]map[st
 			s.byAspect[a] = append(s.byAspect[a], rec.ItemID)
 		}
 	}
+}
+
+// Recovery reports what the opening scan dropped (zero values for a clean
+// log).
+func (s *Store) Recovery() RecoveryStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.recovery
+}
+
+// FormatVersion returns the file format the open log uses (FormatLegacy
+// or FormatV1).
+func (s *Store) FormatVersion() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// ReadRetries returns how many transient-read retries ItemReviews has
+// performed since open.
+func (s *Store) ReadRetries() uint64 { return s.retries.Load() }
+
+// Healthy probes the store for readiness checks: it fails when the store
+// is closed or the backing file has become unstattable.
+func (s *Store) Healthy() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	_, err := s.f.Stat()
+	return err
 }
 
 // Append writes a review to the log and indexes it. The record is durable
@@ -209,6 +413,10 @@ const itemReviewsBufferSize = 64 << 10
 // reordered back to append order on the way out (for this log they
 // coincide, since the posting list is built append-only, but the batch
 // reader does not rely on that).
+//
+// Transient I/O errors are retried up to readAttempts times with doubling,
+// jittered backoff; corruption (ErrCorruptRecord) fails immediately —
+// rereading rotted bytes cannot help.
 func (s *Store) ItemReviews(itemID string) ([]*model.Review, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -219,6 +427,32 @@ func (s *Store) ItemReviews(itemID string) ([]*model.Review, error) {
 	if len(offsets) == 0 {
 		return nil, nil
 	}
+	var lastErr error
+	for attempt := 0; attempt < readAttempts; attempt++ {
+		if attempt > 0 {
+			s.retries.Add(1)
+			backoff := readBackoffBase << (attempt - 1)
+			time.Sleep(backoff + time.Duration(rand.Int63n(int64(readBackoffBase))))
+		}
+		if err := faultinject.Check(faultinject.PointStoreRead); err != nil {
+			lastErr = err
+			continue
+		}
+		out, err := s.readRecords(offsets)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrCorruptRecord) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("store: reading %q after %d attempts: %w", itemID, readAttempts, lastErr)
+}
+
+// readRecords performs one batch-read attempt over the given offsets.
+// Caller holds at least the read lock.
+func (s *Store) readRecords(offsets []int64) ([]*model.Review, error) {
 	// order[k] visits the k-th smallest offset; out[order[k].pos] keeps
 	// append order in the result.
 	type visit struct {

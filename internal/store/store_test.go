@@ -167,9 +167,10 @@ func TestCorruptTailChecksumDropped(t *testing.T) {
 	}
 }
 
-func TestInteriorValidCRCBadJSONRejected(t *testing.T) {
+func TestValidCRCBadJSONRecoversPrefix(t *testing.T) {
 	// A record whose checksum verifies but whose payload is not JSON is
-	// unambiguous corruption (not a torn tail) and must abort Open.
+	// still corruption: Open must survive it, keep everything before it,
+	// and report the drop instead of failing the whole log.
 	path := filepath.Join(t.TempDir(), "reviews.log")
 	payload := []byte("this is not json")
 	var header [headerSize]byte
@@ -178,8 +179,17 @@ func TestInteriorValidCRCBadJSONRejected(t *testing.T) {
 	if err := os.WriteFile(path, append(header[:], payload...), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(path); !errors.Is(err, ErrCorruptRecord) {
-		t.Errorf("err = %v, want ErrCorruptRecord", err)
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open = %v, want recovery", err)
+	}
+	defer s.Close()
+	if s.Count() != 0 {
+		t.Errorf("Count = %d, want 0", s.Count())
+	}
+	rec := s.Recovery()
+	if rec.DroppedRecords != 1 || rec.DroppedBytes != int64(headerSize+len(payload)) {
+		t.Errorf("Recovery = %+v", rec)
 	}
 }
 
