@@ -42,10 +42,13 @@ fuzz:
 # Record the hot-path benchmarks into versioned JSON; commit the diff
 # alongside performance changes. BENCH_core.json covers the selection
 # pipeline (core, regress, linalg, store, service); BENCH_service.json
-# isolates the serving path (cold vs warm cache vs coalesced).
+# isolates the serving path (cold vs warm cache vs coalesced);
+# BENCH_simgraph.json covers the shortlist solvers (Exact/Greedy/HkS at
+# n∈{16,32,64}, k∈{5,10} — 10x because HkS n=64 runs 64 exact solves/op).
 bench-json:
 	go run ./cmd/bench -out BENCH_core.json
 	go run ./cmd/bench -out BENCH_service.json ./internal/service/
+	go run ./cmd/bench -out BENCH_simgraph.json -benchtime 10x ./internal/simgraph/
 
 # Regenerate every table and figure (plus CSVs and SVG charts) into results/.
 experiments:

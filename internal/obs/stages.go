@@ -20,6 +20,10 @@ const (
 	StageSweep = "sweep"
 	// StageShortlist is one TargetHkS solve (internal/simgraph).
 	StageShortlist = "shortlist"
+	// StageShortlistExact is one exact branch-and-bound solve inside the
+	// shortlist stage (internal/simgraph.Exact), isolating search time
+	// from graph construction and heuristic fallbacks.
+	StageShortlistExact = "shortlist_exact"
 	// StagePrecompute is one item's corpus-resident feature slab build
 	// (internal/featstore).
 	StagePrecompute = "feature_precompute"
@@ -36,7 +40,7 @@ func Default() *Registry { return defaultRegistry }
 // stageHists is populated once at init and read-only afterwards, so the
 // hot-path lookup in ObserveStage is a plain map read with no locking.
 var stageHists = func() map[string]*Histogram {
-	known := []string{StageFeatureBuild, StageNOMP, StageNNLS, StageSweep, StageShortlist, StagePrecompute}
+	known := []string{StageFeatureBuild, StageNOMP, StageNNLS, StageSweep, StageShortlist, StageShortlistExact, StagePrecompute}
 	m := make(map[string]*Histogram, len(known))
 	for _, stage := range known {
 		m[stage] = defaultRegistry.Histogram(stageMetricName,

@@ -1,0 +1,626 @@
+package simgraph
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"comparesets/internal/obs"
+)
+
+// Exact solves TargetHkS to proven optimality by a parallel branch and
+// bound, standing in for the paper's Gurobi-based TargetHkS_ILP. A positive
+// Budget caps the wall-clock time (the paper used 60 s); on timeout the
+// best incumbent is returned with Optimal = false, matching the "#Optimal
+// Solution" accounting of Table 5.
+//
+// The search splits the top one or two tree levels into subproblems that a
+// bounded worker pool claims off an atomic counter (idle workers steal the
+// next unclaimed subproblem, so skewed subtrees self-balance). Workers
+// share only the incumbent weight — a lock-free float64-bits CAS — and keep
+// their candidate sets local. Completed solves are deterministic: pruning
+// keeps weight ties alive, every subproblem finds its lexicographically
+// smallest optimum independent of incumbent timing, and a final reduction
+// resolves ties to the lexicographically smallest member set, so results
+// are byte-identical run to run and across worker counts.
+type Exact struct {
+	// Budget limits the search wall-clock time; zero means unlimited.
+	Budget time.Duration
+	// Workers bounds the search worker pool. Zero means GOMAXPROCS;
+	// 1 runs the sequential reference search (identical results).
+	Workers int
+}
+
+// Name implements Solver.
+func (Exact) Name() string { return "TargetHkS_ILP" }
+
+// Solve implements Solver.
+func (e Exact) Solve(g *Graph, k int) Result {
+	return e.SolveContext(context.Background(), g, k)
+}
+
+// SolveContext implements Solver. The effective deadline is the earlier of
+// the Budget and the ctx deadline, and ctx cancellation is polled at the
+// same checkpoint as the deadline, so a cancelled solve returns its best
+// incumbent so far (never a zero result — the greedy seed guarantees a
+// feasible solution) flagged Optimal = false.
+func (e Exact) SolveContext(ctx context.Context, g *Graph, k int) Result {
+	defer obs.StageTimer(obs.StageShortlistExact)()
+	var deadline time.Time
+	if e.Budget > 0 {
+		deadline = time.Now().Add(e.Budget)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	return solveTarget(ctx, g, 0, k, deadline, e.Workers)
+}
+
+// pastDeadline reports whether the deadline has been reached; a zero
+// deadline means none. Every checkpoint — the solve-entry fast path and
+// the in-search poll — uses this one predicate, so a solve observed at
+// exactly its deadline behaves identically everywhere: the seeded
+// incumbent comes back flagged Optimal = false.
+func pastDeadline(deadline time.Time) bool {
+	return !deadline.IsZero() && !time.Now().Before(deadline)
+}
+
+// Solver observability: search volume and incumbent churn, exposed at
+// /metrics. Handles are resolved once; the hot loop only bumps worker-local
+// uint64s that are flushed once per solve.
+var (
+	nodesExplored = obs.Default().Counter("comparesets_shortlist_nodes_total",
+		"Exact shortlist branch-and-bound nodes by outcome.", obs.Labels{"event": "explored"})
+	nodesPruned = obs.Default().Counter("comparesets_shortlist_nodes_total",
+		"Exact shortlist branch-and-bound nodes by outcome.", obs.Labels{"event": "pruned"})
+	incumbentUpdates = obs.Default().Counter("comparesets_shortlist_incumbent_updates_total",
+		"Exact shortlist incumbent adoptions (strict improvements and lexicographic tie wins).", nil)
+)
+
+// sharedIncumbent is the cross-worker lower bound: the best known subset
+// weight, stored as float64 bits and raised with a CAS loop. Workers read
+// it to prune; they never read each other's member sets.
+type sharedIncumbent struct {
+	bits atomic.Uint64
+}
+
+func (s *sharedIncumbent) load() float64 {
+	return math.Float64frombits(s.bits.Load())
+}
+
+// raise lifts the incumbent to w if w is a strict improvement.
+func (s *sharedIncumbent) raise(w float64) {
+	for {
+		old := s.bits.Load()
+		if w <= math.Float64frombits(old) {
+			return
+		}
+		if s.bits.CompareAndSwap(old, math.Float64bits(w)) {
+			return
+		}
+	}
+}
+
+// subproblem is one top-of-tree unit of work: a fixed prefix of one or two
+// candidate positions (b = -1 for one). Exploration continues at candidate
+// position pos.
+type subproblem struct {
+	a, b int
+	pos  int
+}
+
+// solveTarget runs the branch and bound for an arbitrary target vertex —
+// the relabel-free "target view" that lets HkS sweep all targets without
+// copying a rotated O(n²) graph per vertex. Members come back in original
+// vertex ids, ascending.
+func solveTarget(ctx context.Context, g *Graph, target, k int, deadline time.Time, workers int) Result {
+	k = clampK(g, k)
+	n := g.n
+	if k == 1 {
+		return Result{Members: []int{target}, Optimal: true}
+	}
+	if k == n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return Result{Members: all, Weight: g.SubsetWeight(all), Optimal: true}
+	}
+
+	// Seed the incumbent with the greedy solution: a strong lower bound
+	// prunes most of the tree immediately, and it is the best-so-far
+	// fallback when the budget is already exhausted.
+	greedy := greedyFrom(g, target, k)
+	if ctx.Err() != nil || pastDeadline(deadline) {
+		return Result{Members: greedy.Members, Weight: greedy.Weight, Optimal: false}
+	}
+
+	// Candidates ordered by similarity to the target (descending, ties to
+	// the lower id) so that promising branches are explored first.
+	tRow := g.Row(target)
+	cand := make([]int, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v != target {
+			cand = append(cand, v)
+		}
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		if tRow[cand[a]] != tRow[cand[b]] {
+			return tRow[cand[a]] > tRow[cand[b]]
+		}
+		return cand[a] < cand[b]
+	})
+	m := len(cand)
+
+	// maxEdge[v] = the heaviest edge from v to any other candidate, the
+	// per-vertex cap on v's edges into the completion.
+	maxEdge := make([]float64, n)
+	for _, v := range cand {
+		row := g.Row(v)
+		best := 0.0
+		for _, u := range cand {
+			if u != v && row[u] > best {
+				best = row[u]
+			}
+		}
+		maxEdge[v] = best
+	}
+
+	// sufMax[pos][v] = the heaviest edge from v to any candidate at
+	// position ≥ pos. At a node exploring position pos, every yet-to-be
+	// -added vertex lives in cand[pos:], so this suffix cap is a strictly
+	// tighter internal-edge bound than the global maxEdge — and it keeps
+	// tightening as the search descends. One (m+1)×n slab, built in O(m·n)
+	// by a backwards sweep, shared read-only by all workers.
+	sufBacking := make([]float64, (m+1)*n)
+	sufMax := make([][]float64, m+1)
+	for i := range sufMax {
+		sufMax[i] = sufBacking[i*n : (i+1)*n : (i+1)*n]
+	}
+	for pos := m - 1; pos >= 0; pos-- {
+		uRow := g.Row(cand[pos])
+		prev := sufMax[pos+1]
+		cur := sufMax[pos]
+		for v := 0; v < n; v++ {
+			if uRow[v] > prev[v] {
+				cur[v] = uRow[v]
+			} else {
+				cur[v] = prev[v]
+			}
+		}
+	}
+
+	// Prefix sums powering the O(1) admissible pre-bound:
+	// tPrefix[i] = Σ of the i largest target similarities (cand is already
+	// in descending target-similarity order), and mePrefix[i] = Σ of the i
+	// largest maxEdge values over all candidates. Any `need` remaining
+	// candidates contribute at most their top-need target similarities plus
+	// depth·(top-need maxEdge sum) edges to the already-chosen non-target
+	// vertices plus (need−1)/2·(top-need maxEdge sum) internal edges.
+	tPrefix := make([]float64, m+1)
+	for i, v := range cand {
+		tPrefix[i+1] = tPrefix[i] + tRow[v]
+	}
+	meSorted := make([]float64, m)
+	for i, v := range cand {
+		meSorted[i] = maxEdge[v]
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(meSorted)))
+	mePrefix := make([]float64, m+1)
+	for i, v := range meSorted {
+		mePrefix[i+1] = mePrefix[i] + v
+	}
+
+	shared := &sharedIncumbent{}
+	shared.raise(greedy.Weight)
+
+	// Split the top of the tree into subproblems. Two levels whenever the
+	// depth allows it: the first-candidate subtrees are heavily skewed
+	// (descending similarity order makes subtree 0 by far the largest), and
+	// the finer grain lets the atomic claim counter balance them.
+	need1 := k - 1 // candidates still to pick at the root
+	var subs []subproblem
+	if need1 >= 2 {
+		subs = make([]subproblem, 0, m*m/2)
+		for i := 0; i <= m-need1; i++ {
+			for j := i + 1; j <= m-need1+1; j++ {
+				subs = append(subs, subproblem{a: i, b: j, pos: j + 1})
+			}
+		}
+	} else {
+		subs = make([]subproblem, 0, m)
+		for i := 0; i < m; i++ {
+			subs = append(subs, subproblem{a: i, b: -1, pos: i + 1})
+		}
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(subs) {
+		workers = len(subs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var abort atomic.Bool
+	var next atomic.Int64
+	pool := make([]*bbWorker, workers)
+	for i := range pool {
+		pool[i] = &bbWorker{
+			g: g, n: n, k: k, target: target,
+			cand: cand, maxEdge: maxEdge, sufMax: sufMax, tPrefix: tPrefix, mePrefix: mePrefix,
+			shared: shared, ctx: ctx, deadline: deadline, abort: &abort,
+			toChosen: make([]float64, n),
+			chosen:   make([]int, 0, k),
+			topBuf:   make([]float64, k),
+			bestSet:  make([]int, 0, k),
+			tieBuf:   make([]int, 0, k),
+		}
+	}
+	if workers == 1 {
+		pool[0].run(subs, &next)
+	} else {
+		var wg sync.WaitGroup
+		for _, w := range pool {
+			wg.Add(1)
+			go func(w *bbWorker) {
+				defer wg.Done()
+				w.run(subs, &next)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Deterministic reduction: highest weight wins; on equal weights the
+	// lexicographically smallest member set wins. Each subproblem finds its
+	// lexicographically smallest optimum regardless of incumbent timing
+	// (pruning keeps ties alive), so this reduction — and therefore the
+	// whole solve — is byte-identical run to run and across worker counts.
+	best := Result{Members: greedy.Members, Weight: greedy.Weight}
+	var nodes, pruned, updates uint64
+	for _, w := range pool {
+		nodes += w.nodes
+		pruned += w.pruned
+		updates += w.updates
+		if w.hasBest && (w.bestW > best.Weight ||
+			(w.bestW == best.Weight && lexLess(w.bestSet, best.Members))) {
+			best = Result{Members: append([]int(nil), w.bestSet...), Weight: w.bestW}
+		}
+	}
+	best.Optimal = !abort.Load()
+	nodesExplored.Add(int(nodes))
+	nodesPruned.Add(int(pruned))
+	incumbentUpdates.Add(int(updates))
+	return best
+}
+
+// bbWorker is one search worker's private state. All buffers are reused
+// across nodes and subproblems, so the inner search performs zero heap
+// allocations.
+type bbWorker struct {
+	g        *Graph
+	n, k     int
+	target   int
+	cand     []int
+	maxEdge  []float64
+	sufMax   [][]float64
+	tPrefix  []float64
+	mePrefix []float64
+	shared   *sharedIncumbent
+	ctx      context.Context
+	deadline time.Time
+	abort    *atomic.Bool
+
+	// toChosen[v] = Σ_{u ∈ chosen ∪ {target}} w_uv, maintained by
+	// push/pop row updates instead of per-candidate recomputation.
+	toChosen []float64
+	chosen   []int     // non-target members in pick order
+	topBuf   []float64 // ascending top-need selection buffer for bounds
+	bestSet  []int     // local best member set (incl. target), ascending
+	bestW    float64
+	hasBest  bool
+	tieBuf   []int
+
+	nodes, pruned, updates uint64
+	ticks                  int
+}
+
+// run claims subproblems off the shared counter until none remain; idle
+// workers thereby steal the next unclaimed subtree from the global queue.
+func (w *bbWorker) run(subs []subproblem, next *atomic.Int64) {
+	for {
+		if w.abort.Load() {
+			return
+		}
+		i := int(next.Add(1)) - 1
+		if i >= len(subs) {
+			return
+		}
+		w.exploreSub(subs[i])
+	}
+}
+
+// exploreSub replays the subproblem prefix through the same push path the
+// search uses, then explores the subtree. A cheap O(1) bound skips the
+// O(n) state initialization for subtrees already below the incumbent.
+func (w *bbWorker) exploreSub(s subproblem) {
+	va := w.cand[s.a]
+	tRow := w.g.Row(w.target)
+	prefixW := tRow[va]
+	depth := 1
+	if s.b >= 0 {
+		vb := w.cand[s.b]
+		prefixW += tRow[vb] + w.g.Row(va)[vb]
+		depth = 2
+	}
+	if need := w.k - 1 - depth; need > 0 {
+		h := float64(need-1) / 2
+		fast := prefixW + (w.tPrefix[s.pos+need] - w.tPrefix[s.pos]) +
+			(float64(depth)+h)*w.mePrefix[need]
+		if fast < w.shared.load() {
+			w.pruned++
+			return
+		}
+	}
+	copy(w.toChosen, tRow)
+	w.chosen = w.chosen[:0]
+	curW := 0.0
+	for _, idx := range [2]int{s.a, s.b} {
+		if idx < 0 {
+			continue
+		}
+		v := w.cand[idx]
+		curW += w.toChosen[v]
+		w.push(v)
+	}
+	// Bound the subproblem root here; search() bounds children before
+	// descending, so each node is bounded exactly once.
+	if need := w.k - 1 - len(w.chosen); need > 0 &&
+		w.bound(s.pos, need, curW, float64(need-1)/2) < w.shared.load() {
+		w.pruned++
+		return
+	}
+	w.search(s.pos, curW)
+}
+
+// push adds v to the chosen set, streaming v's adjacency row into
+// toChosen. The full-row loop is branch-free and contiguous; entries for
+// already-chosen vertices are updated too but never read.
+func (w *bbWorker) push(v int) {
+	w.chosen = append(w.chosen, v)
+	row := w.g.Row(v)
+	to := w.toChosen
+	for u := range to {
+		to[u] += row[u]
+	}
+}
+
+// pop undoes push.
+func (w *bbWorker) pop() {
+	v := w.chosen[len(w.chosen)-1]
+	w.chosen = w.chosen[:len(w.chosen)-1]
+	row := w.g.Row(v)
+	to := w.toChosen
+	for u := range to {
+		to[u] -= row[u]
+	}
+}
+
+// checkAbort polls cancellation and the deadline, publishing the abort so
+// every worker stops at its next checkpoint.
+func (w *bbWorker) checkAbort() bool {
+	if w.abort.Load() {
+		return true
+	}
+	if w.ctx.Err() != nil || pastDeadline(w.deadline) {
+		w.abort.Store(true)
+		return true
+	}
+	return false
+}
+
+// search explores extensions of the current chosen set starting from
+// candidate position pos; curW is the weight of the chosen subgraph
+// (including the target). The caller has already bound-checked this node,
+// so the body bounds each child before descending — a pruned child never
+// pays the O(n) push/pop row update.
+func (w *bbWorker) search(pos int, curW float64) {
+	w.nodes++
+	w.ticks++
+	if w.ticks&255 == 0 && w.checkAbort() {
+		return
+	}
+	need := w.k - 1 - len(w.chosen)
+	if need == 0 {
+		w.offer(curW)
+		return
+	}
+	m := len(w.cand)
+	if m-pos < need {
+		return
+	}
+	// Frontier specialization: with one slot left, every child is a leaf
+	// whose weight is curW + toChosen[v] already — scan the candidates
+	// directly instead of paying the O(n) push/pop row update per leaf.
+	if need == 1 {
+		for i := pos; i < m; i++ {
+			v := w.cand[i]
+			leafW := curW + w.toChosen[v]
+			w.nodes++
+			if w.hasBest && leafW < w.bestW {
+				continue
+			}
+			w.chosen = append(w.chosen, v)
+			w.offer(leafW)
+			w.chosen = w.chosen[:len(w.chosen)-1]
+		}
+		return
+	}
+	need2 := need - 1
+	h2 := float64(need2-1) / 2
+	depth2 := float64(len(w.chosen) + 1)
+	last := m - need
+	to := w.toChosen
+	for i := pos; i <= last; i++ {
+		v := w.cand[i]
+		childW := curW + to[v]
+		cpos := i + 1
+		// Prune only when the bound cannot even tie the incumbent: keeping
+		// weight ties alive is what makes every subproblem's lexicographic
+		// winner independent of incumbent arrival order, i.e. deterministic.
+		lb := w.shared.load()
+		fast := childW + (w.tPrefix[cpos+need2] - w.tPrefix[cpos]) + (depth2+h2)*w.mePrefix[need2]
+		if fast < lb {
+			w.pruned++
+			continue
+		}
+		if w.childBound(cpos, need2, childW, h2, v) < lb {
+			w.pruned++
+			continue
+		}
+		w.push(v)
+		w.search(cpos, childW)
+		w.pop()
+		if w.abort.Load() {
+			return
+		}
+	}
+}
+
+// bound returns the admissible completion bound for the current state:
+// each remaining candidate v can contribute at most toChosen[v] (its edges
+// to the chosen set) plus (need−1)/2·sufMax[pos][v] (its share of edges
+// among the added vertices, capped by the heaviest edge v still has into
+// the open suffix); summing the `need` largest such scores — selected in
+// O(remaining) by an in-place quickselect over a reusable scratch buffer,
+// no allocation, no full sort — bounds the completion weight.
+func (w *bbWorker) bound(pos, need int, curW, h float64) float64 {
+	rest := w.cand[pos:]
+	to := w.toChosen
+	me := w.sufMax[pos]
+	top := w.topBuf[:need]
+	for i := range top {
+		top[i] = 0
+	}
+	for _, v := range rest {
+		s := to[v] + h*me[v]
+		if s > top[0] {
+			j := 1
+			for j < need && top[j] < s {
+				top[j-1] = top[j]
+				j++
+			}
+			top[j-1] = s
+		}
+	}
+	total := curW
+	for _, t := range top {
+		total += t
+	}
+	return total
+}
+
+// childBound is bound() evaluated for a hypothetical child (current chosen
+// plus v) without materializing the child's toChosen: the v row is fused
+// into the score pass, so rejected children cost one streaming read of the
+// suffix instead of two full push/pop row updates.
+func (w *bbWorker) childBound(pos, need int, childW, h float64, v int) float64 {
+	rest := w.cand[pos:]
+	to := w.toChosen
+	vRow := w.g.Row(v)
+	me := w.sufMax[pos]
+	// The deepest levels dominate the call count; fuse their selection into
+	// the score pass (registers only, no scratch stores).
+	switch need {
+	case 1:
+		best := 0.0
+		for _, u := range rest {
+			if s := to[u] + vRow[u]; s > best {
+				best = s
+			}
+		}
+		return childW + best
+	case 2:
+		a, b := 0.0, 0.0 // a ≥ b; scores are non-negative
+		for _, u := range rest {
+			s := to[u] + vRow[u] + h*me[u]
+			if s > b {
+				if s > a {
+					a, b = s, a
+				} else {
+					b = s
+				}
+			}
+		}
+		return childW + a + b
+	}
+	// General case: maintain the need largest scores in a small ascending
+	// buffer (top[0] is the threshold); the common branch is a single
+	// failed compare per candidate, with no scratch stores.
+	top := w.topBuf[:need]
+	for i := range top {
+		top[i] = 0
+	}
+	for _, u := range rest {
+		s := to[u] + vRow[u] + h*me[u]
+		if s > top[0] {
+			j := 1
+			for j < need && top[j] < s {
+				top[j-1] = top[j]
+				j++
+			}
+			top[j-1] = s
+		}
+	}
+	total := childW
+	for _, t := range top {
+		total += t
+	}
+	return total
+}
+
+// offer considers a complete k-set as the worker-local incumbent: strict
+// weight improvements always win; exact ties go to the lexicographically
+// smaller sorted member set. Only strict improvements raise the shared
+// (weight-only) incumbent.
+func (w *bbWorker) offer(curW float64) {
+	if !w.hasBest || curW > w.bestW {
+		w.hasBest = true
+		w.bestW = curW
+		w.bestSet = append(w.bestSet[:0], w.chosen...)
+		w.bestSet = append(w.bestSet, w.target)
+		sort.Ints(w.bestSet)
+		w.updates++
+		w.shared.raise(curW)
+		return
+	}
+	if curW == w.bestW {
+		w.tieBuf = append(w.tieBuf[:0], w.chosen...)
+		w.tieBuf = append(w.tieBuf, w.target)
+		sort.Ints(w.tieBuf)
+		if lexLess(w.tieBuf, w.bestSet) {
+			w.bestSet, w.tieBuf = w.tieBuf, w.bestSet
+			w.updates++
+		}
+	}
+}
+
+// lexLess reports whether sorted member set a precedes sorted member set b
+// lexicographically.
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -29,8 +29,9 @@ func (GreedyRemoval) Solve(g *Graph, k int) Result {
 		alive[v] = true
 	}
 	for v := 0; v < g.n; v++ {
+		row := g.Row(v)
 		for u := 0; u < g.n; u++ {
-			degree[v] += g.w[v][u]
+			degree[v] += row[u]
 		}
 	}
 	remaining := g.n
@@ -43,9 +44,10 @@ func (GreedyRemoval) Solve(g *Graph, k int) Result {
 		}
 		alive[worst] = false
 		remaining--
+		worstRow := g.Row(worst)
 		for u := 0; u < g.n; u++ {
 			if alive[u] {
-				degree[u] -= g.w[u][worst]
+				degree[u] -= worstRow[u]
 			}
 		}
 	}
@@ -90,8 +92,9 @@ func (ls LocalSearch) Solve(g *Graph, k int) Result {
 	// linkage[v] = Σ_{u ∈ members} w_uv, maintained incrementally.
 	linkage := make([]float64, g.n)
 	for v := 0; v < g.n; v++ {
+		row := g.Row(v)
 		for _, u := range members {
-			linkage[v] += g.w[v][u]
+			linkage[v] += row[u]
 		}
 	}
 	maxIter := ls.MaxIterations
@@ -105,12 +108,13 @@ func (ls LocalSearch) Solve(g *Graph, k int) Result {
 			if out == 0 {
 				continue // target stays
 			}
+			outRow := g.Row(out)
 			// Removing `out` subtracts its linkage (minus self term 0).
 			for cand := 1; cand < g.n; cand++ {
 				if in[cand] {
 					continue
 				}
-				gain := linkage[cand] - g.w[cand][out] - linkage[out]
+				gain := linkage[cand] - outRow[cand] - linkage[out]
 				if gain > bestGain {
 					bestGain, bestOut, bestIn = gain, out, cand
 				}
@@ -129,8 +133,9 @@ func (ls LocalSearch) Solve(g *Graph, k int) Result {
 				break
 			}
 		}
+		inRow, outRow := g.Row(bestIn), g.Row(bestOut)
 		for v := 0; v < g.n; v++ {
-			linkage[v] += g.w[v][bestIn] - g.w[v][bestOut]
+			linkage[v] += inRow[v] - outRow[v]
 		}
 	}
 	sort.Ints(members)

@@ -20,33 +20,39 @@ import (
 
 // Graph is a complete undirected weighted graph over the instance items.
 // Vertex 0 is the target item p₁. Weights are similarities (non-negative).
+//
+// Storage is a single row-major n×n slab so the solver bound loops stream
+// one contiguous cache line sequence per vertex instead of chasing n row
+// pointers.
 type Graph struct {
 	n int
-	w [][]float64
+	w []float64 // row-major: w[i*n+j] = w_ij
 }
 
 // NewGraph allocates an n-vertex graph with zero weights.
 func NewGraph(n int) *Graph {
-	w := make([][]float64, n)
-	for i := range w {
-		w[i] = make([]float64, n)
-	}
-	return &Graph{n: n, w: w}
+	return &Graph{n: n, w: make([]float64, n*n)}
 }
 
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
+// Row returns vertex i's adjacency row as a contiguous view into the slab
+// (Row(i)[j] = w_ij, 0 on the diagonal). Callers must not modify it.
+func (g *Graph) Row(i int) []float64 {
+	return g.w[i*g.n : (i+1)*g.n : (i+1)*g.n]
+}
+
 // Weight returns w_ij (0 on the diagonal).
-func (g *Graph) Weight(i, j int) float64 { return g.w[i][j] }
+func (g *Graph) Weight(i, j int) float64 { return g.w[i*g.n+j] }
 
 // SetWeight assigns the symmetric weight w_ij = w_ji.
 func (g *Graph) SetWeight(i, j int, v float64) {
 	if i == j {
 		return
 	}
-	g.w[i][j] = v
-	g.w[j][i] = v
+	g.w[i*g.n+j] = v
+	g.w[j*g.n+i] = v
 }
 
 // FromDistances converts a symmetric distance matrix into a similarity
@@ -90,9 +96,12 @@ const parallelBuildThreshold = 64
 // same order, so parallel and sequential builds are byte-identical.
 func Build(stats []core.ItemStats, cfg core.Config) *Graph {
 	n := len(stats)
+	// One backing slab for the distance matrix: the rows are views, so the
+	// build allocates O(1) slices instead of n.
+	backing := make([]float64, n*n)
 	d := make([][]float64, n)
 	for i := range d {
-		d[i] = make([]float64, n)
+		d[i] = backing[i*n : (i+1)*n : (i+1)*n]
 	}
 	if workers := runtime.GOMAXPROCS(0); n >= parallelBuildThreshold && workers > 1 {
 		buildDistancesParallel(d, stats, cfg, workers)
@@ -151,8 +160,9 @@ func buildDistancesParallel(d [][]float64, stats []core.ItemStats, cfg core.Conf
 func (g *Graph) SubsetWeight(members []int) float64 {
 	var total float64
 	for a := 0; a < len(members); a++ {
+		row := g.Row(members[a])
 		for b := a + 1; b < len(members); b++ {
-			total += g.w[members[a]][members[b]]
+			total += row[members[b]]
 		}
 	}
 	return total

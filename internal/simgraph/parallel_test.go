@@ -1,0 +1,159 @@
+package simgraph
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// testGraph builds an n-vertex graph with uniform random weights. Integer
+// mode draws weights from a small integer range so exact-tie cases are
+// common and float arithmetic on them is exact — the regime where the
+// lexicographic tie rule actually decides the winner.
+func testGraph(rng *rand.Rand, n int, integer bool) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if integer {
+				g.SetWeight(i, j, float64(rng.Intn(4)))
+			} else {
+				g.SetWeight(i, j, rng.Float64()*10)
+			}
+		}
+	}
+	return g
+}
+
+// TestParallelMatchesSequential locks the determinism contract: for any
+// worker count the completed search returns byte-identical members and
+// weight bits, including on tie-rich integer graphs where the incumbent
+// arrival order differs between runs.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		integer := trial%2 == 0
+		n := 6 + rng.Intn(18)
+		g := testGraph(rng, n, integer)
+		k := 2 + rng.Intn(n-2)
+		seq := Exact{Workers: 1}.Solve(g, k)
+		for _, workers := range []int{0, 2, 4} {
+			par := Exact{Workers: workers}.Solve(g, k)
+			if !reflect.DeepEqual(par.Members, seq.Members) {
+				t.Fatalf("trial %d (n=%d k=%d integer=%v workers=%d): members %v != sequential %v",
+					trial, n, k, integer, workers, par.Members, seq.Members)
+			}
+			if math.Float64bits(par.Weight) != math.Float64bits(seq.Weight) {
+				t.Fatalf("trial %d (n=%d k=%d integer=%v workers=%d): weight bits %x != sequential %x",
+					trial, n, k, integer, workers,
+					math.Float64bits(par.Weight), math.Float64bits(seq.Weight))
+			}
+			if !par.Optimal {
+				t.Fatalf("trial %d: unbudgeted solve not optimal", trial)
+			}
+		}
+	}
+}
+
+// TestExactTieBreaksLexicographic pins the tie rule itself: on a uniform
+// graph every k-subset containing the target has the same weight, so the
+// winner must be the lexicographically smallest member set.
+func TestExactTieBreaksLexicographic(t *testing.T) {
+	g := NewGraph(8)
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			g.SetWeight(i, j, 2)
+		}
+	}
+	for _, workers := range []int{1, 0, 4} {
+		res := Exact{Workers: workers}.Solve(g, 4)
+		if !reflect.DeepEqual(res.Members, []int{0, 1, 2, 3}) {
+			t.Fatalf("workers=%d: members = %v, want [0 1 2 3]", workers, res.Members)
+		}
+	}
+}
+
+// TestExactCanceledContextReturnsGreedySeed verifies the degraded path: a
+// context canceled before the search starts yields exactly the greedy
+// incumbent, flagged non-optimal.
+func TestExactCanceledContextReturnsGreedySeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := testGraph(rng, 24, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := Exact{}.SolveContext(ctx, g, 8)
+	want := (Greedy{}).Solve(g, 8)
+	if res.Optimal {
+		t.Fatal("canceled solve must not claim optimality")
+	}
+	if !reflect.DeepEqual(res.Members, want.Members) {
+		t.Fatalf("members = %v, want greedy seed %v", res.Members, want.Members)
+	}
+}
+
+// TestExactMidSolveCancellation cancels a long parallel solve in flight and
+// checks it returns promptly with a feasible, greedy-or-better incumbent.
+func TestExactMidSolveCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := testGraph(rng, 72, false)
+	const k = 12
+	greedy := (Greedy{}).Solve(g, k)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res := Exact{}.SolveContext(ctx, g, k)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled solve took %v, want prompt return", elapsed)
+	}
+	if res.Optimal {
+		t.Fatal("interrupted solve must not claim optimality")
+	}
+	if len(res.Members) != k {
+		t.Fatalf("incumbent has %d members, want %d", len(res.Members), k)
+	}
+	if res.Weight < greedy.Weight-1e-9 {
+		t.Fatalf("incumbent weight %v below greedy seed %v", res.Weight, greedy.Weight)
+	}
+}
+
+// FuzzExactCrossCheck cross-checks brute force, the sequential search, and
+// the parallel search on arbitrary small graphs: all three must agree on
+// the optimal weight and on the lexicographically smallest optimal set.
+func FuzzExactCrossCheck(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(3), false)
+	f.Add(int64(2), uint8(12), uint8(6), true)
+	f.Add(int64(3), uint8(5), uint8(5), true)
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, kRaw uint8, integer bool) {
+		n := 3 + int(nRaw)%10 // 3..12
+		k := 2 + int(kRaw)%(n-1)
+		rng := rand.New(rand.NewSource(seed))
+		g := testGraph(rng, n, integer)
+		want := bruteForce(g, k)
+		seq := Exact{Workers: 1}.Solve(g, k)
+		par := Exact{Workers: 4}.Solve(g, k)
+		for name, got := range map[string]Result{"sequential": seq, "parallel": par} {
+			if math.Abs(got.Weight-want.Weight) > 1e-9 {
+				t.Fatalf("%s (n=%d k=%d): weight %v != brute force %v", name, n, k, got.Weight, want.Weight)
+			}
+			if !got.Optimal {
+				t.Fatalf("%s: not marked optimal", name)
+			}
+		}
+		if !reflect.DeepEqual(seq.Members, par.Members) {
+			t.Fatalf("n=%d k=%d: sequential members %v != parallel %v", n, k, seq.Members, par.Members)
+		}
+		if integer {
+			// Integer weights make float arithmetic exact, so the brute
+			// force tie winner (first optimum in ascending enumeration =
+			// lexicographically smallest) must match exactly.
+			if !reflect.DeepEqual(seq.Members, want.Members) {
+				t.Fatalf("n=%d k=%d: members %v != brute force tie winner %v", n, k, seq.Members, want.Members)
+			}
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package simgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchGraph builds a dense random similarity graph, deterministic in n, so
+// baseline and optimized solver runs measure identical instances.
+func benchGraph(n int) *Graph {
+	rng := rand.New(rand.NewSource(int64(n)*1009 + 7))
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.SetWeight(i, j, rng.Float64()*10)
+		}
+	}
+	return g
+}
+
+// BenchmarkExact covers the grid the shortlist serves in practice: small
+// (n=16) through the catalog-pressure sizes (n=32, 64) at both shortlist
+// lengths. The n=32 k=10 cell is the BENCH_simgraph.json acceptance
+// instance.
+func BenchmarkExact(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		for _, k := range []int{5, 10} {
+			g := benchGraph(n)
+			b.Run(fmt.Sprintf("n%d_k%d", n, k), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res := (Exact{}).Solve(g, k)
+					if !res.Optimal {
+						b.Fatal("unbudgeted solve not optimal")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		for _, k := range []int{5, 10} {
+			g := benchGraph(n)
+			b.Run(fmt.Sprintf("n%d_k%d", n, k), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					(Greedy{}).Solve(g, k)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkHkS(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		for _, k := range []int{5, 10} {
+			g := benchGraph(n)
+			b.Run(fmt.Sprintf("n%d_k%d", n, k), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					HkS(g, k, 0)
+				}
+			})
+		}
+	}
+}

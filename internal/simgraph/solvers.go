@@ -8,167 +8,9 @@ import (
 	"time"
 )
 
-// Exact solves TargetHkS to proven optimality by branch and bound, standing
-// in for the paper's Gurobi-based TargetHkS_ILP. A positive Budget caps the
-// wall-clock time (the paper used 60 s); on timeout the best incumbent is
-// returned with Optimal = false, matching the "#Optimal Solution" accounting
-// of Table 5.
-type Exact struct {
-	// Budget limits the search wall-clock time; zero means unlimited.
-	Budget time.Duration
-}
-
-// Name implements Solver.
-func (Exact) Name() string { return "TargetHkS_ILP" }
-
-// Solve implements Solver.
-func (e Exact) Solve(g *Graph, k int) Result {
-	return e.SolveContext(context.Background(), g, k)
-}
-
-// SolveContext implements Solver. The effective deadline is the earlier of
-// the Budget and the ctx deadline, and ctx cancellation is polled at the
-// same checkpoint as the deadline, so a cancelled solve returns its best
-// incumbent so far (never a zero result — the greedy seed guarantees a
-// feasible solution) flagged Optimal = false.
-func (e Exact) SolveContext(ctx context.Context, g *Graph, k int) Result {
-	k = clampK(g, k)
-	if k == 1 {
-		return Result{Members: []int{0}, Optimal: true}
-	}
-	if k == g.n {
-		all := make([]int, g.n)
-		for i := range all {
-			all[i] = i
-		}
-		return Result{Members: all, Weight: g.SubsetWeight(all), Optimal: true}
-	}
-
-	// Seed the incumbent with the greedy solution: a strong lower bound
-	// prunes most of the tree immediately, and it is the best-so-far
-	// fallback when the budget is already exhausted.
-	greedy := (Greedy{}).Solve(g, k)
-	bb := &bbState{
-		g:        g,
-		k:        k,
-		ctx:      ctx,
-		best:     append([]int(nil), greedy.Members...),
-		bestW:    greedy.Weight,
-		deadline: time.Time{},
-	}
-	if e.Budget > 0 {
-		bb.deadline = time.Now().Add(e.Budget)
-	}
-	if d, ok := ctx.Deadline(); ok && (bb.deadline.IsZero() || d.Before(bb.deadline)) {
-		bb.deadline = d
-	}
-	if ctx.Err() != nil || (!bb.deadline.IsZero() && !time.Now().Before(bb.deadline)) {
-		sort.Ints(bb.best)
-		return Result{Members: bb.best, Weight: bb.bestW, Optimal: false}
-	}
-	// Candidates ordered by similarity to the target (descending) so that
-	// promising branches are explored first.
-	cand := make([]int, 0, g.n-1)
-	for v := 1; v < g.n; v++ {
-		cand = append(cand, v)
-	}
-	sort.Slice(cand, func(a, b int) bool { return g.w[0][cand[a]] > g.w[0][cand[b]] })
-	bb.cand = cand
-	// maxEdge[v] = the heaviest edge from v to any candidate (used by the
-	// admissible completion bound).
-	bb.maxEdge = make([]float64, g.n)
-	for _, v := range cand {
-		for _, u := range cand {
-			if u != v && g.w[v][u] > bb.maxEdge[v] {
-				bb.maxEdge[v] = g.w[v][u]
-			}
-		}
-	}
-	chosen := []int{0}
-	bb.search(chosen, 0, 0)
-	sort.Ints(bb.best)
-	return Result{Members: bb.best, Weight: bb.bestW, Optimal: !bb.timedOut}
-}
-
-type bbState struct {
-	g        *Graph
-	k        int
-	ctx      context.Context
-	cand     []int
-	maxEdge  []float64
-	best     []int
-	bestW    float64
-	deadline time.Time
-	timedOut bool
-	ticks    int
-}
-
-// search explores extensions of chosen (which always contains vertex 0)
-// starting from candidate position pos; curW is the weight of the chosen
-// subgraph.
-func (b *bbState) search(chosen []int, pos int, curW float64) {
-	if b.timedOut {
-		return
-	}
-	b.ticks++
-	if b.ticks&1023 == 0 {
-		if b.ctx.Err() != nil || (!b.deadline.IsZero() && time.Now().After(b.deadline)) {
-			b.timedOut = true
-			return
-		}
-	}
-	if len(chosen) == b.k {
-		if curW > b.bestW {
-			b.bestW = curW
-			b.best = append(b.best[:0], chosen...)
-		}
-		return
-	}
-	need := b.k - len(chosen)
-	remaining := len(b.cand) - pos
-	if remaining < need {
-		return
-	}
-	if b.upperBound(chosen, pos, curW, need) <= b.bestW {
-		return
-	}
-	for i := pos; i <= len(b.cand)-need; i++ {
-		v := b.cand[i]
-		add := 0.0
-		for _, u := range chosen {
-			add += b.g.w[u][v]
-		}
-		b.search(append(chosen, v), i+1, curW+add)
-		if b.timedOut {
-			return
-		}
-	}
-}
-
-// upperBound returns an admissible bound on the best completion: for each
-// remaining candidate v, its contribution is at most (edges to chosen) +
-// (need−1)/2 · maxEdge[v]; summing the `need` largest such values bounds the
-// completion weight.
-func (b *bbState) upperBound(chosen []int, pos int, curW float64, need int) float64 {
-	scores := make([]float64, 0, len(b.cand)-pos)
-	for i := pos; i < len(b.cand); i++ {
-		v := b.cand[i]
-		s := float64(need-1) / 2 * b.maxEdge[v]
-		for _, u := range chosen {
-			s += b.g.w[u][v]
-		}
-		scores = append(scores, s)
-	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
-	ub := curW
-	for i := 0; i < need && i < len(scores); i++ {
-		ub += scores[i]
-	}
-	return ub
-}
-
 // Greedy is Algorithm 2: start from {p₁} and repeatedly add the item that
-// maximizes the total weight of the grown subgraph.
+// maximizes the total weight of the grown subgraph. Gain ties resolve to
+// the lowest vertex id, so the output is deterministic.
 type Greedy struct{}
 
 // Name implements Solver.
@@ -178,34 +20,47 @@ func (Greedy) Name() string { return "TargetHkS_Greedy" }
 func (s Greedy) SolveContext(_ context.Context, g *Graph, k int) Result { return s.Solve(g, k) }
 
 // Solve implements Solver.
-func (Greedy) Solve(g *Graph, k int) Result {
+func (Greedy) Solve(g *Graph, k int) Result { return greedyFrom(g, 0, k) }
+
+// greedyFrom runs Algorithm 2 seeded at an arbitrary target vertex — the
+// same target view the exact solver uses, so HkS sweeps need no relabelled
+// graph copies. The candidate pool is a shrinking slice (chosen entries
+// are removed, not rescanned), kept in ascending id order so the strict
+// `>` comparison awards gain ties to the lowest index deterministically.
+func greedyFrom(g *Graph, target, k int) Result {
 	k = clampK(g, k)
-	chosen := []int{0}
-	in := make([]bool, g.n)
-	in[0] = true
+	n := g.n
+	chosen := make([]int, 1, k)
+	chosen[0] = target
+	cands := make([]int, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v != target {
+			cands = append(cands, v)
+		}
+	}
 	// gain[v] = Σ_{u ∈ chosen} w_uv, updated incrementally.
-	gain := make([]float64, g.n)
-	for v := 1; v < g.n; v++ {
-		gain[v] = g.w[0][v]
+	gain := make([]float64, n)
+	tRow := g.Row(target)
+	for _, v := range cands {
+		gain[v] = tRow[v]
 	}
 	total := 0.0
-	for len(chosen) < k {
-		best, bestGain := -1, math.Inf(-1)
-		for v := 0; v < g.n; v++ {
-			if !in[v] && gain[v] > bestGain {
-				best, bestGain = v, gain[v]
+	for len(chosen) < k && len(cands) > 0 {
+		bestPos := 0
+		bestGain := gain[cands[0]]
+		for p := 1; p < len(cands); p++ {
+			if gain[cands[p]] > bestGain {
+				bestPos, bestGain = p, gain[cands[p]]
 			}
 		}
-		if best < 0 {
-			break
-		}
-		in[best] = true
+		best := cands[bestPos]
+		copy(cands[bestPos:], cands[bestPos+1:])
+		cands = cands[:len(cands)-1]
 		chosen = append(chosen, best)
 		total += bestGain
-		for v := 0; v < g.n; v++ {
-			if !in[v] {
-				gain[v] += g.w[best][v]
-			}
+		row := g.Row(best)
+		for _, v := range cands {
+			gain[v] += row[v]
 		}
 	}
 	sort.Ints(chosen)
@@ -225,13 +80,14 @@ func (s TopK) SolveContext(_ context.Context, g *Graph, k int) Result { return s
 // Solve implements Solver.
 func (TopK) Solve(g *Graph, k int) Result {
 	k = clampK(g, k)
+	row := g.Row(0)
 	cand := make([]int, 0, g.n-1)
 	for v := 1; v < g.n; v++ {
 		cand = append(cand, v)
 	}
 	sort.Slice(cand, func(a, b int) bool {
-		if g.w[0][cand[a]] != g.w[0][cand[b]] {
-			return g.w[0][cand[a]] > g.w[0][cand[b]]
+		if row[cand[a]] != row[cand[b]] {
+			return row[cand[a]] > row[cand[b]]
 		}
 		return cand[a] < cand[b]
 	})
@@ -270,48 +126,28 @@ func (r RandomShortlist) Solve(g *Graph, k int) Result {
 
 // HkS solves the plain (untargeted) heaviest k-subgraph problem by sweeping
 // TargetHkS with every vertex as the target (§3.1's observation) and keeping
-// the heaviest result.
+// the heaviest result. The per-target solves run on the relabel-free target
+// view of the exact solver — no O(n²) rotated graph copy per vertex — and
+// weight ties between targets resolve to the lexicographically smallest
+// member set. The budget applies per target solve; the aggregate is marked
+// Optimal only if every per-target solve was proven optimal.
 func HkS(g *Graph, k int, budget time.Duration) Result {
 	best := Result{Weight: math.Inf(-1)}
+	optimal := true
 	for v := 0; v < g.N(); v++ {
-		rot := rotate(g, v)
-		res := (Exact{Budget: budget}).Solve(rot, k)
-		// Map members back to original vertex ids.
-		mapped := make([]int, len(res.Members))
-		for i, m := range res.Members {
-			mapped[i] = unrotateVertex(m, v)
+		var deadline time.Time
+		if budget > 0 {
+			deadline = time.Now().Add(budget)
 		}
-		sort.Ints(mapped)
-		if res.Weight > best.Weight {
-			best = Result{Members: mapped, Weight: res.Weight, Optimal: res.Optimal}
-		} else if !res.Optimal {
-			best.Optimal = false
+		res := solveTarget(context.Background(), g, v, k, deadline, 0)
+		if !res.Optimal {
+			optimal = false
+		}
+		if res.Weight > best.Weight ||
+			(res.Weight == best.Weight && lexLess(res.Members, best.Members)) {
+			best = Result{Members: res.Members, Weight: res.Weight}
 		}
 	}
+	best.Optimal = optimal && g.N() > 0
 	return best
 }
-
-// rotate returns a copy of g with vertex v relabelled as 0 (swap relabelling
-// v <-> 0).
-func rotate(g *Graph, v int) *Graph {
-	out := NewGraph(g.n)
-	for i := 0; i < g.n; i++ {
-		for j := i + 1; j < g.n; j++ {
-			out.SetWeight(swap(i, v), swap(j, v), g.w[i][j])
-		}
-	}
-	return out
-}
-
-func swap(i, v int) int {
-	switch i {
-	case 0:
-		return v
-	case v:
-		return 0
-	default:
-		return i
-	}
-}
-
-func unrotateVertex(i, v int) int { return swap(i, v) }
