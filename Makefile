@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race cover bench bench-json chaos fuzz experiments examples clean
+.PHONY: all build vet test race cover bench bench-json bce-check chaos fuzz experiments examples clean
 
 all: build vet test
 
@@ -44,11 +44,24 @@ fuzz:
 # pipeline (core, regress, linalg, store, service); BENCH_service.json
 # isolates the serving path (cold vs warm cache vs coalesced);
 # BENCH_simgraph.json covers the shortlist solvers (Exact/Greedy/HkS at
-# n∈{16,32,64}, k∈{5,10} — 10x because HkS n=64 runs 64 exact solves/op).
+# n∈{16,32,64}, k∈{5,10} — 10x because HkS n=64 runs 64 exact solves/op);
+# BENCH_batch.json isolates the batched executor (group sizes 1/4/16 and the
+# 8-concurrent-distinct workload, batched vs unbatched).
 bench-json:
 	go run ./cmd/bench -out BENCH_core.json
 	go run ./cmd/bench -out BENCH_service.json ./internal/service/
 	go run ./cmd/bench -out BENCH_simgraph.json -benchtime 10x ./internal/simgraph/
+	go run ./cmd/bench -out BENCH_batch.json -bench 'SelectBatch|SelectConcurrent' ./internal/service/
+
+# Prove the compute kernels stay free of bounds checks: build the linalg
+# package with the BCE diagnostic and fail if the compiler reports a bounds
+# check inside kernels.go or kernels32.go. GOARCH is pinned because BCE
+# decisions are architecture-dependent.
+bce-check:
+	@out=$$(GOARCH=amd64 go build -gcflags='comparesets/internal/linalg=-d=ssa/check_bce/debug=1' ./internal/linalg/ 2>&1 | grep -E 'kernels(32)?\.go' || true); \
+	if [ -n "$$out" ]; then \
+		echo "bounds checks found in kernels:"; echo "$$out"; exit 1; \
+	else echo "bce-check: kernels are bounds-check free"; fi
 
 # Regenerate every table and figure (plus CSVs and SVG charts) into results/.
 experiments:

@@ -14,7 +14,10 @@
 // Select responses for named corpora are cached in a sharded LRU
 // (-cache-bytes budget, default 64 MiB) and identical concurrent requests
 // are coalesced into one pipeline execution; -cache-disabled turns both
-// layers off.
+// layers off. -batch-window additionally groups concurrent merely-similar
+// cold requests (same corpus and selection shape, different targets) into
+// one shared execution, sealed early at -batch-max members; -float32
+// serves from compact float32 feature slabs.
 //
 // -max-inflight bounds concurrently executing select requests; excess
 // requests queue briefly and are shed with 503 + Retry-After once the
@@ -58,6 +61,9 @@ func main() {
 		maxQueue      = flag.Int("max-queue", 0, "admission queue bound (0 = 4×max-inflight, negative = no queue)")
 		storePath     = flag.String("store", "", "append-only review store log to open (health feeds /readyz)")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight requests")
+		batchWindow   = flag.Duration("batch-window", 0, "batch cold select requests of the same shape for up to this window (0 = no batching)")
+		batchMax      = flag.Int("batch-max", 0, "seal a batch group early at this many requests (0 = window only)")
+		float32Mode   = flag.Bool("float32", false, "serve selections from compact float32 feature slabs (float64 accumulation)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "server: ", log.LstdFlags)
@@ -72,6 +78,9 @@ func main() {
 		CacheDisabled: *cacheDisabled,
 		MaxInflight:   *maxInflight,
 		MaxQueue:      *maxQueue,
+		BatchWindow:   *batchWindow,
+		BatchMax:      *batchMax,
+		Float32:       *float32Mode,
 	}
 	var st *store.Store
 	if *storePath != "" {

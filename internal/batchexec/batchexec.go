@@ -1,0 +1,259 @@
+// Package batchexec batches concurrent similar requests into shared
+// executions.
+//
+// It complements, rather than replaces, internal/servecache's FlightGroup:
+// coalescing deduplicates *identical* requests (same cache key — one
+// computation, one result, many waiters), while batching groups
+// *merely-similar* requests (same corpus, scheme, and selection shape but
+// different targets) so one execution can amortize everything the group
+// shares — a single feature-slab pass, shared per-item regression problems,
+// one warm set of solver scratch — and still produce one distinct result
+// per member. In the serving path the batcher therefore sits *inside* a
+// flight: coalescing collapses duplicates first, and each surviving flight
+// leader submits to the batcher.
+//
+// A group opens when the first request for its key arrives and seals when
+// either the batching window elapses or MaxBatch members have joined,
+// whichever comes first. The sealed group executes once, on a context
+// detached from any single member's: a member whose context expires stops
+// waiting and gets its own ctx.Err(), but the group keeps running for the
+// remaining members — one canceled waiter never poisons the group. Only
+// when the last member detaches is the group's context canceled.
+package batchexec
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"comparesets/internal/obs"
+)
+
+// PanicError is delivered to every member of a group whose executor
+// panicked: the panic is recovered so one bad request cannot kill the
+// process or strand the other members.
+type PanicError struct {
+	// Value is what the executor panicked with.
+	Value any
+	// Stack is the group goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("batchexec: group panicked: %v", e.Value)
+}
+
+// Exec runs one sealed group: reqs holds every member's request in join
+// order, and the returned slice must hold exactly one result per request,
+// index-aligned. Per-request failures belong inside R (the executor decides
+// what a per-slot error looks like); a returned error or panic fails the
+// whole group. ctx is the group's detached context — it is canceled only
+// when every member has stopped waiting.
+type Exec[Q, R any] func(ctx context.Context, reqs []Q) ([]R, error)
+
+// Metrics is the batcher's instrumentation, recorded per group execution.
+type Metrics struct {
+	// Size observes the member count of each executed group
+	// (comparesets_batch_size).
+	Size *obs.Histogram
+	// Executions counts executed groups
+	// (comparesets_batch_executions_total).
+	Executions *obs.Counter
+}
+
+// NewMetrics registers the batcher metric family in reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Size: reg.Histogram("comparesets_batch_size",
+			"Number of member requests per executed batch group.",
+			[]float64{1, 2, 4, 8, 16, 32, 64}, nil),
+		Executions: reg.Counter("comparesets_batch_executions_total",
+			"Total batch group executions.", nil),
+	}
+}
+
+// Batcher groups concurrent Submit calls by key and runs one Exec per
+// sealed group. The zero value is not usable; construct with New.
+type Batcher[Q, R any] struct {
+	window   time.Duration
+	maxBatch int
+	exec     Exec[Q, R]
+	m        *Metrics
+
+	mu     sync.Mutex
+	groups map[string]*group[Q, R]
+}
+
+// group is one open or executing batch.
+type group[Q, R any] struct {
+	reqs    []Q
+	sealCh  chan struct{} // closed when the group stops accepting members
+	done    chan struct{} // closed when results/err are set
+	results []R
+	err     error
+	refs    int // members still waiting
+	sealed  bool
+	timer   *time.Timer
+	cancel  context.CancelFunc
+}
+
+// New returns a batcher that seals groups after window or at maxBatch
+// members, whichever comes first. window must be positive (a server that
+// wants batching off simply does not construct a batcher); maxBatch < 1
+// means no size cap. Metrics may be nil.
+func New[Q, R any](window time.Duration, maxBatch int, m *Metrics, exec Exec[Q, R]) *Batcher[Q, R] {
+	if window <= 0 {
+		panic("batchexec: window must be positive")
+	}
+	return &Batcher[Q, R]{
+		window:   window,
+		maxBatch: maxBatch,
+		exec:     exec,
+		m:        m,
+		groups:   map[string]*group[Q, R]{},
+	}
+}
+
+// Submit joins the open group for key (opening one if none is open),
+// contributes req, and blocks until the group executes or ctx is done. It
+// returns this request's slot result. joined is true when the request
+// shared its group with at least one other member.
+//
+// The first member's arrival starts the window timer; the group seals and
+// executes when the timer fires or when the maxBatch-th member joins. If
+// ctx is done before the group finishes, Submit detaches and returns
+// ctx.Err(); the group keeps executing for the remaining members unless
+// this was the last one, in which case the group's context is canceled.
+func (b *Batcher[Q, R]) Submit(ctx context.Context, key string, req Q) (res R, joined bool, err error) {
+	b.mu.Lock()
+	if g, ok := b.groups[key]; ok {
+		slot := len(g.reqs)
+		g.reqs = append(g.reqs, req)
+		g.refs++
+		if b.maxBatch > 0 && len(g.reqs) >= b.maxBatch {
+			b.sealLocked(key, g)
+		}
+		b.mu.Unlock()
+		return b.wait(ctx, key, g, slot)
+	}
+	// First member: open the group on a context that survives any single
+	// member's cancellation but still carries this caller's values, and
+	// dies when the last member detaches.
+	gctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	g := &group[Q, R]{
+		reqs:   []Q{req},
+		sealCh: make(chan struct{}),
+		done:   make(chan struct{}),
+		refs:   1,
+		cancel: cancel,
+	}
+	b.groups[key] = g
+	if b.maxBatch == 1 {
+		b.sealLocked(key, g)
+	} else {
+		g.timer = time.AfterFunc(b.window, func() {
+			b.mu.Lock()
+			if !g.sealed {
+				b.sealLocked(key, g)
+			}
+			b.mu.Unlock()
+		})
+	}
+	b.mu.Unlock()
+	go b.run(gctx, g)
+	return b.wait(ctx, key, g, 0)
+}
+
+// sealLocked closes the group to new members: it is removed from the open
+// map (the next Submit for the key opens a fresh group) and the run
+// goroutine is released to execute. Caller holds b.mu.
+func (b *Batcher[Q, R]) sealLocked(key string, g *group[Q, R]) {
+	g.sealed = true
+	delete(b.groups, key)
+	if g.timer != nil {
+		g.timer.Stop()
+	}
+	close(g.sealCh)
+}
+
+// run waits for the group to seal, executes it, and publishes the results.
+func (b *Batcher[Q, R]) run(gctx context.Context, g *group[Q, R]) {
+	<-g.sealCh
+	defer obs.StageTimer(obs.StageBatchGroup)()
+	if b.m != nil {
+		b.m.Size.Observe(float64(len(g.reqs)))
+		b.m.Executions.Inc()
+	}
+	var results []R
+	var err error
+	// A panicking executor must not kill the process or strand the
+	// members: recover it and propagate a PanicError to every one.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				results, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		results, err = b.exec(gctx, g.reqs)
+	}()
+	if err == nil && len(results) != len(g.reqs) {
+		err = fmt.Errorf("batchexec: executor returned %d results for %d requests", len(results), len(g.reqs))
+	}
+	b.mu.Lock()
+	g.results, g.err = results, err
+	b.mu.Unlock()
+	close(g.done)
+	g.cancel()
+}
+
+// wait blocks until the group publishes results or ctx is done, handling
+// the member refcount on early detach.
+func (b *Batcher[Q, R]) wait(ctx context.Context, key string, g *group[Q, R], slot int) (res R, joined bool, err error) {
+	select {
+	case <-g.done:
+		return b.result(g, slot)
+	case <-ctx.Done():
+	}
+	// Detach. The group may have finished while ctx fired; prefer its
+	// result so work done anyway is never thrown away.
+	b.mu.Lock()
+	select {
+	case <-g.done:
+		b.mu.Unlock()
+		return b.result(g, slot)
+	default:
+	}
+	g.refs--
+	last := g.refs == 0
+	if last && !g.sealed {
+		// Every member left before the window elapsed. Seal now so the
+		// group stops accepting joiners and the run goroutine resolves it
+		// (promptly, on the canceled group context below).
+		b.sealLocked(key, g)
+	}
+	joined = len(g.reqs) > 1
+	b.mu.Unlock()
+	if last {
+		g.cancel()
+	}
+	return res, joined, ctx.Err()
+}
+
+// result extracts slot's result after the done channel closed (results and
+// err are immutable from then on).
+func (b *Batcher[Q, R]) result(g *group[Q, R], slot int) (res R, joined bool, err error) {
+	joined = len(g.reqs) > 1
+	if g.err != nil {
+		return res, joined, g.err
+	}
+	return g.results[slot], joined, nil
+}
+
+// Open returns the number of currently open (unsealed) groups.
+func (b *Batcher[Q, R]) Open() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.groups)
+}

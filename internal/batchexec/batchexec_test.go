@@ -1,0 +1,311 @@
+package batchexec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"comparesets/internal/obs"
+)
+
+// echoExec returns one formatted result per request, tagging the batch size
+// so tests can assert grouping.
+func echoExec(ctx context.Context, reqs []int) ([]string, error) {
+	out := make([]string, len(reqs))
+	for i, r := range reqs {
+		out[i] = fmt.Sprintf("req=%d size=%d", r, len(reqs))
+	}
+	return out, nil
+}
+
+func TestSubmitGroupsConcurrentRequests(t *testing.T) {
+	var execs atomic.Int64
+	b := New(50*time.Millisecond, 0, nil, func(ctx context.Context, reqs []int) ([]string, error) {
+		execs.Add(1)
+		return echoExec(ctx, reqs)
+	})
+	const n = 8
+	results := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _, err := b.Submit(context.Background(), "k", i)
+			if err != nil {
+				t.Errorf("Submit(%d): %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	// All n submissions raced into the window; they may have landed in one
+	// or (rarely, under scheduler stalls) a few groups, but every request
+	// must get its own slot result back.
+	for i, res := range results {
+		want := fmt.Sprintf("req=%d ", i)
+		if len(res) < len(want) || res[:len(want)] != want {
+			t.Errorf("slot %d got %q, want prefix %q", i, res, want)
+		}
+	}
+	if got := execs.Load(); got < 1 || got > n {
+		t.Errorf("executions = %d, want within [1,%d]", got, n)
+	}
+	if b.Open() != 0 {
+		t.Errorf("Open() = %d after all groups resolved, want 0", b.Open())
+	}
+}
+
+func TestMaxBatchSealsWithoutWaitingForWindow(t *testing.T) {
+	// A huge window means the test only passes if the size cap seals.
+	b := New(time.Hour, 2, nil, echoExec)
+	var wg sync.WaitGroup
+	results := make([]string, 2)
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, joined, err := b.Submit(context.Background(), "k", i)
+			if err != nil {
+				t.Errorf("Submit(%d): %v", i, err)
+			}
+			if !joined {
+				t.Errorf("Submit(%d): joined = false, want true", i)
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("batch took %v; size cap did not seal the group", elapsed)
+	}
+	for i, res := range results {
+		want := fmt.Sprintf("req=%d size=2", i)
+		if res != want {
+			t.Errorf("slot %d = %q, want %q", i, res, want)
+		}
+	}
+}
+
+func TestDistinctKeysDoNotBatch(t *testing.T) {
+	b := New(30*time.Millisecond, 0, nil, echoExec)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, joined, err := b.Submit(context.Background(), fmt.Sprintf("k%d", i), i)
+			if err != nil {
+				t.Errorf("Submit(%d): %v", i, err)
+				return
+			}
+			if joined {
+				t.Errorf("Submit(%d): joined across distinct keys", i)
+			}
+			if want := fmt.Sprintf("req=%d size=1", i); res != want {
+				t.Errorf("slot %d = %q, want %q", i, res, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestCanceledWaiterDoesNotPoisonGroup(t *testing.T) {
+	// The canceled member must get its own ctx.Err(), the surviving members
+	// their results, and the executor must see every submitted request.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var sawReqs atomic.Int64
+	b := New(20*time.Millisecond, 0, nil, func(ctx context.Context, reqs []int) ([]string, error) {
+		close(started)
+		<-release
+		sawReqs.Store(int64(len(reqs)))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return echoExec(ctx, reqs)
+	})
+
+	cctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	results := make([]string, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i == 0 {
+				ctx = cctx
+			}
+			results[i], _, errs[i] = b.Submit(ctx, "k", i)
+		}(i)
+	}
+	<-started // group sealed and executing; all three members are in
+	cancel()  // member 0 detaches mid-execution
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(errs[0], context.Canceled) {
+		t.Errorf("canceled member got err %v, want context.Canceled", errs[0])
+	}
+	for i := 1; i < 3; i++ {
+		if errs[i] != nil {
+			t.Errorf("surviving member %d got err %v", i, errs[i])
+		}
+		if want := fmt.Sprintf("req=%d size=3", i); results[i] != want {
+			t.Errorf("surviving member %d = %q, want %q", i, results[i], want)
+		}
+	}
+	if got := sawReqs.Load(); got != 3 {
+		t.Errorf("executor saw %d requests, want 3", got)
+	}
+}
+
+func TestLastDetachCancelsGroupContext(t *testing.T) {
+	ctxErr := make(chan error, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	b := New(10*time.Millisecond, 0, nil, func(ctx context.Context, reqs []int) ([]string, error) {
+		close(started)
+		<-release
+		ctxErr <- ctx.Err()
+		return nil, ctx.Err()
+	})
+	cctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, err := b.Submit(cctx, "k", 1)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Submit err = %v, want context.Canceled", err)
+		}
+	}()
+	<-started
+	cancel() // sole member detaches → group context must be canceled
+	<-done
+	close(release)
+	if err := <-ctxErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("group ctx err = %v, want context.Canceled after last detach", err)
+	}
+}
+
+func TestPanicPropagatesToAllMembers(t *testing.T) {
+	b := New(20*time.Millisecond, 0, nil, func(ctx context.Context, reqs []int) ([]string, error) {
+		panic("boom")
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = b.Submit(context.Background(), "k", i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Errorf("member %d err = %v, want PanicError", i, err)
+		}
+	}
+}
+
+func TestResultCountMismatchFailsGroup(t *testing.T) {
+	b := New(10*time.Millisecond, 0, nil, func(ctx context.Context, reqs []int) ([]string, error) {
+		return []string{"only-one"}, nil
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = b.Submit(context.Background(), "k", i)
+		}(i)
+	}
+	wg.Wait()
+	var failures int
+	for _, err := range errs {
+		if err != nil {
+			failures++
+		}
+	}
+	// Both members raced into one group (→ both fail) or split into two
+	// singleton groups where one result happens to match; either way the
+	// mismatch must surface for any group larger than one.
+	if failures == 0 {
+		t.Skip("requests did not land in one group; nothing to assert")
+	}
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("member %d: no error from mismatched executor", i)
+		}
+	}
+}
+
+// TestCancellationRace hammers the fan-in/fan-out paths under -race: many
+// groups, each with a mix of members that cancel at random points and
+// members that wait it out. No result may be misrouted and no canceled
+// member may poison its group.
+func TestCancellationRace(t *testing.T) {
+	b := New(time.Millisecond, 4, nil, echoExec)
+	var wg sync.WaitGroup
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(round, i int) {
+				defer wg.Done()
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if i%3 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(i)*100*time.Microsecond)
+					defer cancel()
+				}
+				id := round*100 + i
+				res, _, err := b.Submit(ctx, fmt.Sprintf("k%d", round%4), id)
+				if err != nil {
+					if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+						t.Errorf("unexpected error: %v", err)
+					}
+					return
+				}
+				want := fmt.Sprintf("req=%d ", id)
+				if len(res) < len(want) || res[:len(want)] != want {
+					t.Errorf("misrouted result: got %q, want prefix %q", res, want)
+				}
+			}(round, i)
+		}
+	}
+	wg.Wait()
+}
+
+func TestMetricsRecorded(t *testing.T) {
+	m := NewMetrics(obs.NewRegistry())
+	b := New(10*time.Millisecond, 0, m, echoExec)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := b.Submit(context.Background(), "k", i); err != nil {
+				t.Errorf("Submit: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := m.Executions.Value(); got < 1 {
+		t.Errorf("executions counter = %d, want ≥ 1", got)
+	}
+	if got := int(m.Size.Sum()); got != 3 {
+		t.Errorf("size histogram sum = %d, want 3 (members across all groups)", got)
+	}
+}

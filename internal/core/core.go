@@ -48,6 +48,23 @@ type Config struct {
 	// are identical either way — the source only skips the per-request
 	// column computation.
 	Features FeatureSource
+	// Float32 stores feature columns as float32 slabs (halving feature
+	// memory traffic) while keeping every accumulation, target, and solver
+	// in float64. The 0/1 and small-integer columns of the counting schemes
+	// are exactly representable in float32, so those schemes select
+	// identically; general schemes agree within the narrowing tolerance
+	// (see linalg.Dot32Kernel). If Features implements FeatureSource32 its
+	// compact slabs are used directly; otherwise columns are narrowed once
+	// per instance.
+	Float32 bool
+	// Problems optionally shares preprocessed per-item regression problems
+	// across selections over the same corpus: the serving layer keeps one
+	// cache per corpus generation, so repeated and batched requests skip
+	// the per-item design assembly, dedup, and Gram products entirely. The
+	// cache hands every caller a private share of an immutable template
+	// (regress.Problem.Share), so any number of selections may use one
+	// cache concurrently. Selections are identical with or without it.
+	Problems *ProblemCache
 }
 
 // FeatureSource supplies precomputed per-review feature columns for an
@@ -58,6 +75,25 @@ type Config struct {
 // are shared across requests and must never be mutated.
 type FeatureSource interface {
 	ItemColumns(it *model.Item, sch opinion.Scheme, z int) (op, asp []linalg.Vector, ok bool)
+}
+
+// FeatureSource32 is the compact-slab extension of FeatureSource: sources
+// that store float32 feature slabs implement it so Config.Float32 requests
+// can read them without a widening copy per request. The same aliasing
+// contract applies — returned vectors are shared and must never be mutated.
+// Column j must equal the float32 narrowing of the FeatureSource columns.
+type FeatureSource32 interface {
+	ItemColumns32(it *model.Item, sch opinion.Scheme, z int) (op, asp []linalg.Vector32, ok bool)
+}
+
+// TargetSource is an optional FeatureSource extension for the per-item
+// optimization targets: tau must equal sch.Vector(it.Reviews, z) and phi
+// must equal opinion.AspectVector(it.Reviews, z). Both depend only on the
+// item and the scheme — never on the request — so a corpus-resident source
+// computes them once and NewTargets assembles an instance's Targets from
+// cached vectors. The read-only aliasing contract of FeatureSource applies.
+type TargetSource interface {
+	ItemTargets(it *model.Item, sch opinion.Scheme, z int) (tau, phi linalg.Vector, ok bool)
 }
 
 func (c Config) workerCount() int {
@@ -136,16 +172,34 @@ type Targets struct {
 }
 
 // NewTargets computes the targets for the instance under the configured
-// opinion scheme.
+// opinion scheme. When cfg.Features implements TargetSource the per-item
+// vectors come from the corpus-resident cache (they depend only on each
+// item, never on the instance); the vectors are then shared and must be
+// treated as read-only, which every consumer in this package honors.
 func NewTargets(inst *model.Instance, cfg Config) *Targets {
 	z := inst.Aspects.Len()
 	sch := cfg.scheme()
-	t := &Targets{
-		Gamma: opinion.AspectVector(inst.Target().Reviews, z),
-		Tau:   make([]linalg.Vector, inst.NumItems()),
-	}
+	ts, _ := cfg.Features.(TargetSource)
+	t := &Targets{Tau: make([]linalg.Vector, inst.NumItems())}
 	for i, it := range inst.Items {
-		t.Tau[i] = sch.Vector(it.Reviews, z)
+		var phi linalg.Vector
+		if ts != nil {
+			if tau, p, ok := ts.ItemTargets(it, sch, z); ok {
+				t.Tau[i], phi = tau, p
+			}
+		}
+		if t.Tau[i] == nil {
+			t.Tau[i] = sch.Vector(it.Reviews, z)
+		}
+		if it == inst.Target() {
+			if phi == nil {
+				phi = opinion.AspectVector(it.Reviews, z)
+			}
+			t.Gamma = phi
+		}
+	}
+	if t.Gamma == nil {
+		t.Gamma = opinion.AspectVector(inst.Target().Reviews, z)
 	}
 	return t
 }

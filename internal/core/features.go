@@ -36,24 +36,37 @@ type featureCache struct {
 	// counting is true for schemes whose π(S) is a normalized column sum,
 	// enabling candidate evaluation straight from the cached columns.
 	counting bool
-	tg       *Targets
-	items    []itemFeatures
+	// use32 mirrors cfg.Float32: columns live in op32/asp32 float32 slabs
+	// and every consumer widens on the fly (accumulating in float64).
+	use32 bool
+	tg    *Targets
+	// gammaL is λ·Γ, scaled once: it appears in every item's base target
+	// and every sweep target.
+	gammaL linalg.Vector
+	items  []itemFeatures
 }
 
 // itemFeatures is the per-item slice of the cache.
 type itemFeatures struct {
 	// opCols[j] is sch.Column(reviews[j], z); aspCols[j] is the 0/1 aspect
-	// column of reviews[j].
+	// column of reviews[j]. Nil in float32 mode.
 	opCols  []linalg.Vector
 	aspCols []linalg.Vector
+	// op32/asp32 are the compact float32 columns used when cfg.Float32 is
+	// set (either handed out by a FeatureSource32 or narrowed locally).
+	op32  []linalg.Vector32
+	asp32 []linalg.Vector32
 	// base is the CompaReSetS problem over columns [op; λ·asp], built on
 	// first use; baseTarget is its fixed target [τᵢ; λ·Γ].
 	base       *regress.Problem
 	baseTarget linalg.Vector
 	// plus is the collapsed CompaReSetS+ problem over columns
 	// [op; λ·asp; √(n−1)·μ·asp], built on first use. Its target changes
-	// every sweep; the problem itself never does.
-	plus *regress.Problem
+	// every sweep; the problem itself never does. plusTargetBuf is the
+	// reusable target vector those sweep steps assemble into (per-item, so
+	// a parallel sweep could never share it).
+	plus          *regress.Problem
+	plusTargetBuf linalg.Vector
 	// piBuf/phiBuf are the scratch vectors piPhi returns for counting
 	// schemes; per-item so the parallel fan-out never shares them.
 	piBuf, phiBuf linalg.Vector
@@ -70,11 +83,30 @@ func newFeatureCache(inst *model.Instance, cfg Config, tg *Targets) *featureCach
 		items: make([]itemFeatures, inst.NumItems()),
 	}
 	fc.counting = opinion.IsCounting(fc.sch)
+	fc.use32 = cfg.Float32
+	fc.gammaL = tg.Gamma.Scale(cfg.Lambda)
 	for i, it := range inst.Items {
 		f := &fc.items[i]
 		// A corpus-resident feature source (internal/featstore) hands out
 		// the columns precomputed; the slabs are shared and read-only —
-		// every downstream use copies into request-private buffers.
+		// every downstream use copies into request-private buffers. In
+		// float32 mode a FeatureSource32 serves compact slabs directly;
+		// items it cannot serve are computed in float64 and narrowed once.
+		if fc.use32 {
+			if src, ok := cfg.Features.(FeatureSource32); ok {
+				if op, asp, ok := src.ItemColumns32(it, fc.sch, fc.z); ok {
+					f.op32, f.asp32 = op, asp
+					continue
+				}
+			}
+			f.op32 = make([]linalg.Vector32, len(it.Reviews))
+			f.asp32 = make([]linalg.Vector32, len(it.Reviews))
+			for j, r := range it.Reviews {
+				f.op32[j] = narrow32(fc.sch.Column(r, fc.z))
+				f.asp32[j] = narrow32(opinion.AspectColumn(r, fc.z))
+			}
+			continue
+		}
 		if src := cfg.Features; src != nil {
 			if op, asp, ok := src.ItemColumns(it, fc.sch, fc.z); ok {
 				f.opCols, f.aspCols = op, asp
@@ -91,6 +123,21 @@ func newFeatureCache(inst *model.Instance, cfg Config, tg *Targets) *featureCach
 	return fc
 }
 
+// narrow32 copies v into a fresh float32 slab.
+func narrow32(v linalg.Vector) linalg.Vector32 {
+	out := make(linalg.Vector32, len(v))
+	linalg.NarrowKernel(v, out)
+	return out
+}
+
+// numReviews returns the number of cached review columns.
+func (f *itemFeatures) numReviews() int {
+	if f.op32 != nil {
+		return len(f.op32)
+	}
+	return len(f.opCols)
+}
+
 // muWeight is the collapsed-block scale √(n−1)·μ.
 func (fc *featureCache) muWeight() float64 {
 	n := fc.inst.NumItems()
@@ -100,14 +147,58 @@ func (fc *featureCache) muWeight() float64 {
 	return fc.cfg.Mu * math.Sqrt(float64(n-1))
 }
 
+// problemKey identifies item i's regression problem of the given kind for
+// sharing through a ProblemCache. Instances alias corpus-resident item
+// pointers (model.NewInstance), so the pointer is a stable item identity
+// across requests over the same corpus.
+func (fc *featureCache) problemKey(i int, kind problemKind) problemKey {
+	var muW float64
+	if kind == problemPlus {
+		muW = fc.muWeight()
+	}
+	return problemKey{
+		item:    fc.inst.Items[i],
+		kind:    kind,
+		scheme:  fc.sch.Name(),
+		z:       fc.z,
+		lambda:  fc.cfg.Lambda,
+		muW:     muW,
+		float32: fc.use32,
+	}
+}
+
 // baseProblem returns item i's CompaReSetS regression problem, building and
-// memoizing it on first use. Not safe for concurrent calls on the same
-// item; the parallel fan-out assigns each item to exactly one worker.
+// memoizing it on first use — consulting the shared ProblemCache first when
+// the config carries one. Not safe for concurrent calls on the same item;
+// the parallel fan-out assigns each item to exactly one worker.
 func (fc *featureCache) baseProblem(i int) *regress.Problem {
 	f := &fc.items[i]
+	if f.baseTarget == nil {
+		f.baseTarget = linalg.Concat(fc.tg.Tau[i], fc.gammaL)
+	}
 	if f.base == nil {
-		dim := fc.sch.Dim(fc.z)
-		a := linalg.NewMatrix(dim+fc.z, len(f.opCols))
+		if pc := fc.cfg.Problems; pc != nil {
+			f.base = pc.getOrBuild(fc.problemKey(i, problemBase), func() *regress.Problem {
+				return fc.buildBaseProblem(i)
+			})
+		} else {
+			f.base = fc.buildBaseProblem(i)
+		}
+	}
+	return f.base
+}
+
+func (fc *featureCache) buildBaseProblem(i int) *regress.Problem {
+	f := &fc.items[i]
+	dim := fc.sch.Dim(fc.z)
+	a := linalg.NewMatrix(dim+fc.z, f.numReviews())
+	if fc.use32 {
+		for j := range f.op32 {
+			col := a.Col(j)
+			linalg.WidenKernel(f.op32[j], col[:dim])
+			linalg.WidenScaleKernel(fc.cfg.Lambda, f.asp32[j], col[dim:])
+		}
+	} else {
 		for j := range f.opCols {
 			col := a.Col(j)
 			copy(col[:dim], f.opCols[j])
@@ -115,22 +206,43 @@ func (fc *featureCache) baseProblem(i int) *regress.Problem {
 				col[dim+k] = v * fc.cfg.Lambda
 			}
 		}
-		f.base = regress.NewProblem(a)
-		f.baseTarget = linalg.Concat(fc.tg.Tau[i], fc.tg.Gamma.Scale(fc.cfg.Lambda))
 	}
-	return f.base
+	return regress.NewProblem(a)
 }
 
 // plusProblem returns item i's collapsed CompaReSetS+ regression problem,
-// building and memoizing it on first use. Columns are assembled straight
-// into the design matrix's backing array — one allocation for the whole
-// block instead of per-review concatenations.
+// building and memoizing it on first use (through the shared ProblemCache
+// when present).
 func (fc *featureCache) plusProblem(i int) *regress.Problem {
 	f := &fc.items[i]
 	if f.plus == nil {
-		w := fc.muWeight()
-		dim := fc.sch.Dim(fc.z)
-		a := linalg.NewMatrix(dim+2*fc.z, len(f.opCols))
+		if pc := fc.cfg.Problems; pc != nil {
+			f.plus = pc.getOrBuild(fc.problemKey(i, problemPlus), func() *regress.Problem {
+				return fc.buildPlusProblem(i)
+			})
+		} else {
+			f.plus = fc.buildPlusProblem(i)
+		}
+	}
+	return f.plus
+}
+
+// buildPlusProblem assembles columns straight into the design matrix's
+// backing array — one allocation for the whole block instead of per-review
+// concatenations.
+func (fc *featureCache) buildPlusProblem(i int) *regress.Problem {
+	f := &fc.items[i]
+	w := fc.muWeight()
+	dim := fc.sch.Dim(fc.z)
+	a := linalg.NewMatrix(dim+2*fc.z, f.numReviews())
+	if fc.use32 {
+		for j := range f.op32 {
+			col := a.Col(j)
+			linalg.WidenKernel(f.op32[j], col[:dim])
+			linalg.WidenScaleKernel(fc.cfg.Lambda, f.asp32[j], col[dim:dim+fc.z])
+			linalg.WidenScaleKernel(w, f.asp32[j], col[dim+fc.z:])
+		}
+	} else {
 		for j := range f.opCols {
 			col := a.Col(j)
 			copy(col[:dim], f.opCols[j])
@@ -139,20 +251,38 @@ func (fc *featureCache) plusProblem(i int) *regress.Problem {
 				col[dim+fc.z+k] = v * w
 			}
 		}
-		f.plus = regress.NewProblem(a)
 	}
-	return f.plus
+	return regress.NewProblem(a)
 }
 
 // plusTarget assembles item i's sweep target [τᵢ; λ·Γ; √(n−1)·μ·Φ̄] where
 // othersSum is Σ_{b≠i} φ(S_b) over the other items' current selections.
+// The returned vector is the item's reusable target buffer, valid until
+// the next plusTarget call for the same item; the solver only reads it
+// during the call it is passed to.
 func (fc *featureCache) plusTarget(i int, othersSum linalg.Vector) linalg.Vector {
-	n := fc.inst.NumItems()
-	scaled := linalg.NewVector(fc.z)
-	if n > 1 {
-		scaled = othersSum.Scale(fc.muWeight() / float64(n-1))
+	f := &fc.items[i]
+	tau := fc.tg.Tau[i]
+	want := len(tau) + len(fc.gammaL) + fc.z
+	if f.plusTargetBuf == nil {
+		f.plusTargetBuf = linalg.NewVector(want)
 	}
-	return linalg.Concat(fc.tg.Tau[i], fc.tg.Gamma.Scale(fc.cfg.Lambda), scaled)
+	y := f.plusTargetBuf
+	copy(y, tau)
+	copy(y[len(tau):], fc.gammaL)
+	scaled := y[len(tau)+len(fc.gammaL):]
+	n := fc.inst.NumItems()
+	if n > 1 {
+		w := fc.muWeight() / float64(n-1)
+		for k, v := range othersSum {
+			scaled[k] = w * v
+		}
+	} else {
+		for k := range scaled {
+			scaled[k] = 0
+		}
+	}
+	return y
 }
 
 // phi computes φ(S) for item i's candidate selection from the cached aspect
@@ -160,8 +290,15 @@ func (fc *featureCache) plusTarget(i int, othersSum linalg.Vector) linalg.Vector
 // Identical to opinion.AspectVector on the gathered reviews.
 func (fc *featureCache) phi(i int, selected []int) linalg.Vector {
 	sum := linalg.NewVector(fc.z)
-	for _, j := range selected {
-		sum.AddInPlace(fc.items[i].aspCols[j])
+	f := &fc.items[i]
+	if fc.use32 {
+		for _, j := range selected {
+			linalg.AddWidenKernel(f.asp32[j], sum)
+		}
+	} else {
+		for _, j := range selected {
+			sum.AddInPlace(f.aspCols[j])
+		}
 	}
 	if m := sum.Max(); m > 0 {
 		sum.ScaleInPlace(1 / m)
@@ -191,9 +328,16 @@ func (fc *featureCache) piPhi(i int, selected []int) (pi, phi linalg.Vector) {
 	for k := range phi {
 		phi[k] = 0
 	}
-	for _, j := range selected {
-		pi.AddInPlace(f.opCols[j])
-		phi.AddInPlace(f.aspCols[j])
+	if fc.use32 {
+		for _, j := range selected {
+			linalg.AddWidenKernel(f.op32[j], pi)
+			linalg.AddWidenKernel(f.asp32[j], phi)
+		}
+	} else {
+		for _, j := range selected {
+			pi.AddInPlace(f.opCols[j])
+			phi.AddInPlace(f.aspCols[j])
+		}
 	}
 	// The shared normalization denominator of Working Example 1: the
 	// maximum per-aspect review count within the set.

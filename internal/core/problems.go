@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sync"
+
+	"comparesets/internal/model"
+	"comparesets/internal/regress"
+)
+
+// problemKind distinguishes the two per-item regression designs.
+type problemKind uint8
+
+const (
+	problemBase problemKind = iota // CompaReSetS: [op; λ·asp]
+	problemPlus                    // CompaReSetS+: [op; λ·asp; √(n−1)·μ·asp]
+)
+
+// problemKey identifies a per-item regression problem by everything its
+// design matrix depends on: the item's reviews (by corpus-resident item
+// identity), the opinion scheme and vocabulary size, the λ scale, the
+// collapsed μ-block scale √(n−1)·μ (which folds in the instance size), and
+// whether the columns came through the float32 slab path (narrowed columns
+// can differ from float64 ones for non-integer schemes).
+type problemKey struct {
+	item    *model.Item
+	kind    problemKind
+	scheme  string
+	z       int
+	lambda  float64
+	muW     float64
+	float32 bool
+}
+
+// maxCachedProblems bounds a ProblemCache. Normal serving needs two entries
+// per corpus item per hyperparameter shape; the bound only matters when
+// requests sweep many distinct (λ, μ, n) combinations, and resetting the
+// whole map on overflow keeps the cache a pure accelerator with no
+// eviction bookkeeping on the hit path.
+const maxCachedProblems = 4096
+
+// ProblemCache shares preprocessed per-item regression problems
+// (regress.Problem: dedup grouping, sparse forms, Gram matrix) across
+// selections over the same corpus. Building these problems dominates the
+// cold serving path, and the problem for an item depends only on the key
+// above — never on the request's target — so every selection over a corpus
+// after the first pays no design assembly, dedup, or Gram products for the
+// items it shares with earlier requests.
+//
+// The cache stores immutable template problems and hands each caller a
+// regress.Problem.Share of the template: the preprocessed state is shared,
+// the solver scratch is per-holder. That makes the cache safe for fully
+// concurrent use — any number of selections may hit it at once.
+type ProblemCache struct {
+	mu sync.Mutex
+	m  map[problemKey]*regress.Problem
+}
+
+// NewProblemCache returns an empty cache.
+func NewProblemCache() *ProblemCache {
+	return &ProblemCache{m: make(map[problemKey]*regress.Problem)}
+}
+
+// Len returns the number of cached problems.
+func (pc *ProblemCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.m)
+}
+
+// getOrBuild returns a private share of the cached problem for key,
+// building and memoizing the template on first use.
+func (pc *ProblemCache) getOrBuild(key problemKey, build func() *regress.Problem) *regress.Problem {
+	pc.mu.Lock()
+	p, ok := pc.m[key]
+	pc.mu.Unlock()
+	if ok {
+		return p.Share()
+	}
+	p = build()
+	pc.mu.Lock()
+	// A concurrent builder may have won; keep the first so every user of the
+	// key sees one template (harmless either way — builds are deterministic).
+	if prev, ok := pc.m[key]; ok {
+		p = prev
+	} else {
+		if len(pc.m) >= maxCachedProblems {
+			pc.m = make(map[problemKey]*regress.Problem)
+		}
+		pc.m[key] = p
+	}
+	pc.mu.Unlock()
+	return p.Share()
+}

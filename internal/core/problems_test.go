@@ -1,0 +1,91 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"comparesets/internal/opinion"
+)
+
+// A shared ProblemCache is a pure accelerator: selections must be identical
+// with and without it, on the cold pass that fills it and on warm passes
+// that hit it, across schemes and worker counts.
+func TestSelectionsIdenticalWithSharedProblemCache(t *testing.T) {
+	inst := workingExampleInstance()
+	for _, sch := range opinion.Schemes() {
+		pc := NewProblemCache()
+		for _, workers := range []int{1, 0} {
+			base := Config{M: 3, Lambda: 1, Mu: 0.2, Scheme: sch, Workers: workers}
+			cached := base
+			cached.Problems = pc
+			for _, sel := range []Selector{CompaReSetS{}, CompaReSetSPlus{}} {
+				want, err := sel.Select(inst, base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Two cached runs: the first fills the cache (or hits entries
+				// left by the other worker count — the key ignores workers),
+				// the second is all hits.
+				for pass := 0; pass < 2; pass++ {
+					got, err := sel.Select(inst, cached)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got.Indices, want.Indices) || got.Objective != want.Objective {
+						t.Errorf("%s/%s workers=%d pass %d: selection differs with shared cache: %+v vs %+v",
+							sel.Name(), sch.Name(), workers, pass, got, want)
+					}
+				}
+			}
+		}
+		if pc.Len() == 0 {
+			t.Errorf("%s: cache never filled", sch.Name())
+		}
+	}
+}
+
+// Many selections may share one cache at once: each holder gets a private
+// Problem.Share, so concurrent runs must match the sequential reference
+// exactly. Run under -race this also exercises the share/scratch split.
+func TestProblemCacheConcurrentSelections(t *testing.T) {
+	inst := workingExampleInstance()
+	base := Config{M: 3, Lambda: 1, Mu: 0.2}
+	selectors := []Selector{CompaReSetS{}, CompaReSetSPlus{}}
+	want := make([]*Selection, len(selectors))
+	for i, sel := range selectors {
+		s, err := sel.Select(inst, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = s
+	}
+
+	cached := base
+	cached.Problems = NewProblemCache()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; n < 10; n++ {
+				i := (w + n) % len(selectors)
+				got, err := selectors[i].Select(inst, cached)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got.Indices, want[i].Indices) || got.Objective != want[i].Objective {
+					t.Errorf("worker %d run %d (%s): %+v vs %+v", w, n, selectors[i].Name(), got, want[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

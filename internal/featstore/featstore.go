@@ -48,9 +48,14 @@ type shard struct {
 }
 
 // entry is one (scheme, item) feature block: vector views over two flat
-// slabs.
+// slabs. The float32 companions are narrowed lazily on the first
+// ItemColumns32 touch and alias two further compact slabs.
 type entry struct {
-	op, asp []linalg.Vector
+	op, asp     []linalg.Vector
+	op32, asp32 []linalg.Vector32
+	// tau/phiR are the item-level target vectors π(Rᵢ) and φ(Rᵢ), filled
+	// lazily on the first ItemTargets touch.
+	tau, phiR linalg.Vector
 }
 
 // New returns an empty store bound to the corpus. Features are computed
@@ -106,6 +111,90 @@ func (s *Store) ItemColumns(it *model.Item, sch opinion.Scheme, z int) (op, asp 
 	return e.op, e.asp, true
 }
 
+// ItemColumns32 implements core.FeatureSource32: the compact float32 view
+// of the same feature block ItemColumns serves. The float64 slabs remain
+// the source of truth; the float32 slabs are narrowed from them once per
+// (scheme, item) and memoized, so repeated compact-mode requests pay no
+// conversion. The same read-only aliasing contract applies.
+func (s *Store) ItemColumns32(it *model.Item, sch opinion.Scheme, z int) (op, asp []linalg.Vector32, ok bool) {
+	if z != s.z || s.corpus.Items[it.ID] != it {
+		return nil, nil, false
+	}
+	k := key(sch.Name(), it.ID)
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.items[k]
+	if !ok {
+		if err := faultinject.Check(faultinject.PointFeatstoreFill); err != nil {
+			return nil, nil, false
+		}
+		s.m.Misses.Inc()
+		e = s.compute(it, sch)
+		sh.items[k] = e
+	} else {
+		s.m.Hits.Inc()
+	}
+	if e.op32 == nil {
+		e.narrow(s)
+	}
+	return e.op32, e.asp32, true
+}
+
+// ItemTargets implements core.TargetSource: the item's target opinion
+// vector τᵢ = sch.Vector(reviews, z) and target aspect vector
+// φ(Rᵢ) = opinion.AspectVector(reviews, z), computed once per
+// (scheme, item) and shared read-only across requests. Every instance that
+// includes the item needs exactly these vectors (they never depend on the
+// request), so serving them resident removes the per-request target pass.
+func (s *Store) ItemTargets(it *model.Item, sch opinion.Scheme, z int) (tau, phi linalg.Vector, ok bool) {
+	if z != s.z || s.corpus.Items[it.ID] != it {
+		return nil, nil, false
+	}
+	k := key(sch.Name(), it.ID)
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.items[k]
+	if !ok {
+		if err := faultinject.Check(faultinject.PointFeatstoreFill); err != nil {
+			return nil, nil, false
+		}
+		s.m.Misses.Inc()
+		e = s.compute(it, sch)
+		sh.items[k] = e
+	} else {
+		s.m.Hits.Inc()
+	}
+	if e.tau == nil {
+		e.tau = sch.Vector(it.Reviews, s.z)
+		e.phiR = opinion.AspectVector(it.Reviews, s.z)
+		s.m.Bytes.Add(float64(8 * (len(e.tau) + len(e.phiR))))
+	}
+	return e.tau, e.phiR, true
+}
+
+// narrow builds the entry's float32 companion slabs from the float64 ones.
+// Caller holds the shard lock.
+func (e *entry) narrow(s *Store) {
+	n := len(e.op)
+	var dim int
+	if n > 0 {
+		dim = len(e.op[0])
+	}
+	opSlab := make([]float32, n*dim)
+	aspSlab := make([]float32, n*s.z)
+	e.op32 = make([]linalg.Vector32, n)
+	e.asp32 = make([]linalg.Vector32, n)
+	for j := 0; j < n; j++ {
+		e.op32[j] = linalg.Vector32(opSlab[j*dim : (j+1)*dim])
+		linalg.NarrowKernel(e.op[j], e.op32[j])
+		e.asp32[j] = linalg.Vector32(aspSlab[j*s.z : (j+1)*s.z])
+		linalg.NarrowKernel(e.asp[j], e.asp32[j])
+	}
+	s.m.Bytes.Add(float64(4 * (len(opSlab) + len(aspSlab))))
+}
+
 // compute builds one item's feature block: both column families are
 // assembled into single flat slabs (one allocation each) that the returned
 // vector views alias.
@@ -137,6 +226,21 @@ func (s *Store) Precompute(sch opinion.Scheme) {
 	for _, id := range s.corpus.ItemIDs() {
 		it := s.corpus.Items[id]
 		s.ItemColumns(it, sch, s.z)
+	}
+}
+
+// Warm touches the feature blocks of the given items under the scheme so a
+// subsequent run finds every slab resident. The batch executor uses it as
+// the group's single slab pass: one warm sweep over the union of a group's
+// items, then every member request hits warm slabs. compact selects the
+// float32 companions as well.
+func (s *Store) Warm(items []*model.Item, sch opinion.Scheme, compact bool) {
+	for _, it := range items {
+		if compact {
+			s.ItemColumns32(it, sch, s.z)
+		} else {
+			s.ItemColumns(it, sch, s.z)
+		}
 	}
 }
 

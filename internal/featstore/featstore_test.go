@@ -2,6 +2,7 @@ package featstore
 
 import (
 	"fmt"
+	"math"
 	"reflect"
 	"sync"
 	"testing"
@@ -201,5 +202,89 @@ func TestFillFaultFallsBackGracefully(t *testing.T) {
 	faultinject.Arm(faultinject.PointFeatstoreFill, faultinject.Fault{Mode: faultinject.ModeError})
 	if _, _, ok := s.ItemColumns(it, sch, z); !ok {
 		t.Error("resident entry declined under fill fault")
+	}
+}
+
+// The compact slabs must satisfy the FeatureSource32 injection point too.
+var _ core.FeatureSource32 = (*Store)(nil)
+var _ core.TargetSource = (*Store)(nil)
+
+// TestFloat32SlabTolerance pins the accuracy contract of compact mode (this
+// name is referenced by the kernel doc in internal/linalg/kernels32.go):
+// every float32 slab entry is the correctly-rounded narrowing of its float64
+// source, i.e. within relative 1e-6 per term — float32 rounding error only,
+// never accumulation error, because accumulation always happens in float64.
+func TestFloat32SlabTolerance(t *testing.T) {
+	c := testCorpus(t)
+	s := New(c)
+	z := c.Aspects.Len()
+	for _, sch := range opinion.Schemes() {
+		for _, id := range c.ItemIDs() {
+			it := c.Items[id]
+			op, asp, ok := s.ItemColumns(it, sch, z)
+			op32, asp32, ok32 := s.ItemColumns32(it, sch, z)
+			if !ok || !ok32 {
+				t.Fatalf("%s/%s: lookup failed (ok=%v ok32=%v)", sch.Name(), id, ok, ok32)
+			}
+			check := func(fam string, wide []linalg.Vector, narrow []linalg.Vector32) {
+				t.Helper()
+				if len(narrow) != len(wide) {
+					t.Fatalf("%s/%s %s: %d narrow columns, want %d", sch.Name(), id, fam, len(narrow), len(wide))
+				}
+				for j := range wide {
+					for i := range wide[j] {
+						w, n := wide[j][i], float64(narrow[j][i])
+						if w == n {
+							continue
+						}
+						rel := math.Abs(w-n) / math.Max(math.Abs(w), 1)
+						if rel > 1e-6 {
+							t.Errorf("%s/%s %s[%d][%d]: float32=%g float64=%g rel=%g",
+								sch.Name(), id, fam, j, i, n, w, rel)
+						}
+						if float32(w) != narrow[j][i] {
+							t.Errorf("%s/%s %s[%d][%d]: not the rounded narrowing of %g",
+								sch.Name(), id, fam, j, i, w)
+						}
+					}
+				}
+			}
+			check("op", op, op32)
+			check("asp", asp, asp32)
+		}
+	}
+}
+
+// ItemTargets must serve exactly the vectors the per-request target pass
+// would compute, and memoize them.
+func TestItemTargetsMatchDirectComputation(t *testing.T) {
+	c := testCorpus(t)
+	s := New(c)
+	z := c.Aspects.Len()
+	for _, sch := range opinion.Schemes() {
+		for _, id := range c.ItemIDs() {
+			it := c.Items[id]
+			tau, phi, ok := s.ItemTargets(it, sch, z)
+			if !ok {
+				t.Fatalf("%s/%s: not ok", sch.Name(), id)
+			}
+			if want := sch.Vector(it.Reviews, z); !reflect.DeepEqual(tau, want) {
+				t.Errorf("%s/%s: tau = %v want %v", sch.Name(), id, tau, want)
+			}
+			if want := opinion.AspectVector(it.Reviews, z); !reflect.DeepEqual(phi, want) {
+				t.Errorf("%s/%s: phi = %v want %v", sch.Name(), id, phi, want)
+			}
+			tau2, phi2, _ := s.ItemTargets(it, sch, z)
+			if &tau[0] != &tau2[0] || &phi[0] != &phi2[0] {
+				t.Errorf("%s/%s: repeated lookup did not return the memoized vectors", sch.Name(), id)
+			}
+		}
+	}
+	// The usual guards apply: foreign pointers and mismatched z decline.
+	if _, _, ok := s.ItemTargets(&model.Item{ID: "p0"}, opinion.Binary{}, z); ok {
+		t.Error("foreign item pointer accepted")
+	}
+	if _, _, ok := s.ItemTargets(c.Items["p0"], opinion.Binary{}, z+1); ok {
+		t.Error("mismatched z accepted")
 	}
 }

@@ -126,10 +126,9 @@ func (u *UpdatableCholesky) Extend(row Vector, diag float64) error {
 	base := n * u.cap
 	d := diag
 	for i := 0; i < n; i++ {
-		s := row[i]
-		for k := 0; k < i; k++ {
-			s -= u.at(i, k) * u.l[base+k]
-		}
+		// Row i of the factor and the new row prefix are both unit-stride:
+		// the forward-substitution sum is one dot kernel.
+		s := row[i] - DotKernel(u.l[i*u.cap:i*u.cap+i], u.l[base:base+i])
 		w := s / u.at(i, i)
 		u.l[base+i] = w
 		d -= w * w
@@ -188,14 +187,11 @@ func (u *UpdatableCholesky) Solve(b Vector, out Vector) {
 	n := u.n
 	checkLen(n, len(b))
 	checkLen(n, len(out))
-	// Forward: L y = b.
+	// Forward: L y = b. Row i's prefix and the solved prefix of out are
+	// both unit-stride, so the substitution sum is one dot kernel.
 	for i := 0; i < n; i++ {
-		s := b[i]
-		row := u.l[i*u.cap:]
-		for k := 0; k < i; k++ {
-			s -= row[k] * out[k]
-		}
-		out[i] = s / row[i]
+		row := u.l[i*u.cap : i*u.cap+i+1]
+		out[i] = (b[i] - DotKernel(row[:i], out[:i])) / row[i]
 	}
 	// Backward: Lᵀ x = y.
 	for i := n - 1; i >= 0; i-- {

@@ -64,14 +64,7 @@ func (m *Matrix) MulVec(x Vector) Vector {
 	checkLen(m.Cols, len(x))
 	out := NewVector(m.Rows)
 	for j := 0; j < m.Cols; j++ {
-		xj := x[j]
-		if xj == 0 {
-			continue
-		}
-		col := m.data[j*m.Rows : (j+1)*m.Rows]
-		for i, v := range col {
-			out[i] += xj * v
-		}
+		AxpyKernel(x[j], m.data[j*m.Rows:(j+1)*m.Rows], out)
 	}
 	return out
 }
@@ -81,12 +74,7 @@ func (m *Matrix) MulVecT(y Vector) Vector {
 	checkLen(m.Rows, len(y))
 	out := NewVector(m.Cols)
 	for j := 0; j < m.Cols; j++ {
-		col := m.data[j*m.Rows : (j+1)*m.Rows]
-		var s float64
-		for i, v := range col {
-			s += v * y[i]
-		}
-		out[j] = s
+		out[j] = DotKernel(m.data[j*m.Rows:(j+1)*m.Rows], y)
 	}
 	return out
 }

@@ -47,10 +47,7 @@ func (v Vector) Sub(w Vector) Vector {
 
 // AddInPlace sets v = v + w.
 func (v Vector) AddInPlace(w Vector) {
-	checkLen(len(v), len(w))
-	for i := range v {
-		v[i] += w[i]
-	}
+	AddKernel(w, v)
 }
 
 // SubInPlace sets v = v - w.
@@ -80,19 +77,12 @@ func (v Vector) ScaleInPlace(c float64) {
 // AXPY sets v = v + c*w.
 func (v Vector) AXPY(c float64, w Vector) {
 	checkLen(len(v), len(w))
-	for i := range v {
-		v[i] += c * w[i]
-	}
+	AxpyKernel(c, w, v)
 }
 
 // Dot returns the inner product of v and w.
 func (v Vector) Dot(w Vector) float64 {
-	checkLen(len(v), len(w))
-	var s float64
-	for i := range v {
-		s += v[i] * w[i]
-	}
-	return s
+	return DotKernel(v, w)
 }
 
 // Norm2 returns the Euclidean norm of v.
@@ -130,13 +120,7 @@ func (v Vector) Max() float64 {
 // SquaredDistance returns sum_i (v_i - w_i)^2, the Δ distance of the paper
 // (Eq. 2).
 func SquaredDistance(v, w Vector) float64 {
-	checkLen(len(v), len(w))
-	var s float64
-	for i := range v {
-		d := v[i] - w[i]
-		s += d * d
-	}
-	return s
+	return SqDistKernel(v, w)
 }
 
 // L1Distance returns sum_i |v_i - w_i|.

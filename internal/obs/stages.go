@@ -27,6 +27,10 @@ const (
 	// StagePrecompute is one item's corpus-resident feature slab build
 	// (internal/featstore).
 	StagePrecompute = "feature_precompute"
+	// StageBatchGroup is one batched group execution — the shared slab
+	// warm-up plus every member request's pipeline run
+	// (internal/batchexec).
+	StageBatchGroup = "batch_group"
 )
 
 const stageMetricName = "comparesets_pipeline_stage_duration_seconds"
@@ -40,7 +44,7 @@ func Default() *Registry { return defaultRegistry }
 // stageHists is populated once at init and read-only afterwards, so the
 // hot-path lookup in ObserveStage is a plain map read with no locking.
 var stageHists = func() map[string]*Histogram {
-	known := []string{StageFeatureBuild, StageNOMP, StageNNLS, StageSweep, StageShortlist, StageShortlistExact, StagePrecompute}
+	known := []string{StageFeatureBuild, StageNOMP, StageNNLS, StageSweep, StageShortlist, StageShortlistExact, StagePrecompute, StageBatchGroup}
 	m := make(map[string]*Histogram, len(known))
 	for _, stage := range known {
 		m[stage] = defaultRegistry.Histogram(stageMetricName,

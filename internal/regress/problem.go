@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"sync"
 	"time"
 
 	"comparesets/internal/linalg"
@@ -36,6 +37,16 @@ type Problem struct {
 	scratch *solverScratch
 }
 
+// scratchPool recycles solver scratch across problems and shares: every
+// buffer is grown to the acquiring problem's size on checkout
+// (scratchState) and fully reset before use, so a pooled scratch carries no
+// state between solves. Pooling matters because cached problem templates
+// hand out a fresh Share per selection — without it every request would
+// reallocate the whole NNLS working set per item.
+var scratchPool = sync.Pool{New: func() any {
+	return &solverScratch{seen: make(map[string]struct{})}
+}}
+
 // solverScratch holds every buffer the NOMP/rounding pipeline needs, sized
 // on first use and reused across Solve calls on the same Problem.
 type solverScratch struct {
@@ -55,22 +66,45 @@ type solverScratch struct {
 func (p *Problem) scratchState(maxAtoms int) *solverScratch {
 	n := p.Unique.Cols
 	if p.scratch == nil {
-		p.scratch = &solverScratch{
-			c:         linalg.NewVector(n),
-			corr:      linalg.NewVector(n),
-			x:         linalg.NewVector(n),
-			inSupport: make([]bool, n),
-			support:   make([]int, 0, n),
-			passive:   make([]int, 0, n),
-			chol:      linalg.NewUpdatableCholesky(maxAtoms),
-			seen:      make(map[string]struct{}),
-		}
+		p.scratch = scratchPool.Get().(*solverScratch)
 	}
 	s := p.scratch
+	// Pooled buffers may come from a different-sized problem: grow-only
+	// resizing, with every slice resliced to this problem's n. All state is
+	// reset before use (resetSolver, full copies, clear), so stale values
+	// from a previous holder can never leak into a solve.
+	s.c = growVec(s.c, n)
+	s.corr = growVec(s.corr, n)
+	s.x = growVec(s.x, n)
+	if cap(s.inSupport) < n {
+		s.inSupport = make([]bool, n)
+	}
+	s.inSupport = s.inSupport[:n]
+	if s.chol == nil {
+		s.chol = linalg.NewUpdatableCholesky(maxAtoms)
+	}
 	if cap(s.ss) < 2*maxAtoms+2 {
 		s.ss = linalg.NewVector(2*maxAtoms + 2)
 	}
 	return s
+}
+
+// growVec reslices v to length n, reallocating only when capacity is short.
+func growVec(v linalg.Vector, n int) linalg.Vector {
+	if cap(v) < n {
+		return linalg.NewVector(n)
+	}
+	return v[:n]
+}
+
+// releaseScratch returns the problem's scratch to the pool. Called at the
+// end of a solve; the next solve on this problem (or any other) checks a
+// scratch out again.
+func (p *Problem) releaseScratch() {
+	if s := p.scratch; s != nil {
+		p.scratch = nil
+		scratchPool.Put(s)
+	}
 }
 
 // NewProblem preprocesses the design matrix a: deduplicate columns, extract
@@ -88,16 +122,28 @@ func NewProblem(a *linalg.Matrix) *Problem {
 	for j := 0; j < n; j++ {
 		idx, val := p.sparse.idx[j], p.sparse.val[j]
 		for k := 0; k <= j; k++ {
-			ck := unique.Col(k)
-			var s float64
-			for t, i := range idx {
-				s += val[t] * ck[i]
-			}
+			s := linalg.GatherDotKernel(idx, val, unique.Col(k))
 			p.gram.Set(j, k, s)
 			p.gram.Set(k, j, s)
 		}
 	}
 	return p
+}
+
+// Share returns a Problem backed by the same preprocessed state — the
+// deduplicated design, sparse column forms, and Gram matrix — but with its
+// own (lazily allocated) solver scratch. Preprocessing is the expensive
+// step and none of the shared fields are ever written after NewProblem, so
+// Share is how concurrent or cached users reuse one preprocessing pass:
+// hand every holder its own share and the solves cannot interfere.
+func (p *Problem) Share() *Problem {
+	return &Problem{
+		Unique:  p.Unique,
+		Counts:  p.Counts,
+		Members: p.Members,
+		sparse:  p.sparse,
+		gram:    p.gram,
+	}
 }
 
 // Solve runs the Integer-Regression pipeline on the preprocessed problem for
@@ -126,6 +172,7 @@ func (p *Problem) SolveContext(ctx context.Context, y linalg.Vector, m int, roun
 	if err := ctx.Err(); err != nil {
 		return nil, math.Inf(1), err
 	}
+	defer p.releaseScratch()
 	nompStop := obs.StageTimer(obs.StageNOMP)
 	path, err := p.nompPath(ctx, y, m)
 	nompStop()
@@ -225,12 +272,14 @@ func (p *Problem) nompGram(ctx context.Context, y linalg.Vector, maxAtoms int) (
 		}
 		// Greedy atom: maximum positive correlation with the residual,
 		// corrⱼ = cⱼ − Σ_{k passive} G_jk·x_k (no dense residual needed).
-		for j := 0; j < n; j++ {
-			acc := sc.c[j]
-			for _, k := range sc.passive {
-				acc -= p.gram.At(j, k) * sc.x[k]
-			}
-			corr[j] = acc
+		// Column-at-a-time: corr starts as c and each passive atom's Gram
+		// column is subtracted with one unit-stride axpy, replacing the
+		// per-j gather over the passive set. a + (−x)·g ≡ a − x·g in IEEE
+		// arithmetic and the passive order is unchanged, so the result is
+		// bit-identical to the row-wise loop.
+		copy(corr, sc.c)
+		for _, k := range sc.passive {
+			linalg.AxpyKernel(-sc.x[k], p.gram.Col(k), corr)
 		}
 		best, bestC := -1, tol
 		for j := 0; j < n; j++ {

@@ -3,6 +3,7 @@ package regress
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"comparesets/internal/linalg"
@@ -154,4 +155,50 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// Shares of one Problem alias the immutable preprocessed core but carry
+// private (pooled) solver scratch: concurrent solves through shares must
+// reproduce the sequential one-shot results exactly. Run under -race this
+// is the safety proof for the server-level problem cache.
+func TestProblemShareConcurrentSolvesDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	a, _ := sparseProblem(rng, 30, 12, 3)
+	template := NewProblem(a)
+	eval := func(sel []int) float64 {
+		var s float64
+		for _, j := range sel {
+			s += float64((j*3)%7) * 0.5
+		}
+		return math.Abs(float64(len(sel))-2) + s
+	}
+	const targets = 6
+	ys := make([]linalg.Vector, targets)
+	wantObj := make([]float64, targets)
+	for i := range ys {
+		y := linalg.NewVector(30)
+		for j := range y {
+			y[j] = rng.Float64()
+		}
+		ys[i] = y
+		_, wantObj[i] = SolveWithRounding(a, y, 4, RoundCandidates, eval)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := template.Share()
+			for n := 0; n < 4*targets; n++ {
+				i := (w + n) % targets
+				_, obj := p.Solve(ys[i], 4, RoundCandidates, eval)
+				if math.Abs(obj-wantObj[i]) > 1e-9 {
+					t.Errorf("worker %d target %d: obj %v, want %v", w, i, obj, wantObj[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }

@@ -17,57 +17,122 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync"
 
 	"comparesets/internal/linalg"
 )
 
+// dedupScratch is the per-call working state of Dedup, pooled across calls
+// so the grouping pass allocates nothing on the selection hot path: the
+// hash index (with collision chains), the per-column group assignment, and
+// the per-group bookkeeping all come back from the pool. Only the returned
+// structures — the unique matrix, counts, and members — are fresh
+// allocations, because callers retain them.
+type dedupScratch struct {
+	index    map[uint64]int32 // column hash → head of the group chain
+	chain    []int32          // per group: next group with the same hash
+	colGroup []int32          // per column: assigned group
+	firstCol []int32          // per group: representative (first) column
+	count    []int32          // per group: member count
+}
+
+var dedupPool = sync.Pool{New: func() any {
+	return &dedupScratch{index: make(map[uint64]int32)}
+}}
+
+// hashColumn folds a column's exact float64 bit patterns with FNV-1a; Dedup
+// verifies candidate groups bit-for-bit, so collisions cost a compare, never
+// correctness.
+func hashColumn(col linalg.Vector) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, v := range col {
+		h ^= math.Float64bits(v)
+		h *= prime
+	}
+	return h
+}
+
+// sameColumn reports bit-exact equality (the notion the old byte-key used:
+// design entries come from the small set {0, 1, λ, μ}).
+func sameColumn(a, b linalg.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Dedup groups identical columns of a. It returns the deduplicated matrix,
 // the multiplicity cᵢ of each unique column, and for each unique column the
 // indices of the original columns it represents (in ascending order). This
-// is DeduplicateColumns of Algorithm 1, line 5.
+// is DeduplicateColumns of Algorithm 1, line 5. Groups are ordered by first
+// occurrence, exactly as the original columns are scanned.
 func Dedup(a *linalg.Matrix) (unique *linalg.Matrix, counts []int, members [][]int) {
-	type group struct {
-		col     linalg.Vector
-		members []int
+	sc := dedupPool.Get().(*dedupScratch)
+	defer func() {
+		clear(sc.index)
+		sc.chain = sc.chain[:0]
+		sc.colGroup = sc.colGroup[:0]
+		sc.firstCol = sc.firstCol[:0]
+		sc.count = sc.count[:0]
+		dedupPool.Put(sc)
+	}()
+	if cap(sc.colGroup) < a.Cols {
+		sc.colGroup = make([]int32, 0, a.Cols)
 	}
-	index := make(map[string]int, a.Cols)
-	groups := make([]group, 0, a.Cols)
-	// One scratch key buffer reused across columns: the map lookup with
-	// string(buf) does not allocate, so only unique columns pay for a key
-	// string (this runs once per design column on the selection hot path).
-	buf := make([]byte, 0, 8*a.Rows)
+	// Grouping pass: hash each column and walk the (usually empty) collision
+	// chain comparing bits against each candidate group's representative.
 	for j := 0; j < a.Cols; j++ {
 		col := a.Col(j)
-		buf = appendColumnKey(buf[:0], col)
-		if g, ok := index[string(buf)]; ok {
-			groups[g].members = append(groups[g].members, j)
-			continue
+		h := hashColumn(col)
+		g := int32(-1)
+		head, ok := sc.index[h]
+		if ok {
+			for c := head; c >= 0; c = sc.chain[c] {
+				if sameColumn(a.Col(int(sc.firstCol[c])), col) {
+					g = c
+					break
+				}
+			}
 		}
-		index[string(buf)] = len(groups)
-		groups = append(groups, group{col: col, members: []int{j}})
-	}
-	cols := make([]linalg.Vector, len(groups))
-	counts = make([]int, len(groups))
-	members = make([][]int, len(groups))
-	for g, gr := range groups {
-		cols[g] = gr.col
-		counts[g] = len(gr.members)
-		members[g] = gr.members
-	}
-	return linalg.MatrixFromColumns(cols), counts, members
-}
-
-// appendColumnKey appends a column's exact float64 bits to dst;
-// design-matrix entries come from the small set {0, 1, λ, μ}, so exact
-// equality is the right notion.
-func appendColumnKey(dst []byte, col linalg.Vector) []byte {
-	for _, v := range col {
-		u := math.Float64bits(v)
-		for s := 0; s < 64; s += 8 {
-			dst = append(dst, byte(u>>s))
+		if g < 0 {
+			g = int32(len(sc.firstCol))
+			sc.firstCol = append(sc.firstCol, int32(j))
+			sc.count = append(sc.count, 0)
+			if ok {
+				sc.chain = append(sc.chain, head)
+			} else {
+				sc.chain = append(sc.chain, -1)
+			}
+			sc.index[h] = g
 		}
+		sc.count[g]++
+		sc.colGroup = append(sc.colGroup, g)
 	}
-	return dst
+	// Output pass: one flat backing for all member lists (members within a
+	// group come out ascending because columns are scanned in order).
+	ng := len(sc.firstCol)
+	unique = linalg.NewMatrix(a.Rows, ng)
+	counts = make([]int, ng)
+	members = make([][]int, ng)
+	backing := make([]int, 0, a.Cols)
+	offset := 0
+	for g := 0; g < ng; g++ {
+		n := int(sc.count[g])
+		counts[g] = n
+		members[g] = backing[offset:offset:(offset + n)]
+		offset += n
+		copy(unique.Col(g), a.Col(int(sc.firstCol[g])))
+	}
+	for j, g := range sc.colGroup {
+		members[g] = append(members[g], j)
+	}
+	return unique, counts, members
 }
 
 // sparseColumns extracts each column's non-zero entries once; the NOMP
@@ -113,12 +178,7 @@ func newSparseColumns(a *linalg.Matrix) *sparseColumns {
 // correlations computes aᵀ·resid using the sparse column structure.
 func (s *sparseColumns) correlations(resid linalg.Vector, out linalg.Vector) {
 	for j := range s.idx {
-		var acc float64
-		idx, val := s.idx[j], s.val[j]
-		for k, i := range idx {
-			acc += val[k] * resid[i]
-		}
-		out[j] = acc
+		out[j] = linalg.GatherDotKernel(s.idx[j], s.val[j], resid)
 	}
 }
 
@@ -234,6 +294,10 @@ func Round(x linalg.Vector, counts []int, maxTotal int) []int {
 // maxTotal. Solve evaluates each with the exact objective, which subsumes
 // Round's L1 criterion: the L1-closest candidate is always in the pool, and
 // the true objective — not the relaxation — picks the winner.
+//
+// All candidate vectors are carved from one slab and the remainder buffer
+// is shared across totals: this runs once per NOMP iterate on the solver
+// hot path, where per-total allocations dominated the profile.
 func RoundCandidates(x linalg.Vector, counts []int, maxTotal int) [][]int {
 	u := x.Normalized()
 	if u.Norm1() == 0 {
@@ -243,9 +307,22 @@ func RoundCandidates(x linalg.Vector, counts []int, maxTotal int) [][]int {
 	for _, c := range counts {
 		capacity += c
 	}
-	out := make([][]int, 0, maxTotal)
-	for total := 1; total <= maxTotal && total <= capacity; total++ {
-		if nu := apportion(u, counts, total); nu != nil {
+	limit := maxTotal
+	if limit > capacity {
+		limit = capacity
+	}
+	if limit <= 0 {
+		return nil
+	}
+	n := len(u)
+	out := make([][]int, 0, limit)
+	slab := make([]int, limit*n)
+	rems := make([]frac, 0, n)
+	for total := 1; total <= limit; total++ {
+		nu := slab[len(out)*n : (len(out)+1)*n : (len(out)+1)*n]
+		var ok bool
+		ok, rems = apportionInto(u, counts, total, nu, rems)
+		if ok {
 			out = append(out, nu)
 		}
 	}
@@ -303,16 +380,30 @@ func SolveWithRounding(a *linalg.Matrix, y linalg.Vector, m int, round Rounding,
 	return NewProblem(a).Solve(y, m, round, eval)
 }
 
+// frac is one uncapped entry's fractional part during apportionment.
+type frac struct {
+	idx int
+	rem float64
+}
+
 // apportion distributes total units over entries proportionally to u with
 // per-entry caps, using the largest-remainder method.
 func apportion(u linalg.Vector, counts []int, total int) []int {
-	n := len(u)
-	nu := make([]int, n)
-	type frac struct {
-		idx int
-		rem float64
+	nu := make([]int, len(u))
+	ok, _ := apportionInto(u, counts, total, nu, nil)
+	if !ok {
+		return nil
 	}
-	rems := make([]frac, 0, n)
+	return nu
+}
+
+// apportionInto is apportion writing into caller-owned buffers: nu (length
+// len(u), fully overwritten) receives the multiplicities and rems is a
+// reusable scratch returned for the next call. ok is false when the caps
+// make the total infeasible.
+func apportionInto(u linalg.Vector, counts []int, total int, nu []int, rems []frac) (bool, []frac) {
+	n := len(u)
+	rems = rems[:0]
 	assigned := 0
 	for i := 0; i < n; i++ {
 		ideal := u[i] * float64(total)
@@ -405,9 +496,9 @@ func apportion(u linalg.Vector, counts []int, total int) []int {
 		}
 	}
 	if assigned != total {
-		return nil
+		return false, rems
 	}
-	return nu
+	return true, rems
 }
 
 func roundingDistance(nu []int, u linalg.Vector, total int) float64 {

@@ -1,0 +1,281 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"comparesets/internal/dataset"
+	"comparesets/internal/model"
+)
+
+// batchTargets returns n distinct qualifying targets of the server's
+// Cellphone corpus.
+func batchTargets(tb testing.TB, s *Server, n int) []string {
+	tb.Helper()
+	s.mu.RLock()
+	targets := dataset.TargetIDs(s.corpora["Cellphone"])
+	s.mu.RUnlock()
+	if len(targets) < n {
+		tb.Fatalf("corpus has %d targets, need %d", len(targets), n)
+	}
+	return targets[:n]
+}
+
+// normalizeResponse parses a select payload and strips elapsed_ms (the only
+// field that legitimately differs between identical computations).
+func normalizeResponse(tb testing.TB, body []byte) map[string]any {
+	tb.Helper()
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		tb.Fatalf("unmarshal response: %v (%s)", err, body)
+	}
+	delete(out, "elapsed_ms")
+	return out
+}
+
+// TestBatchedMatchesUnbatchedBytes locks the tentpole invariant: a batched
+// group execution returns, for every member, a payload identical (modulo
+// elapsed_ms) to what an unbatched server computes for the same request —
+// shared slab passes and shared regression problems must not change a
+// single result byte.
+func TestBatchedMatchesUnbatchedBytes(t *testing.T) {
+	c := cellphoneCorpus(t, 3)
+	plain := New(map[string]*model.Corpus{"Cellphone": c}, nil)
+	batched := NewWithOptions(map[string]*model.Corpus{"Cellphone": c}, nil,
+		Options{BatchWindow: 25 * time.Millisecond, BatchMax: 8})
+	ph, bh := plain.Handler(), batched.Handler()
+
+	const n = 6
+	targets := batchTargets(t, batched, n)
+	want := make([]map[string]any, n)
+	for i, tgt := range targets {
+		req := hotRequest(t, plain)
+		req.Target = tgt
+		w := postRecorded(t, ph, "/api/v1/select", req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("unbatched %s: status %d body %s", tgt, w.Code, w.Body.String())
+		}
+		want[i] = normalizeResponse(t, w.Body.Bytes())
+	}
+
+	got := make([]map[string]any, n)
+	var wg sync.WaitGroup
+	for i, tgt := range targets {
+		wg.Add(1)
+		go func(i int, tgt string) {
+			defer wg.Done()
+			req := hotRequest(t, batched)
+			req.Target = tgt
+			w := postRecorded(t, bh, "/api/v1/select", req)
+			if w.Code != http.StatusOK {
+				t.Errorf("batched %s: status %d body %s", tgt, w.Code, w.Body.String())
+				return
+			}
+			got[i] = normalizeResponse(t, w.Body.Bytes())
+		}(i, tgt)
+	}
+	wg.Wait()
+	for i, tgt := range targets {
+		if got[i] == nil {
+			continue
+		}
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Errorf("target %s: batched response differs from unbatched", tgt)
+		}
+	}
+}
+
+// TestBatchGroupsSimilarRequests asserts that concurrent same-shape
+// requests for different targets actually share group executions, and that
+// batched results still populate the per-request cache.
+func TestBatchGroupsSimilarRequests(t *testing.T) {
+	c := cellphoneCorpus(t, 3)
+	s := NewWithOptions(map[string]*model.Corpus{"Cellphone": c}, nil,
+		Options{BatchWindow: 100 * time.Millisecond, BatchMax: 4})
+	h := s.Handler()
+	targets := batchTargets(t, s, 4)
+
+	bodies := make([][]byte, len(targets))
+	var wg sync.WaitGroup
+	for i, tgt := range targets {
+		wg.Add(1)
+		go func(i int, tgt string) {
+			defer wg.Done()
+			req := hotRequest(t, s)
+			req.Target = tgt
+			w := postRecorded(t, h, "/api/v1/select", req)
+			if w.Code != http.StatusOK {
+				t.Errorf("%s: status %d", tgt, w.Code)
+				return
+			}
+			bodies[i] = w.Body.Bytes()
+		}(i, tgt)
+	}
+	wg.Wait()
+
+	// All four raced into the 100ms window with a 4-member seal: grouping
+	// must have happened (at least one group held > 1 member). Executions
+	// is bounded by the request count either way.
+	execs := s.reg.Counter("comparesets_batch_executions_total",
+		"Total batch group executions.", nil).Value()
+	if execs == 0 || execs >= uint64(len(targets)) {
+		t.Errorf("batch executions = %d for %d grouped requests, want in [1,%d)", execs, len(targets), len(targets))
+	}
+
+	// A repeat of any member must now be a cache hit with identical bytes.
+	req := hotRequest(t, s)
+	req.Target = targets[1]
+	w := postRecorded(t, h, "/api/v1/select", req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("repeat: status %d", w.Code)
+	}
+	if !bytes.Equal(w.Body.Bytes(), bodies[1]) {
+		t.Error("cached repeat differs from the batched original")
+	}
+}
+
+// TestBatchCanceledMemberDoesNotPoisonGroup cancels one member's request
+// mid-batch and asserts the surviving members still get full responses.
+func TestBatchCanceledMemberDoesNotPoisonGroup(t *testing.T) {
+	c := cellphoneCorpus(t, 3)
+	s := NewWithOptions(map[string]*model.Corpus{"Cellphone": c}, nil,
+		Options{BatchWindow: 60 * time.Millisecond, BatchMax: 0})
+	h := s.Handler()
+	targets := batchTargets(t, s, 3)
+
+	cctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	codes := make([]int, len(targets))
+	for i, tgt := range targets {
+		wg.Add(1)
+		go func(i int, tgt string) {
+			defer wg.Done()
+			req := hotRequest(t, s)
+			req.Target = tgt
+			buf, err := json.Marshal(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r := httptest.NewRequest(http.MethodPost, "/api/v1/select", bytes.NewReader(buf))
+			if i == 0 {
+				r = r.WithContext(cctx)
+			}
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, r)
+			codes[i] = w.Code
+		}(i, tgt)
+	}
+	// Give all three time to join the window, then cancel member 0 while
+	// the group is still open or executing.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	wg.Wait()
+
+	for i := 1; i < len(targets); i++ {
+		if codes[i] != http.StatusOK {
+			t.Errorf("surviving member %d: status %d, want 200", i, codes[i])
+		}
+	}
+}
+
+// benchBatchGroup measures batched cold-path serving at the given group
+// size: each iteration purges the result cache and fires size concurrent
+// same-shape requests for distinct targets, which seal into one batch
+// group (BatchMax = size). MaxComparative pins the instance size so the
+// collapsed μ-block scale √(n−1)·μ matches across members, letting the
+// group's ProblemCache share the CompaReSetS+ problems of overlapping
+// items, not just the base ones.
+func benchBatchGroup(b *testing.B, size int) {
+	c := cellphoneCorpus(b, 3)
+	s := NewWithOptions(map[string]*model.Corpus{"Cellphone": c}, nil,
+		Options{BatchWindow: 10 * time.Millisecond, BatchMax: size})
+	h := s.Handler()
+	targets := batchTargets(b, s, size)
+	bodies := make([][]byte, size)
+	for i, tgt := range targets {
+		req := hotRequest(b, s)
+		req.Target = tgt
+		req.MaxComparative = 3
+		buf, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = buf
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.cache.Purge()
+		var wg sync.WaitGroup
+		for _, body := range bodies {
+			wg.Add(1)
+			go func(body []byte) {
+				defer wg.Done()
+				postBench(b, h, body)
+			}(body)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkSelectBatch1/4/16 sweep the batch group size; per-request cost
+// is op time divided by the group size. Recorded into BENCH_batch.json.
+func BenchmarkSelectBatch1(b *testing.B)  { benchBatchGroup(b, 1) }
+func BenchmarkSelectBatch4(b *testing.B)  { benchBatchGroup(b, 4) }
+func BenchmarkSelectBatch16(b *testing.B) { benchBatchGroup(b, 16) }
+
+// TestFloat32ServerParity runs the same requests on a float64 and a
+// compact-mode server. The selection itself must match byte for byte
+// (modulo elapsed_ms): the Binary scheme's 0/1 feature columns are exactly
+// representable in float32, so the design matrices — and hence every
+// regression — are identical. The shortlist graph is the one place float32
+// legitimately perturbs values (its pairwise term streams narrowed φ
+// vectors, which are normalized non-integers), so with K > 0 the member
+// sets must agree but the weight only within the narrowing tolerance.
+func TestFloat32ServerParity(t *testing.T) {
+	c := cellphoneCorpus(t, 3)
+	f64 := New(map[string]*model.Corpus{"Cellphone": c}, nil)
+	f32 := NewWithOptions(map[string]*model.Corpus{"Cellphone": c}, nil, Options{Float32: true})
+	for _, tgt := range batchTargets(t, f64, 4) {
+		req := hotRequest(t, f64)
+		req.Target = tgt
+		req.K = 0
+		a := postRecorded(t, f64.Handler(), "/api/v1/select", req)
+		b := postRecorded(t, f32.Handler(), "/api/v1/select", req)
+		if a.Code != http.StatusOK || b.Code != http.StatusOK {
+			t.Fatalf("%s: status %d / %d", tgt, a.Code, b.Code)
+		}
+		if !reflect.DeepEqual(normalizeResponse(t, a.Body.Bytes()), normalizeResponse(t, b.Body.Bytes())) {
+			t.Errorf("target %s: float32 selection differs from float64", tgt)
+		}
+
+		req.K = 3
+		a = postRecorded(t, f64.Handler(), "/api/v1/select", req)
+		b = postRecorded(t, f32.Handler(), "/api/v1/select", req)
+		if a.Code != http.StatusOK || b.Code != http.StatusOK {
+			t.Fatalf("%s (k=3): status %d / %d", tgt, a.Code, b.Code)
+		}
+		na, nb := normalizeResponse(t, a.Body.Bytes()), normalizeResponse(t, b.Body.Bytes())
+		if !reflect.DeepEqual(na["shortlist"], nb["shortlist"]) {
+			t.Errorf("target %s: float32 shortlist members differ: %v vs %v", tgt, na["shortlist"], nb["shortlist"])
+		}
+		wa, _ := na["shortlist_weight"].(float64)
+		wb, _ := nb["shortlist_weight"].(float64)
+		if diff := wa - wb; diff < -1e-4 || diff > 1e-4 {
+			t.Errorf("target %s: shortlist weight %v (f64) vs %v (f32)", tgt, wa, wb)
+		}
+		delete(na, "shortlist_weight")
+		delete(nb, "shortlist_weight")
+		if !reflect.DeepEqual(na, nb) {
+			t.Errorf("target %s: float32 k=3 response differs beyond shortlist weight", tgt)
+		}
+	}
+}

@@ -7,7 +7,9 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
+	"comparesets/internal/dataset"
 	"comparesets/internal/model"
 )
 
@@ -54,6 +56,54 @@ func BenchmarkSelectWarm(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		postBench(b, h, body)
 	}
+}
+
+// benchConcurrentDistinct fires 8 concurrent same-shape requests for
+// distinct targets per iteration, cache purged each time — the cold-path
+// concurrency profile that batching targets (coalescing cannot help:
+// every request is distinct).
+func benchConcurrentDistinct(b *testing.B, opts Options) {
+	c := cellphoneCorpus(b, 3)
+	s := NewWithOptions(map[string]*model.Corpus{"Cellphone": c}, nil, opts)
+	h := s.Handler()
+	const fanout = 8
+	s.mu.RLock()
+	targets := dataset.TargetIDs(s.corpora["Cellphone"])[:fanout]
+	s.mu.RUnlock()
+	bodies := make([][]byte, fanout)
+	for i, tgt := range targets {
+		req := hotRequest(b, s)
+		req.Target = tgt
+		req.MaxComparative = 3
+		bodies[i], _ = json.Marshal(req)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.cache.Purge()
+		var wg sync.WaitGroup
+		for _, body := range bodies {
+			wg.Add(1)
+			go func(body []byte) {
+				defer wg.Done()
+				postBench(b, h, body)
+			}(body)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkSelectConcurrentDistinct is the unbatched baseline: 8 distinct
+// cold requests each run their own full pipeline.
+func BenchmarkSelectConcurrentDistinct(b *testing.B) {
+	benchConcurrentDistinct(b, Options{})
+}
+
+// BenchmarkSelectConcurrentBatched is the same load with batching on: the
+// 8 requests seal into one group sharing a slab pass and per-item
+// regression problems. Divide by 8 for per-request cost.
+func BenchmarkSelectConcurrentBatched(b *testing.B) {
+	benchConcurrentDistinct(b, Options{BatchWindow: 10 * time.Millisecond, BatchMax: 8})
 }
 
 // BenchmarkSelectCoalesced measures the hot-key miss under concurrency:

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"comparesets/internal/aspectex"
+	"comparesets/internal/batchexec"
 	"comparesets/internal/core"
 	"comparesets/internal/dataset"
 	"comparesets/internal/explain"
@@ -85,6 +86,21 @@ type Options struct {
 	// StoreProbe, when set, is consulted by /readyz: a non-nil error marks
 	// the backing review store unhealthy and the server degraded.
 	StoreProbe func() error
+	// BatchWindow enables request batching on the corpus-referenced select
+	// path: a cold request waits up to this long for merely-similar
+	// requests (same corpus and selection shape, different targets) to
+	// arrive, then the whole group executes once, sharing a feature-slab
+	// pass and per-item regression problems. 0 disables batching — the
+	// default, since the window adds up to BatchWindow of latency to
+	// isolated cold requests. Requires the cache path (no effect when
+	// CacheDisabled).
+	BatchWindow time.Duration
+	// BatchMax seals a batch group early once this many members have
+	// joined, instead of waiting out the window. ≤ 0 means no size cap.
+	BatchMax int
+	// Float32 serves selections in compact feature mode: float32 feature
+	// and distance slabs with float64 accumulation (core.Config.Float32).
+	Float32 bool
 }
 
 // Server serves the selection API over a set of loaded corpora.
@@ -94,7 +110,11 @@ type Server struct {
 	// feats holds each corpus's resident precomputed features; epochs
 	// holds the cache-key epoch token bumped whenever AddCorpus replaces a
 	// corpus, which atomically invalidates all of its cached results.
-	feats    map[string]*featstore.Store
+	feats map[string]*featstore.Store
+	// problems holds each corpus's shared regression-problem cache
+	// (immutable templates; see core.ProblemCache) — replaced together with
+	// the feature store so problems never outlive their corpus generation.
+	problems map[string]*core.ProblemCache
 	epochs   map[string]string
 	epochSeq uint64
 	started  time.Time
@@ -106,6 +126,10 @@ type Server struct {
 	cache      *servecache.Cache
 	flights    *servecache.FlightGroup
 	staleCache *servecache.Cache
+	// batcher is nil unless Options.BatchWindow > 0 (and the cache path is
+	// on); it groups merely-similar cold requests inside their flights.
+	batcher *batchexec.Batcher[*batchReq, *batchRes]
+	float32 bool
 	// limiter is nil unless Options.MaxInflight > 0.
 	limiter    *limiter
 	storeProbe func() error
@@ -130,12 +154,13 @@ func NewWithOptions(corpora map[string]*model.Corpus, logger *log.Logger, opts O
 		logger = log.Default()
 	}
 	s := &Server{
-		corpora: map[string]*model.Corpus{},
-		feats:   map[string]*featstore.Store{},
-		epochs:  map[string]string{},
-		started: time.Now(),
-		logger:  logger,
-		reg:     obs.Default(),
+		corpora:  map[string]*model.Corpus{},
+		feats:    map[string]*featstore.Store{},
+		problems: map[string]*core.ProblemCache{},
+		epochs:   map[string]string{},
+		started:  time.Now(),
+		logger:   logger,
+		reg:      obs.Default(),
 	}
 	s.clientAborts = s.reg.Counter("comparesets_client_aborts_total",
 		"Responses whose write failed because the client disconnected.", nil)
@@ -164,7 +189,12 @@ func NewWithOptions(corpora map[string]*model.Corpus, logger *log.Logger, opts O
 			staleBytes = 1 << 20
 		}
 		s.staleCache = servecache.New(staleBytes, 0, obs.NewCacheMetrics(s.reg, "stalecache"))
+		if opts.BatchWindow > 0 {
+			s.batcher = batchexec.New(opts.BatchWindow, opts.BatchMax,
+				batchexec.NewMetrics(s.reg), s.executeBatch)
+		}
 	}
+	s.float32 = opts.Float32
 	for name, c := range corpora {
 		s.registerCorpus(name, c)
 	}
@@ -190,6 +220,7 @@ func (s *Server) registerCorpus(name string, c *model.Corpus) {
 	s.epochSeq++
 	s.corpora[name] = c
 	s.feats[name] = featstore.New(c)
+	s.problems[name] = core.NewProblemCache()
 	s.epochs[name] = fmt.Sprintf("%d.%016x", s.epochSeq, c.Fingerprint())
 }
 
@@ -447,6 +478,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		s.mu.RLock()
 		c, ok := s.corpora[req.Category]
 		fs := s.feats[req.Category]
+		pc := s.problems[req.Category]
 		epoch := s.epochs[req.Category]
 		s.mu.RUnlock()
 		if !ok {
@@ -460,11 +492,31 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		body, _, err := s.flights.Do(ctx, key, func(fctx context.Context) ([]byte, error) {
+			// Coalescing has already collapsed identical requests into this
+			// flight; with batching on, the flight joins a group of
+			// merely-similar requests (same shape, different targets) that
+			// executes once, sharing slab and problem work.
+			if s.batcher != nil {
+				res, _, err := s.batcher.Submit(fctx, batchKey(&req, epoch), &batchReq{
+					ctx: fctx, req: &req, corpus: c, sel: sel, solver: solver,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if res.err != nil {
+					return nil, res.err
+				}
+				if res.cacheable {
+					s.cache.Put(key, res.payload)
+					s.staleCache.Put(staleKey, res.payload)
+				}
+				return res.payload, nil
+			}
 			inst, err := c.NewInstance(req.Target, req.MaxComparative)
 			if err != nil {
 				return nil, notFound("%v", err)
 			}
-			resp, apiErr := s.computeSelect(fctx, &req, inst, fs, sel, solver)
+			resp, apiErr := s.computeSelect(fctx, &req, inst, fs, sel, solver, pc)
 			if apiErr != nil {
 				return nil, apiErr
 			}
@@ -511,13 +563,21 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Inline instances and cache-disabled servers take the direct path
-	// (still precompute-backed for corpus references).
+	// (still precompute-backed for corpus references). The shared problem
+	// cache applies only to corpus-backed requests: inline items are
+	// request-scoped, so caching their problems would pin dead instances.
 	inst, fs, apiErr := s.resolveInstance(&req)
 	if apiErr != nil {
 		s.writeAPIError(w, apiErr)
 		return
 	}
-	resp, apiErr := s.computeSelect(ctx, &req, inst, fs, sel, solver)
+	var pc *core.ProblemCache
+	if fs != nil {
+		s.mu.RLock()
+		pc = s.problems[req.Category]
+		s.mu.RUnlock()
+	}
+	resp, apiErr := s.computeSelect(ctx, &req, inst, fs, sel, solver, pc)
 	if apiErr != nil {
 		s.writeAPIError(w, apiErr)
 		return
@@ -539,9 +599,11 @@ func degradeBody(body []byte) []byte {
 // computeSelect runs the full selection pipeline for a validated request:
 // selection, response assembly, optional summaries/explanations/metrics,
 // and the optional shortlist solve. fs supplies corpus-resident features
-// (nil for inline instances); solver is non-nil exactly when req.K > 0.
-func (s *Server) computeSelect(ctx context.Context, req *SelectRequest, inst *model.Instance, fs *featstore.Store, sel core.Selector, solver simgraph.Solver) (*SelectResponse, *apiError) {
-	cfg := core.Config{M: req.M, Lambda: req.Lambda, Mu: req.Mu}
+// (nil for inline instances); solver is non-nil exactly when req.K > 0;
+// problems is the batch group's shared problem cache (nil outside batched
+// execution).
+func (s *Server) computeSelect(ctx context.Context, req *SelectRequest, inst *model.Instance, fs *featstore.Store, sel core.Selector, solver simgraph.Solver, problems *core.ProblemCache) (*SelectResponse, *apiError) {
+	cfg := core.Config{M: req.M, Lambda: req.Lambda, Mu: req.Mu, Float32: s.float32, Problems: problems}
 	if fs != nil {
 		cfg.Features = fs
 	}
