@@ -35,9 +35,11 @@ chaos:
 		./internal/featstore/... ./internal/servecache/... ./internal/service/... \
 	|| { echo "chaos FAILED — reproduce with: FAULTINJECT_SEED=$$seed make chaos"; exit 1; }
 
-# Fuzz the store's crash-recovery scan (bounded; raise -fuzztime locally).
+# Fuzz the store's crash-recovery scan and the mutation-log append path
+# (bounded; raise -fuzztime locally).
 fuzz:
 	go test -run '^$$' -fuzz FuzzStoreScan -fuzztime 30s ./internal/store/
+	go test -run '^$$' -fuzz FuzzCSLGAppend -fuzztime 30s ./internal/store/
 
 # Record the hot-path benchmarks into versioned JSON; commit the diff
 # alongside performance changes. BENCH_core.json covers the selection
@@ -46,12 +48,15 @@ fuzz:
 # BENCH_simgraph.json covers the shortlist solvers (Exact/Greedy/HkS at
 # n∈{16,32,64}, k∈{5,10} — 10x because HkS n=64 runs 64 exact solves/op);
 # BENCH_batch.json isolates the batched executor (group sizes 1/4/16 and the
-# 8-concurrent-distinct workload, batched vs unbatched).
+# 8-concurrent-distinct workload, batched vs unbatched); BENCH_mutate.json
+# compares the incremental write path against the old whole-epoch flush
+# (append-1-review vs AddCorpus+precompute at n∈{64,256}).
 bench-json:
 	go run ./cmd/bench -out BENCH_core.json
 	go run ./cmd/bench -out BENCH_service.json ./internal/service/
 	go run ./cmd/bench -out BENCH_simgraph.json -benchtime 10x ./internal/simgraph/
 	go run ./cmd/bench -out BENCH_batch.json -bench 'SelectBatch|SelectConcurrent' ./internal/service/
+	go run ./cmd/bench -out BENCH_mutate.json -bench 'Mutate|BuilderUpdate|BuildFull' ./internal/service/ ./internal/simgraph/
 
 # Prove the compute kernels stay free of bounds checks: build the linalg
 # package with the BCE diagnostic and fail if the compiler reports a bounds

@@ -81,7 +81,12 @@ func run(args []string, stdout io.Writer) error {
 		members[i] = i
 	}
 	if *k > 0 && *k < inst.NumItems() {
-		short, err := comparesets.Shortlist(inst, selection, cfg, *k, *method)
+		shortMethod, err := comparesets.ParseShortlistMethod(*method)
+		if err != nil {
+			return err
+		}
+		short, err := comparesets.ShortlistWith(inst, selection, cfg, *k,
+			comparesets.ShortlistOptions{Method: shortMethod})
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,9 @@
 //
 // Endpoints: GET /healthz, GET /api/v1/categories,
 // GET /api/v1/targets?category=X, POST /api/v1/select, POST /api/v1/extract,
+// the corpus mutation endpoints (POST/PATCH/DELETE under
+// /api/v1/corpora/{category}/items/{item}/reviews — incremental review
+// appends, updates, and removes with per-item cache invalidation),
 // plus operational routes: GET /metrics (Prometheus text exposition of
 // per-endpoint latency histograms and pipeline-stage timers),
 // GET /debug/vars (expvar), and GET /debug/pprof/* (runtime profiles).
@@ -22,7 +25,11 @@
 // -max-inflight bounds concurrently executing select requests; excess
 // requests queue briefly and are shed with 503 + Retry-After once the
 // queue fills or their deadline cannot outlast the expected wait. -store
-// opens an append-only review store log whose health feeds GET /readyz.
+// opens an append-only review store log whose health feeds GET /readyz;
+// -mutlog additionally makes that log the write-ahead mutation log —
+// every mutation endpoint call is appended to it before the in-memory
+// apply (an empty log is seeded with the loaded corpora first, so update
+// and remove records can validate against the live view).
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: /readyz flips to
 // overloaded (so load balancers drain the instance), in-flight requests
@@ -60,6 +67,7 @@ func main() {
 		maxInflight   = flag.Int("max-inflight", 0, "bound on concurrently executing select requests (0 = unlimited)")
 		maxQueue      = flag.Int("max-queue", 0, "admission queue bound (0 = 4×max-inflight, negative = no queue)")
 		storePath     = flag.String("store", "", "append-only review store log to open (health feeds /readyz)")
+		mutLog        = flag.Bool("mutlog", false, "write-ahead log corpus mutations to the -store log (seeds an empty log with the loaded corpora)")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight requests")
 		batchWindow   = flag.Duration("batch-window", 0, "batch cold select requests of the same shape for up to this window (0 = no batching)")
 		batchMax      = flag.Int("batch-max", 0, "seal a batch group early at this many requests (0 = window only)")
@@ -93,6 +101,20 @@ func main() {
 		}
 		logger.Printf("store: %s (%d records)", *storePath, st.Count())
 		opts.StoreProbe = st.Healthy
+	}
+	if *mutLog {
+		if st == nil {
+			logger.Fatal("-mutlog requires -store")
+		}
+		if st.Count() == 0 {
+			for _, c := range corpora {
+				if err := st.AppendCorpus(c); err != nil {
+					logger.Fatalf("seeding mutation log: %v", err)
+				}
+			}
+			logger.Printf("store: seeded mutation log with %d corpora", len(corpora))
+		}
+		opts.MutationLog = st
 	}
 	svc := service.NewWithOptions(corpora, logger, opts)
 	srv := &http.Server{

@@ -18,7 +18,19 @@
 //	targets := comparesets.TargetProducts(corpus)
 //	inst, _ := corpus.NewInstance(targets[0], 0)
 //	sel, _ := comparesets.SelectSynchronized(inst, comparesets.DefaultConfig(3))
-//	short, _ := comparesets.Shortlist(inst, sel, comparesets.DefaultConfig(3), 3, "exact")
+//	short, _ := comparesets.ShortlistWith(inst, sel, comparesets.DefaultConfig(3), 3,
+//		comparesets.ShortlistOptions{Method: comparesets.ShortlistExact})
+//
+// # Mutating a corpus
+//
+// Corpora support incremental, copy-on-write review mutation — see
+// Corpus.AppendReviews, Corpus.UpdateReview, and Corpus.RemoveReview. Each
+// returns a Mutation describing the delta (old and new item snapshots),
+// which the serving layer uses to invalidate per-item caches instead of
+// rebuilding the whole corpus:
+//
+//	m, _ := corpus.AppendReviews("p07", &comparesets.Review{ID: "r-new", Rating: 5})
+//	fmt.Println(m.Kind, m.ItemID, m.ReviewIDs) // append p07 [r-new]
 //
 // The internal packages implement every substrate from scratch on the
 // standard library: dense linear algebra with NNLS (internal/linalg), the
@@ -69,6 +81,12 @@ type (
 	// Instance is one problem instance: the target item followed by its
 	// comparative items.
 	Instance = model.Instance
+	// Mutation describes one applied corpus delta: the touched item before
+	// and after, and the review IDs involved. Returned by
+	// Corpus.AppendReviews, Corpus.UpdateReview, and Corpus.RemoveReview.
+	Mutation = model.Mutation
+	// MutationKind classifies a corpus delta (append, update, remove).
+	MutationKind = model.MutationKind
 	// Config carries the selection hyperparameters (m, λ, μ, scheme).
 	Config = core.Config
 	// Selection is a review-selection result.
@@ -88,6 +106,13 @@ const (
 	Positive = model.Positive
 	Negative = model.Negative
 	Neutral  = model.Neutral
+)
+
+// Mutation kinds, in the order the write API exposes them.
+const (
+	MutationAppend = model.MutationAppend
+	MutationUpdate = model.MutationUpdate
+	MutationRemove = model.MutationRemove
 )
 
 // NewVocabulary builds an aspect vocabulary from names (duplicates
@@ -224,22 +249,11 @@ type ShortlistOptions struct {
 	Budget time.Duration
 }
 
-// Shortlist narrows the instance to the k most mutually similar items
-// including the target (TargetHkS, Problem 3). method is "exact", "greedy",
-// "topk", or "random".
-//
-// Deprecated: use ShortlistWith (or ShortlistContext) with a typed
-// ShortlistMethod; this stringly-typed form remains for v1 compatibility.
-func Shortlist(inst *Instance, sel *Selection, cfg Config, k int, method string) (ShortlistResult, error) {
-	m, err := ParseShortlistMethod(method)
-	if err != nil {
-		return ShortlistResult{}, err
-	}
-	return ShortlistWith(inst, sel, cfg, k, ShortlistOptions{Method: m})
-}
-
-// ShortlistWith solves TargetHkS with typed options; it is
-// ShortlistContext with context.Background().
+// ShortlistWith narrows the instance to the k most mutually similar items
+// including the target (TargetHkS, Problem 3) with typed options; it is
+// ShortlistContext with context.Background(). (The stringly-typed
+// Shortlist(inst, sel, cfg, k, "exact") form of v1 has been removed; use
+// ParseShortlistMethod to bridge string inputs.)
 func ShortlistWith(inst *Instance, sel *Selection, cfg Config, k int, opts ShortlistOptions) (ShortlistResult, error) {
 	return ShortlistContext(context.Background(), inst, sel, cfg, k, opts)
 }

@@ -43,7 +43,8 @@ func TestEndToEndQuickstartFlow(t *testing.T) {
 		}
 	}
 
-	short, err := comparesets.Shortlist(inst, sel, cfg, 3, "exact")
+	short, err := comparesets.ShortlistWith(inst, sel, cfg, 3,
+		comparesets.ShortlistOptions{Method: comparesets.ShortlistExact})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,8 @@ func TestEndToEndQuickstartFlow(t *testing.T) {
 		t.Error("exact shortlist not proved optimal on a tiny graph")
 	}
 
-	greedy, err := comparesets.Shortlist(inst, sel, cfg, 3, "greedy")
+	greedy, err := comparesets.ShortlistWith(inst, sel, cfg, 3,
+		comparesets.ShortlistOptions{Method: comparesets.ShortlistGreedy})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,13 +79,69 @@ func TestSelectPlainBeatsNothing(t *testing.T) {
 func TestShortlistMethodValidation(t *testing.T) {
 	inst := buildInstance(t)
 	sel, _ := comparesets.Select(inst, comparesets.DefaultConfig(3))
-	if _, err := comparesets.Shortlist(inst, sel, comparesets.DefaultConfig(3), 3, "bogus"); err == nil {
+	if _, err := comparesets.ParseShortlistMethod("bogus"); err == nil {
 		t.Error("bogus method accepted")
 	}
-	for _, method := range []string{"exact", "ilp", "greedy", "topk", "random"} {
-		if _, err := comparesets.Shortlist(inst, sel, comparesets.DefaultConfig(3), 2, method); err != nil {
-			t.Errorf("method %s: %v", method, err)
+	if _, err := comparesets.ShortlistWith(inst, sel, comparesets.DefaultConfig(3), 3,
+		comparesets.ShortlistOptions{Method: comparesets.ShortlistMethod(99)}); err == nil {
+		t.Error("out-of-range typed method accepted")
+	}
+	for _, name := range []string{"exact", "ilp", "greedy", "topk", "random"} {
+		method, err := comparesets.ParseShortlistMethod(name)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
 		}
+		if _, err := comparesets.ShortlistWith(inst, sel, comparesets.DefaultConfig(3), 2,
+			comparesets.ShortlistOptions{Method: method}); err != nil {
+			t.Errorf("method %s: %v", name, err)
+		}
+	}
+}
+
+func TestCorpusMutationAPI(t *testing.T) {
+	corpus, err := comparesets.GenerateCorpus("Cellphone", 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := comparesets.TargetProducts(corpus)[0]
+	before := corpus.Items[target]
+
+	m, err := corpus.AppendReviews(target, &comparesets.Review{
+		ID: "api-r1", Rating: 5,
+		Mentions: []comparesets.Mention{{Aspect: 0, Polarity: comparesets.Positive, Score: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != comparesets.MutationAppend || m.Kind.String() != "append" {
+		t.Errorf("kind = %v", m.Kind)
+	}
+	if m.Old != before || m.New != corpus.Items[target] || m.Old == m.New {
+		t.Error("mutation snapshots do not bracket the copy-on-write swap")
+	}
+	if len(before.Reviews)+1 != len(corpus.Items[target].Reviews) {
+		t.Errorf("append did not grow the item: %d -> %d reviews",
+			len(before.Reviews), len(corpus.Items[target].Reviews))
+	}
+
+	if m, err = corpus.UpdateReview(target, &comparesets.Review{ID: "api-r1", Rating: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != comparesets.MutationUpdate {
+		t.Errorf("kind = %v", m.Kind)
+	}
+	if m, err = corpus.RemoveReview(target, "api-r1"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != comparesets.MutationRemove {
+		t.Errorf("kind = %v", m.Kind)
+	}
+	if len(corpus.Items[target].Reviews) != len(before.Reviews) {
+		t.Errorf("remove did not restore the review count")
+	}
+	// The pre-mutation snapshot is immutable throughout.
+	if _, err := corpus.RemoveReview(target, "api-r1"); err == nil {
+		t.Error("second remove of the same review succeeded")
 	}
 }
 

@@ -195,15 +195,20 @@ func TestShortlistTypedMethods(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The deprecated string form and the typed form must agree.
+	// Parsing a v1 method name and solving with the typed form must agree
+	// with solving under the typed constant directly.
 	for _, c := range cases {
-		old, err1 := comparesets.Shortlist(inst, sel, cfg, 3, c.name)
+		parsed, perr := comparesets.ParseShortlistMethod(c.name)
+		if perr != nil {
+			t.Fatalf("%s: %v", c.name, perr)
+		}
+		bridged, err1 := comparesets.ShortlistWith(inst, sel, cfg, 3, comparesets.ShortlistOptions{Method: parsed})
 		typed, err2 := comparesets.ShortlistWith(inst, sel, cfg, 3, comparesets.ShortlistOptions{Method: c.method})
 		if err1 != nil || err2 != nil {
 			t.Fatalf("%s: errs %v / %v", c.name, err1, err2)
 		}
-		if !reflect.DeepEqual(old, typed) {
-			t.Errorf("%s: string form %+v != typed form %+v", c.name, old, typed)
+		if !reflect.DeepEqual(bridged, typed) {
+			t.Errorf("%s: parsed form %+v != typed form %+v", c.name, bridged, typed)
 		}
 	}
 	if _, err := comparesets.ShortlistWith(inst, sel, cfg, 3, comparesets.ShortlistOptions{Method: comparesets.ShortlistMethod(99)}); err == nil {

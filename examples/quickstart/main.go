@@ -38,7 +38,8 @@ func main() {
 	fmt.Printf("selection objective (Eq. 5): %.4f\n", sel.Objective)
 
 	// 4. Shortlist: the 3 most mutually similar items including the target.
-	short, err := comparesets.Shortlist(inst, sel, cfg, 3, "exact")
+	short, err := comparesets.ShortlistWith(inst, sel, cfg, 3,
+		comparesets.ShortlistOptions{Method: comparesets.ShortlistExact})
 	if err != nil {
 		log.Fatal(err)
 	}

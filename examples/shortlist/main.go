@@ -44,14 +44,17 @@ func main() {
 	}
 
 	var optimal comparesets.ShortlistResult
-	for _, method := range []string{"exact", "greedy", "topk", "random"} {
+	for _, method := range []comparesets.ShortlistMethod{
+		comparesets.ShortlistExact, comparesets.ShortlistGreedy,
+		comparesets.ShortlistTopK, comparesets.ShortlistRandom,
+	} {
 		start := time.Now()
-		res, err := comparesets.Shortlist(inst, sel, cfg, 5, method)
+		res, err := comparesets.ShortlistWith(inst, sel, cfg, 5, comparesets.ShortlistOptions{Method: method})
 		if err != nil {
 			log.Fatal(err)
 		}
 		elapsed := time.Since(start)
-		if method == "exact" {
+		if method == comparesets.ShortlistExact {
 			optimal = res
 		}
 		fmt.Printf("%-8s weight %8.3f  (%.1f%% of optimum, %v, members %v)\n",

@@ -67,6 +67,25 @@ func (pc *ProblemCache) Len() int {
 	return len(pc.m)
 }
 
+// InvalidateItem drops every cached problem built from the given item
+// snapshot, returning how many were removed. Corpus mutations replace items
+// copy-on-write, so the post-mutation snapshot misses the cache naturally
+// (fresh pointer); dropping the old pointer's problems just releases their
+// memory — nothing can request them again once the corpus stops serving
+// the snapshot.
+func (pc *ProblemCache) InvalidateItem(it *model.Item) int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	var n int
+	for k := range pc.m {
+		if k.item == it {
+			delete(pc.m, k)
+			n++
+		}
+	}
+	return n
+}
+
 // getOrBuild returns a private share of the cached problem for key,
 // building and memoizing the template on first use.
 func (pc *ProblemCache) getOrBuild(key problemKey, build func() *regress.Problem) *regress.Problem {

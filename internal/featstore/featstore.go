@@ -15,14 +15,19 @@
 // into design matrices and accumulates into private scratch), which is what
 // makes sharing across concurrent requests safe.
 //
-// A Store is bound to one corpus; replacing a corpus at runtime replaces
-// its Store wholesale, so stale features can never leak across corpus
-// generations.
+// A Store is bound to one corpus generation at a time. Loading a new corpus
+// still replaces the Store wholesale, but incremental mutations rebind the
+// existing Store to the post-mutation corpus clone (Apply): untouched items
+// keep their item pointers, so their feature blocks stay resident, and only
+// the touched item's block is rebuilt — reusing the columns of every review
+// pointer the mutation did not replace.
 package featstore
 
 import (
 	"hash/fnv"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"comparesets/internal/faultinject"
 	"comparesets/internal/linalg"
@@ -36,7 +41,7 @@ const shardCount = 16
 
 // Store caches per-review feature columns for one corpus.
 type Store struct {
-	corpus *model.Corpus
+	corpus atomic.Pointer[model.Corpus]
 	z      int
 	shards [shardCount]shard
 	m      *obs.CacheMetrics
@@ -49,8 +54,13 @@ type shard struct {
 
 // entry is one (scheme, item) feature block: vector views over two flat
 // slabs. The float32 companions are narrowed lazily on the first
-// ItemColumns32 touch and alias two further compact slabs.
+// ItemColumns32 touch and alias two further compact slabs. it and sch
+// record which item snapshot the columns were computed from, so a mutation
+// can rebuild the block incrementally: columns of review pointers shared
+// between it.Reviews and the successor's are copied, not recomputed.
 type entry struct {
+	it          *model.Item
+	sch         opinion.Scheme
 	op, asp     []linalg.Vector
 	op32, asp32 []linalg.Vector32
 	// tau/phiR are the item-level target vectors π(Rᵢ) and φ(Rᵢ), filled
@@ -62,10 +72,10 @@ type entry struct {
 // lazily on first touch; call Precompute to front-load them.
 func New(c *model.Corpus) *Store {
 	s := &Store{
-		corpus: c,
-		z:      c.Aspects.Len(),
-		m:      obs.NewCacheMetrics(obs.Default(), "featstore"),
+		z: c.Aspects.Len(),
+		m: obs.NewCacheMetrics(obs.Default(), "featstore"),
 	}
+	s.corpus.Store(c)
 	for i := range s.shards {
 		s.shards[i].items = map[string]*entry{}
 	}
@@ -81,32 +91,54 @@ func (s *Store) shardFor(k string) *shard {
 	return &s.shards[h.Sum64()&(shardCount-1)]
 }
 
-// ItemColumns implements core.FeatureSource: it returns the precomputed
-// opinion and aspect columns of the item's reviews under the scheme,
-// computing and memoizing them on first touch. ok is false when the item
-// does not belong to the bound corpus or z disagrees with the corpus
-// vocabulary — callers then fall back to computing features themselves.
-func (s *Store) ItemColumns(it *model.Item, sch opinion.Scheme, z int) (op, asp []linalg.Vector, ok bool) {
-	if z != s.z || s.corpus.Items[it.ID] != it {
-		return nil, nil, false
+// lookup returns the item's feature block, computing it on first touch and
+// incrementally rebuilding it when the resident block belongs to a previous
+// snapshot of the same item (a mutation replaced the pointer). Returns nil
+// when the item is not current in the bound corpus or a fill fault fired —
+// callers then report ok=false and core computes features per request.
+func (s *Store) lookup(it *model.Item, sch opinion.Scheme, z int) *entry {
+	if z != s.z || s.corpus.Load().Items[it.ID] != it {
+		return nil
 	}
 	k := key(sch.Name(), it.ID)
 	sh := s.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	e, ok := sh.items[k]
-	if !ok {
+	switch {
+	case !ok:
 		// An injected fill fault declines the item (ok=false): callers fall
 		// back to computing the columns per request, so a failing feature
 		// store degrades throughput, never correctness.
 		if err := faultinject.Check(faultinject.PointFeatstoreFill); err != nil {
-			return nil, nil, false
+			return nil
 		}
 		s.m.Misses.Inc()
 		e = s.compute(it, sch)
 		sh.items[k] = e
-	} else {
+	case e.it != it:
+		// Stale snapshot: refill only the columns the mutation changed.
+		if err := faultinject.Check(faultinject.PointFeatstoreFill); err != nil {
+			return nil
+		}
+		s.m.Misses.Inc()
+		e, _, _ = s.rebuild(e, it)
+		sh.items[k] = e
+	default:
 		s.m.Hits.Inc()
+	}
+	return e
+}
+
+// ItemColumns implements core.FeatureSource: it returns the precomputed
+// opinion and aspect columns of the item's reviews under the scheme,
+// computing and memoizing them on first touch. ok is false when the item
+// does not belong to the bound corpus or z disagrees with the corpus
+// vocabulary — callers then fall back to computing features themselves.
+func (s *Store) ItemColumns(it *model.Item, sch opinion.Scheme, z int) (op, asp []linalg.Vector, ok bool) {
+	e := s.lookup(it, sch, z)
+	if e == nil {
+		return nil, nil, false
 	}
 	return e.op, e.asp, true
 }
@@ -117,24 +149,14 @@ func (s *Store) ItemColumns(it *model.Item, sch opinion.Scheme, z int) (op, asp 
 // (scheme, item) and memoized, so repeated compact-mode requests pay no
 // conversion. The same read-only aliasing contract applies.
 func (s *Store) ItemColumns32(it *model.Item, sch opinion.Scheme, z int) (op, asp []linalg.Vector32, ok bool) {
-	if z != s.z || s.corpus.Items[it.ID] != it {
+	e := s.lookup(it, sch, z)
+	if e == nil {
 		return nil, nil, false
 	}
 	k := key(sch.Name(), it.ID)
 	sh := s.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e, ok := sh.items[k]
-	if !ok {
-		if err := faultinject.Check(faultinject.PointFeatstoreFill); err != nil {
-			return nil, nil, false
-		}
-		s.m.Misses.Inc()
-		e = s.compute(it, sch)
-		sh.items[k] = e
-	} else {
-		s.m.Hits.Inc()
-	}
 	if e.op32 == nil {
 		e.narrow(s)
 	}
@@ -148,27 +170,17 @@ func (s *Store) ItemColumns32(it *model.Item, sch opinion.Scheme, z int) (op, as
 // includes the item needs exactly these vectors (they never depend on the
 // request), so serving them resident removes the per-request target pass.
 func (s *Store) ItemTargets(it *model.Item, sch opinion.Scheme, z int) (tau, phi linalg.Vector, ok bool) {
-	if z != s.z || s.corpus.Items[it.ID] != it {
+	e := s.lookup(it, sch, z)
+	if e == nil {
 		return nil, nil, false
 	}
 	k := key(sch.Name(), it.ID)
 	sh := s.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e, ok := sh.items[k]
-	if !ok {
-		if err := faultinject.Check(faultinject.PointFeatstoreFill); err != nil {
-			return nil, nil, false
-		}
-		s.m.Misses.Inc()
-		e = s.compute(it, sch)
-		sh.items[k] = e
-	} else {
-		s.m.Hits.Inc()
-	}
 	if e.tau == nil {
-		e.tau = sch.Vector(it.Reviews, s.z)
-		e.phiR = opinion.AspectVector(it.Reviews, s.z)
+		e.tau = sch.Vector(e.it.Reviews, s.z)
+		e.phiR = opinion.AspectVector(e.it.Reviews, s.z)
 		s.m.Bytes.Add(float64(8 * (len(e.tau) + len(e.phiR))))
 	}
 	return e.tau, e.phiR, true
@@ -205,6 +217,8 @@ func (s *Store) compute(it *model.Item, sch opinion.Scheme) *entry {
 	opSlab := make([]float64, n*dim)
 	aspSlab := make([]float64, n*s.z)
 	e := &entry{
+		it:  it,
+		sch: sch,
 		op:  make([]linalg.Vector, n),
 		asp: make([]linalg.Vector, n),
 	}
@@ -219,13 +233,80 @@ func (s *Store) compute(it *model.Item, sch opinion.Scheme) *entry {
 	return e
 }
 
+// rebuild produces the feature block of a successor item snapshot from its
+// predecessor's block: columns whose review pointer survived the mutation
+// are copied out of the old slabs, only genuinely new or replaced reviews
+// go through the scheme. The old entry stays intact — in-flight requests
+// holding the old item keep reading consistent columns. Returns the new
+// entry plus how many columns were computed fresh vs reused.
+func (s *Store) rebuild(old *entry, it *model.Item) (e *entry, computed, reused int) {
+	defer obs.StageTimer(obs.StagePrecompute)()
+	sch := old.sch
+	dim := sch.Dim(s.z)
+	// Index the predecessor's columns by review pointer.
+	pos := make(map[*model.Review]int, len(old.it.Reviews))
+	for j, r := range old.it.Reviews {
+		pos[r] = j
+	}
+	n := len(it.Reviews)
+	opSlab := make([]float64, n*dim)
+	aspSlab := make([]float64, n*s.z)
+	e = &entry{
+		it:  it,
+		sch: sch,
+		op:  make([]linalg.Vector, n),
+		asp: make([]linalg.Vector, n),
+	}
+	for j, r := range it.Reviews {
+		e.op[j] = linalg.Vector(opSlab[j*dim : (j+1)*dim])
+		e.asp[j] = linalg.Vector(aspSlab[j*s.z : (j+1)*s.z])
+		if k, ok := pos[r]; ok {
+			copy(e.op[j], old.op[k])
+			copy(e.asp[j], old.asp[k])
+			reused++
+			continue
+		}
+		copy(e.op[j], sch.Column(r, s.z))
+		copy(e.asp[j], opinion.AspectColumn(r, s.z))
+		computed++
+	}
+	s.m.Bytes.Add(float64(8 * (len(opSlab) + len(aspSlab))))
+	return e, computed, reused
+}
+
+// Apply rebinds the store to the post-mutation corpus and eagerly refills
+// the touched item's resident feature blocks (one per scheme seen so far),
+// reusing every column whose review pointer the mutation preserved. Blocks
+// of untouched items are untouched — their item pointers still match the
+// new corpus. Returns the number of feature columns computed fresh and the
+// number reused, for the mutation receipt.
+func (s *Store) Apply(c *model.Corpus, m *model.Mutation) (computed, reused int) {
+	s.corpus.Store(c)
+	suffix := "\x1f" + m.ItemID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.items {
+			if !strings.HasSuffix(k, suffix) || e.it == m.New {
+				continue
+			}
+			ne, nc, nr := s.rebuild(e, m.New)
+			sh.items[k] = ne
+			computed += nc
+			reused += nr
+		}
+		sh.mu.Unlock()
+	}
+	return computed, reused
+}
+
 // Precompute eagerly builds the feature blocks of every corpus item under
 // the scheme, so the first request after a corpus load pays no lazy
 // compute. Safe to call concurrently with ItemColumns.
 func (s *Store) Precompute(sch opinion.Scheme) {
-	for _, id := range s.corpus.ItemIDs() {
-		it := s.corpus.Items[id]
-		s.ItemColumns(it, sch, s.z)
+	c := s.corpus.Load()
+	for _, id := range c.ItemIDs() {
+		s.ItemColumns(c.Items[id], sch, s.z)
 	}
 }
 

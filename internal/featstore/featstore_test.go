@@ -288,3 +288,157 @@ func TestItemTargetsMatchDirectComputation(t *testing.T) {
 		t.Error("mismatched z accepted")
 	}
 }
+
+// mutate appends one review to p0 via the model mutation API against a
+// clone, mirroring the serving layer's copy-on-write flow.
+func mutate(t *testing.T, c *model.Corpus) (*model.Corpus, *model.Mutation) {
+	t.Helper()
+	next := c.Clone()
+	m, err := next.AppendReviews("p0", &model.Review{
+		ID: "p0-new", Rating: 5,
+		Mentions: []model.Mention{{Aspect: 2, Polarity: model.Positive, Score: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return next, m
+}
+
+func TestApplyRefillsOnlyTouchedColumns(t *testing.T) {
+	c := testCorpus(t)
+	s := New(c)
+	z := c.Aspects.Len()
+	sch := opinion.Schemes()[0]
+	s.Precompute(sch)
+	resident := s.Len()
+	oldP0, oldP1 := c.Items["p0"], c.Items["p1"]
+	op1Before, _, _ := s.ItemColumns(oldP1, sch, z)
+
+	next, m := mutate(t, c)
+	computed, reused := s.Apply(next, m)
+	if computed != 1 {
+		t.Errorf("computed = %d, want 1 (only the appended review)", computed)
+	}
+	if reused != len(oldP0.Reviews) {
+		t.Errorf("reused = %d, want %d", reused, len(oldP0.Reviews))
+	}
+	if s.Len() != resident {
+		t.Errorf("Len = %d, want %d (refill must replace, not grow)", s.Len(), resident)
+	}
+
+	// The old snapshot no longer resolves; the new one does, with columns
+	// matching direct computation.
+	if _, _, ok := s.ItemColumns(oldP0, sch, z); ok {
+		t.Error("stale item snapshot still resolves after Apply")
+	}
+	newP0 := next.Items["p0"]
+	op, asp, ok := s.ItemColumns(newP0, sch, z)
+	if !ok || len(op) != len(newP0.Reviews) {
+		t.Fatalf("new snapshot: ok=%v len=%d", ok, len(op))
+	}
+	for j, r := range newP0.Reviews {
+		if want := sch.Column(r, z); !reflect.DeepEqual(op[j], want) {
+			t.Errorf("review %d: op = %v want %v", j, op[j], want)
+		}
+		if want := opinion.AspectColumn(r, z); !reflect.DeepEqual(asp[j], want) {
+			t.Errorf("review %d: asp = %v want %v", j, asp[j], want)
+		}
+	}
+	// Untouched items keep identical column views (same backing slabs).
+	op1After, _, ok := s.ItemColumns(oldP1, sch, z)
+	if !ok {
+		t.Fatal("untouched item lost residency")
+	}
+	for j := range op1Before {
+		if &op1Before[j][0] != &op1After[j][0] {
+			t.Fatalf("untouched item column %d was rebuilt", j)
+		}
+	}
+}
+
+func TestLazyRebuildOnStaleEntry(t *testing.T) {
+	c := testCorpus(t)
+	s := New(c)
+	z := c.Aspects.Len()
+	sch := opinion.Schemes()[0]
+	s.ItemColumns(c.Items["p0"], sch, z) // resident block for the old snapshot
+
+	// Rebind without Apply: the first touch of the new snapshot must refill
+	// lazily instead of serving the stale block.
+	next, m := mutate(t, c)
+	s.corpus.Store(next)
+	op, _, ok := s.ItemColumns(m.New, sch, z)
+	if !ok || len(op) != len(m.New.Reviews) {
+		t.Fatalf("lazy rebuild: ok=%v len=%d want %d", ok, len(op), len(m.New.Reviews))
+	}
+	if want := sch.Column(m.New.Reviews[len(op)-1], z); !reflect.DeepEqual(op[len(op)-1], want) {
+		t.Errorf("appended column = %v want %v", op[len(op)-1], want)
+	}
+}
+
+func TestApplyAfterRemoveAndUpdate(t *testing.T) {
+	c := testCorpus(t)
+	s := New(c)
+	z := c.Aspects.Len()
+	sch := opinion.Schemes()[0]
+	s.Precompute(sch)
+
+	next := c.Clone()
+	m, err := next.RemoveReview("p0", "p0-r3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	computed, reused := s.Apply(next, m)
+	if computed != 0 || reused != len(next.Items["p0"].Reviews) {
+		t.Errorf("remove: computed=%d reused=%d", computed, reused)
+	}
+
+	after := next.Clone()
+	m, err = after.UpdateReview("p0", &model.Review{
+		ID: "p0-r1", Rating: 1,
+		Mentions: []model.Mention{{Aspect: 0, Polarity: model.Negative, Score: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	computed, reused = s.Apply(after, m)
+	if computed != 1 || reused != len(after.Items["p0"].Reviews)-1 {
+		t.Errorf("update: computed=%d reused=%d", computed, reused)
+	}
+	it := after.Items["p0"]
+	op, _, ok := s.ItemColumns(it, sch, z)
+	if !ok {
+		t.Fatal("post-update snapshot not resident")
+	}
+	for j, r := range it.Reviews {
+		if want := sch.Column(r, z); !reflect.DeepEqual(op[j], want) {
+			t.Errorf("review %d: op = %v want %v", j, op[j], want)
+		}
+	}
+}
+
+func TestApplyResetsTargets(t *testing.T) {
+	c := testCorpus(t)
+	s := New(c)
+	z := c.Aspects.Len()
+	sch := opinion.Schemes()[0]
+	tauBefore, _, ok := s.ItemTargets(c.Items["p0"], sch, z)
+	if !ok {
+		t.Fatal("targets not served")
+	}
+	next, m := mutate(t, c)
+	s.Apply(next, m)
+	tauAfter, phiAfter, ok := s.ItemTargets(next.Items["p0"], sch, z)
+	if !ok {
+		t.Fatal("targets not served after Apply")
+	}
+	if want := sch.Vector(next.Items["p0"].Reviews, z); !reflect.DeepEqual(tauAfter, want) {
+		t.Errorf("tau after mutation = %v want %v", tauAfter, want)
+	}
+	if want := opinion.AspectVector(next.Items["p0"].Reviews, z); !reflect.DeepEqual(phiAfter, want) {
+		t.Errorf("phiR after mutation = %v want %v", phiAfter, want)
+	}
+	if reflect.DeepEqual(tauBefore, tauAfter) {
+		t.Error("tau unchanged although a 5-star review was appended")
+	}
+}

@@ -1,0 +1,162 @@
+package model
+
+import (
+	"errors"
+	"testing"
+)
+
+func mutCorpus() *Corpus {
+	c := NewCorpus("Test", NewVocabulary([]string{"battery", "screen"}))
+	c.AddItem(&Item{ID: "p1", Reviews: []*Review{
+		{ID: "r1", ItemID: "p1", Rating: 4, Mentions: []Mention{{Aspect: 0, Polarity: Positive}}},
+		{ID: "r2", ItemID: "p1", Rating: 2, Mentions: []Mention{{Aspect: 1, Polarity: Negative}}},
+	}})
+	c.AddItem(&Item{ID: "p2", Reviews: []*Review{
+		{ID: "r3", ItemID: "p2", Rating: 5},
+	}})
+	return c
+}
+
+func TestAppendReviewsCopyOnWrite(t *testing.T) {
+	c := mutCorpus()
+	oldP1, oldP2 := c.Items["p1"], c.Items["p2"]
+	m, err := c.AppendReviews("p1", &Review{ID: "r9", Rating: 3, Mentions: []Mention{{Aspect: 1, Polarity: Positive}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != MutationAppend || m.ItemID != "p1" || len(m.ReviewIDs) != 1 || m.ReviewIDs[0] != "r9" {
+		t.Fatalf("bad mutation: %+v", m)
+	}
+	if m.Old != oldP1 {
+		t.Fatal("mutation Old is not the pre-mutation snapshot")
+	}
+	if m.New == oldP1 {
+		t.Fatal("append mutated the item in place; want copy-on-write")
+	}
+	if c.Items["p1"] != m.New {
+		t.Fatal("corpus map does not serve the new snapshot")
+	}
+	if c.Items["p2"] != oldP2 {
+		t.Fatal("untouched item lost pointer identity")
+	}
+	if len(oldP1.Reviews) != 2 {
+		t.Fatalf("old snapshot grew: %d reviews", len(oldP1.Reviews))
+	}
+	if len(m.New.Reviews) != 3 || m.New.Reviews[2].ID != "r9" {
+		t.Fatalf("new snapshot wrong: %+v", m.New.Reviews)
+	}
+	if m.New.Reviews[2].ItemID != "p1" {
+		t.Fatalf("appended review item_id not normalized: %q", m.New.Reviews[2].ItemID)
+	}
+	// Old review pointers are shared — the basis for incremental feature
+	// refill.
+	if m.New.Reviews[0] != oldP1.Reviews[0] || m.New.Reviews[1] != oldP1.Reviews[1] {
+		t.Fatal("unchanged reviews lost pointer identity")
+	}
+}
+
+func TestAppendReviewsValidation(t *testing.T) {
+	c := mutCorpus()
+	cases := []struct {
+		name string
+		item string
+		rev  *Review
+		want error
+	}{
+		{"unknown item", "nope", &Review{ID: "x"}, ErrUnknownItem},
+		{"empty id", "p1", &Review{}, ErrEmptyReviewID},
+		{"duplicate id", "p1", &Review{ID: "r1"}, ErrDuplicateReview},
+		{"item mismatch", "p1", &Review{ID: "x", ItemID: "p2"}, ErrItemMismatch},
+		{"bad aspect", "p1", &Review{ID: "x", Mentions: []Mention{{Aspect: 99}}}, ErrBadAspect},
+		{"bad polarity", "p1", &Review{ID: "x", Mentions: []Mention{{Aspect: 0, Polarity: Polarity(7)}}}, ErrBadPolarity},
+	}
+	for _, tc := range cases {
+		if _, err := c.AppendReviews(tc.item, tc.rev); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if len(c.Items["p1"].Reviews) != 2 {
+		t.Fatal("failed append must not change the corpus")
+	}
+	// Duplicate inside one batch is rejected too.
+	if _, err := c.AppendReviews("p1", &Review{ID: "n1"}, &Review{ID: "n1"}); !errors.Is(err, ErrDuplicateReview) {
+		t.Errorf("batch duplicate: got %v", err)
+	}
+}
+
+func TestUpdateReview(t *testing.T) {
+	c := mutCorpus()
+	old := c.Items["p1"]
+	m, err := c.UpdateReview("p1", &Review{ID: "r2", Rating: 5, Mentions: []Mention{{Aspect: 0, Polarity: Positive}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != MutationUpdate {
+		t.Fatalf("kind = %v", m.Kind)
+	}
+	if got := c.Items["p1"].Reviews[1]; got.Rating != 5 {
+		t.Fatalf("update not applied: %+v", got)
+	}
+	if old.Reviews[1].Rating != 2 {
+		t.Fatal("update mutated the old snapshot")
+	}
+	if c.Items["p1"].Reviews[0] != old.Reviews[0] {
+		t.Fatal("untouched review lost pointer identity")
+	}
+	if _, err := c.UpdateReview("p1", &Review{ID: "zzz"}); !errors.Is(err, ErrUnknownReview) {
+		t.Errorf("unknown review: got %v", err)
+	}
+}
+
+func TestRemoveReview(t *testing.T) {
+	c := mutCorpus()
+	old := c.Items["p1"]
+	m, err := c.RemoveReview("p1", "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != MutationRemove {
+		t.Fatalf("kind = %v", m.Kind)
+	}
+	got := c.Items["p1"]
+	if len(got.Reviews) != 1 || got.Reviews[0].ID != "r2" {
+		t.Fatalf("remove left %+v", got.Reviews)
+	}
+	if len(old.Reviews) != 2 {
+		t.Fatal("remove mutated the old snapshot")
+	}
+	if _, err := c.RemoveReview("p1", "r1"); !errors.Is(err, ErrUnknownReview) {
+		t.Errorf("double remove: got %v", err)
+	}
+}
+
+func TestCloneSharesItemPointers(t *testing.T) {
+	c := mutCorpus()
+	cl := c.Clone()
+	if cl == c {
+		t.Fatal("clone returned the receiver")
+	}
+	for id, it := range c.Items {
+		if cl.Items[id] != it {
+			t.Fatalf("item %s not shared", id)
+		}
+	}
+	// Mutating the clone leaves the original map untouched.
+	if _, err := cl.AppendReviews("p1", &Review{ID: "new"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Items["p1"].Reviews) != 2 {
+		t.Fatal("clone mutation leaked into the original corpus")
+	}
+}
+
+func TestMutationChangesFingerprint(t *testing.T) {
+	c := mutCorpus()
+	before := c.Fingerprint()
+	if _, err := c.AppendReviews("p2", &Review{ID: "r4"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() == before {
+		t.Fatal("fingerprint unchanged after append")
+	}
+}

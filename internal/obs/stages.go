@@ -31,6 +31,11 @@ const (
 	// warm-up plus every member request's pipeline run
 	// (internal/batchexec).
 	StageBatchGroup = "batch_group"
+	// StageMutateApply is one corpus mutation's apply pass: the
+	// copy-on-write model mutation, the WAL append, the incremental
+	// feature refill, and the per-item cache invalidation
+	// (internal/service mutation endpoints).
+	StageMutateApply = "mutate_apply"
 )
 
 const stageMetricName = "comparesets_pipeline_stage_duration_seconds"
@@ -44,7 +49,7 @@ func Default() *Registry { return defaultRegistry }
 // stageHists is populated once at init and read-only afterwards, so the
 // hot-path lookup in ObserveStage is a plain map read with no locking.
 var stageHists = func() map[string]*Histogram {
-	known := []string{StageFeatureBuild, StageNOMP, StageNNLS, StageSweep, StageShortlist, StageShortlistExact, StagePrecompute, StageBatchGroup}
+	known := []string{StageFeatureBuild, StageNOMP, StageNNLS, StageSweep, StageShortlist, StageShortlistExact, StagePrecompute, StageBatchGroup, StageMutateApply}
 	m := make(map[string]*Histogram, len(known))
 	for _, stage := range known {
 		m[stage] = defaultRegistry.Histogram(stageMetricName,

@@ -17,8 +17,12 @@ import (
 // it dies when the member's last HTTP waiter disconnects, so the executor
 // can skip abandoned slots without touching the rest of the group.
 type batchReq struct {
-	ctx    context.Context
-	req    *SelectRequest
+	ctx context.Context
+	req *SelectRequest
+	// inst is resolved by the submitting handler inside the same lock
+	// snapshot as the member's cache key, so key and instance always agree
+	// on the corpus view even when mutations land mid-batch.
+	inst   *model.Instance
 	corpus *model.Corpus
 	sel    core.Selector
 	solver simgraph.Solver
@@ -81,6 +85,12 @@ func (s *Server) executeBatch(gctx context.Context, reqs []*batchReq) ([]*batchR
 	out := make([]*batchRes, len(reqs))
 	insts := make([]*model.Instance, len(reqs))
 	for i, q := range reqs {
+		// Members arrive with their instances pre-resolved; the fallback
+		// covers direct Submit callers (tests) that skip the handler.
+		if q.inst != nil {
+			insts[i] = q.inst
+			continue
+		}
 		inst, err := q.corpus.NewInstance(q.req.Target, q.req.MaxComparative)
 		if err != nil {
 			out[i] = &batchRes{err: notFound("%v", err)}
@@ -123,7 +133,7 @@ func (s *Server) executeBatch(gctx context.Context, reqs []*batchReq) ([]*batchR
 			out[i] = &batchRes{err: err}
 			continue
 		}
-		resp, apiErr := s.computeSelect(q.ctx, q.req, insts[i], fs, q.sel, q.solver, pc)
+		resp, apiErr := s.computeSelect(q.ctx, q.req, insts[i], fs, q.sel, q.solver, pc, selectKey(q.req, ""))
 		if apiErr != nil {
 			out[i] = &batchRes{err: apiErr}
 			continue

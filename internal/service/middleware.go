@@ -48,10 +48,13 @@ const (
 // received by anyone.
 const StatusClientClosedRequest = 499
 
-// ErrorBody is the machine-readable error payload.
+// ErrorBody is the machine-readable error payload. Field names the request
+// field a validation error is about (empty for errors not tied to one
+// field), so clients can surface the failure next to the offending input.
 type ErrorBody struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	Field   string `json:"field,omitempty"`
 }
 
 // ErrorResponse is the envelope every non-2xx response carries:
@@ -72,6 +75,8 @@ type apiError struct {
 	public string
 	// retryAfter > 0 emits a Retry-After header with that many seconds.
 	retryAfter int
+	// field names the offending request field for validation errors.
+	field string
 }
 
 func (e *apiError) Error() string { return e.err.Error() }
@@ -95,6 +100,15 @@ func notFound(format string, args ...any) *apiError {
 
 func unprocessable(err error) *apiError {
 	return &apiError{status: http.StatusUnprocessableEntity, code: CodeUnprocessable, err: err}
+}
+
+// fieldError is unprocessable tied to one named request field: the envelope
+// carries {"error":{"code":"unprocessable","message":...,"field":...}}.
+func fieldError(field, format string, args ...any) *apiError {
+	return &apiError{
+		status: http.StatusUnprocessableEntity, code: CodeUnprocessable,
+		err: fmt.Errorf(format, args...), field: field,
+	}
 }
 
 func internalError(err error) *apiError {

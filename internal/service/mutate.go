@@ -1,0 +1,358 @@
+// Incremental corpus mutation: the delta write path.
+//
+// Before this API existed, the only write was AddCorpus — a whole-epoch
+// flush that rebuilt every feature slab, dropped every cached problem, and
+// invalidated every cached response of the category, even for a single new
+// review. The mutation endpoints thread a typed delta through each layer
+// instead:
+//
+//	model      copy-on-write item replacement (untouched items keep their
+//	           pointers, so pointer-keyed caches stay warm)
+//	store      one log-append record (no rewrite) when a MutationLog is
+//	           configured, written before the in-memory swap
+//	featstore  per-item column refill reusing every unchanged review column
+//	core       ProblemCache.InvalidateItem drops only the touched item's
+//	           regression problems
+//	simgraph   memoized builders recompute only rows whose item stats
+//	           changed (see memoGraph)
+//	servecache per-item generations fold into the select cache key, so only
+//	           cached responses whose instance contains the touched item
+//	           become unreachable
+//
+// Each mutation returns a MutationReceipt describing exactly what was
+// invalidated, so callers can audit the blast radius of a write.
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/fnv"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"comparesets/internal/core"
+	"comparesets/internal/model"
+	"comparesets/internal/obs"
+	"comparesets/internal/simgraph"
+)
+
+// MutationReceipt is the response body of every mutation endpoint: what
+// changed, the epoch coordinates now governing the touched item, and the
+// exact invalidation work the delta caused.
+type MutationReceipt struct {
+	// Kind is "append", "update", or "remove".
+	Kind     string `json:"kind"`
+	Category string `json:"category"`
+	Item     string `json:"item"`
+	// Reviews lists the review IDs the mutation touched.
+	Reviews []string `json:"reviews"`
+	// Epoch is the category's base epoch token (unchanged by mutations —
+	// only AddCorpus bumps it); Generation is the touched item's mutation
+	// generation within that epoch. Together they identify the item's cache
+	// lineage: cached selections over instances containing the item are
+	// keyed under (epoch, generation) and became unreachable.
+	Epoch      string `json:"epoch"`
+	Generation uint64 `json:"generation"`
+	// AffectedItems lists the items whose cached artifacts were invalidated
+	// (the touched item; instances containing it re-key automatically).
+	AffectedItems []string          `json:"affected_items"`
+	Invalidation  InvalidationScope `json:"invalidation"`
+	ElapsedMS     float64           `json:"elapsed_ms"`
+}
+
+// InvalidationScope quantifies a mutation's cache blast radius.
+type InvalidationScope struct {
+	// Scope is "item" for mutations; AddCorpus invalidations are "epoch".
+	Scope string `json:"scope"`
+	// ProblemsDropped counts regression problems of the old item snapshot
+	// removed from the category's ProblemCache.
+	ProblemsDropped int `json:"problems_dropped"`
+	// ColumnsComputed / ColumnsReused count feature columns rebuilt fresh
+	// vs copied from the previous snapshot during the featstore refill.
+	ColumnsComputed int `json:"columns_computed"`
+	ColumnsReused   int `json:"columns_reused"`
+}
+
+// mutationError maps model mutation failures onto the API error envelope:
+// unknown references are 404s, validation failures are 422s naming the
+// offending field.
+func mutationError(err error) *apiError {
+	switch {
+	case errors.Is(err, model.ErrUnknownItem), errors.Is(err, model.ErrUnknownReview):
+		return notFound("%v", err)
+	case errors.Is(err, model.ErrEmptyReviewID), errors.Is(err, model.ErrDuplicateReview):
+		return fieldError("id", "%v", err)
+	case errors.Is(err, model.ErrItemMismatch):
+		return fieldError("item_id", "%v", err)
+	case errors.Is(err, model.ErrBadAspect), errors.Is(err, model.ErrBadPolarity):
+		return fieldError("mentions", "%v", err)
+	default:
+		return unprocessable(err)
+	}
+}
+
+// applyMutation runs one corpus delta end to end under the write lock:
+// clone, mutate, WAL-append (log first — a mutation that cannot be made
+// durable is not applied), swap, bump the item generation, refill the
+// touched feature columns, and drop the old snapshot's problems. The
+// receipt reports what happened.
+func (s *Server) applyMutation(category, kind string, mutate func(c *model.Corpus) (*model.Mutation, error)) (*MutationReceipt, *apiError) {
+	start := time.Now()
+	stop := obs.StageTimer(obs.StageMutateApply)
+	s.mu.Lock()
+	c, ok := s.corpora[category]
+	if !ok {
+		s.mu.Unlock()
+		stop()
+		return nil, notFound("unknown category %q", category)
+	}
+	next := c.Clone()
+	m, err := mutate(next)
+	if err != nil {
+		s.mu.Unlock()
+		stop()
+		return nil, mutationError(err)
+	}
+	if s.mutlog != nil {
+		if lerr := s.mutlog.AppendMutation(m); lerr != nil {
+			// Write-ahead ordering: the in-memory state is untouched (the
+			// mutated clone is discarded), so memory and log stay consistent.
+			s.mu.Unlock()
+			stop()
+			return nil, internalError(lerr)
+		}
+	}
+	s.corpora[category] = next
+	gens := s.gens[category]
+	if gens == nil {
+		gens = map[string]uint64{}
+		s.gens[category] = gens
+	}
+	gens[m.ItemID]++
+	gen := gens[m.ItemID]
+	computed, reused := s.feats[category].Apply(next, m)
+	dropped := s.problems[category].InvalidateItem(m.Old)
+	epoch := s.epochs[category]
+	s.mu.Unlock()
+	stop()
+
+	s.reg.Counter("comparesets_mutations_total",
+		"Corpus mutations applied, by kind.", obs.Labels{"kind": kind}).Inc()
+	s.reg.Counter("comparesets_invalidations_total",
+		"Cache invalidations by scope: item (mutation) or epoch (corpus replace).",
+		obs.Labels{"scope": "item"}).Inc()
+
+	return &MutationReceipt{
+		Kind:          kind,
+		Category:      category,
+		Item:          m.ItemID,
+		Reviews:       m.ReviewIDs,
+		Epoch:         epoch,
+		Generation:    gen,
+		AffectedItems: []string{m.ItemID},
+		Invalidation: InvalidationScope{
+			Scope:           "item",
+			ProblemsDropped: dropped,
+			ColumnsComputed: computed,
+			ColumnsReused:   reused,
+		},
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}, nil
+}
+
+// AppendReviewsBody is the POST .../reviews request body.
+type AppendReviewsBody struct {
+	Reviews []*model.Review `json:"reviews"`
+}
+
+// handleAppendReviews serves
+// POST /api/v1/corpora/{category}/items/{item}/reviews.
+func (s *Server) handleAppendReviews(w http.ResponseWriter, r *http.Request) {
+	category, item := r.PathValue("category"), r.PathValue("item")
+	var body AppendReviewsBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		s.writeAPIError(w, badRequest("decoding request: %v", err))
+		return
+	}
+	if len(body.Reviews) == 0 {
+		s.writeAPIError(w, fieldError("reviews", "at least one review is required"))
+		return
+	}
+	receipt, ae := s.applyMutation(category, "append", func(c *model.Corpus) (*model.Mutation, error) {
+		return c.AppendReviews(item, body.Reviews...)
+	})
+	if ae != nil {
+		s.writeAPIError(w, ae)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, receipt)
+}
+
+// handleUpdateReview serves
+// PATCH /api/v1/corpora/{category}/items/{item}/reviews/{review}. The body
+// is the replacement review; its id, when present, must match the path.
+func (s *Server) handleUpdateReview(w http.ResponseWriter, r *http.Request) {
+	category, item, review := r.PathValue("category"), r.PathValue("item"), r.PathValue("review")
+	var rev model.Review
+	if err := json.NewDecoder(r.Body).Decode(&rev); err != nil {
+		s.writeAPIError(w, badRequest("decoding request: %v", err))
+		return
+	}
+	if rev.ID == "" {
+		rev.ID = review
+	}
+	if rev.ID != review {
+		s.writeAPIError(w, fieldError("id", "body review id %q does not match path id %q", rev.ID, review))
+		return
+	}
+	receipt, ae := s.applyMutation(category, "update", func(c *model.Corpus) (*model.Mutation, error) {
+		return c.UpdateReview(item, &rev)
+	})
+	if ae != nil {
+		s.writeAPIError(w, ae)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, receipt)
+}
+
+// handleRemoveReview serves
+// DELETE /api/v1/corpora/{category}/items/{item}/reviews/{review}.
+func (s *Server) handleRemoveReview(w http.ResponseWriter, r *http.Request) {
+	category, item, review := r.PathValue("category"), r.PathValue("item"), r.PathValue("review")
+	receipt, ae := s.applyMutation(category, "remove", func(c *model.Corpus) (*model.Mutation, error) {
+		return c.RemoveReview(item, review)
+	})
+	if ae != nil {
+		s.writeAPIError(w, ae)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, receipt)
+}
+
+// instanceEpoch derives the cache-key epoch of one request from the
+// category's base epoch and the mutation generations of exactly the
+// instance's member items. Instances containing no mutated item keep the
+// bare base token — their cached responses survive every mutation of other
+// items — while any member generation change re-keys (and thereby
+// invalidates) the instance's cached selections.
+func instanceEpoch(base string, gens map[string]uint64, inst *model.Instance) string {
+	if len(gens) == 0 {
+		return base
+	}
+	h := fnv.New64a()
+	touched := false
+	var buf [8]byte
+	for _, it := range inst.Items {
+		if g := gens[it.ID]; g > 0 {
+			touched = true
+			h.Write([]byte(it.ID))
+			binary.BigEndian.PutUint64(buf[:], g)
+			h.Write(buf[:])
+		}
+	}
+	if !touched {
+		return base
+	}
+	return base + "." + strconv.FormatUint(h.Sum64(), 16)
+}
+
+// maxGraphEntries bounds the graph memo; on overflow the map resets (same
+// pure-accelerator policy as core.ProblemCache).
+const maxGraphEntries = 256
+
+// graphMemo holds one incremental similarity-graph builder per select
+// shape (epoch-less select key). A mutation does not drop entries: the
+// next request with the same shape diffs its fresh per-item stats against
+// the memoized ones and recomputes only the changed rows, which is the
+// whole point — the O(n²·z) pairwise pass shrinks to O(n·z) for a
+// single-item delta. Entries are dropped only on corpus replacement, when
+// instance membership itself may change.
+type graphMemo struct {
+	mu sync.Mutex
+	m  map[string]*graphEntry
+}
+
+type graphEntry struct {
+	mu       sync.Mutex
+	category string
+	builder  *simgraph.Builder
+	stats    []core.ItemStats
+}
+
+// entry returns the memo slot for the key, creating it if needed.
+func (gm *graphMemo) entry(category, key string) *graphEntry {
+	gm.mu.Lock()
+	defer gm.mu.Unlock()
+	e, ok := gm.m[key]
+	if !ok {
+		if len(gm.m) >= maxGraphEntries {
+			gm.m = map[string]*graphEntry{}
+		}
+		e = &graphEntry{category: category}
+		gm.m[key] = e
+	}
+	return e
+}
+
+// dropCategory removes every memo entry of the category.
+func (gm *graphMemo) dropCategory(category string) {
+	gm.mu.Lock()
+	defer gm.mu.Unlock()
+	for k, e := range gm.m {
+		if e.category == category {
+			delete(gm.m, k)
+		}
+	}
+}
+
+// memoGraph builds the similarity graph for the request's selection stats.
+// With a graph key (corpus-referenced cached requests), the distance matrix
+// is memoized per select shape and only rows whose item stats changed since
+// the previous request are recomputed; the result is byte-identical to a
+// fresh simgraph.Build (see simgraph.Builder). Without a key (inline
+// instances, cache disabled), it is exactly a fresh Build.
+func (s *Server) memoGraph(graphKey, category string, stats []core.ItemStats, cfg core.Config) *simgraph.Graph {
+	if graphKey == "" {
+		return simgraph.Build(stats, cfg)
+	}
+	e := s.graphs.entry(category, graphKey)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.builder == nil || len(e.stats) != len(stats) {
+		e.builder = simgraph.NewBuilder(stats, cfg)
+		e.stats = stats
+		return e.builder.Graph()
+	}
+	var touched []int
+	for i := range stats {
+		if !statsEqual(&e.stats[i], &stats[i]) {
+			touched = append(touched, i)
+		}
+	}
+	if len(touched) > 0 {
+		e.builder.Update(stats, touched)
+	}
+	e.stats = stats
+	return e.builder.Graph()
+}
+
+// statsEqual compares two items' selection statistics bitwise — the
+// distance d_ij is a pure function of the two entries, so bit equality of
+// the entries guarantees bit equality of every incident edge.
+func statsEqual(a, b *core.ItemStats) bool {
+	if math.Float64bits(a.OpinionLoss) != math.Float64bits(b.OpinionLoss) ||
+		math.Float64bits(a.AspectLoss) != math.Float64bits(b.AspectLoss) ||
+		len(a.Phi) != len(b.Phi) {
+		return false
+	}
+	for k := range a.Phi {
+		if math.Float64bits(a.Phi[k]) != math.Float64bits(b.Phi[k]) {
+			return false
+		}
+	}
+	return true
+}

@@ -15,6 +15,10 @@
 //	GET  /debug/vars                  expvar JSON
 //	GET  /debug/pprof/*               runtime profiles
 //
+//	POST   /api/v1/corpora/{category}/items/{item}/reviews            append reviews
+//	PATCH  /api/v1/corpora/{category}/items/{item}/reviews/{review}   replace a review
+//	DELETE /api/v1/corpora/{category}/items/{item}/reviews/{review}   remove a review
+//
 // The select endpoint is served through a three-layer accelerator sized
 // for hot-key traffic: corpus-resident precomputed review features
 // (internal/featstore), a sharded byte-budgeted LRU over fully marshaled
@@ -23,10 +27,18 @@
 // identical requests run the pipeline once. Replacing a corpus with
 // AddCorpus bumps its epoch, invalidating its cached results atomically.
 //
+// The mutation endpoints are the incremental write path: each applies one
+// typed delta (append/update/remove a review) copy-on-write, refills only
+// the touched item's feature columns, drops only its cached regression
+// problems, and re-keys only cached selections whose instance contains the
+// item (per-item generations folded into the cache key). Each returns a
+// MutationReceipt quantifying that invalidation. See mutate.go.
+//
 // Errors are returned as a structured envelope
-// {"error":{"code":"...","message":"..."}} with 400 for malformed
-// requests, 404 for unknown resources, 422 for semantically invalid
-// parameters, and 504 when a request exceeds its timeout_ms deadline.
+// {"error":{"code":"...","message":"...","field":"..."}} with 400 for
+// malformed requests, 404 for unknown resources, 422 for semantically
+// invalid parameters (field names the offending request field), and 504
+// when a request exceeds its timeout_ms deadline.
 // Every API endpoint is wrapped in middleware that records request counts,
 // status codes, and latency histograms into the internal/obs registry
 // served at GET /metrics.
@@ -58,6 +70,7 @@ import (
 	"comparesets/internal/obs"
 	"comparesets/internal/servecache"
 	"comparesets/internal/simgraph"
+	"comparesets/internal/store"
 	"comparesets/internal/summarize"
 )
 
@@ -101,6 +114,13 @@ type Options struct {
 	// Float32 serves selections in compact feature mode: float32 feature
 	// and distance slabs with float64 accumulation (core.Config.Float32).
 	Float32 bool
+	// MutationLog, when set, makes corpus mutations durable: every
+	// successful mutation endpoint call appends a typed record to this CSLG
+	// store before the in-memory corpus swap (write-ahead ordering), so a
+	// restart can replay the post-mutation state. The store must hold the
+	// mutated corpora's reviews (e.g. via store.AppendCorpus at load time);
+	// nil keeps mutations in-memory only.
+	MutationLog *store.Store
 }
 
 // Server serves the selection API over a set of loaded corpora.
@@ -116,6 +136,14 @@ type Server struct {
 	// the feature store so problems never outlive their corpus generation.
 	problems map[string]*core.ProblemCache
 	epochs   map[string]string
+	// gens tracks per-item mutation generations within the current corpus
+	// epoch: gens[category][itemID] counts mutations of that item since the
+	// corpus was (re)loaded. The select cache key folds in the generations
+	// of exactly the instance's members, so a mutation invalidates only
+	// cached selections whose instance contains the touched item —
+	// everything else stays warm. AddCorpus resets the map: the epoch bump
+	// already invalidates the whole category.
+	gens     map[string]map[string]uint64
 	epochSeq uint64
 	started  time.Time
 	logger   *log.Logger
@@ -134,6 +162,11 @@ type Server struct {
 	limiter    *limiter
 	storeProbe func() error
 	draining   atomic.Bool
+	// mutlog is Options.MutationLog (nil = mutations are in-memory only).
+	mutlog *store.Store
+	// graphs memoizes similarity-graph builders per select shape so a
+	// mutation recomputes only the touched items' adjacency rows.
+	graphs graphMemo
 
 	clientAborts *obs.Counter
 	staleServed  *obs.Counter
@@ -158,10 +191,13 @@ func NewWithOptions(corpora map[string]*model.Corpus, logger *log.Logger, opts O
 		feats:    map[string]*featstore.Store{},
 		problems: map[string]*core.ProblemCache{},
 		epochs:   map[string]string{},
+		gens:     map[string]map[string]uint64{},
 		started:  time.Now(),
 		logger:   logger,
 		reg:      obs.Default(),
+		mutlog:   opts.MutationLog,
 	}
+	s.graphs.m = map[string]*graphEntry{}
 	s.clientAborts = s.reg.Counter("comparesets_client_aborts_total",
 		"Responses whose write failed because the client disconnected.", nil)
 	s.staleServed = s.reg.Counter("comparesets_degraded_responses_total",
@@ -217,11 +253,22 @@ func (s *Server) AddCorpus(name string, c *model.Corpus) {
 // registerCorpus installs the corpus, its feature store, and its epoch
 // token. Caller holds s.mu (or the server is not yet shared).
 func (s *Server) registerCorpus(name string, c *model.Corpus) {
+	_, replacing := s.corpora[name]
 	s.epochSeq++
 	s.corpora[name] = c
 	s.feats[name] = featstore.New(c)
 	s.problems[name] = core.NewProblemCache()
 	s.epochs[name] = fmt.Sprintf("%d.%016x", s.epochSeq, c.Fingerprint())
+	// A corpus (re)load is an epoch-scope invalidation: the epoch token in
+	// every cache key changes, per-item generations start over, and graph
+	// memos for the category are dropped (instance membership may differ).
+	s.gens[name] = map[string]uint64{}
+	s.graphs.dropCategory(name)
+	if replacing {
+		s.reg.Counter("comparesets_invalidations_total",
+			"Cache invalidations by scope: item (mutation) or epoch (corpus replace).",
+			obs.Labels{"scope": "epoch"}).Inc()
+	}
 }
 
 // Handler returns the HTTP handler with all API and operational routes
@@ -234,6 +281,15 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /api/v1/targets", s.instrument("targets", s.handleTargets))
 	mux.Handle("POST /api/v1/select", s.instrument("select", s.handleSelect))
 	mux.Handle("POST /api/v1/extract", s.instrument("extract", s.handleExtract))
+	// Mutation endpoints deliberately bypass the select admission limiter:
+	// writes are cheap (one item's refill), and shedding them under read
+	// load would let a busy cache starve corpus freshness.
+	mux.Handle("POST /api/v1/corpora/{category}/items/{item}/reviews",
+		s.instrument("mutate", s.handleAppendReviews))
+	mux.Handle("PATCH /api/v1/corpora/{category}/items/{item}/reviews/{review}",
+		s.instrument("mutate", s.handleUpdateReview))
+	mux.Handle("DELETE /api/v1/corpora/{category}/items/{item}/reviews/{review}",
+		s.instrument("mutate", s.handleRemoveReview))
 	obs.RegisterOps(mux, s.reg)
 	return mux
 }
@@ -451,13 +507,18 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	// Canonicalize and validate the request-shaping parameters up front:
 	// they are part of the cache key, and invalid requests must never
-	// occupy a flight.
+	// occupy a flight. Validation failures name the offending field in the
+	// error envelope.
+	if ae := validateSelectRequest(&req); ae != nil {
+		s.writeAPIError(w, ae)
+		return
+	}
 	if req.Algorithm == "" {
 		req.Algorithm = "CompaReSetS+"
 	}
 	sel, ok := core.SelectorByName(req.Algorithm)
 	if !ok {
-		s.writeAPIError(w, unprocessable(fmt.Errorf("unknown algorithm %q", req.Algorithm)))
+		s.writeAPIError(w, fieldError("algorithm", "unknown algorithm %q", req.Algorithm))
 		return
 	}
 	var solver simgraph.Solver
@@ -467,22 +528,38 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		}
 		var err error
 		if solver, err = solverFor(req.Method); err != nil {
-			s.writeAPIError(w, unprocessable(err))
+			s.writeAPIError(w, fieldError("method", "%v", err))
 			return
 		}
 	}
 
 	// Corpus-referenced requests ride the full accelerator: result cache,
-	// then request coalescing, then the precompute-backed pipeline.
+	// then request coalescing, then the precompute-backed pipeline. The
+	// instance is resolved up front, inside the same lock snapshot as the
+	// epoch and generation reads: the cache key folds in the mutation
+	// generations of exactly the instance's members, so key and instance
+	// must come from one consistent corpus view.
 	if s.cache != nil && req.Category != "" && req.Target != "" {
 		s.mu.RLock()
 		c, ok := s.corpora[req.Category]
 		fs := s.feats[req.Category]
 		pc := s.problems[req.Category]
-		epoch := s.epochs[req.Category]
+		base := s.epochs[req.Category]
+		epoch := base
+		var inst *model.Instance
+		var instErr error
+		if ok {
+			if inst, instErr = c.NewInstance(req.Target, req.MaxComparative); instErr == nil {
+				epoch = instanceEpoch(base, s.gens[req.Category], inst)
+			}
+		}
 		s.mu.RUnlock()
 		if !ok {
 			s.writeAPIError(w, notFound("unknown category %q", req.Category))
+			return
+		}
+		if instErr != nil {
+			s.writeAPIError(w, notFound("%v", instErr))
 			return
 		}
 		key := selectKey(&req, epoch)
@@ -497,8 +574,11 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 			// merely-similar requests (same shape, different targets) that
 			// executes once, sharing slab and problem work.
 			if s.batcher != nil {
-				res, _, err := s.batcher.Submit(fctx, batchKey(&req, epoch), &batchReq{
-					ctx: fctx, req: &req, corpus: c, sel: sel, solver: solver,
+				// The group key uses the base epoch: members differ by
+				// target, so per-instance generation suffixes would split
+				// otherwise batchable groups.
+				res, _, err := s.batcher.Submit(fctx, batchKey(&req, base), &batchReq{
+					ctx: fctx, req: &req, inst: inst, corpus: c, sel: sel, solver: solver,
 				})
 				if err != nil {
 					return nil, err
@@ -512,11 +592,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 				}
 				return res.payload, nil
 			}
-			inst, err := c.NewInstance(req.Target, req.MaxComparative)
-			if err != nil {
-				return nil, notFound("%v", err)
-			}
-			resp, apiErr := s.computeSelect(fctx, &req, inst, fs, sel, solver, pc)
+			resp, apiErr := s.computeSelect(fctx, &req, inst, fs, sel, solver, pc, staleKey)
 			if apiErr != nil {
 				return nil, apiErr
 			}
@@ -577,12 +653,44 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		pc = s.problems[req.Category]
 		s.mu.RUnlock()
 	}
-	resp, apiErr := s.computeSelect(ctx, &req, inst, fs, sel, solver, pc)
+	resp, apiErr := s.computeSelect(ctx, &req, inst, fs, sel, solver, pc, "")
 	if apiErr != nil {
 		s.writeAPIError(w, apiErr)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// validateSelectRequest checks the numeric request parameters up front,
+// returning a 422 naming the offending field. The core pipeline would
+// reject most of these too, but only after occupying a flight — and
+// without telling the client which field to fix.
+func validateSelectRequest(req *SelectRequest) *apiError {
+	if req.M < 1 {
+		return fieldError("m", "m must be at least 1, got %d", req.M)
+	}
+	if req.Lambda < 0 {
+		return fieldError("lambda", "lambda must be non-negative, got %g", req.Lambda)
+	}
+	if req.Mu < 0 {
+		return fieldError("mu", "mu must be non-negative, got %g", req.Mu)
+	}
+	if req.K < 0 {
+		return fieldError("k", "k must be non-negative, got %d", req.K)
+	}
+	if req.MaxComparative < 0 {
+		return fieldError("max_comparative", "max_comparative must be non-negative, got %d", req.MaxComparative)
+	}
+	if req.Summarize < 0 {
+		return fieldError("summarize", "summarize must be non-negative, got %d", req.Summarize)
+	}
+	if req.Explain < 0 {
+		return fieldError("explain", "explain must be non-negative, got %d", req.Explain)
+	}
+	if req.TimeoutMS < 0 {
+		return fieldError("timeout_ms", "timeout_ms must be non-negative, got %d", req.TimeoutMS)
+	}
+	return nil
 }
 
 // degradeBody marks a cached select payload as degraded by splicing
@@ -601,8 +709,10 @@ func degradeBody(body []byte) []byte {
 // and the optional shortlist solve. fs supplies corpus-resident features
 // (nil for inline instances); solver is non-nil exactly when req.K > 0;
 // problems is the batch group's shared problem cache (nil outside batched
-// execution).
-func (s *Server) computeSelect(ctx context.Context, req *SelectRequest, inst *model.Instance, fs *featstore.Store, sel core.Selector, solver simgraph.Solver, problems *core.ProblemCache) (*SelectResponse, *apiError) {
+// execution); graphKey, when non-empty, memoizes the shortlist similarity
+// graph's distance matrix across requests of the same shape (see
+// memoGraph).
+func (s *Server) computeSelect(ctx context.Context, req *SelectRequest, inst *model.Instance, fs *featstore.Store, sel core.Selector, solver simgraph.Solver, problems *core.ProblemCache, graphKey string) (*SelectResponse, *apiError) {
 	cfg := core.Config{M: req.M, Lambda: req.Lambda, Mu: req.Mu, Float32: s.float32, Problems: problems}
 	if fs != nil {
 		cfg.Features = fs
@@ -640,7 +750,7 @@ func (s *Server) computeSelect(ctx context.Context, req *SelectRequest, inst *mo
 	}
 	if solver != nil {
 		tg := core.NewTargets(inst, cfg)
-		g := simgraph.Build(core.Stats(inst, tg, cfg, selection), cfg)
+		g := s.memoGraph(graphKey, req.Category, core.Stats(inst, tg, cfg, selection), cfg)
 		shortlistStop := obs.StageTimer(obs.StageShortlist)
 		res, reason := s.solveShortlist(ctx, g, req.K, solver, req.Method)
 		shortlistStop()
@@ -807,5 +917,5 @@ func (s *Server) writeAPIError(w http.ResponseWriter, e *apiError) {
 	if e.status >= 500 && e.err != nil {
 		s.logger.Printf("%s (%d): %v", e.code, e.status, e.err)
 	}
-	s.writeJSON(w, e.status, ErrorResponse{Error: ErrorBody{Code: e.code, Message: e.message()}})
+	s.writeJSON(w, e.status, ErrorResponse{Error: ErrorBody{Code: e.code, Message: e.message(), Field: e.field}})
 }

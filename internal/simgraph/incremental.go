@@ -1,0 +1,141 @@
+package simgraph
+
+import (
+	"runtime"
+
+	"comparesets/internal/core"
+)
+
+// Builder maintains the pairwise distance matrix of one instance across
+// corpus mutations, so that appending a review to one item costs O(n·z)
+// (that item's row) instead of the O(n²·z) full Build.
+//
+// The builder retains the raw distances d_ij rather than the similarity
+// weights: the similarity transform w_ij = max d − d_ij couples every edge
+// to the global maximum (§3.1), so a single changed distance can move every
+// weight, but it never changes any *other* distance. Update therefore
+// recomputes only the touched items' rows, and Graph re-derives the weights
+// from the full retained matrix — an O(n²) scalar pass with no feature
+// vectors involved.
+//
+// Byte parity with Build is structural: d_ij is one deterministic float
+// expression of the two items' stats (pairDistance, always evaluated with
+// the lower index first, matching Build's i<j traversal), untouched entries
+// are not recomputed at all, and Graph applies exactly FromDistances'
+// transform. A Builder updated incrementally and a fresh
+// Build over the same stats yield bit-identical graphs.
+type Builder struct {
+	cfg core.Config
+	n   int
+	d   []float64 // row-major n×n distance slab, symmetric, zero diagonal
+}
+
+// NewBuilder computes the full distance matrix of the instance — the same
+// work as one Build — and retains it for incremental updates.
+func NewBuilder(stats []core.ItemStats, cfg core.Config) *Builder {
+	b := &Builder{cfg: cfg}
+	b.fill(stats)
+	return b
+}
+
+// fill recomputes the whole matrix (initial build, or an Update whose
+// instance size changed).
+func (b *Builder) fill(stats []core.ItemStats) {
+	n := len(stats)
+	b.n = n
+	b.d = make([]float64, n*n)
+	d := b.rows()
+	var phi32 [][]float32
+	if b.cfg.Float32 {
+		phi32 = narrowPhis(stats)
+	}
+	if workers := runtime.GOMAXPROCS(0); n >= parallelBuildThreshold && workers > 1 {
+		buildDistancesParallel(d, stats, phi32, b.cfg, workers)
+	} else {
+		buildDistancesSequential(d, stats, phi32, b.cfg)
+	}
+}
+
+// rows returns the slab as row views (the representation the shared
+// distance kernels expect).
+func (b *Builder) rows() [][]float64 {
+	d := make([][]float64, b.n)
+	for i := range d {
+		d[i] = b.d[i*b.n : (i+1)*b.n : (i+1)*b.n]
+	}
+	return d
+}
+
+// Update recomputes the distance rows of the touched item indices against
+// the given post-mutation stats, leaving every untouched pair's distance
+// bit-for-bit as the previous fill left it. Stats must describe the same
+// instance ordering as NewBuilder; a changed instance size falls back to a
+// full fill.
+func (b *Builder) Update(stats []core.ItemStats, touched []int) {
+	if len(stats) != b.n {
+		b.fill(stats)
+		return
+	}
+	if len(touched) == 0 {
+		return
+	}
+	var phi32 [][]float32
+	if b.cfg.Float32 {
+		phi32 = narrowPhis(stats)
+	}
+	inTouched := make(map[int]bool, len(touched))
+	for _, i := range touched {
+		inTouched[i] = true
+	}
+	for _, i := range touched {
+		if i < 0 || i >= b.n {
+			continue
+		}
+		row := b.d[i*b.n : (i+1)*b.n]
+		for j := 0; j < b.n; j++ {
+			if j == i {
+				continue
+			}
+			// Each unordered pair is recomputed once: the lower-indexed
+			// touched endpoint owns it.
+			if inTouched[j] && j < i {
+				continue
+			}
+			// Evaluate with the lower index first — pairDistance sums the
+			// two items' losses in argument order, so (i,j) and (j,i) can
+			// differ in the last ulp; Build always sees i<j.
+			lo, hi := i, j
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			dist := pairDistance(stats, phi32, b.cfg, lo, hi)
+			row[j] = dist
+			b.d[j*b.n+i] = dist
+		}
+	}
+}
+
+// Graph derives the similarity graph from the retained distances, exactly
+// as FromDistances does: w_ij = max_{i'<j'} d_{i'j'} − d_ij.
+func (b *Builder) Graph() *Graph {
+	g := NewGraph(b.n)
+	if b.n < 2 {
+		return g
+	}
+	maxd := b.d[1] // d[0][1]: a valid i<j entry
+	for i := 0; i < b.n; i++ {
+		row := b.d[i*b.n : (i+1)*b.n]
+		for j := i + 1; j < b.n; j++ {
+			if row[j] > maxd {
+				maxd = row[j]
+			}
+		}
+	}
+	for i := 0; i < b.n; i++ {
+		row := b.d[i*b.n : (i+1)*b.n]
+		for j := i + 1; j < b.n; j++ {
+			g.SetWeight(i, j, maxd-row[j])
+		}
+	}
+	return g
+}

@@ -1,0 +1,122 @@
+package simgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"comparesets/internal/core"
+	"comparesets/internal/linalg"
+)
+
+// graphsByteIdentical fails unless both graphs carry bit-for-bit identical
+// weights.
+func graphsByteIdentical(t *testing.T, got, want *Graph, label string) {
+	t.Helper()
+	if got.N() != want.N() {
+		t.Fatalf("%s: n=%d want %d", label, got.N(), want.N())
+	}
+	for i := 0; i < got.N(); i++ {
+		for j := 0; j < got.N(); j++ {
+			if math.Float64bits(got.Weight(i, j)) != math.Float64bits(want.Weight(i, j)) {
+				t.Fatalf("%s: weight (%d,%d) differs: got %x want %x",
+					label, i, j, math.Float64bits(got.Weight(i, j)), math.Float64bits(want.Weight(i, j)))
+			}
+		}
+	}
+}
+
+// perturb returns a copy of stats with the touched items' entries replaced
+// by fresh random values — the shape of a post-mutation stats recompute.
+func perturb(stats []core.ItemStats, touched []int, seed int64) []core.ItemStats {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]core.ItemStats, len(stats))
+	copy(out, stats)
+	for _, i := range touched {
+		z := len(stats[i].Phi)
+		phi := linalg.NewVector(z)
+		for k := range phi {
+			phi[k] = rng.Float64()
+		}
+		out[i] = core.ItemStats{
+			OpinionLoss: rng.Float64() * 3,
+			AspectLoss:  rng.Float64() * 2,
+			Phi:         phi,
+			Pi:          stats[i].Pi,
+		}
+	}
+	return out
+}
+
+// TestBuilderMatchesBuild proves a fresh Builder reproduces Build exactly.
+func TestBuilderMatchesBuild(t *testing.T) {
+	for _, float32Mode := range []bool{false, true} {
+		cfg := core.Config{M: 3, Lambda: 0.7, Mu: 0.3, Float32: float32Mode}
+		for _, n := range []int{2, 17, parallelBuildThreshold + 9} {
+			stats := randomStats(n, 12, int64(n))
+			graphsByteIdentical(t, NewBuilder(stats, cfg).Graph(), Build(stats, cfg), "fresh builder")
+		}
+	}
+}
+
+// TestBuilderUpdateByteIdentical proves that recomputing only the touched
+// rows yields bit-for-bit the graph of a full rebuild over the new stats —
+// including when the touched item moves the global max distance up or down.
+func TestBuilderUpdateByteIdentical(t *testing.T) {
+	for _, float32Mode := range []bool{false, true} {
+		cfg := core.Config{M: 3, Lambda: 0.7, Mu: 0.3, Float32: float32Mode}
+		for _, n := range []int{3, 40, parallelBuildThreshold + 9} {
+			stats := randomStats(n, 12, int64(n))
+			b := NewBuilder(stats, cfg)
+			for round, raw := range [][]int{{0}, {n / 2}, {1, n - 1}, {2, 3, 4}} {
+				var touched []int
+				for _, i := range raw {
+					if i < n {
+						touched = append(touched, i)
+					}
+				}
+				stats = perturb(stats, touched, int64(round*1000+n))
+				b.Update(stats, touched)
+				graphsByteIdentical(t, b.Graph(), Build(stats, cfg), "after update")
+			}
+		}
+	}
+}
+
+// TestBuilderUpdateEdgeCases covers no-op updates, out-of-range indices,
+// and the size-change fallback.
+func TestBuilderUpdateEdgeCases(t *testing.T) {
+	cfg := core.Config{M: 3, Lambda: 1, Mu: 0.2}
+	stats := randomStats(10, 8, 1)
+	b := NewBuilder(stats, cfg)
+	b.Update(stats, nil)
+	graphsByteIdentical(t, b.Graph(), Build(stats, cfg), "nil touched")
+	b.Update(stats, []int{-1, 99})
+	graphsByteIdentical(t, b.Graph(), Build(stats, cfg), "out of range touched")
+	grown := randomStats(14, 8, 2)
+	b.Update(grown, []int{0})
+	graphsByteIdentical(t, b.Graph(), Build(grown, cfg), "size change")
+}
+
+// The incremental win: one touched row at n=256 versus the full rebuild.
+func BenchmarkBuilderUpdate256(b *testing.B) {
+	cfg := core.Config{M: 3, Lambda: 1, Mu: 0.2}
+	stats := randomStats(256, 16, 7)
+	bl := NewBuilder(stats, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl.Update(stats, []int{i % 256})
+		bl.Graph()
+	}
+}
+
+func BenchmarkBuildFull256(b *testing.B) {
+	cfg := core.Config{M: 3, Lambda: 1, Mu: 0.2}
+	stats := randomStats(256, 16, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(stats, cfg)
+	}
+}

@@ -1,0 +1,195 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"comparesets/internal/model"
+)
+
+func rev(item, id string, rating int) *model.Review {
+	return &model.Review{ID: id, ItemID: item, Rating: rating,
+		Mentions: []model.Mention{{Aspect: rating % 3, Polarity: model.Positive}}}
+}
+
+func openTemp(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "mut.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+func itemIDs(t *testing.T, s *Store, item string) []string {
+	t.Helper()
+	revs, err := s.ItemReviews(item)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(revs))
+	for i, r := range revs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func TestUpdateRemoveLiveView(t *testing.T) {
+	s, path := openTemp(t)
+	for _, r := range []*model.Review{rev("p1", "a", 1), rev("p1", "b", 2), rev("p1", "c", 3), rev("p2", "d", 4)} {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AppendUpdate(rev("p1", "b", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRemove("p1", "a"); err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string, s *Store) {
+		t.Helper()
+		if got := itemIDs(t, s, "p1"); len(got) != 2 || got[0] != "b" || got[1] != "c" {
+			t.Fatalf("%s: p1 live view = %v", stage, got)
+		}
+		revs, err := s.ItemReviews("p1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if revs[0].Rating != 5 {
+			t.Fatalf("%s: update not visible, rating=%d", stage, revs[0].Rating)
+		}
+		if got := s.Count(); got != 3 {
+			t.Fatalf("%s: count=%d, want 3 live reviews", stage, got)
+		}
+	}
+	check("before reopen", s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Replay must reconstruct the same live view from the log.
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec := s2.Recovery(); rec.DroppedBytes != 0 {
+		t.Fatalf("clean log reported recovery: %+v", rec)
+	}
+	check("after reopen", s2)
+}
+
+func TestMutationErrors(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	if err := s.Append(rev("p1", "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendUpdate(rev("p1", "zzz", 1)); err == nil {
+		t.Fatal("update of unknown review must fail")
+	}
+	if err := s.AppendRemove("p1", "zzz"); err == nil {
+		t.Fatal("remove of unknown review must fail")
+	}
+	if err := s.AppendRemove("nope", "a"); err == nil {
+		t.Fatal("remove on unknown item must fail")
+	}
+	// Failed mutations leave no record behind.
+	if got := s.Count(); got != 1 {
+		t.Fatalf("count=%d after failed mutations", got)
+	}
+}
+
+func TestRemoveLastReviewDropsItem(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	if err := s.Append(rev("p1", "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendRemove("p1", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Items(); len(got) != 0 {
+		t.Fatalf("items after full removal: %v", got)
+	}
+	if revs, err := s.ItemReviews("p1"); err != nil || revs != nil {
+		t.Fatalf("ItemReviews after removal: %v, %v", revs, err)
+	}
+}
+
+func TestAppendMutationBridge(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	c := model.NewCorpus("Test", model.NewVocabulary([]string{"a0", "a1", "a2"}))
+	c.AddItem(&model.Item{ID: "p1", Reviews: []*model.Review{rev("p1", "a", 1), rev("p1", "b", 2)}})
+	if err := s.AppendCorpus(c); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.AppendReviews("p1", rev("p1", "c", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendMutation(m); err != nil {
+		t.Fatal(err)
+	}
+	if m, err = c.UpdateReview("p1", rev("p1", "a", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendMutation(m); err != nil {
+		t.Fatal(err)
+	}
+	if m, err = c.RemoveReview("p1", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendMutation(m); err != nil {
+		t.Fatal(err)
+	}
+	got := itemIDs(t, s, "p1")
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("bridge live view = %v", got)
+	}
+	revs, _ := s.ItemReviews("p1")
+	if revs[0].Rating != 5 {
+		t.Fatalf("bridge update lost: %+v", revs[0])
+	}
+}
+
+// TestTornMutationTailRecovers crash-truncates a log mid-update and checks
+// the open recovers the pre-update state.
+func TestTornMutationTailRecovers(t *testing.T) {
+	s, path := openTemp(t)
+	if err := s.Append(rev("p1", "a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendUpdate(rev("p1", "a", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the update record: drop its last 3 bytes.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec := s2.Recovery(); rec.DroppedRecords != 1 {
+		t.Fatalf("recovery = %+v, want 1 dropped record", rec)
+	}
+	revs, err := s2.ItemReviews("p1")
+	if err != nil || len(revs) != 1 {
+		t.Fatalf("ItemReviews = %v, %v", revs, err)
+	}
+	if revs[0].Rating != 1 {
+		t.Fatalf("torn update must roll back to rating 1, got %d", revs[0].Rating)
+	}
+}

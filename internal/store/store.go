@@ -125,11 +125,12 @@ type Store struct {
 	size    int64 // valid bytes (end of last good record)
 	version int   // file format version (FormatLegacy or FormatV1)
 
-	// indexes
-	byItem   map[string][]int64 // item ID -> record offsets
-	byAspect map[int][]string   // aspect -> item IDs (deduplicated)
-	count    int
-	closed   bool
+	// indexes over the live (post-mutation) view of the log
+	byItem    map[string][]int64  // item ID -> live record offsets
+	idsByItem map[string][]string // item ID -> live review IDs (parallel to byItem)
+	byAspect  map[int][]string    // aspect -> item IDs (deduplicated, append-monotone)
+	count     int
+	closed    bool
 
 	recovery RecoveryStats
 	retries  atomic.Uint64 // transient-read retry count (ItemReviews)
@@ -153,10 +154,11 @@ func OpenWithOptions(path string, opts OpenOptions) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		f:        f,
-		path:     path,
-		byItem:   map[string][]int64{},
-		byAspect: map[int][]string{},
+		f:         f,
+		path:      path,
+		byItem:    map[string][]int64{},
+		idsByItem: map[string][]string{},
+		byAspect:  map[int][]string{},
 	}
 	if err := s.scan(opts); err != nil {
 		f.Close()
@@ -234,12 +236,19 @@ func (s *Store) scan(opts OpenOptions) error {
 			reason = "checksum mismatch"
 			break
 		}
-		var rec model.Review
-		if err := json.Unmarshal(payload, &rec); err != nil {
+		op, rec, itemID, reviewID, err := decodeRecord(payload)
+		if err != nil {
 			reason = fmt.Sprintf("undecodable payload: %v", err)
 			break
 		}
-		s.index(&rec, offset, aspectSeen)
+		switch op {
+		case opUpdate:
+			s.applyUpdate(rec, offset, aspectSeen)
+		case opRemove:
+			s.applyRemove(itemID, reviewID)
+		default:
+			s.applyAppend(rec, offset, aspectSeen)
+		}
 		offset += headerSize + int64(length)
 	}
 	s.size = offset
@@ -302,22 +311,6 @@ func (s *Store) writeFileHeader() error {
 	return nil
 }
 
-func (s *Store) index(rec *model.Review, offset int64, aspectSeen map[int]map[string]bool) {
-	s.byItem[rec.ItemID] = append(s.byItem[rec.ItemID], offset)
-	s.count++
-	for _, a := range rec.AspectSet() {
-		seen := aspectSeen[a]
-		if seen == nil {
-			seen = map[string]bool{}
-			aspectSeen[a] = seen
-		}
-		if !seen[rec.ItemID] {
-			seen[rec.ItemID] = true
-			s.byAspect[a] = append(s.byAspect[a], rec.ItemID)
-		}
-	}
-}
-
 // Recovery reports what the opening scan dropped (zero values for a clean
 // log).
 func (s *Store) Recovery() RecoveryStats {
@@ -365,25 +358,11 @@ func (s *Store) Append(rec *model.Review) error {
 	if len(payload) > MaxRecordSize {
 		return fmt.Errorf("store: review %q exceeds max record size", rec.ID)
 	}
-	var header [headerSize]byte
-	binary.BigEndian.PutUint32(header[:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(header[4:8], crc32.Checksum(payload, crcTable))
-	if _, err := s.f.WriteAt(header[:], s.size); err != nil {
+	offset, err := s.writeRecord(payload)
+	if err != nil {
 		return err
 	}
-	if _, err := s.f.WriteAt(payload, s.size+headerSize); err != nil {
-		return err
-	}
-	offset := s.size
-	s.size += headerSize + int64(len(payload))
-	// Update indexes (aspect dedup against the existing posting list).
-	s.byItem[rec.ItemID] = append(s.byItem[rec.ItemID], offset)
-	s.count++
-	for _, a := range rec.AspectSet() {
-		if !slices.Contains(s.byAspect[a], rec.ItemID) {
-			s.byAspect[a] = append(s.byAspect[a], rec.ItemID)
-		}
-	}
+	s.applyAppend(rec, offset, nil)
 	return nil
 }
 
@@ -501,11 +480,13 @@ func (s *Store) readRecords(offsets []int64) ([]*model.Review, error) {
 		if crc32.Checksum(payload, crcTable) != sum {
 			return nil, fmt.Errorf("%w: checksum mismatch at %d", ErrCorruptRecord, v.off)
 		}
-		var rec model.Review
-		if err := json.Unmarshal(payload, &rec); err != nil {
+		// A live offset points at an append (raw review) or update
+		// (envelope) record; either way the payload carries the review.
+		_, rec, _, _, err := decodeRecord(payload)
+		if err != nil || rec == nil {
 			return nil, fmt.Errorf("%w: decode at %d: %v", ErrCorruptRecord, v.off, err)
 		}
-		out[v.pos] = &rec
+		out[v.pos] = rec
 		cursor = v.off + headerSize + int64(length)
 	}
 	return out, nil
@@ -533,7 +514,7 @@ func (s *Store) Items() []string {
 	return out
 }
 
-// Count returns the number of stored reviews.
+// Count returns the number of live reviews (appends minus removes).
 func (s *Store) Count() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
