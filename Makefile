@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race cover bench bench-json bce-check chaos fuzz experiments examples clean
+.PHONY: all build vet test race cover bench bench-json bce-check chaos fuzz loadgen experiments examples clean
 
 all: build vet test
 
@@ -35,11 +35,23 @@ chaos:
 		./internal/featstore/... ./internal/servecache/... ./internal/service/... \
 	|| { echo "chaos FAILED — reproduce with: FAULTINJECT_SEED=$$seed make chaos"; exit 1; }
 
-# Fuzz the store's crash-recovery scan and the mutation-log append path
-# (bounded; raise -fuzztime locally).
+# Fuzz the store's crash-recovery scan, the mutation-log append path, and
+# the hand-rolled JSON encoders' byte parity with encoding/json (bounded;
+# raise -fuzztime locally).
 fuzz:
 	go test -run '^$$' -fuzz FuzzStoreScan -fuzztime 30s ./internal/store/
 	go test -run '^$$' -fuzz FuzzCSLGAppend -fuzztime 30s ./internal/store/
+	go test -run '^$$' -fuzz FuzzEncodeParity -fuzztime 30s ./internal/service/
+	go test -run '^$$' -fuzz FuzzReviewMarshalAppend -fuzztime 30s ./internal/model/
+
+# Open-loop load harness: zipfian target popularity, tunable read/write mix,
+# in-process server over the synthetic corpora. Records client-side
+# p50/p90/p99 plus the /metrics counter deltas (cache hit rate, shed, page
+# cache, encoder bytes) into BENCH_load.json; commit the diff alongside
+# serving-edge changes. `-baseline BENCH_load.json` turns it into the perf
+# gate CI runs.
+loadgen:
+	go run ./cmd/loadgen -rates 50,100,200 -duration 3s -write-ratio 0.05 -out BENCH_load.json
 
 # Record the hot-path benchmarks into versioned JSON; commit the diff
 # alongside performance changes. BENCH_core.json covers the selection
@@ -51,7 +63,10 @@ fuzz:
 # 8-concurrent-distinct workload, batched vs unbatched); BENCH_mutate.json
 # compares the incremental write path against the old whole-epoch flush
 # (append-1-review vs AddCorpus+precompute at n∈{64,256}).
-bench-json:
+# BENCH_load.json (via the loadgen target) adds the end-to-end serving-edge
+# curves: client-observed p50/p99 and accelerator counters under zipfian
+# open-loop load at three arrival rates.
+bench-json: loadgen
 	go run ./cmd/bench -out BENCH_core.json
 	go run ./cmd/bench -out BENCH_service.json ./internal/service/
 	go run ./cmd/bench -out BENCH_simgraph.json -benchtime 10x ./internal/simgraph/

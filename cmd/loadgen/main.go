@@ -1,0 +1,467 @@
+// Command loadgen drives open-loop load at the select endpoint and records
+// the latency and accelerator curves as JSON, so serving-edge changes leave
+// a reviewable trajectory in the repo the same way BENCH_core.json does for
+// the kernels.
+//
+// Item popularity is zipfian — a handful of hot targets absorb most of the
+// traffic, which is what the select result cache is sized for — and arrival
+// is open-loop: requests launch on a fixed schedule derived from the target
+// rate whether or not earlier requests have returned, so a slow server
+// accumulates in-flight work and the tail shows it (closed-loop generators
+// hide exactly that). A tunable fraction of requests are corpus writes
+// (review appends), which invalidate the touched item's cached selections
+// and keep the read path honest under churn.
+//
+// With no -addr, loadgen serves itself: it synthesizes the three default
+// corpora and runs the full service handler in-process over loopback HTTP,
+// which is how the CI smoke stays hermetic. Against -addr it is a plain
+// HTTP client.
+//
+// After each rate stage it scrapes /metrics and differences the counters,
+// recording cache hit rate, shed count, store page cache traffic, and
+// encoder bytes next to the client-side p50/p90/p99. -baseline compares the
+// run against a committed BENCH_load.json and fails (exit 1) when any
+// rate's p99 regresses more than -max-regress over the baseline — the CI
+// perf gate.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"comparesets/internal/datagen"
+	"comparesets/internal/model"
+	"comparesets/internal/service"
+)
+
+// target is one (category, item) the generator can reference.
+type target struct {
+	category string
+	item     string
+}
+
+// RateRun is the recorded outcome of one rate stage.
+type RateRun struct {
+	Rate       float64 `json:"rate_rps"`
+	Sent       int     `json:"sent"`
+	OK         int     `json:"ok"`
+	Shed       int     `json:"shed"`
+	Errors     int     `json:"errors"`
+	Writes     int     `json:"writes"`
+	ShedRate   float64 `json:"shed_rate"`
+	P50MS      float64 `json:"p50_ms"`
+	P90MS      float64 `json:"p90_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+	CacheHits  uint64  `json:"cache_hits"`
+	CacheMiss  uint64  `json:"cache_misses"`
+	CacheRate  float64 `json:"cache_hit_rate"`
+	PageHits   uint64  `json:"store_page_hits"`
+	PageMiss   uint64  `json:"store_page_misses"`
+	EncodeByte uint64  `json:"encode_bytes"`
+}
+
+// Report is the BENCH_load.json document.
+type Report struct {
+	GoVersion  string    `json:"go_version"`
+	NumCPU     int       `json:"num_cpu"`
+	Generated  string    `json:"generated"`
+	SelfServe  bool      `json:"self_serve"`
+	Duration   string    `json:"duration_per_rate"`
+	WriteRatio float64   `json:"write_ratio"`
+	ZipfS      float64   `json:"zipf_s"`
+	Targets    int       `json:"targets"`
+	Runs       []RateRun `json:"runs"`
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "server base URL (empty = serve the synthetic corpora in-process)")
+		rates      = flag.String("rates", "50,100,200", "comma-separated open-loop arrival rates in req/s")
+		duration   = flag.Duration("duration", 3*time.Second, "wall-clock length of each rate stage")
+		writeRatio = flag.Float64("write-ratio", 0, "fraction of requests that append a review instead of selecting")
+		zipfS      = flag.Float64("zipf-s", 1.2, "zipf exponent of target popularity (>1)")
+		seed       = flag.Int64("seed", 1, "rng seed (target draws, write payloads, self-serve corpora)")
+		m          = flag.Int("m", 3, "reviews selected per item")
+		maxInfl    = flag.Int("max-inflight", 0, "self-serve admission bound (0 = unlimited; >0 exercises shedding)")
+		out        = flag.String("out", "BENCH_load.json", "output JSON path")
+		baseline   = flag.String("baseline", "", "committed BENCH_load.json to gate against (empty = no gate)")
+		maxRegress = flag.Float64("max-regress", 0.25, "max allowed fractional p99 regression vs -baseline")
+		floorMS    = flag.Float64("regress-floor-ms", 2, "ignore regressions while both p99s are under this many ms")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "loadgen: ", log.LstdFlags)
+
+	base := *addr
+	if base == "" {
+		ts, err := selfServe(*seed, *maxInfl, logger)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer ts.Close()
+		base = ts.URL
+	}
+	base = strings.TrimRight(base, "/")
+
+	targets, err := discoverTargets(base)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if len(targets) == 0 {
+		logger.Fatal("no qualifying targets on the server")
+	}
+	logger.Printf("%d targets across the loaded corpora", len(targets))
+
+	report := Report{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		SelfServe:  *addr == "",
+		Duration:   duration.String(),
+		WriteRatio: *writeRatio,
+		ZipfS:      *zipfS,
+		Targets:    len(targets),
+	}
+	for _, f := range strings.Split(*rates, ",") {
+		rate, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || rate <= 0 {
+			logger.Fatalf("bad rate %q", f)
+		}
+		run, err := runStage(base, targets, rate, *duration, *writeRatio, *zipfS, *seed, *m)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("rate %.0f req/s: sent %d ok %d shed %d p50 %.2fms p99 %.2fms cache %.0f%%",
+			rate, run.Sent, run.OK, run.Shed, run.P50MS, run.P99MS, 100*run.CacheRate)
+		report.Runs = append(report.Runs, run)
+	}
+
+	if err := writeReportFile(*out, report); err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("wrote %s", *out)
+
+	if *baseline != "" {
+		if err := gate(*baseline, report, *maxRegress, *floorMS); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("p99 within %.0f%% of %s at every rate", 100**maxRegress, *baseline)
+	}
+}
+
+// writeReportFile marshals the report with a trailing newline.
+func writeReportFile(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// selfServe synthesizes the default corpora and serves the full service
+// handler over loopback.
+func selfServe(seed int64, maxInflight int, logger *log.Logger) (*httptest.Server, error) {
+	corpora := map[string]*model.Corpus{}
+	for _, cfg := range datagen.DefaultConfigs(seed) {
+		c, err := datagen.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		corpora[c.Category] = c
+	}
+	srv := service.NewWithOptions(corpora, logger, service.Options{MaxInflight: maxInflight})
+	return httptest.NewServer(srv.Handler()), nil
+}
+
+// discoverTargets lists every qualifying target of every loaded category.
+func discoverTargets(base string) ([]target, error) {
+	var cats []struct {
+		Name string `json:"name"`
+	}
+	if err := getJSON(base+"/api/v1/categories", &cats); err != nil {
+		return nil, fmt.Errorf("listing categories: %w", err)
+	}
+	var out []target
+	for _, c := range cats {
+		var ids []string
+		if err := getJSON(base+"/api/v1/targets?category="+c.Name, &ids); err != nil {
+			return nil, fmt.Errorf("listing %s targets: %w", c.Name, err)
+		}
+		for _, id := range ids {
+			out = append(out, target{category: c.Name, item: id})
+		}
+	}
+	return out, nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// stageStats aggregates request outcomes across the stage's goroutines.
+type stageStats struct {
+	mu        sync.Mutex
+	latencies []float64 // ms, successful requests only
+	ok        int
+	shed      int
+	errors    int
+	writes    int
+}
+
+// runStage fires duration's worth of requests at the given open-loop rate
+// and differences /metrics around the stage.
+func runStage(base string, targets []target, rate float64, duration time.Duration, writeRatio, zipfS float64, seed int64, m int) (RateRun, error) {
+	before, err := scrapeMetrics(base)
+	if err != nil {
+		return RateRun{}, err
+	}
+	rng := rand.New(rand.NewSource(seed + int64(rate)))
+	zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(targets)-1))
+
+	var (
+		st    stageStats
+		wg    sync.WaitGroup
+		start = time.Now()
+		n     = int(rate * duration.Seconds())
+		gap   = time.Duration(float64(time.Second) / rate)
+	)
+	client := &http.Client{Timeout: 30 * time.Second}
+	for i := 0; i < n; i++ {
+		// The draws happen on the schedule goroutine so the rng is used
+		// single-threaded; the launch time is fixed by the schedule alone.
+		tg := targets[zipf.Uint64()]
+		isWrite := rng.Float64() < writeRatio
+		// The rate is part of the ID so stages never collide on a review.
+		writeID := fmt.Sprintf("loadgen-%d-%.0f-%d", seed, rate, i)
+		time.Sleep(time.Until(start.Add(time.Duration(i) * gap)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			var status int
+			var err error
+			if isWrite {
+				status, err = fireAppend(client, base, tg, writeID)
+			} else {
+				status, err = fireSelect(client, base, tg, m)
+			}
+			elapsed := float64(time.Since(t0).Microseconds()) / 1000
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			if isWrite {
+				st.writes++
+			}
+			switch {
+			case err != nil:
+				st.errors++
+			case status == http.StatusServiceUnavailable:
+				st.shed++
+			case status == http.StatusOK:
+				st.ok++
+				st.latencies = append(st.latencies, elapsed)
+			default:
+				st.errors++
+			}
+		}()
+	}
+	wg.Wait()
+	after, err := scrapeMetrics(base)
+	if err != nil {
+		return RateRun{}, err
+	}
+
+	run := RateRun{
+		Rate: rate, Sent: n, OK: st.ok, Shed: st.shed, Errors: st.errors, Writes: st.writes,
+		P50MS: percentile(st.latencies, 0.50),
+		P90MS: percentile(st.latencies, 0.90),
+		P99MS: percentile(st.latencies, 0.99),
+		MaxMS: percentile(st.latencies, 1),
+	}
+	if n > 0 {
+		run.ShedRate = float64(st.shed) / float64(n)
+	}
+	hits := after.delta(before, `comparesets_cache_hits_total{cache="servecache"}`)
+	misses := after.delta(before, `comparesets_cache_misses_total{cache="servecache"}`)
+	run.CacheHits, run.CacheMiss = hits, misses
+	if hits+misses > 0 {
+		run.CacheRate = float64(hits) / float64(hits+misses)
+	}
+	run.PageHits = after.delta(before, "comparesets_store_page_hits_total")
+	run.PageMiss = after.delta(before, "comparesets_store_page_misses_total")
+	run.EncodeByte = after.delta(before, "comparesets_encode_bytes_total")
+	return run, nil
+}
+
+func fireSelect(client *http.Client, base string, tg target, m int) (int, error) {
+	body, err := json.Marshal(map[string]any{
+		"category": tg.category, "target": tg.item,
+		"m": m, "lambda": 1, "mu": 1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(base+"/api/v1/select", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func fireAppend(client *http.Client, base string, tg target, reviewID string) (int, error) {
+	body, err := json.Marshal(map[string]any{
+		"reviews": []map[string]any{{
+			"id": reviewID, "item_id": tg.item, "reviewer": "loadgen", "rating": 4,
+			"text": "Generated load-test review praising the battery.",
+			"mentions": []map[string]any{
+				{"aspect": 0, "polarity": 0, "score": 0.8},
+			},
+		}},
+	})
+	if err != nil {
+		return 0, err
+	}
+	url := fmt.Sprintf("%s/api/v1/corpora/%s/items/%s/reviews", base, tg.category, tg.item)
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// percentile is the nearest-rank percentile of the (unsorted) samples in ms.
+func percentile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := int(q*float64(len(s))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// counters is one /metrics scrape: series name (with labels) → value.
+type counters map[string]float64
+
+// delta returns the counter's increase over an earlier scrape. Series whose
+// name has no label set match exactly; a bare name additionally sums every
+// labeled series of that family.
+func (c counters) delta(before counters, series string) uint64 {
+	sum := func(m counters) float64 {
+		if v, ok := m[series]; ok {
+			return v
+		}
+		var total float64
+		for k, v := range m {
+			if strings.HasPrefix(k, series+"{") {
+				total += v
+			}
+		}
+		return total
+	}
+	d := sum(c) - sum(before)
+	if d < 0 {
+		return 0
+	}
+	return uint64(d)
+}
+
+// scrapeMetrics parses the Prometheus text exposition at base/metrics.
+func scrapeMetrics(base string) (counters, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	return parseMetrics(resp.Body)
+}
+
+func parseMetrics(r io.Reader) (counters, error) {
+	out := counters{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue // histograms' +Inf bucket labels etc. still parse; skip oddities
+		}
+		out[line[:sp]] = v
+	}
+	return out, sc.Err()
+}
+
+// gate fails when any rate present in both reports regressed its p99 by
+// more than maxRegress, unless both p99s sit under floorMS (sub-floor
+// latencies are noise-dominated on CI runners).
+func gate(baselinePath string, current Report, maxRegress, floorMS float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline: %w", err)
+	}
+	byRate := map[float64]RateRun{}
+	for _, r := range base.Runs {
+		byRate[r.Rate] = r
+	}
+	for _, cur := range current.Runs {
+		b, ok := byRate[cur.Rate]
+		if !ok || b.P99MS <= 0 {
+			continue
+		}
+		if cur.P99MS <= floorMS && b.P99MS <= floorMS {
+			continue
+		}
+		if cur.P99MS > b.P99MS*(1+maxRegress) {
+			return fmt.Errorf("p99 regression at %.0f req/s: %.2fms vs baseline %.2fms (>%.0f%%)",
+				cur.Rate, cur.P99MS, b.P99MS, 100*maxRegress)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"log"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	samples := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.5, 3}, {0.99, 5}, {1, 5}, {0.01, 1},
+	}
+	for _, c := range cases {
+		if got := percentile(samples, c.q); got != c.want {
+			t.Errorf("percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}
+
+func TestParseMetricsAndDelta(t *testing.T) {
+	before, err := parseMetrics(strings.NewReader(`
+# HELP comparesets_cache_hits_total Cache lookups answered from the cache.
+# TYPE comparesets_cache_hits_total counter
+comparesets_cache_hits_total{cache="servecache"} 10
+comparesets_cache_hits_total{cache="stalecache"} 3
+comparesets_encode_bytes_total 100
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := parseMetrics(strings.NewReader(`
+comparesets_cache_hits_total{cache="servecache"} 25
+comparesets_cache_hits_total{cache="stalecache"} 4
+comparesets_encode_bytes_total 900
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := after.delta(before, `comparesets_cache_hits_total{cache="servecache"}`); d != 15 {
+		t.Errorf("labeled delta = %d, want 15", d)
+	}
+	// A bare family name sums across label sets.
+	if d := after.delta(before, "comparesets_cache_hits_total"); d != 16 {
+		t.Errorf("family delta = %d, want 16", d)
+	}
+	if d := after.delta(before, "comparesets_encode_bytes_total"); d != 800 {
+		t.Errorf("bare delta = %d, want 800", d)
+	}
+	if d := after.delta(before, "comparesets_absent_total"); d != 0 {
+		t.Errorf("absent series delta = %d, want 0", d)
+	}
+}
+
+func TestGate(t *testing.T) {
+	dir := t.TempDir()
+	writeBaseline := func(p99 float64) string {
+		path := dir + "/baseline.json"
+		report := Report{Runs: []RateRun{{Rate: 100, P99MS: p99}}}
+		if err := writeReportFile(path, report); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cur := Report{Runs: []RateRun{{Rate: 100, P99MS: 10}}}
+	if err := gate(writeBaseline(9), cur, 0.25, 2); err != nil {
+		t.Errorf("10ms vs 9ms is within 25%%: %v", err)
+	}
+	if err := gate(writeBaseline(5), cur, 0.25, 2); err == nil {
+		t.Error("10ms vs 5ms should fail the 25% gate")
+	}
+	// Both under the floor: skipped even at a huge relative regression.
+	tiny := Report{Runs: []RateRun{{Rate: 100, P99MS: 1.5}}}
+	if err := gate(writeBaseline(0.1), tiny, 0.25, 2); err != nil {
+		t.Errorf("sub-floor latencies should not gate: %v", err)
+	}
+	// Rates absent from the baseline are ignored.
+	other := Report{Runs: []RateRun{{Rate: 400, P99MS: 50}}}
+	if err := gate(writeBaseline(5), other, 0.25, 2); err != nil {
+		t.Errorf("unmatched rate should not gate: %v", err)
+	}
+}
+
+// TestLoadgenSmoke runs the generator end to end against an in-process
+// server: discovery, a short mixed read/write stage, and the metrics diff.
+func TestLoadgenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a full in-process server")
+	}
+	logger := log.New(testWriter{t}, "loadgen: ", 0)
+	ts, err := selfServe(1, 0, logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	targets, err := discoverTargets(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) == 0 {
+		t.Fatal("no targets discovered")
+	}
+	run, err := runStage(ts.URL, targets, 40, 500*time.Millisecond, 0.2, 1.2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Sent == 0 || run.OK == 0 {
+		t.Fatalf("stage did no work: %+v", run)
+	}
+	if run.Errors > 0 {
+		t.Fatalf("stage saw %d errors: %+v", run.Errors, run)
+	}
+	if run.P99MS <= 0 || run.P50MS > run.P99MS {
+		t.Fatalf("implausible percentiles: %+v", run)
+	}
+	if run.EncodeByte == 0 {
+		t.Fatalf("hand encoder produced no bytes: %+v", run)
+	}
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Log(strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}

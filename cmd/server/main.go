@@ -72,6 +72,7 @@ func main() {
 		batchWindow   = flag.Duration("batch-window", 0, "batch cold select requests of the same shape for up to this window (0 = no batching)")
 		batchMax      = flag.Int("batch-max", 0, "seal a batch group early at this many requests (0 = window only)")
 		float32Mode   = flag.Bool("float32", false, "serve selections from compact float32 feature slabs (float64 accumulation)")
+		pageCache     = flag.Int64("store-page-cache-bytes", 0, "byte budget of the -store read page cache (0 = default, negative = disabled)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "server: ", log.LstdFlags)
@@ -92,7 +93,7 @@ func main() {
 	}
 	var st *store.Store
 	if *storePath != "" {
-		st, err = store.OpenWithOptions(*storePath, store.OpenOptions{Logger: logger})
+		st, err = store.OpenWithOptions(*storePath, store.OpenOptions{Logger: logger, PageCacheBytes: *pageCache})
 		if err != nil {
 			logger.Fatal(err)
 		}

@@ -266,7 +266,8 @@ func ShortlistContext(ctx context.Context, inst *Instance, sel *Selection, cfg C
 	if err != nil {
 		return ShortlistResult{}, err
 	}
-	defer obs.StageTimer(obs.StageShortlist)()
+	shortlistSpan := obs.StartStage(obs.StageShortlist)
+	defer shortlistSpan.Stop()
 	g := SimilarityGraph(inst, sel, cfg)
 	return solver.SolveContext(ctx, g, k), nil
 }

@@ -181,7 +181,8 @@ func (b *Batcher[Q, R]) sealLocked(key string, g *group[Q, R]) {
 // run waits for the group to seal, executes it, and publishes the results.
 func (b *Batcher[Q, R]) run(gctx context.Context, g *group[Q, R]) {
 	<-g.sealCh
-	defer obs.StageTimer(obs.StageBatchGroup)()
+	groupSpan := obs.StartStage(obs.StageBatchGroup)
+	defer groupSpan.Stop()
 	if b.m != nil {
 		b.m.Size.Observe(float64(len(g.reqs)))
 		b.m.Executions.Inc()

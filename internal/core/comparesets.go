@@ -9,7 +9,6 @@ import (
 	"comparesets/internal/linalg"
 	"comparesets/internal/model"
 	"comparesets/internal/obs"
-	"comparesets/internal/regress"
 )
 
 // CompaReSetS solves Problem 1 by Integer-Regression, independently per item
@@ -130,7 +129,7 @@ func selectForItem(ctx context.Context, fc *featureCache, item int) ([]int, erro
 	eval := func(selected []int) float64 {
 		return fc.itemObjective(item, selected)
 	}
-	sel, _, err := p.SolveContext(ctx, fc.items[item].baseTarget, fc.cfg.M, regress.RoundCandidates, eval)
+	sel, _, err := p.SolveContext(ctx, fc.items[item].baseTarget, fc.cfg.M, nil, eval)
 	return sel, err
 }
 
@@ -182,7 +181,7 @@ func (CompaReSetSPlus) SelectContext(ctx context.Context, inst *model.Instance, 
 		passes = 1
 	}
 	for pass := 0; pass < passes; pass++ {
-		sweepStop := obs.StageTimer(obs.StageSweep)
+		sweepSpan := obs.StartStage(obs.StageSweep)
 		for i := range inst.Items {
 			idx, err := resyncItem(ctx, fc, i, indices, phis)
 			if err != nil {
@@ -191,7 +190,7 @@ func (CompaReSetSPlus) SelectContext(ctx context.Context, inst *model.Instance, 
 			indices[i] = idx
 			phis[i] = fc.phi(i, indices[i])
 		}
-		sweepStop()
+		sweepSpan.Stop()
 	}
 	sel := &Selection{Indices: indices}
 	sel.Objective = ObjectivePlus(inst, tg, cfg, sel.Reviews(inst))
@@ -238,7 +237,7 @@ func resyncItem(ctx context.Context, fc *featureCache, item int, indices [][]int
 
 	p := fc.plusProblem(item)
 	y := fc.plusTarget(item, othersSum)
-	sel, obj, err := p.SolveContext(ctx, y, fc.cfg.M, regress.RoundCandidates, eval)
+	sel, obj, err := p.SolveContext(ctx, y, fc.cfg.M, nil, eval)
 	if err != nil {
 		return nil, err
 	}

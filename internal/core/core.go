@@ -215,11 +215,16 @@ func ItemObjective(inst *model.Instance, tg *Targets, cfg Config, item int, set 
 		cfg.Lambda*cfg.Lambda*linalg.SquaredDistance(tg.Gamma, phi)
 }
 
-// ObjectiveCompareSets evaluates Eq. 1 on a full selection.
+// ObjectiveCompareSets evaluates Eq. 1 on a full selection. The shared
+// statsForSets pass yields exactly ItemObjective's per-item terms, summed in
+// the same item order, so the value is bit-identical to the per-item loop it
+// replaced — without its per-item vector allocations.
 func ObjectiveCompareSets(inst *model.Instance, tg *Targets, cfg Config, sets [][]*model.Review) float64 {
+	stats := statsForSets(inst, tg, cfg, sets)
+	l2 := cfg.Lambda * cfg.Lambda
 	var total float64
-	for i := range inst.Items {
-		total += ItemObjective(inst, tg, cfg, i, sets[i])
+	for _, st := range stats {
+		total += st.OpinionLoss + l2*st.AspectLoss
 	}
 	return total
 }
@@ -260,15 +265,31 @@ func Stats(inst *model.Instance, tg *Targets, cfg Config, sel *Selection) []Item
 	return statsForSets(inst, tg, cfg, sel.Reviews(inst))
 }
 
-// statsForSets is the shared φ/π pass behind Stats and ObjectivePlus: each
-// set's vectors are computed exactly once.
+// StatsForSets is Stats on pre-materialized review sets: callers that
+// already hold a Selection.Reviews result (the serving edge builds one to
+// assemble the response) pass it here instead of re-gathering it.
+func StatsForSets(inst *model.Instance, tg *Targets, cfg Config, sets [][]*model.Review) []ItemStats {
+	return statsForSets(inst, tg, cfg, sets)
+}
+
+// statsForSets is the shared φ/π pass behind Stats, ObjectivePlus, and
+// ObjectiveCompareSets: each set's vectors are computed exactly once. All n
+// π/φ vectors live in one slab (they are built and retained together, and
+// ItemStats consumers only read them), and the opinion builders' stamp and
+// count buffers are shared across items — so the whole pass costs three
+// allocations regardless of the item count.
 func statsForSets(inst *model.Instance, tg *Targets, cfg Config, sets [][]*model.Review) []ItemStats {
 	z := inst.Aspects.Len()
 	sch := cfg.scheme()
+	dim := sch.Dim(z)
 	out := make([]ItemStats, len(sets))
+	slab := linalg.NewVector(len(sets) * (dim + z))
+	var sc opinion.VecScratch
 	for i, s := range sets {
-		pi := sch.Vector(s, z)
-		phi := opinion.AspectVector(s, z)
+		block := slab[i*(dim+z) : (i+1)*(dim+z)]
+		pi, phi := block[:dim:dim], block[dim:]
+		opinion.VectorInto(sch, pi, &sc, s, z)
+		opinion.AspectVectorInto(phi, &sc, s, z)
 		out[i] = ItemStats{
 			OpinionLoss: linalg.SquaredDistance(tg.Tau[i], pi),
 			AspectLoss:  linalg.SquaredDistance(tg.Gamma, phi),

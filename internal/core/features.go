@@ -73,7 +73,8 @@ type itemFeatures struct {
 }
 
 func newFeatureCache(inst *model.Instance, cfg Config, tg *Targets) *featureCache {
-	defer obs.StageTimer(obs.StageFeatureBuild)()
+	span := obs.StartStage(obs.StageFeatureBuild)
+	defer span.Stop()
 	fc := &featureCache{
 		inst:  inst,
 		cfg:   cfg,

@@ -24,8 +24,6 @@
 package featstore
 
 import (
-	"hash/fnv"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -49,7 +47,7 @@ type Store struct {
 
 type shard struct {
 	mu    sync.Mutex
-	items map[string]*entry
+	items map[itemKey]*entry
 }
 
 // entry is one (scheme, item) feature block: vector views over two flat
@@ -77,18 +75,34 @@ func New(c *model.Corpus) *Store {
 	}
 	s.corpus.Store(c)
 	for i := range s.shards {
-		s.shards[i].items = map[string]*entry{}
+		s.shards[i].items = map[itemKey]*entry{}
 	}
 	return s
 }
 
-// key is the (scheme, item) cache key; 0x1f cannot occur in scheme names.
-func key(schemeName, itemID string) string { return schemeName + "\x1f" + itemID }
+// itemKey is the (scheme, item) cache key. A comparable struct rather than
+// a concatenated string: every lookup on the hot select path builds one, and
+// the struct form costs no allocation.
+type itemKey struct{ scheme, item string }
 
-func (s *Store) shardFor(k string) *shard {
-	h := fnv.New64a()
-	h.Write([]byte(k))
-	return &s.shards[h.Sum64()&(shardCount-1)]
+func key(schemeName, itemID string) itemKey {
+	return itemKey{scheme: schemeName, item: itemID}
+}
+
+// shardFor hashes the key fields with inline FNV-1a (over the same byte
+// stream the old string key produced, scheme 0x1f item) so the hot path
+// never materializes a byte slice.
+func (s *Store) shardFor(k itemKey) *shard {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(k.scheme); i++ {
+		h = (h ^ uint64(k.scheme[i])) * prime64
+	}
+	h = (h ^ 0x1f) * prime64
+	for i := 0; i < len(k.item); i++ {
+		h = (h ^ uint64(k.item[i])) * prime64
+	}
+	return &s.shards[h&(shardCount-1)]
 }
 
 // lookup returns the item's feature block, computing it on first touch and
@@ -211,7 +225,8 @@ func (e *entry) narrow(s *Store) {
 // assembled into single flat slabs (one allocation each) that the returned
 // vector views alias.
 func (s *Store) compute(it *model.Item, sch opinion.Scheme) *entry {
-	defer obs.StageTimer(obs.StagePrecompute)()
+	span := obs.StartStage(obs.StagePrecompute)
+	defer span.Stop()
 	dim := sch.Dim(s.z)
 	n := len(it.Reviews)
 	opSlab := make([]float64, n*dim)
@@ -240,7 +255,8 @@ func (s *Store) compute(it *model.Item, sch opinion.Scheme) *entry {
 // holding the old item keep reading consistent columns. Returns the new
 // entry plus how many columns were computed fresh vs reused.
 func (s *Store) rebuild(old *entry, it *model.Item) (e *entry, computed, reused int) {
-	defer obs.StageTimer(obs.StagePrecompute)()
+	span := obs.StartStage(obs.StagePrecompute)
+	defer span.Stop()
 	sch := old.sch
 	dim := sch.Dim(s.z)
 	// Index the predecessor's columns by review pointer.
@@ -282,12 +298,11 @@ func (s *Store) rebuild(old *entry, it *model.Item) (e *entry, computed, reused 
 // number reused, for the mutation receipt.
 func (s *Store) Apply(c *model.Corpus, m *model.Mutation) (computed, reused int) {
 	s.corpus.Store(c)
-	suffix := "\x1f" + m.ItemID
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for k, e := range sh.items {
-			if !strings.HasSuffix(k, suffix) || e.it == m.New {
+			if k.item != m.ItemID || e.it == m.New {
 				continue
 			}
 			ne, nc, nr := s.rebuild(e, m.New)

@@ -1,0 +1,171 @@
+// Package jsonenc provides allocation-free append-style JSON encoding
+// primitives that are byte-for-byte identical to encoding/json's output,
+// plus a pooled buffer for assembling whole response payloads.
+//
+// The serving edge marshals the same handful of response shapes on every
+// request; reflection-based encoding/json walks their types each time and
+// allocates intermediate state per call. Hand-rolled appendJSON encoders
+// built from these primitives write straight into a caller-supplied []byte
+// instead. Byte identity with encoding/json is a hard invariant, not a
+// nicety: cached response payloads, epoch-keyed cache entries, and the
+// byte-parity certificates in internal/service all compare encoder output
+// against json.Marshal, so any divergence would split the cache or fail
+// parity. The contract is locked by golden and fuzz tests in this package
+// and in internal/service.
+//
+// Scope: these primitives mirror json.Marshal with its default options
+// (HTML escaping ON — '<', '>', '&' become \u003c etc. — and
+// U+2028/U+2029 escaped). Non-finite floats, which json.Marshal rejects
+// with UnsupportedValueError, are appended as "null"; callers on paths
+// where NaN/Inf is possible must guard first (see AppendFloat).
+package jsonenc
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+)
+
+const hexDigits = "0123456789abcdef"
+
+// safeSet mirrors encoding/json's htmlSafeSet: ASCII bytes that can be
+// emitted inside a JSON string without escaping when HTML escaping is on
+// (the json.Marshal default). Everything outside — controls, '"', '\\',
+// '<', '>', '&' — must be escaped.
+var safeSet = [utf8.RuneSelf]bool{}
+
+func init() {
+	for b := 0x20; b < utf8.RuneSelf; b++ {
+		safeSet[b] = true
+	}
+	for _, b := range []byte{'"', '\\', '<', '>', '&'} {
+		safeSet[b] = false
+	}
+}
+
+// AppendString appends s as a JSON string literal (with surrounding
+// quotes), escaping exactly as json.Marshal would: short escapes for
+// \b \f \n \r \t \" \\, \u00XX for remaining controls and for < > &
+// (HTML escaping), the literal escape � for invalid UTF-8 bytes, and
+//   /   for the JavaScript line separators.
+func AppendString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if safeSet[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// AppendFloat appends f formatted exactly as json.Marshal formats a
+// float64: shortest representation, 'f' form within [1e-6, 1e21), 'e' form
+// outside with the exponent's leading zero stripped (1e-09 → 1e-9).
+//
+// json.Marshal fails the whole marshal on NaN/±Inf; an append-style
+// encoder has no error channel, so non-finite values are appended as
+// "null" instead. Every serving-edge float (objectives, weights, elapsed
+// milliseconds, quality scores) is finite by construction; parity tests
+// guard non-finite inputs.
+func AppendFloat(dst []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(dst, "null"...)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, as encoding/json does.
+		n := len(dst)
+		if n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}
+
+// AppendInt appends i in base 10.
+func AppendInt(dst []byte, i int64) []byte { return strconv.AppendInt(dst, i, 10) }
+
+// AppendUint appends u in base 10.
+func AppendUint(dst []byte, u uint64) []byte { return strconv.AppendUint(dst, u, 10) }
+
+// AppendBool appends "true" or "false".
+func AppendBool(dst []byte, b bool) []byte { return strconv.AppendBool(dst, b) }
+
+// Buffer is a reusable byte buffer checked out of the package pool. The
+// backing slice grows to the largest payload it has carried and is kept
+// across uses, so steady-state encoding performs no buffer allocations.
+type Buffer struct {
+	B []byte
+}
+
+// maxPooledBuffer caps the capacity a returned buffer may retain. A single
+// giant response (a full-corpus listing, say) must not pin its slab in the
+// pool forever; oversized buffers are dropped and the pool re-grows to the
+// workload's steady-state size.
+const maxPooledBuffer = 1 << 20
+
+var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 4096)} }}
+
+// GetBuffer checks a buffer out of the pool with length reset to zero.
+func GetBuffer() *Buffer {
+	b := bufPool.Get().(*Buffer)
+	b.B = b.B[:0]
+	return b
+}
+
+// PutBuffer returns a buffer to the pool. Callers must not retain views
+// into b.B afterwards.
+func PutBuffer(b *Buffer) {
+	if cap(b.B) > maxPooledBuffer {
+		return
+	}
+	bufPool.Put(b)
+}

@@ -1,0 +1,125 @@
+package jsonenc
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// marshalString is the reference: json.Marshal of a bare string.
+func marshalString(t testing.TB, s string) []byte {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("json.Marshal(%q): %v", s, err)
+	}
+	return b
+}
+
+func TestAppendStringParity(t *testing.T) {
+	cases := []string{
+		"",
+		"plain ascii",
+		`quotes " and \ backslash`,
+		"controls \b\f\n\r\t\x00\x01\x1f",
+		"html <b>&amp;</b> > <",
+		"unicode – café — 日本語 🎉",
+		"line seps   and   embedded",
+		"invalid \xff\xfe utf8 \xc3\x28 tail \x80",
+		"mixed  \xffé<&>\t",
+		strings.Repeat("long ascii run without escapes ", 100),
+	}
+	for _, s := range cases {
+		want := marshalString(t, s)
+		got := AppendString(nil, s)
+		if string(got) != string(want) {
+			t.Errorf("AppendString(%q)\n got %s\nwant %s", s, got, want)
+		}
+	}
+}
+
+func TestAppendFloatParity(t *testing.T) {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 3.14159, 0.1, 2.0 / 3.0,
+		1e-6, 9.999999e-7, 1e-7, 1e21, 9.99e20, 1e22, -1e-9, -1e300,
+		math.MaxFloat64, math.SmallestNonzeroFloat64, 123456789.123456789,
+		0.001, 42, 1e20, 5e-324,
+	}
+	for _, f := range cases {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatalf("json.Marshal(%v): %v", f, err)
+		}
+		got := AppendFloat(nil, f)
+		if string(got) != string(want) {
+			t.Errorf("AppendFloat(%v) = %s, want %s", f, got, want)
+		}
+	}
+}
+
+func TestAppendFloatNonFinite(t *testing.T) {
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := AppendFloat(nil, f); string(got) != "null" {
+			t.Errorf("AppendFloat(%v) = %s, want null", f, got)
+		}
+	}
+}
+
+func TestAppendIntBoolUint(t *testing.T) {
+	if got := AppendInt(nil, -42); string(got) != "-42" {
+		t.Errorf("AppendInt = %s", got)
+	}
+	if got := AppendUint(nil, 18446744073709551615); string(got) != "18446744073709551615" {
+		t.Errorf("AppendUint = %s", got)
+	}
+	if got := AppendBool(nil, true); string(got) != "true" {
+		t.Errorf("AppendBool = %s", got)
+	}
+}
+
+func TestBufferPoolRoundTrip(t *testing.T) {
+	b := GetBuffer()
+	b.B = append(b.B, "hello"...)
+	PutBuffer(b)
+	c := GetBuffer()
+	if len(c.B) != 0 {
+		t.Fatalf("pooled buffer not reset: len %d", len(c.B))
+	}
+	PutBuffer(c)
+}
+
+func FuzzAppendStringParity(f *testing.F) {
+	f.Add("")
+	f.Add("hello <world> & \"friends\"\n")
+	f.Add("\xff\x80 caf\xc3\xa9   ")
+	f.Fuzz(func(t *testing.T, s string) {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Skip()
+		}
+		got := AppendString(nil, s)
+		if string(got) != string(want) {
+			t.Fatalf("AppendString(%q)\n got %s\nwant %s", s, got, want)
+		}
+	})
+}
+
+func FuzzAppendFloatParity(f *testing.F) {
+	f.Add(0.0)
+	f.Add(1e-7)
+	f.Add(-3.25e21)
+	f.Fuzz(func(t *testing.T, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Skip() // json.Marshal errors; AppendFloat writes null by contract
+		}
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Skip()
+		}
+		got := AppendFloat(nil, v)
+		if string(got) != string(want) {
+			t.Fatalf("AppendFloat(%v) = %s, want %s", v, got, want)
+		}
+	})
+}

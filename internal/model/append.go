@@ -1,0 +1,73 @@
+// Hand-rolled JSON encoding for the write-path record types. The CSLG
+// store marshals one review per append/update record; reflection-based
+// json.Marshal walks the Review type on every write. MarshalAppend writes
+// the identical bytes into a caller-supplied buffer instead, so the store
+// write path encodes with zero intermediate allocations.
+//
+// Byte identity with json.Marshal is load-bearing: the store's
+// envelope-sniffing record decoder distinguishes mutation envelopes from
+// legacy review payloads by their leading bytes, and logs written by
+// either encoder must replay identically. Parity is locked by
+// TestReviewMarshalAppendParity and FuzzReviewMarshalAppend.
+package model
+
+import (
+	"errors"
+	"math"
+
+	"comparesets/internal/jsonenc"
+)
+
+// ErrNonFiniteScore reports a review whose mention scores cannot be
+// represented in JSON. json.Marshal fails the same review with
+// UnsupportedValueError; MarshalAppend surfaces the condition as a typed
+// error before encoding anything.
+var ErrNonFiniteScore = errors.New("model: review has non-finite mention score")
+
+// MarshalAppend appends the review's JSON encoding to dst, byte-identical
+// to json.Marshal(r). The field order matters beyond aesthetics: "id" is
+// first, which is what lets the store's record decoder tell a review
+// payload apart from an {"op":...} mutation envelope by prefix.
+func (r *Review) MarshalAppend(dst []byte) ([]byte, error) {
+	for i := range r.Mentions {
+		if s := r.Mentions[i].Score; math.IsNaN(s) || math.IsInf(s, 0) {
+			return dst, ErrNonFiniteScore
+		}
+	}
+	dst = append(dst, `{"id":`...)
+	dst = jsonenc.AppendString(dst, r.ID)
+	dst = append(dst, `,"item_id":`...)
+	dst = jsonenc.AppendString(dst, r.ItemID)
+	dst = append(dst, `,"reviewer":`...)
+	dst = jsonenc.AppendString(dst, r.Reviewer)
+	dst = append(dst, `,"rating":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.Rating))
+	dst = append(dst, `,"text":`...)
+	dst = jsonenc.AppendString(dst, r.Text)
+	dst = append(dst, `,"mentions":`...)
+	if r.Mentions == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i := range r.Mentions {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = r.Mentions[i].marshalAppend(dst)
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, '}'), nil
+}
+
+// marshalAppend appends one mention, byte-identical to json.Marshal. The
+// caller has already established score finiteness.
+func (m *Mention) marshalAppend(dst []byte) []byte {
+	dst = append(dst, `{"aspect":`...)
+	dst = jsonenc.AppendInt(dst, int64(m.Aspect))
+	dst = append(dst, `,"polarity":`...)
+	dst = jsonenc.AppendInt(dst, int64(m.Polarity))
+	dst = append(dst, `,"score":`...)
+	dst = jsonenc.AppendFloat(dst, m.Score)
+	return append(dst, '}')
+}

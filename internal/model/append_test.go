@@ -1,0 +1,83 @@
+package model
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+)
+
+func reviewVariants() []Review {
+	return []Review{
+		{},
+		{ID: "r1", ItemID: "item-1", Reviewer: "alice", Rating: 5, Text: "great phone"},
+		{
+			ID: "r2", ItemID: "item <2> & co", Reviewer: "böb \"the\" builder", Rating: -3,
+			Text:     "controls \t\n and unicode 日本語 and invalid \xff utf8",
+			Mentions: []Mention{},
+		},
+		{
+			ID: "r3", ItemID: "i", Reviewer: "", Rating: 0, Text: "",
+			Mentions: []Mention{
+				{Aspect: 0, Polarity: 1, Score: 0},
+				{Aspect: 7, Polarity: -1, Score: 0.125},
+				{Aspect: 42, Polarity: 0, Score: 1e-9},
+				{Aspect: 3, Polarity: 1, Score: 3.5e21},
+				{Aspect: 3, Polarity: 1, Score: math.Copysign(0, -1)},
+			},
+		},
+	}
+}
+
+func TestReviewMarshalAppendParity(t *testing.T) {
+	for _, r := range reviewVariants() {
+		want, err := json.Marshal(&r)
+		if err != nil {
+			t.Fatalf("json.Marshal: %v", err)
+		}
+		got, err := r.MarshalAppend(nil)
+		if err != nil {
+			t.Fatalf("MarshalAppend(%q): %v", r.ID, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("review %q:\n got %s\nwant %s", r.ID, got, want)
+		}
+	}
+}
+
+func TestReviewMarshalAppendNonFinite(t *testing.T) {
+	r := Review{ID: "bad", Mentions: []Mention{{Score: math.NaN()}}}
+	dst := []byte("prefix")
+	out, err := r.MarshalAppend(dst)
+	if !errors.Is(err, ErrNonFiniteScore) {
+		t.Fatalf("err = %v, want ErrNonFiniteScore", err)
+	}
+	if string(out) != "prefix" {
+		t.Fatalf("dst modified on error: %q", out)
+	}
+}
+
+func FuzzReviewMarshalAppend(f *testing.F) {
+	f.Add("r1", "item", "alice", 5, "nice <text> & stuff", 3, 1, 0.5)
+	f.Add("", "", "", -1, "\xff\u2028", 0, -1, 1e-7)
+	f.Fuzz(func(t *testing.T, id, item, reviewer string, rating int, text string, aspect, polarity int, score float64) {
+		if math.IsNaN(score) || math.IsInf(score, 0) {
+			t.Skip()
+		}
+		r := Review{
+			ID: id, ItemID: item, Reviewer: reviewer, Rating: rating, Text: text,
+			Mentions: []Mention{{Aspect: aspect, Polarity: Polarity(polarity), Score: score}},
+		}
+		want, err := json.Marshal(&r)
+		if err != nil {
+			t.Skip()
+		}
+		got, err := r.MarshalAppend(nil)
+		if err != nil {
+			t.Fatalf("MarshalAppend: %v", err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("parity:\n got %s\nwant %s", got, want)
+		}
+	})
+}

@@ -77,8 +77,28 @@ func ObserveStage(stage string, d time.Duration) {
 
 // StageTimer starts timing a stage; the returned stop function records the
 // elapsed time: defer obs.StageTimer(obs.StageNOMP)().
+//
+// The returned closure escapes to the heap; on per-request hot paths
+// prefer StartStage, whose value form costs nothing to create.
 func StageTimer(stage string) func() {
 	h := StageHistogram(stage)
 	t := time.Now()
 	return func() { h.ObserveDuration(time.Since(t)) }
 }
+
+// StageSpan is one in-flight stage timing started by StartStage.
+type StageSpan struct {
+	h *Histogram
+	t time.Time
+}
+
+// StartStage is the allocation-free counterpart of StageTimer:
+//
+//	span := obs.StartStage(obs.StageNOMP)
+//	defer span.Stop()
+func StartStage(stage string) StageSpan {
+	return StageSpan{h: StageHistogram(stage), t: time.Now()}
+}
+
+// Stop records the elapsed time since StartStage.
+func (s StageSpan) Stop() { s.h.ObserveDuration(time.Since(s.t)) }

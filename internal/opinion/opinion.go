@@ -138,37 +138,74 @@ func (UnaryScale) Column(r *model.Review, z int) linalg.Vector {
 // Vector implements Scheme: sigmoid of the total sentiment per mentioned
 // aspect.
 func (u UnaryScale) Vector(reviews []*model.Review, z int) linalg.Vector {
-	total := linalg.NewVector(z)
-	touched := make([]bool, z)
-	for _, r := range reviews {
-		for _, m := range r.Mentions {
-			total[m.Aspect] += m.Score
-			touched[m.Aspect] = true
-		}
-	}
 	out := linalg.NewVector(z)
-	for a := 0; a < z; a++ {
-		if touched[a] {
-			out[a] = Sigmoid(total[a])
-		}
-	}
+	var sc VecScratch
+	VectorInto(u, out, &sc, reviews, z)
 	return out
 }
 
 // Sigmoid returns 1/(1+e^{-s}).
 func Sigmoid(s float64) float64 { return 1 / (1 + math.Exp(-s)) }
 
+// VecScratch holds the reusable buffers behind the allocation-free vector
+// builders VectorInto and AspectVectorInto. The zero value is ready to use;
+// buffers grow on demand and are fully cleared before every pass, so one
+// scratch can serve any interleaving of builder calls. Not safe for
+// concurrent use.
+type VecScratch struct {
+	stamp  []int
+	counts linalg.Vector
+}
+
+// stampBuf returns a zeroed review-index stamp of length n.
+func (sc *VecScratch) stampBuf(n int) []int {
+	if cap(sc.stamp) < n {
+		sc.stamp = make([]int, n)
+	}
+	s := sc.stamp[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// countsBuf returns a zeroed accumulator of length n.
+func (sc *VecScratch) countsBuf(n int) linalg.Vector {
+	if cap(sc.counts) < n {
+		sc.counts = linalg.NewVector(n)
+	}
+	c := sc.counts[:n]
+	for i := range c {
+		c[i] = 0
+	}
+	return c
+}
+
 // countingVector sums per-review presence columns and normalizes by the
 // maximum aspect occurrence count in the set.
 func countingVector(s Scheme, reviews []*model.Review, z int) linalg.Vector {
 	sum := linalg.NewVector(s.Dim(z))
+	var sc VecScratch
+	VectorInto(s, sum, &sc, reviews, z)
+	return sum
+}
+
+// VectorInto computes π(S) into dst — which must have length s.Dim(z) — with
+// no allocations beyond growing sc. Results are element-identical to
+// s.Vector: the accumulation and normalization orders match exactly.
+// Schemes outside the built-in three fall back to one s.Vector call copied
+// into dst.
+func VectorInto(s Scheme, dst linalg.Vector, sc *VecScratch, reviews []*model.Review, z int) {
+	for i := range dst {
+		dst[i] = 0
+	}
 	// Accumulate presence counts directly from the mentions for the two
 	// counting schemes; a review's repeated mentions of the same cell are
 	// deduplicated with a review-index stamp, matching Column's 0/1
 	// semantics without materializing a column per review.
 	switch s.(type) {
 	case Binary:
-		stamp := make([]int, 2*z)
+		stamp := sc.stampBuf(2 * z)
 		for ri, r := range reviews {
 			for _, m := range r.Mentions {
 				var idx int
@@ -182,12 +219,12 @@ func countingVector(s Scheme, reviews []*model.Review, z int) linalg.Vector {
 				}
 				if stamp[idx] != ri+1 {
 					stamp[idx] = ri + 1
-					sum[idx]++
+					dst[idx]++
 				}
 			}
 		}
 	case ThreePolarity:
-		stamp := make([]int, 3*z)
+		stamp := sc.stampBuf(3 * z)
 		for ri, r := range reviews {
 			for _, m := range r.Mentions {
 				var idx int
@@ -203,21 +240,34 @@ func countingVector(s Scheme, reviews []*model.Review, z int) linalg.Vector {
 				}
 				if stamp[idx] != ri+1 {
 					stamp[idx] = ri + 1
-					sum[idx]++
+					dst[idx]++
 				}
 			}
 		}
-	default:
+	case UnaryScale:
+		total := sc.countsBuf(z)
+		touched := sc.stampBuf(z)
 		for _, r := range reviews {
-			sum.AddInPlace(s.Column(r, z))
+			for _, m := range r.Mentions {
+				total[m.Aspect] += m.Score
+				touched[m.Aspect] = 1
+			}
 		}
+		for a := 0; a < z; a++ {
+			if touched[a] != 0 {
+				dst[a] = Sigmoid(total[a])
+			}
+		}
+		return
+	default:
+		copy(dst, s.Vector(reviews, z))
+		return
 	}
-	denom := maxAspectCount(reviews, z)
+	denom := maxAspectCountInto(sc, reviews, z)
 	if denom == 0 {
-		return sum // all zeros already
+		return // all zeros already
 	}
-	sum.ScaleInPlace(1 / denom)
-	return sum
+	dst.ScaleInPlace(1 / denom)
 }
 
 // AspectColumn returns the 0/1 aspect-presence vector of one review.
@@ -232,31 +282,40 @@ func AspectColumn(r *model.Review, z int) linalg.Vector {
 // AspectVector returns φ(S): per-aspect review counts normalized by the
 // maximum aspect count within S. Opinion polarities are ignored.
 func AspectVector(reviews []*model.Review, z int) linalg.Vector {
-	sum := linalg.NewVector(z)
-	stamp := make([]int, z)
+	out := linalg.NewVector(z)
+	var sc VecScratch
+	AspectVectorInto(out, &sc, reviews, z)
+	return out
+}
+
+// AspectVectorInto computes φ(S) into dst — which must have length z — with
+// no allocations beyond growing sc. Element-identical to AspectVector.
+func AspectVectorInto(dst linalg.Vector, sc *VecScratch, reviews []*model.Review, z int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	stamp := sc.stampBuf(z)
 	for ri, r := range reviews {
 		for _, m := range r.Mentions {
 			if stamp[m.Aspect] != ri+1 {
 				stamp[m.Aspect] = ri + 1
-				sum[m.Aspect]++
+				dst[m.Aspect]++
 			}
 		}
 	}
-	m := sum.Max()
-	if m <= 0 {
-		return linalg.NewVector(z)
+	if m := dst.Max(); m > 0 {
+		dst.ScaleInPlace(1 / m)
 	}
-	sum.ScaleInPlace(1 / m)
-	return sum
 }
 
-// maxAspectCount returns the largest per-aspect review count in S — the
+// maxAspectCountInto returns the largest per-aspect review count in S — the
 // shared normalization denominator of π and φ in Working Example 1. A
 // review-index stamp deduplicates repeated mentions within one review
-// without allocating a per-review aspect set.
-func maxAspectCount(reviews []*model.Review, z int) float64 {
-	counts := linalg.NewVector(z)
-	stamp := make([]int, z)
+// without allocating a per-review aspect set; counts and stamp both come
+// from sc.
+func maxAspectCountInto(sc *VecScratch, reviews []*model.Review, z int) float64 {
+	counts := sc.countsBuf(z)
+	stamp := sc.stampBuf(z)
 	for ri, r := range reviews {
 		for _, m := range r.Mentions {
 			if stamp[m.Aspect] != ri+1 {

@@ -1,6 +1,7 @@
 package regress
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"math"
@@ -43,9 +44,12 @@ type Problem struct {
 // state between solves. Pooling matters because cached problem templates
 // hand out a fresh Share per selection — without it every request would
 // reallocate the whole NNLS working set per item.
-var scratchPool = sync.Pool{New: func() any {
-	return &solverScratch{seen: make(map[string]struct{})}
-}}
+var scratchPool = sync.Pool{New: func() any { return &solverScratch{} }}
+
+// keySpan locates one deduplicated candidate key inside the scratch key
+// arena. Spans index by offset rather than holding subslices so arena
+// growth (which may move the backing array) cannot invalidate them.
+type keySpan struct{ off, n int }
 
 // solverScratch holds every buffer the NOMP/rounding pipeline needs, sized
 // on first use and reused across Solve calls on the same Problem.
@@ -60,7 +64,49 @@ type solverScratch struct {
 	ss        linalg.Vector // supportSolver row/solve workspace
 	selBuf    []int         // candidate selection buffer
 	keyBuf    []byte        // candidate dedup key buffer
-	seen      map[string]struct{}
+
+	// Candidate dedup: keys seen this solve live back to back in keyArena,
+	// located by keySpans. Candidate counts are small (≤ m per iterate), so
+	// a linear bytes.Equal scan replaces the old map[string]struct{} —
+	// which interned a fresh string per unique candidate on the hot path.
+	keyArena []byte
+	keySpans []keySpan
+
+	// Default-rounding scratch (SolveContext with a nil Rounding): the
+	// normalized iterate, one multiplicity slab carved into per-total
+	// views, and the shared apportionment remainder buffer.
+	u         linalg.Vector
+	roundSlab []int
+	cands     [][]int
+	rems      []frac
+
+	// NOMP path scratch: iterate copies live back to back in pathSlab and
+	// path holds one view per iterate. Slab growth may move the backing
+	// array; earlier views keep their (already written, never mutated) old
+	// backing, so consumers remain correct either way.
+	pathSlab linalg.Vector
+	path     []linalg.Vector
+}
+
+// seenBefore reports whether key was already recorded this solve,
+// recording it when new. The arena copy is the only write; steady state
+// performs no allocations.
+func (s *solverScratch) seenBefore(key []byte) bool {
+	for _, sp := range s.keySpans {
+		if bytes.Equal(s.keyArena[sp.off:sp.off+sp.n], key) {
+			return true
+		}
+	}
+	s.keySpans = append(s.keySpans, keySpan{off: len(s.keyArena), n: len(key)})
+	s.keyArena = append(s.keyArena, key...)
+	return false
+}
+
+// cloneIterate copies x into the path slab and returns a capped view.
+func (s *solverScratch) cloneIterate(x linalg.Vector) linalg.Vector {
+	off := len(s.pathSlab)
+	s.pathSlab = append(s.pathSlab, x...)
+	return s.pathSlab[off:len(s.pathSlab):len(s.pathSlab)]
 }
 
 func (p *Problem) scratchState(maxAtoms int) *solverScratch {
@@ -85,6 +131,9 @@ func (p *Problem) scratchState(maxAtoms int) *solverScratch {
 	}
 	if cap(s.ss) < 2*maxAtoms+2 {
 		s.ss = linalg.NewVector(2*maxAtoms + 2)
+	}
+	if cap(s.pathSlab) < maxAtoms*n {
+		s.pathSlab = make(linalg.Vector, 0, maxAtoms*n)
 	}
 	return s
 }
@@ -154,6 +203,10 @@ func (p *Problem) Share() *Problem {
 // The selection slice passed to eval is scratch reused across candidates;
 // eval must not retain it past the call. The returned best selection is
 // freshly allocated and owned by the caller.
+//
+// A nil round selects the default RoundCandidates strategy running on
+// problem-owned scratch — identical candidates, no per-iterate
+// allocations. Pass an explicit Rounding only to ablate the strategy.
 func (p *Problem) Solve(y linalg.Vector, m int, round Rounding, eval func(selected []int) float64) ([]int, float64) {
 	sel, obj, _ := p.SolveContext(context.Background(), y, m, round, eval)
 	return sel, obj
@@ -173,29 +226,35 @@ func (p *Problem) SolveContext(ctx context.Context, y linalg.Vector, m int, roun
 		return nil, math.Inf(1), err
 	}
 	defer p.releaseScratch()
-	nompStop := obs.StageTimer(obs.StageNOMP)
+	nompSpan := obs.StartStage(obs.StageNOMP)
 	path, err := p.nompPath(ctx, y, m)
-	nompStop()
+	nompSpan.Stop()
 	if err != nil {
 		return nil, math.Inf(1), err
 	}
 	sc := p.scratchState(1)
-	clear(sc.seen)
+	sc.keyArena = sc.keyArena[:0]
+	sc.keySpans = sc.keySpans[:0]
 	var best []int
 	bestObj := math.Inf(1)
 	for _, x := range path {
 		if err := ctx.Err(); err != nil {
 			return nil, math.Inf(1), err
 		}
-		for _, nu := range round(x, p.Counts, m) {
+		var cands [][]int
+		if round == nil {
+			cands = p.roundCandidatesScratch(sc, x, m)
+		} else {
+			cands = round(x, p.Counts, m)
+		}
+		for _, nu := range cands {
 			sel := appendExpand(sc.selBuf[:0], nu, p.Members)
 			sc.selBuf = sel
 			key := appendSelectionKey(sc.keyBuf[:0], sel)
 			sc.keyBuf = key
-			if _, ok := sc.seen[string(key)]; ok {
+			if sc.seenBefore(key) {
 				continue
 			}
-			sc.seen[string(key)] = struct{}{}
 			if obj := eval(sel); obj < bestObj {
 				bestObj = obj
 				best = append(best[:0], sel...)
@@ -203,6 +262,56 @@ func (p *Problem) SolveContext(ctx context.Context, y linalg.Vector, m int, roun
 		}
 	}
 	return best, bestObj, nil
+}
+
+// roundCandidatesScratch is RoundCandidates backed by solver scratch: same
+// apportionments in the same order, but the normalized iterate, the
+// multiplicity slab, and the remainder buffer are all reused across
+// iterates and solves. The returned views are valid until the next call.
+func (p *Problem) roundCandidatesScratch(sc *solverScratch, x linalg.Vector, maxTotal int) [][]int {
+	n := len(x)
+	sc.u = growVec(sc.u, n)
+	n1 := x.Norm1()
+	if n1 == 0 {
+		return nil
+	}
+	inv := 1 / n1
+	for i, v := range x {
+		sc.u[i] = inv * v
+	}
+	if sc.u.Norm1() == 0 {
+		// Matches RoundCandidates on pathological scales (x.Norm1() = +Inf
+		// normalizes to all zeros).
+		return nil
+	}
+	capacity := 0
+	for _, c := range p.Counts {
+		capacity += c
+	}
+	limit := maxTotal
+	if limit > capacity {
+		limit = capacity
+	}
+	if limit <= 0 {
+		return nil
+	}
+	if cap(sc.roundSlab) < limit*n {
+		sc.roundSlab = make([]int, limit*n)
+	}
+	slab := sc.roundSlab[:limit*n]
+	out := sc.cands[:0]
+	rems := sc.rems
+	for total := 1; total <= limit; total++ {
+		nu := slab[len(out)*n : (len(out)+1)*n : (len(out)+1)*n]
+		var ok bool
+		ok, rems = apportionInto(sc.u, p.Counts, total, nu, rems)
+		if ok {
+			out = append(out, nu)
+		}
+	}
+	sc.cands = out
+	sc.rems = rems
+	return out
 }
 
 // NOMPPath is the incremental counterpart of the package-level NOMPPath: it
@@ -217,7 +326,13 @@ func (p *Problem) SolveContext(ctx context.Context, y linalg.Vector, m int, roun
 // to the dense reference path for the whole call.
 func (p *Problem) NOMPPath(y linalg.Vector, maxAtoms int) []linalg.Vector {
 	path, _ := p.nompPath(context.Background(), y, maxAtoms)
-	return path
+	// The Gram path lives in solver scratch (reused by the next solve on
+	// this problem); hand callers their own copies.
+	out := make([]linalg.Vector, len(path))
+	for i, v := range path {
+		out[i] = v.Clone()
+	}
+	return out
 }
 
 // nompPath clamps the atom budget, runs the Gram-space solver, and falls
@@ -256,7 +371,7 @@ func (p *Problem) nompGram(ctx context.Context, y linalg.Vector, maxAtoms int) (
 	p.sparse.correlations(y, sc.c)
 
 	s := &supportSolver{p: p, sc: sc}
-	path := make([]linalg.Vector, 0, maxAtoms)
+	path := sc.path[:0]
 	support := sc.support
 	inSupport := sc.inSupport
 	corr := sc.corr
@@ -291,7 +406,7 @@ func (p *Problem) nompGram(ctx context.Context, y linalg.Vector, maxAtoms int) (
 			// No atom improves the fit; replicate the last solution for
 			// the remaining budgets so callers still get maxAtoms entries.
 			for len(path) < maxAtoms {
-				path = append(path, sc.x.Clone())
+				path = append(path, sc.cloneIterate(sc.x))
 			}
 			break
 		}
@@ -315,9 +430,10 @@ func (p *Problem) nompGram(ctx context.Context, y linalg.Vector, maxAtoms int) (
 			}
 		}
 		support = live
-		path = append(path, sc.x.Clone())
+		path = append(path, sc.cloneIterate(sc.x))
 	}
 	sc.support = support[:0]
+	sc.path = path
 	return path, nil
 }
 
@@ -332,6 +448,8 @@ func (s *solverScratch) resetSolver() {
 	}
 	s.support = s.support[:0]
 	s.passive = s.passive[:0]
+	s.pathSlab = s.pathSlab[:0]
+	s.path = s.path[:0]
 	s.chol.Reset()
 }
 

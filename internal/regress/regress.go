@@ -366,7 +366,9 @@ func RoundTopK(x linalg.Vector, counts []int, maxTotal int) [][]int {
 }
 
 // Rounding produces candidate integer multiplicity vectors from a
-// continuous NOMP iterate.
+// continuous NOMP iterate. Solve/SolveContext accept nil as "default
+// RoundCandidates on solver scratch" — the hot-path spelling that skips
+// the per-iterate slab allocations of the exported function.
 type Rounding func(x linalg.Vector, counts []int, maxTotal int) [][]int
 
 // SolveWithRounding is Solve with a pluggable rounding strategy (see
@@ -516,7 +518,7 @@ func roundingDistance(nu []int, u linalg.Vector, total int) float64 {
 // better), and return the best selection with its objective. It returns
 // (nil, +Inf) when no non-empty candidate exists.
 func Solve(a *linalg.Matrix, y linalg.Vector, m int, eval func(selected []int) float64) ([]int, float64) {
-	return SolveWithRounding(a, y, m, RoundCandidates, eval)
+	return SolveWithRounding(a, y, m, nil, eval)
 }
 
 // SolveContext is Solve with cooperative cancellation (see
@@ -525,7 +527,7 @@ func SolveContext(ctx context.Context, a *linalg.Matrix, y linalg.Vector, m int,
 	if a.Cols == 0 || m <= 0 {
 		return nil, math.Inf(1), nil
 	}
-	return NewProblem(a).SolveContext(ctx, y, m, RoundCandidates, eval)
+	return NewProblem(a).SolveContext(ctx, y, m, nil, eval)
 }
 
 // Expand maps a multiplicity vector over unique columns back to original

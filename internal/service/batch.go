@@ -2,7 +2,6 @@ package service
 
 import (
 	"context"
-	"encoding/json"
 	"strconv"
 	"strings"
 
@@ -138,13 +137,9 @@ func (s *Server) executeBatch(gctx context.Context, reqs []*batchReq) ([]*batchR
 			out[i] = &batchRes{err: apiErr}
 			continue
 		}
-		payload, err := json.Marshal(resp)
-		if err != nil {
-			out[i] = &batchRes{err: unprocessable(err)}
-			continue
-		}
-		// Match writeJSON's json.Encoder framing byte for byte.
-		payload = append(payload, '\n')
+		// Pooled-scratch encoding with writeJSON's trailing-newline framing
+		// baked in (byte-identical to the unbatched flight path).
+		payload := s.encodeSelectPayload(resp)
 		out[i] = &batchRes{payload: payload, cacheable: resp.Optimal == nil}
 	}
 	return out, nil

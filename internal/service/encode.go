@@ -1,0 +1,236 @@
+// Hand-rolled JSON encoders for the hot response shapes: the v1 select
+// response, the error envelope, and mutation receipts. Reflection-based
+// encoding/json walks these types on every request; the appendJSON methods
+// below write the identical bytes straight into a pooled buffer instead,
+// so steady-state response encoding allocates nothing (cacheable select
+// payloads pay one exact-size copy, because the servecache retains them).
+//
+// Byte identity with encoding/json is the invariant everything else leans
+// on: cached payloads and freshly encoded ones must compare equal, the
+// degradeBody splice assumes the canonical field order, and clients diff
+// responses across server versions. Parity is locked per shape by the
+// golden tests in encode_test.go and fuzzed by FuzzEncodeParity; the
+// omitempty decisions below mirror the struct tags field by field.
+package service
+
+import (
+	"net/http"
+
+	"comparesets/internal/jsonenc"
+	"comparesets/internal/metrics"
+)
+
+// jsonAppender is the fast path contract of writeJSON: response types that
+// can append their own canonical encoding skip reflection entirely.
+type jsonAppender interface {
+	appendJSON(dst []byte) []byte
+}
+
+func appendStringArray(dst []byte, xs []string) []byte {
+	dst = append(dst, '[')
+	for i, x := range xs {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = jsonenc.AppendString(dst, x)
+	}
+	return append(dst, ']')
+}
+
+// appendJSON encodes the select response exactly as json.Marshal does,
+// honoring each field's omitempty: shortlist/explanations drop when empty,
+// shortlist_weight when zero, optimal when nil, degraded when false,
+// metrics when nil. Items and nested Reviews are not omitempty, so a nil
+// slice encodes as null (never produced by computeSelect, but parity holds
+// regardless).
+func (r *SelectResponse) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"algorithm":`...)
+	dst = jsonenc.AppendString(dst, r.Algorithm)
+	dst = append(dst, `,"objective":`...)
+	dst = jsonenc.AppendFloat(dst, r.Objective)
+	dst = append(dst, `,"items":`...)
+	if r.Items == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i := range r.Items {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = r.Items[i].appendJSON(dst)
+		}
+		dst = append(dst, ']')
+	}
+	if len(r.Shortlist) > 0 {
+		dst = append(dst, `,"shortlist":[`...)
+		for i, p := range r.Shortlist {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = jsonenc.AppendInt(dst, int64(p))
+		}
+		dst = append(dst, ']')
+	}
+	if r.ShortlistWeight != 0 {
+		dst = append(dst, `,"shortlist_weight":`...)
+		dst = jsonenc.AppendFloat(dst, r.ShortlistWeight)
+	}
+	if r.Optimal != nil {
+		dst = append(dst, `,"optimal":`...)
+		dst = jsonenc.AppendBool(dst, *r.Optimal)
+	}
+	if r.Degraded {
+		dst = append(dst, `,"degraded":true`...)
+	}
+	if len(r.Explanations) > 0 {
+		dst = append(dst, `,"explanations":`...)
+		dst = appendStringArray(dst, r.Explanations)
+	}
+	if r.Metrics != nil {
+		dst = append(dst, `,"metrics":`...)
+		dst = appendInstanceMetrics(dst, r.Metrics)
+	}
+	dst = append(dst, `,"elapsed_ms":`...)
+	dst = jsonenc.AppendFloat(dst, r.ElapsedMS)
+	return append(dst, '}')
+}
+
+func (it *SelectedItem) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"id":`...)
+	dst = jsonenc.AppendString(dst, it.ID)
+	dst = append(dst, `,"title":`...)
+	dst = jsonenc.AppendString(dst, it.Title)
+	dst = append(dst, `,"is_target":`...)
+	dst = jsonenc.AppendBool(dst, it.IsTarget)
+	dst = append(dst, `,"reviews":`...)
+	if it.Reviews == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i := range it.Reviews {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			r := &it.Reviews[i]
+			dst = append(dst, `{"id":`...)
+			dst = jsonenc.AppendString(dst, r.ID)
+			dst = append(dst, `,"rating":`...)
+			dst = jsonenc.AppendInt(dst, int64(r.Rating))
+			dst = append(dst, `,"text":`...)
+			dst = jsonenc.AppendString(dst, r.Text)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	if len(it.Summary) > 0 {
+		dst = append(dst, `,"summary":`...)
+		dst = appendStringArray(dst, it.Summary)
+	}
+	return append(dst, '}')
+}
+
+// appendInstanceMetrics encodes metrics.InstanceMetrics, which carries no
+// json tags — encoding/json emits the Go field names in declaration order,
+// and so must we.
+func appendInstanceMetrics(dst []byte, m *metrics.InstanceMetrics) []byte {
+	dst = append(dst, `{"AspectCoverage":`...)
+	dst = jsonenc.AppendFloat(dst, m.AspectCoverage)
+	dst = append(dst, `,"OpinionCoverage":`...)
+	dst = jsonenc.AppendFloat(dst, m.OpinionCoverage)
+	dst = append(dst, `,"Redundancy":`...)
+	dst = jsonenc.AppendFloat(dst, m.Redundancy)
+	dst = append(dst, `,"Representativeness":`...)
+	dst = jsonenc.AppendFloat(dst, m.Representativeness)
+	return append(dst, '}')
+}
+
+// appendJSON encodes the error envelope. Every non-2xx response funnels
+// through here via writeAPIError, so error paths are reflection-free too.
+func (e ErrorResponse) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"error":{"code":`...)
+	dst = jsonenc.AppendString(dst, e.Error.Code)
+	dst = append(dst, `,"message":`...)
+	dst = jsonenc.AppendString(dst, e.Error.Message)
+	if e.Error.Field != "" {
+		dst = append(dst, `,"field":`...)
+		dst = jsonenc.AppendString(dst, e.Error.Field)
+	}
+	return append(dst, '}', '}')
+}
+
+// appendJSON encodes a mutation receipt. Reviews and AffectedItems are not
+// omitempty (nil encodes as null); every other field is unconditional.
+func (r MutationReceipt) appendJSON(dst []byte) []byte {
+	dst = append(dst, `{"kind":`...)
+	dst = jsonenc.AppendString(dst, r.Kind)
+	dst = append(dst, `,"category":`...)
+	dst = jsonenc.AppendString(dst, r.Category)
+	dst = append(dst, `,"item":`...)
+	dst = jsonenc.AppendString(dst, r.Item)
+	dst = append(dst, `,"reviews":`...)
+	if r.Reviews == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = appendStringArray(dst, r.Reviews)
+	}
+	dst = append(dst, `,"epoch":`...)
+	dst = jsonenc.AppendString(dst, r.Epoch)
+	dst = append(dst, `,"generation":`...)
+	dst = jsonenc.AppendUint(dst, r.Generation)
+	dst = append(dst, `,"affected_items":`...)
+	if r.AffectedItems == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = appendStringArray(dst, r.AffectedItems)
+	}
+	dst = append(dst, `,"invalidation":{"scope":`...)
+	dst = jsonenc.AppendString(dst, r.Invalidation.Scope)
+	dst = append(dst, `,"problems_dropped":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.Invalidation.ProblemsDropped))
+	dst = append(dst, `,"columns_computed":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.Invalidation.ColumnsComputed))
+	dst = append(dst, `,"columns_reused":`...)
+	dst = jsonenc.AppendInt(dst, int64(r.Invalidation.ColumnsReused))
+	dst = append(dst, `},"elapsed_ms":`...)
+	dst = jsonenc.AppendFloat(dst, r.ElapsedMS)
+	return append(dst, '}')
+}
+
+// encodeSelectPayload renders a select response into a retained []byte
+// with the trailing newline writeJSON framing expects. The servecache
+// keeps cacheable payloads alive indefinitely, so the bytes cannot live in
+// a pooled buffer: the response is assembled in pooled scratch and copied
+// once into an exact-size slice (the only allocation on a warm-miss fill).
+func (s *Server) encodeSelectPayload(resp *SelectResponse) []byte {
+	buf := jsonenc.GetBuffer()
+	buf.B = resp.appendJSON(buf.B)
+	buf.B = append(buf.B, '\n')
+	out := make([]byte, len(buf.B))
+	copy(out, buf.B)
+	jsonenc.PutBuffer(buf)
+	s.encodeBytes.Add(len(out))
+	return out
+}
+
+// writeJSON renders v with the hand-rolled encoder when v provides one
+// (all hot-path response types do), falling back to encoding/json for the
+// long tail of cold admin shapes (health maps, category lists). Both paths
+// end with json.Encoder's trailing-newline framing and a single Write, and
+// a failed write is accounted as a client abort (499) — the encodings of
+// our own types cannot fail.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	if a, ok := v.(jsonAppender); ok {
+		buf := jsonenc.GetBuffer()
+		buf.B = a.appendJSON(buf.B)
+		buf.B = append(buf.B, '\n')
+		s.encodeBytes.Add(len(buf.B))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		if _, err := w.Write(buf.B); err != nil {
+			s.clientAborts.Inc()
+		}
+		jsonenc.PutBuffer(buf)
+		return
+	}
+	s.writeJSONReflect(w, status, v)
+}

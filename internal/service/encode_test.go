@@ -1,0 +1,180 @@
+package service
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"comparesets/internal/metrics"
+)
+
+// selectResponseVariants exercises every omitempty combination the handler
+// can produce, plus the nil-slice null encodings parity must hold for.
+func selectResponseVariants() []*SelectResponse {
+	optFalse := false
+	optTrue := true
+	return []*SelectResponse{
+		{}, // all zero: nil items encodes as null
+		{
+			Algorithm: "CompaReSetS+",
+			Objective: 1.75,
+			Items:     []SelectedItem{},
+			ElapsedMS: 0.123,
+		},
+		{
+			Algorithm: "CompaReSetS+",
+			Objective: 2.0 / 3.0,
+			Items: []SelectedItem{
+				{
+					ID: "target-1", Title: "Alpha <Phone> & Co", IsTarget: true,
+					Reviews: []SelectedReview{
+						{ID: "r1", Rating: 5, Text: "great \"camera\"\nlong battery"},
+						{ID: "r2", Rating: 1, Text: "controls \t and unicode 日本語 and invalid \xff"},
+					},
+				},
+				{
+					ID: "comp-1", Title: "Beta", IsTarget: false,
+					Reviews: nil, // null under the non-omitempty tag
+					Summary: []string{"summary line <1>", "summary & line 2"},
+				},
+			},
+			ElapsedMS: 12.5,
+		},
+		{
+			Algorithm:       "CompaReSetS+",
+			Objective:       3.25,
+			Items:           []SelectedItem{{ID: "t", Title: "T", IsTarget: true, Reviews: []SelectedReview{}}},
+			Shortlist:       []int{0, 3, 7},
+			ShortlistWeight: 0.875,
+			Optimal:         &optFalse,
+			Degraded:        true,
+			Explanations:    []string{"A beats B on camera", "B has \u2028 separator"},
+			Metrics: &metrics.InstanceMetrics{
+				AspectCoverage:     0.5,
+				OpinionCoverage:    1e-9,
+				Redundancy:         0.25,
+				Representativeness: 1,
+			},
+			ElapsedMS: 1e-7, // exercises e-notation cleanup
+		},
+		{
+			Algorithm: "greedy",
+			Objective: math.MaxFloat64,
+			Items:     []SelectedItem{},
+			Optimal:   &optTrue,
+			ElapsedMS: 3.5e21,
+		},
+	}
+}
+
+func TestSelectResponseEncodeParity(t *testing.T) {
+	for i, resp := range selectResponseVariants() {
+		want, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatalf("json.Marshal: %v", err)
+		}
+		got := resp.appendJSON(nil)
+		if string(got) != string(want) {
+			t.Errorf("variant %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+func TestErrorResponseEncodeParity(t *testing.T) {
+	envs := []ErrorResponse{
+		{Error: ErrorBody{Code: CodeInternal, Message: "internal error"}},
+		{Error: ErrorBody{Code: "unprocessable", Message: "m must be at least 1, got -2", Field: "m"}},
+		{Error: ErrorBody{Code: "bad_request", Message: "weird <chars> & \"quotes\" \xff", Field: ""}},
+		{Error: ErrorBody{}},
+	}
+	for i, e := range envs {
+		want, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("json.Marshal: %v", err)
+		}
+		got := e.appendJSON(nil)
+		if string(got) != string(want) {
+			t.Errorf("envelope %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+func TestMutationReceiptEncodeParity(t *testing.T) {
+	receipts := []MutationReceipt{
+		{},
+		{
+			Kind: "append", Category: "cell_phones", Item: "item-1",
+			Reviews: []string{"r1", "r2"}, Epoch: "3f9a", Generation: 18446744073709551615,
+			AffectedItems: []string{"item-1"},
+			Invalidation: InvalidationScope{
+				Scope: "item", ProblemsDropped: 4, ColumnsComputed: 2, ColumnsReused: 14,
+			},
+			ElapsedMS: 0.875,
+		},
+		{
+			Kind: "remove", Category: "cat <&>", Item: "item \xff",
+			Reviews: []string{}, AffectedItems: nil, Epoch: "", Generation: 0,
+			Invalidation: InvalidationScope{Scope: "item"},
+			ElapsedMS:    123456.789,
+		},
+	}
+	for i, r := range receipts {
+		want, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("json.Marshal: %v", err)
+		}
+		got := r.appendJSON(nil)
+		if string(got) != string(want) {
+			t.Errorf("receipt %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// TestDegradeBodySplice guards the degradeBody assumption the encoder must
+// preserve: the canonical payload starts {"algorithm": so the degraded
+// flag can be spliced right after the opening brace.
+func TestDegradeBodySplice(t *testing.T) {
+	resp := &SelectResponse{Algorithm: "CompaReSetS+", Items: []SelectedItem{}, ElapsedMS: 1}
+	body := append(resp.appendJSON(nil), '\n')
+	degraded := degradeBody(body)
+	var round SelectResponse
+	if err := json.Unmarshal(degraded, &round); err != nil {
+		t.Fatalf("degraded body does not parse: %v\n%s", err, degraded)
+	}
+	if !round.Degraded {
+		t.Fatalf("degraded flag missing: %s", degraded)
+	}
+}
+
+// FuzzEncodeParity drives arbitrary review/aspect strings and floats
+// through the full select-response encoder against json.Marshal.
+func FuzzEncodeParity(f *testing.F) {
+	f.Add("alg", "t1", "Title", "r1", 5, "review text", "summary", "explain", 0.5, 1.25)
+	f.Add("", "", "<&>", "", -1, "\xff\u2028\u2029", "", "", 1e-7, 0.0)
+	f.Fuzz(func(t *testing.T, alg, itemID, title, revID string, rating int, text, summary, explain string, objective, weight float64) {
+		if math.IsNaN(objective) || math.IsInf(objective, 0) ||
+			math.IsNaN(weight) || math.IsInf(weight, 0) {
+			t.Skip() // json.Marshal rejects non-finite floats
+		}
+		resp := &SelectResponse{
+			Algorithm: alg,
+			Objective: objective,
+			Items: []SelectedItem{{
+				ID: itemID, Title: title, IsTarget: true,
+				Reviews: []SelectedReview{{ID: revID, Rating: rating, Text: text}},
+				Summary: []string{summary},
+			}},
+			ShortlistWeight: weight,
+			Explanations:    []string{explain},
+			ElapsedMS:       objective,
+		}
+		want, err := json.Marshal(resp)
+		if err != nil {
+			t.Skip()
+		}
+		got := resp.appendJSON(nil)
+		if string(got) != string(want) {
+			t.Fatalf("parity:\n got %s\nwant %s", got, want)
+		}
+	})
+}

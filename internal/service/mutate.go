@@ -102,19 +102,19 @@ func mutationError(err error) *apiError {
 // receipt reports what happened.
 func (s *Server) applyMutation(category, kind string, mutate func(c *model.Corpus) (*model.Mutation, error)) (*MutationReceipt, *apiError) {
 	start := time.Now()
-	stop := obs.StageTimer(obs.StageMutateApply)
+	span := obs.StartStage(obs.StageMutateApply)
 	s.mu.Lock()
 	c, ok := s.corpora[category]
 	if !ok {
 		s.mu.Unlock()
-		stop()
+		span.Stop()
 		return nil, notFound("unknown category %q", category)
 	}
 	next := c.Clone()
 	m, err := mutate(next)
 	if err != nil {
 		s.mu.Unlock()
-		stop()
+		span.Stop()
 		return nil, mutationError(err)
 	}
 	if s.mutlog != nil {
@@ -122,7 +122,7 @@ func (s *Server) applyMutation(category, kind string, mutate func(c *model.Corpu
 			// Write-ahead ordering: the in-memory state is untouched (the
 			// mutated clone is discarded), so memory and log stay consistent.
 			s.mu.Unlock()
-			stop()
+			span.Stop()
 			return nil, internalError(lerr)
 		}
 	}
@@ -138,7 +138,7 @@ func (s *Server) applyMutation(category, kind string, mutate func(c *model.Corpu
 	dropped := s.problems[category].InvalidateItem(m.Old)
 	epoch := s.epochs[category]
 	s.mu.Unlock()
-	stop()
+	span.Stop()
 
 	s.reg.Counter("comparesets_mutations_total",
 		"Corpus mutations applied, by kind.", obs.Labels{"kind": kind}).Inc()

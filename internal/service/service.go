@@ -171,6 +171,10 @@ type Server struct {
 	clientAborts *obs.Counter
 	staleServed  *obs.Counter
 	flightPanics *obs.Counter
+	// encodeBytes counts response bytes produced by the hand-rolled
+	// encoders (writeJSON fast path + cacheable select fills). Cached
+	// payloads are counted once, at fill time, not per serve.
+	encodeBytes *obs.Counter
 }
 
 // New creates a server over the given corpora (keyed by category name)
@@ -205,6 +209,8 @@ func NewWithOptions(corpora map[string]*model.Corpus, logger *log.Logger, opts O
 		obs.Labels{"reason": "stale_cache"})
 	s.flightPanics = s.reg.Counter("comparesets_http_panics_total",
 		"Handler panics recovered by the middleware.", obs.Labels{"endpoint": "select.flight"})
+	s.encodeBytes = s.reg.Counter("comparesets_encode_bytes_total",
+		"Response JSON bytes produced by the pooled hand-rolled encoders.", nil)
 	s.storeProbe = opts.StoreProbe
 	if opts.MaxInflight > 0 {
 		maxQueue := opts.MaxQueue
@@ -596,12 +602,10 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 			if apiErr != nil {
 				return nil, apiErr
 			}
-			payload, err := json.Marshal(resp)
-			if err != nil {
-				return nil, unprocessable(err)
-			}
-			// Match writeJSON's json.Encoder framing byte for byte.
-			payload = append(payload, '\n')
+			// Pooled-scratch encoding with writeJSON's trailing-newline
+			// framing baked in, so cached and fresh responses stay
+			// byte-identical.
+			payload := s.encodeSelectPayload(resp)
 			// Degraded results (shed exact solves) are correct but not
 			// canonical: caching them would freeze the degradation.
 			if resp.Optimal == nil {
@@ -750,10 +754,10 @@ func (s *Server) computeSelect(ctx context.Context, req *SelectRequest, inst *mo
 	}
 	if solver != nil {
 		tg := core.NewTargets(inst, cfg)
-		g := s.memoGraph(graphKey, req.Category, core.Stats(inst, tg, cfg, selection), cfg)
-		shortlistStop := obs.StageTimer(obs.StageShortlist)
+		g := s.memoGraph(graphKey, req.Category, core.StatsForSets(inst, tg, cfg, sets), cfg)
+		shortlistSpan := obs.StartStage(obs.StageShortlist)
 		res, reason := s.solveShortlist(ctx, g, req.K, solver, req.Method)
-		shortlistStop()
+		shortlistSpan.Stop()
 		if err := ctx.Err(); err != nil {
 			return nil, asAPIError(err)
 		}
@@ -887,7 +891,9 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSONReflect is the reflection fallback behind writeJSON for shapes
+// without a hand-rolled encoder (see encode.go).
+func (s *Server) writeJSONReflect(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {

@@ -49,7 +49,8 @@ func (e Exact) Solve(g *Graph, k int) Result {
 // incumbent so far (never a zero result — the greedy seed guarantees a
 // feasible solution) flagged Optimal = false.
 func (e Exact) SolveContext(ctx context.Context, g *Graph, k int) Result {
-	defer obs.StageTimer(obs.StageShortlistExact)()
+	span := obs.StartStage(obs.StageShortlistExact)
+	defer span.Stop()
 	var deadline time.Time
 	if e.Budget > 0 {
 		deadline = time.Now().Add(e.Budget)

@@ -1,0 +1,40 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+
+	"comparesets/internal/model"
+)
+
+// TestEnvelopeMarshalParity locks the hand-rolled envelope encoder to
+// json.Marshal byte-for-byte: logs written by either encoder must replay
+// identically, and the envelopePrefix sniff depends on "op" coming first.
+func TestEnvelopeMarshalParity(t *testing.T) {
+	envs := []logEnvelope{
+		{Op: opRemove, ItemID: "item-1", ReviewID: "r-9"},
+		{Op: opRemove, ItemID: "", ReviewID: ""},
+		{Op: opRemove, ItemID: "tricky <id> & \"quotes\"", ReviewID: "\xffbad"},
+		{Op: opUpdate, Review: &model.Review{
+			ID: "r1", ItemID: "item-1", Reviewer: "alice", Rating: 4,
+			Text: "updated text\nwith newline",
+			Mentions: []model.Mention{
+				{Aspect: 2, Polarity: model.Negative, Score: -0.75},
+			},
+		}},
+		{Op: opUpdate, Review: &model.Review{ID: "r2", ItemID: "i"}},
+	}
+	for i, env := range envs {
+		want, err := json.Marshal(env)
+		if err != nil {
+			t.Fatalf("json.Marshal: %v", err)
+		}
+		got, err := env.marshalAppend(nil)
+		if err != nil {
+			t.Fatalf("marshalAppend: %v", err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("envelope %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}

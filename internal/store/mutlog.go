@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"comparesets/internal/jsonenc"
 	"comparesets/internal/model"
 )
 
@@ -53,6 +54,31 @@ type logEnvelope struct {
 	Review   *model.Review `json:"review,omitempty"`
 	ItemID   string        `json:"item_id,omitempty"`
 	ReviewID string        `json:"review_id,omitempty"`
+}
+
+// marshalAppend appends the envelope's JSON encoding, byte-identical to
+// json.Marshal (including omitempty drops), so hand-encoded and
+// reflection-encoded logs are interchangeable byte-for-byte. Parity is
+// locked by TestEnvelopeMarshalParity.
+func (e *logEnvelope) marshalAppend(dst []byte) ([]byte, error) {
+	dst = append(dst, `{"op":`...)
+	dst = jsonenc.AppendString(dst, e.Op)
+	if e.Review != nil {
+		dst = append(dst, `,"review":`...)
+		var err error
+		if dst, err = e.Review.MarshalAppend(dst); err != nil {
+			return dst, err
+		}
+	}
+	if e.ItemID != "" {
+		dst = append(dst, `,"item_id":`...)
+		dst = jsonenc.AppendString(dst, e.ItemID)
+	}
+	if e.ReviewID != "" {
+		dst = append(dst, `,"review_id":`...)
+		dst = jsonenc.AppendString(dst, e.ReviewID)
+	}
+	return append(dst, '}'), nil
 }
 
 // decodeRecord turns one record payload into its review (append/update) or
@@ -99,6 +125,12 @@ func (s *Store) writeRecord(payload []byte) (int64, error) {
 	}
 	offset := s.size
 	s.size += headerSize + int64(len(payload))
+	if s.pages != nil {
+		// Drop the page(s) the append touched: the cached tail page is now
+		// short, and refilling on the next read beats a guaranteed
+		// length-miss there.
+		s.pages.invalidateRange(offset, s.size)
+	}
 	return offset, nil
 }
 
@@ -187,10 +219,14 @@ func (s *Store) AppendUpdate(rec *model.Review) error {
 	if s.livePos(rec.ItemID, rec.ID) < 0 {
 		return fmt.Errorf("store: update of unknown review %q on item %q", rec.ID, rec.ItemID)
 	}
-	payload, err := json.Marshal(logEnvelope{Op: opUpdate, Review: rec})
+	buf := jsonenc.GetBuffer()
+	defer jsonenc.PutBuffer(buf)
+	env := logEnvelope{Op: opUpdate, Review: rec}
+	payload, err := env.marshalAppend(buf.B)
 	if err != nil {
 		return fmt.Errorf("store: encoding update %q: %w", rec.ID, err)
 	}
+	buf.B = payload
 	offset, err := s.writeRecord(payload)
 	if err != nil {
 		return err
@@ -210,10 +246,14 @@ func (s *Store) AppendRemove(itemID, reviewID string) error {
 	if s.livePos(itemID, reviewID) < 0 {
 		return fmt.Errorf("store: remove of unknown review %q on item %q", reviewID, itemID)
 	}
-	payload, err := json.Marshal(logEnvelope{Op: opRemove, ItemID: itemID, ReviewID: reviewID})
+	buf := jsonenc.GetBuffer()
+	defer jsonenc.PutBuffer(buf)
+	env := logEnvelope{Op: opRemove, ItemID: itemID, ReviewID: reviewID}
+	payload, err := env.marshalAppend(buf.B)
 	if err != nil {
 		return fmt.Errorf("store: encoding tombstone %q: %w", reviewID, err)
 	}
+	buf.B = payload
 	if _, err := s.writeRecord(payload); err != nil {
 		return err
 	}

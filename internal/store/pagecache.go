@@ -1,0 +1,261 @@
+// Page-granular read cache over the CSLG log.
+//
+// ItemReviews previously paid a fresh buffered pass over the file for
+// every call: each request re-read and re-CRC'd the same hot log regions
+// through a throwaway bufio reader. The page cache keeps fixed-size
+// (64 KiB) immutable pages of the log in a sharded LRU with a byte budget,
+// so repeated reads of a hot region cost memory copies — and, for records
+// that fall inside one page, no copy at all: the decoder borrows a
+// subslice of the cached page.
+//
+// Invalidation leans on the log being append-only:
+//
+//   - Interior pages are immutable forever; they can never go stale.
+//   - The tail page grows. A cached tail page is recognizably stale by
+//     its length — a read that needs bytes past the cached extent misses
+//     and refills. writeRecord additionally drops pages overlapping the
+//     newly written range so the next read refills promptly instead of
+//     length-missing first.
+//   - Open-time truncation (crash recovery) precedes cache construction,
+//     so a cache never sees bytes that were later cut.
+//
+// Refills replace the map entry with a brand-new page; readers already
+// holding a borrowed subslice of the old page keep a consistent view,
+// because no page's data is ever mutated after insertion.
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"comparesets/internal/obs"
+)
+
+// pageSize is the cache granule. 64 KiB matches the old buffered reader's
+// window: one page covers many adjacent records of an item.
+const pageSize = 64 << 10
+
+// pageShardCount spreads lock contention across independent LRUs; must be
+// a power of two.
+const pageShardCount = 8
+
+// DefaultPageCacheBytes is the read-cache budget when OpenOptions leaves
+// PageCacheBytes at zero.
+const DefaultPageCacheBytes = 8 << 20
+
+// Package-wide page-cache counters on the default registry (shared by all
+// stores in the process, like every other comparesets_* metric).
+var (
+	pageMetricsOnce sync.Once
+	pageHitsTotal   *obs.Counter
+	pageMissesTotal *obs.Counter
+)
+
+func pageMetrics() (hits, misses *obs.Counter) {
+	pageMetricsOnce.Do(func() {
+		reg := obs.Default()
+		pageHitsTotal = reg.Counter("comparesets_store_page_hits_total",
+			"CSLG read-path page cache hits.", nil)
+		pageMissesTotal = reg.Counter("comparesets_store_page_misses_total",
+			"CSLG read-path page cache misses (fills and stale-tail refills).", nil)
+	})
+	return pageHitsTotal, pageMissesTotal
+}
+
+// page is one immutable cached extent of the log:
+// file[idx*pageSize : idx*pageSize+len(data)].
+type page struct {
+	idx        int64
+	data       []byte
+	prev, next *page // shard LRU list; head is most recently used
+}
+
+type pageShard struct {
+	mu         sync.Mutex
+	pages      map[int64]*page
+	head, tail *page
+	bytes      int64
+}
+
+// pageCache is the store-wide sharded LRU. It reads through f and trusts
+// the caller to bound reads by the store's valid size (pages must never
+// cover bytes past the last good record).
+type pageCache struct {
+	f           *os.File
+	shardBudget int64
+	shards      [pageShardCount]pageShard
+
+	hits, misses       atomic.Uint64 // per-store stats (PageCacheStats)
+	hitsCtr, missesCtr *obs.Counter  // process-wide totals (/metrics)
+}
+
+func newPageCache(f *os.File, budget int64) *pageCache {
+	c := &pageCache{f: f, shardBudget: (budget + pageShardCount - 1) / pageShardCount}
+	c.hitsCtr, c.missesCtr = pageMetrics()
+	return c
+}
+
+// PageCacheStats reports this store's page-cache hit/miss counts since
+// open (zero/zero when the cache is disabled).
+func (s *Store) PageCacheStats() (hits, misses uint64) {
+	if s.pages == nil {
+		return 0, 0
+	}
+	return s.pages.hits.Load(), s.pages.misses.Load()
+}
+
+// page returns the cached data of page idx, covering at least need bytes
+// from the page start (need ≤ pageSize). size is the store's current valid
+// length, bounding how much of the page exists. The returned slice is
+// immutable and safe to hold without locks.
+func (c *pageCache) page(idx int64, need int, size int64) ([]byte, error) {
+	sh := &c.shards[idx&(pageShardCount-1)]
+	sh.mu.Lock()
+	if p := sh.pages[idx]; p != nil && len(p.data) >= need {
+		sh.moveFront(p)
+		data := p.data
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		c.hitsCtr.Inc()
+		return data, nil
+	}
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	c.missesCtr.Inc()
+
+	// Fill outside the shard lock: concurrent readers of one cold page may
+	// duplicate the file read, but never block each other on I/O.
+	start := idx * pageSize
+	end := start + pageSize
+	if end > size {
+		end = size
+	}
+	if start+int64(need) > end {
+		return nil, fmt.Errorf("read of %d bytes at %d past end of log (%d)", need, start, size)
+	}
+	data := make([]byte, end-start)
+	if _, err := c.f.ReadAt(data, start); err != nil {
+		return nil, err
+	}
+	sh.insert(idx, data, c.shardBudget)
+	return data, nil
+}
+
+// view returns the n bytes at off, borrowing a cached-page subslice when
+// the range sits inside one page, and otherwise assembling into *scratch
+// (grown as needed and reused across calls).
+func (c *pageCache) view(off int64, n int, size int64, scratch *[]byte) ([]byte, error) {
+	if off+int64(n) > size {
+		return nil, io.ErrUnexpectedEOF
+	}
+	idx, rel := off/pageSize, int(off%pageSize)
+	if rel+n <= pageSize {
+		data, err := c.page(idx, rel+n, size)
+		if err != nil {
+			return nil, err
+		}
+		return data[rel : rel+n : rel+n], nil
+	}
+	if cap(*scratch) < n {
+		*scratch = make([]byte, n)
+	}
+	out := (*scratch)[:n]
+	for filled := 0; filled < n; {
+		need := pageSize - rel
+		if rem := n - filled; rem < need {
+			need = rem
+		}
+		data, err := c.page(idx, rel+need, size)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[filled:], data[rel:rel+need])
+		filled += need
+		idx, rel = idx+1, 0
+	}
+	return out, nil
+}
+
+// invalidateRange drops every page overlapping [from, to). The append path
+// calls it after extending the log so the stale-short tail page refills on
+// the next read instead of length-missing first.
+func (c *pageCache) invalidateRange(from, to int64) {
+	if from >= to {
+		return
+	}
+	for idx := from / pageSize; idx <= (to-1)/pageSize; idx++ {
+		sh := &c.shards[idx&(pageShardCount-1)]
+		sh.mu.Lock()
+		if p := sh.pages[idx]; p != nil {
+			sh.remove(p)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// insert adds (or replaces) page idx and evicts from the cold end until
+// the shard fits its budget. Caller must not hold the shard lock.
+func (sh *pageShard) insert(idx int64, data []byte, budget int64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.pages == nil {
+		sh.pages = map[int64]*page{}
+	}
+	if old := sh.pages[idx]; old != nil {
+		sh.remove(old)
+	}
+	p := &page{idx: idx, data: data}
+	sh.pages[idx] = p
+	sh.pushFront(p)
+	sh.bytes += int64(len(data))
+	for sh.bytes > budget && sh.tail != nil && sh.tail != p {
+		sh.remove(sh.tail)
+	}
+}
+
+func (sh *pageShard) pushFront(p *page) {
+	p.prev, p.next = nil, sh.head
+	if sh.head != nil {
+		sh.head.prev = p
+	}
+	sh.head = p
+	if sh.tail == nil {
+		sh.tail = p
+	}
+}
+
+func (sh *pageShard) moveFront(p *page) {
+	if sh.head == p {
+		return
+	}
+	// Unlink (p is not head, so p.prev != nil).
+	p.prev.next = p.next
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		sh.tail = p.prev
+	}
+	p.prev = nil
+	p.next = sh.head
+	sh.head.prev = p
+	sh.head = p
+}
+
+func (sh *pageShard) remove(p *page) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		sh.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		sh.tail = p.prev
+	}
+	p.prev, p.next = nil, nil
+	delete(sh.pages, p.idx)
+	sh.bytes -= int64(len(p.data))
+}

@@ -1,0 +1,282 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"comparesets/internal/model"
+)
+
+func pageTestReview(item string, i, textLen int) *model.Review {
+	return &model.Review{
+		ID:     fmt.Sprintf("%s-r%d", item, i),
+		ItemID: item, Reviewer: "rev", Rating: 1 + i%5,
+		Text: strings.Repeat("x", textLen),
+		Mentions: []model.Mention{
+			{Aspect: i % 7, Polarity: model.Positive, Score: 0.5},
+		},
+	}
+}
+
+// TestPageCacheHitsAndStats: the second identical read is served from
+// cached pages.
+func TestPageCacheHitsAndStats(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 20; i++ {
+		if err := s.Append(pageTestReview("item-a", i, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.ItemReviews("item-a"); err != nil {
+		t.Fatal(err)
+	}
+	_, missesCold := s.PageCacheStats()
+	if missesCold == 0 {
+		t.Fatal("cold read should miss")
+	}
+	hitsBefore, _ := s.PageCacheStats()
+	if _, err := s.ItemReviews("item-a"); err != nil {
+		t.Fatal(err)
+	}
+	hitsAfter, missesAfter := s.PageCacheStats()
+	if hitsAfter <= hitsBefore {
+		t.Fatalf("warm read should hit: hits %d -> %d", hitsBefore, hitsAfter)
+	}
+	if missesAfter != missesCold {
+		t.Fatalf("warm read should not miss: misses %d -> %d", missesCold, missesAfter)
+	}
+}
+
+// TestPageCacheSeesAppends: records appended after a page is cached are
+// visible immediately (tail invalidation + refill).
+func TestPageCacheSeesAppends(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for round := 0; round < 50; round++ {
+		if err := s.Append(pageTestReview("item-a", round, 50)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.ItemReviews("item-a")
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(got) != round+1 {
+			t.Fatalf("round %d: got %d reviews", round, len(got))
+		}
+		if got[round].ID != fmt.Sprintf("item-a-r%d", round) {
+			t.Fatalf("round %d: tail review %q", round, got[round].ID)
+		}
+	}
+}
+
+// TestPageCacheStraddlingRecords: reviews larger than a page decode
+// correctly through the multi-page assembly path.
+func TestPageCacheStraddlingRecords(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Each review's text is ~1.5 pages, so every record straddles.
+	for i := 0; i < 6; i++ {
+		if err := s.Append(pageTestReview("big", i, pageSize*3/2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		got, err := s.ItemReviews("big")
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if len(got) != 6 {
+			t.Fatalf("pass %d: got %d reviews", pass, len(got))
+		}
+		for i, r := range got {
+			if len(r.Text) != pageSize*3/2 {
+				t.Fatalf("pass %d: review %d text length %d", pass, i, len(r.Text))
+			}
+		}
+	}
+}
+
+// TestPageCacheEviction: a tiny budget still serves correct data, just
+// with more misses.
+func TestPageCacheEviction(t *testing.T) {
+	s, err := OpenWithOptions(filepath.Join(t.TempDir(), "log"),
+		OpenOptions{PageCacheBytes: 2 * pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	items := []string{"a", "b", "c", "d"}
+	for _, it := range items {
+		for i := 0; i < 8; i++ {
+			if err := s.Append(pageTestReview(it, i, pageSize/4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for pass := 0; pass < 3; pass++ {
+		for _, it := range items {
+			got, err := s.ItemReviews(it)
+			if err != nil {
+				t.Fatalf("pass %d item %s: %v", pass, it, err)
+			}
+			if len(got) != 8 {
+				t.Fatalf("pass %d item %s: %d reviews", pass, it, len(got))
+			}
+		}
+	}
+	// Each shard evicts down to its budget share, but always keeps the
+	// page it just inserted — so the residency bound per shard is
+	// max(shardBudget, one page).
+	perShard := s.pages.shardBudget
+	if perShard < pageSize {
+		perShard = pageSize
+	}
+	for i := range s.pages.shards {
+		sh := &s.pages.shards[i]
+		sh.mu.Lock()
+		bytes := sh.bytes
+		sh.mu.Unlock()
+		if bytes > perShard {
+			t.Fatalf("shard %d holds %d bytes, limit %d", i, bytes, perShard)
+		}
+	}
+}
+
+// TestPageCacheDisabledParity: -1 disables the cache and reads fall back
+// to the buffered pass with identical results.
+func TestPageCacheDisabledParity(t *testing.T) {
+	dir := t.TempDir()
+	build := func(budget int64, name string) *Store {
+		s, err := OpenWithOptions(filepath.Join(dir, name), OpenOptions{PageCacheBytes: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			if err := s.Append(pageTestReview("item", i, 200)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	on, off := build(0, "on"), build(-1, "off")
+	defer on.Close()
+	defer off.Close()
+	if off.pages != nil {
+		t.Fatal("negative budget should disable the cache")
+	}
+	a, err := on.ItemReviews("item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := off.ItemReviews("item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("cached %d vs buffered %d reviews", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Text != b[i].Text {
+			t.Fatalf("review %d diverges: %q vs %q", i, a[i].ID, b[i].ID)
+		}
+	}
+	hits, misses := off.PageCacheStats()
+	if hits != 0 || misses != 0 {
+		t.Fatalf("disabled cache reported stats %d/%d", hits, misses)
+	}
+}
+
+// TestPageCacheConcurrentReadAppend drives readers and an appender at the
+// same time; run under -race this covers the cache's locking.
+func TestPageCacheConcurrentReadAppend(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if err := s.Append(pageTestReview("hot", i, 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, err := s.ItemReviews("hot")
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if len(got) < 10 {
+					t.Errorf("read saw %d reviews", len(got))
+					return
+				}
+			}
+		}()
+	}
+	for i := 10; i < 60; i++ {
+		if err := s.Append(pageTestReview("hot", i, 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	got, err := s.ItemReviews("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 60 {
+		t.Fatalf("final read saw %d reviews, want 60", len(got))
+	}
+}
+
+// BenchmarkItemReviewsPaged/Buffered measure the hot read path with and
+// without the page cache.
+func benchmarkItemReviews(b *testing.B, budget int64) {
+	s, err := OpenWithOptions(filepath.Join(b.TempDir(), "log"),
+		OpenOptions{PageCacheBytes: budget})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 64; i++ {
+		if err := s.Append(pageTestReview("hot", i, 400)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := s.ItemReviews("hot"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ItemReviews("hot"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkItemReviewsPaged(b *testing.B)    { benchmarkItemReviews(b, 0) }
+func BenchmarkItemReviewsBuffered(b *testing.B) { benchmarkItemReviews(b, -1) }
