@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race cover bench bench-json bce-check chaos fuzz loadgen experiments examples clean
+.PHONY: all build vet test race cover bench bench-json bce-check chaos chaos-cluster fuzz loadgen experiments examples clean
 
 all: build vet test
 
@@ -34,6 +34,15 @@ chaos:
 		./internal/faultinject/... ./internal/store/... ./internal/core/... \
 		./internal/featstore/... ./internal/servecache/... ./internal/service/... \
 	|| { echo "chaos FAILED — reproduce with: FAULTINJECT_SEED=$$seed make chaos"; exit 1; }
+
+# Cross-process chaos drill: 3 real workers + the router, probabilistic
+# router.forward faults, and a kill -9 of one worker mid-load; fails unless
+# client availability stays >= 99%. Prints FAULTINJECT_SEED for replay.
+# The in-process equivalent (plus mutation-durability and byte-parity
+# assertions) runs in every `go test ./internal/cluster/` as
+# TestClusterSurvivesReplicaKillMidLoad.
+chaos-cluster:
+	sh scripts/chaos_cluster.sh
 
 # Fuzz the store's crash-recovery scan, the mutation-log append path, and
 # the hand-rolled JSON encoders' byte parity with encoding/json (bounded;

@@ -15,7 +15,12 @@
 // With no -addr, loadgen serves itself: it synthesizes the three default
 // corpora and runs the full service handler in-process over loopback HTTP,
 // which is how the CI smoke stays hermetic. Against -addr it is a plain
-// HTTP client.
+// HTTP client; a comma-separated -addr list round-robins requests across
+// the targets (a router plus direct replicas, or a replica set) and the
+// report gains per-target sent/ok/shed/error/availability columns.
+// -min-availability gates the run on the fraction of 200s — the
+// chaos-cluster target uses it to assert the routing tier masks a killed
+// replica.
 //
 // After each rate stage it scrapes /metrics and differences the counters,
 // recording cache hit rate, shed count, store page cache traffic, and
@@ -55,25 +60,43 @@ type target struct {
 	item     string
 }
 
+// TargetStats is one -addr target's share of a rate stage — the per-backend
+// error and availability breakdown that makes multi-target (router or
+// replica-set) runs reviewable.
+type TargetStats struct {
+	Addr         string  `json:"addr"`
+	Sent         int     `json:"sent"`
+	OK           int     `json:"ok"`
+	Shed         int     `json:"shed"`
+	Errors       int     `json:"errors"`
+	Availability float64 `json:"availability"`
+}
+
 // RateRun is the recorded outcome of one rate stage.
 type RateRun struct {
-	Rate       float64 `json:"rate_rps"`
-	Sent       int     `json:"sent"`
-	OK         int     `json:"ok"`
-	Shed       int     `json:"shed"`
-	Errors     int     `json:"errors"`
-	Writes     int     `json:"writes"`
-	ShedRate   float64 `json:"shed_rate"`
-	P50MS      float64 `json:"p50_ms"`
-	P90MS      float64 `json:"p90_ms"`
-	P99MS      float64 `json:"p99_ms"`
-	MaxMS      float64 `json:"max_ms"`
-	CacheHits  uint64  `json:"cache_hits"`
-	CacheMiss  uint64  `json:"cache_misses"`
-	CacheRate  float64 `json:"cache_hit_rate"`
-	PageHits   uint64  `json:"store_page_hits"`
-	PageMiss   uint64  `json:"store_page_misses"`
-	EncodeByte uint64  `json:"encode_bytes"`
+	Rate     float64 `json:"rate_rps"`
+	Sent     int     `json:"sent"`
+	OK       int     `json:"ok"`
+	Shed     int     `json:"shed"`
+	Errors   int     `json:"errors"`
+	Writes   int     `json:"writes"`
+	ShedRate float64 `json:"shed_rate"`
+	// Availability is the fraction of requests answered 200 — the headline
+	// number a chaos run gates on.
+	Availability float64 `json:"availability"`
+	P50MS        float64 `json:"p50_ms"`
+	P90MS        float64 `json:"p90_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	MaxMS        float64 `json:"max_ms"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMiss    uint64  `json:"cache_misses"`
+	CacheRate    float64 `json:"cache_hit_rate"`
+	PageHits     uint64  `json:"store_page_hits"`
+	PageMiss     uint64  `json:"store_page_misses"`
+	EncodeByte   uint64  `json:"encode_bytes"`
+	// PerTarget breaks the stage down by -addr target when more than one
+	// was given (omitted for single-target runs to keep the schema stable).
+	PerTarget []TargetStats `json:"per_target,omitempty"`
 }
 
 // Report is the BENCH_load.json document.
@@ -91,7 +114,7 @@ type Report struct {
 
 func main() {
 	var (
-		addr       = flag.String("addr", "", "server base URL (empty = serve the synthetic corpora in-process)")
+		addr       = flag.String("addr", "", "comma-separated server base URLs, round-robin (empty = serve the synthetic corpora in-process)")
 		rates      = flag.String("rates", "50,100,200", "comma-separated open-loop arrival rates in req/s")
 		duration   = flag.Duration("duration", 3*time.Second, "wall-clock length of each rate stage")
 		writeRatio = flag.Float64("write-ratio", 0, "fraction of requests that append a review instead of selecting")
@@ -103,22 +126,27 @@ func main() {
 		baseline   = flag.String("baseline", "", "committed BENCH_load.json to gate against (empty = no gate)")
 		maxRegress = flag.Float64("max-regress", 0.25, "max allowed fractional p99 regression vs -baseline")
 		floorMS    = flag.Float64("regress-floor-ms", 2, "ignore regressions while both p99s are under this many ms")
+		minAvail   = flag.Float64("min-availability", 0, "fail unless every rate's availability (200s/sent) reaches this fraction (0 = no gate)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "loadgen: ", log.LstdFlags)
 
-	base := *addr
-	if base == "" {
+	var bases []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			bases = append(bases, strings.TrimRight(a, "/"))
+		}
+	}
+	if len(bases) == 0 {
 		ts, err := selfServe(*seed, *maxInfl, logger)
 		if err != nil {
 			logger.Fatal(err)
 		}
 		defer ts.Close()
-		base = ts.URL
+		bases = []string{ts.URL}
 	}
-	base = strings.TrimRight(base, "/")
 
-	targets, err := discoverTargets(base)
+	targets, err := discoverTargets(bases[0])
 	if err != nil {
 		logger.Fatal(err)
 	}
@@ -142,12 +170,12 @@ func main() {
 		if err != nil || rate <= 0 {
 			logger.Fatalf("bad rate %q", f)
 		}
-		run, err := runStage(base, targets, rate, *duration, *writeRatio, *zipfS, *seed, *m)
+		run, err := runStage(bases, targets, rate, *duration, *writeRatio, *zipfS, *seed, *m)
 		if err != nil {
 			logger.Fatal(err)
 		}
-		logger.Printf("rate %.0f req/s: sent %d ok %d shed %d p50 %.2fms p99 %.2fms cache %.0f%%",
-			rate, run.Sent, run.OK, run.Shed, run.P50MS, run.P99MS, 100*run.CacheRate)
+		logger.Printf("rate %.0f req/s: sent %d ok %d shed %d avail %.2f%% p50 %.2fms p99 %.2fms cache %.0f%%",
+			rate, run.Sent, run.OK, run.Shed, 100*run.Availability, run.P50MS, run.P99MS, 100*run.CacheRate)
 		report.Runs = append(report.Runs, run)
 	}
 
@@ -161,6 +189,15 @@ func main() {
 			logger.Fatal(err)
 		}
 		logger.Printf("p99 within %.0f%% of %s at every rate", 100**maxRegress, *baseline)
+	}
+	if *minAvail > 0 {
+		for _, run := range report.Runs {
+			if run.Availability < *minAvail {
+				logger.Fatalf("availability gate: %.4f at %.0f req/s, need >= %.4f",
+					run.Availability, run.Rate, *minAvail)
+			}
+		}
+		logger.Printf("availability >= %.2f%% at every rate", 100**minAvail)
 	}
 }
 
@@ -230,12 +267,44 @@ type stageStats struct {
 	shed      int
 	errors    int
 	writes    int
+	perTarget map[string]*TargetStats
 }
 
-// runStage fires duration's worth of requests at the given open-loop rate
-// and differences /metrics around the stage.
-func runStage(base string, targets []target, rate float64, duration time.Duration, writeRatio, zipfS float64, seed int64, m int) (RateRun, error) {
-	before, err := scrapeMetrics(base)
+// record books one outcome against the totals and its -addr target.
+func (st *stageStats) record(base string, status int, err error, isWrite bool, elapsedMS float64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ts := st.perTarget[base]
+	if ts == nil {
+		ts = &TargetStats{Addr: base}
+		st.perTarget[base] = ts
+	}
+	ts.Sent++
+	if isWrite {
+		st.writes++
+	}
+	switch {
+	case err != nil:
+		st.errors++
+		ts.Errors++
+	case status == http.StatusServiceUnavailable:
+		st.shed++
+		ts.Shed++
+	case status == http.StatusOK:
+		st.ok++
+		ts.OK++
+		st.latencies = append(st.latencies, elapsedMS)
+	default:
+		st.errors++
+		ts.Errors++
+	}
+}
+
+// runStage fires duration's worth of requests at the given open-loop rate,
+// round-robin across the bases, and differences the summed /metrics of
+// every base around the stage.
+func runStage(bases []string, targets []target, rate float64, duration time.Duration, writeRatio, zipfS float64, seed int64, m int) (RateRun, error) {
+	before, err := scrapeAll(bases)
 	if err != nil {
 		return RateRun{}, err
 	}
@@ -243,7 +312,7 @@ func runStage(base string, targets []target, rate float64, duration time.Duratio
 	zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(targets)-1))
 
 	var (
-		st    stageStats
+		st    = stageStats{perTarget: map[string]*TargetStats{}}
 		wg    sync.WaitGroup
 		start = time.Now()
 		n     = int(rate * duration.Seconds())
@@ -254,6 +323,7 @@ func runStage(base string, targets []target, rate float64, duration time.Duratio
 		// The draws happen on the schedule goroutine so the rng is used
 		// single-threaded; the launch time is fixed by the schedule alone.
 		tg := targets[zipf.Uint64()]
+		base := bases[i%len(bases)]
 		isWrite := rng.Float64() < writeRatio
 		// The rate is part of the ID so stages never collide on a review.
 		writeID := fmt.Sprintf("loadgen-%d-%.0f-%d", seed, rate, i)
@@ -270,26 +340,11 @@ func runStage(base string, targets []target, rate float64, duration time.Duratio
 				status, err = fireSelect(client, base, tg, m)
 			}
 			elapsed := float64(time.Since(t0).Microseconds()) / 1000
-			st.mu.Lock()
-			defer st.mu.Unlock()
-			if isWrite {
-				st.writes++
-			}
-			switch {
-			case err != nil:
-				st.errors++
-			case status == http.StatusServiceUnavailable:
-				st.shed++
-			case status == http.StatusOK:
-				st.ok++
-				st.latencies = append(st.latencies, elapsed)
-			default:
-				st.errors++
-			}
+			st.record(base, status, err, isWrite, elapsed)
 		}()
 	}
 	wg.Wait()
-	after, err := scrapeMetrics(base)
+	after, err := scrapeAll(bases)
 	if err != nil {
 		return RateRun{}, err
 	}
@@ -303,6 +358,19 @@ func runStage(base string, targets []target, rate float64, duration time.Duratio
 	}
 	if n > 0 {
 		run.ShedRate = float64(st.shed) / float64(n)
+		run.Availability = float64(st.ok) / float64(n)
+	}
+	if len(bases) > 1 {
+		for _, base := range bases {
+			ts := st.perTarget[base]
+			if ts == nil {
+				ts = &TargetStats{Addr: base}
+			}
+			if ts.Sent > 0 {
+				ts.Availability = float64(ts.OK) / float64(ts.Sent)
+			}
+			run.PerTarget = append(run.PerTarget, *ts)
+		}
 	}
 	hits := after.delta(before, `comparesets_cache_hits_total{cache="servecache"}`)
 	misses := after.delta(before, `comparesets_cache_misses_total{cache="servecache"}`)
@@ -397,6 +465,23 @@ func (c counters) delta(before counters, series string) uint64 {
 		return 0
 	}
 	return uint64(d)
+}
+
+// scrapeAll sums the metric counters of every base — against a replica set
+// the caches and stores are per-process, so the stage deltas are the
+// cluster-wide totals.
+func scrapeAll(bases []string) (counters, error) {
+	total := counters{}
+	for _, base := range bases {
+		c, err := scrapeMetrics(base)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range c {
+			total[k] += v
+		}
+	}
+	return total, nil
 }
 
 // scrapeMetrics parses the Prometheus text exposition at base/metrics.

@@ -107,7 +107,7 @@ func TestLoadgenSmoke(t *testing.T) {
 	if len(targets) == 0 {
 		t.Fatal("no targets discovered")
 	}
-	run, err := runStage(ts.URL, targets, 40, 500*time.Millisecond, 0.2, 1.2, 1, 3)
+	run, err := runStage([]string{ts.URL}, targets, 40, 500*time.Millisecond, 0.2, 1.2, 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

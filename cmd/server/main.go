@@ -31,6 +31,12 @@
 // apply (an empty log is seeded with the loaded corpora first, so update
 // and remove records can validate against the live view).
 //
+// -serve-snapshot exposes GET /internal/v1/snapshot/{category} so peers
+// (and cmd/router) can replicate this worker's corpora; -join <baseURL>
+// bootstraps the worker's corpora from such a peer instead of -data or
+// -synthetic, replaying the snapshot log through the store's torn-tail
+// recovery and verifying fingerprint parity before serving.
+//
 // SIGINT/SIGTERM triggers a graceful shutdown: /readyz flips to
 // overloaded (so load balancers drain the instance), in-flight requests
 // get up to -drain to finish, the store is synced and closed, and stderr
@@ -50,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"comparesets/internal/cluster"
 	"comparesets/internal/datagen"
 	"comparesets/internal/model"
 	"comparesets/internal/service"
@@ -73,11 +80,26 @@ func main() {
 		batchMax      = flag.Int("batch-max", 0, "seal a batch group early at this many requests (0 = window only)")
 		float32Mode   = flag.Bool("float32", false, "serve selections from compact float32 feature slabs (float64 accumulation)")
 		pageCache     = flag.Int64("store-page-cache-bytes", 0, "byte budget of the -store read page cache (0 = default, negative = disabled)")
+		joinURL       = flag.String("join", "", "bootstrap corpora from a peer's snapshot endpoint (base URL of a worker or router) instead of -data/-synthetic")
+		joinDir       = flag.String("join-dir", "", "directory for snapshot logs fetched by -join (default: a temp dir)")
+		serveSnapshot = flag.Bool("serve-snapshot", false, "serve GET /internal/v1/snapshot/{category} so peers and the router can replicate from this worker")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "server: ", log.LstdFlags)
 
-	corpora, err := loadCorpora(*dataDir, *synthetic, *seed, logger)
+	var corpora map[string]*model.Corpus
+	var err error
+	if *joinURL != "" {
+		dir := *joinDir
+		if dir == "" {
+			if dir, err = os.MkdirTemp("", "comparesets-join-*"); err != nil {
+				logger.Fatal(err)
+			}
+		}
+		corpora, err = cluster.Join(context.Background(), nil, strings.TrimRight(*joinURL, "/"), dir, logger)
+	} else {
+		corpora, err = loadCorpora(*dataDir, *synthetic, *seed, logger)
+	}
 	if err != nil {
 		logger.Fatal(err)
 	}
@@ -118,9 +140,18 @@ func main() {
 		opts.MutationLog = st
 	}
 	svc := service.NewWithOptions(corpora, logger, opts)
+	handler := svc.Handler()
+	if *serveSnapshot {
+		// Mount the snapshot stream on an outer mux so the service handler
+		// keeps owning every other route.
+		outer := http.NewServeMux()
+		outer.Handle(cluster.SnapshotPathPrefix, cluster.SnapshotHandler(svc, logger))
+		outer.Handle("/", handler)
+		handler = outer
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(logger, svc.Handler()),
+		Handler:           logRequests(logger, handler),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,74 @@
+// Per-backend runtime state.
+//
+// The router keeps one backend struct per worker replica: its base URL, its
+// circuit breaker, and a small ring of recent select latencies whose p95
+// sets the hedge delay. The latency tracker is deliberately tiny (64
+// samples) — hedging wants "what is slow *right now*", not a long-horizon
+// percentile, and a ring that small adapts within a few dozen requests of a
+// backend going sour.
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencySamples is the ring size of the per-backend latency tracker.
+const latencySamples = 64
+
+// minHedgeSamples is how many observations the tracker needs before its p95
+// is trusted; below that the router uses its configured default delay.
+const minHedgeSamples = 8
+
+// backend is the router's view of one worker replica.
+type backend struct {
+	addr    string
+	breaker *Breaker
+	lat     latencyRing
+}
+
+// newBackend builds the per-replica state.
+func newBackend(addr string, cfg BreakerConfig) *backend {
+	return &backend{addr: addr, breaker: NewBreaker(cfg)}
+}
+
+// latencyRing is a fixed-size ring of recent request latencies. Safe for
+// concurrent use.
+type latencyRing struct {
+	mu      sync.Mutex
+	samples [latencySamples]time.Duration
+	at      int
+	filled  int
+}
+
+// observe records one latency sample.
+func (l *latencyRing) observe(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.samples[l.at] = d
+	l.at = (l.at + 1) % latencySamples
+	if l.filled < latencySamples {
+		l.filled++
+	}
+}
+
+// p95 returns the 95th-percentile latency of the ring, or (0, false) while
+// fewer than minHedgeSamples observations exist.
+func (l *latencyRing) p95() (time.Duration, bool) {
+	l.mu.Lock()
+	n := l.filled
+	if n < minHedgeSamples {
+		l.mu.Unlock()
+		return 0, false
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, l.samples[:n])
+	l.mu.Unlock()
+	sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+	idx := (n * 95) / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return buf[idx], true
+}

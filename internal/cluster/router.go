@@ -1,0 +1,934 @@
+// The routing tier.
+//
+// Router is a stdlib-HTTP reverse proxy specialised for the comparative-set
+// service: it places categories on worker replicas via the consistent-hash
+// ring, steers reads toward the healthiest replica, retries and hedges
+// idempotent work under a shared budget, fans mutations out to every
+// replica of a shard, and reconciles the replicas' epoch/generation
+// receipts so a replica that missed or mangled a write is drained from
+// reads instead of silently serving stale selections.
+//
+// Read path (select / extract / targets): candidates are the category's
+// replica set ordered by health rank then ring preference, minus replicas
+// marked divergent for that category and minus open breakers. The first
+// attempt is free; every retry (after jittered backoff, on transport error
+// or 5xx only) and every hedge (armed at the in-flight backend's p95
+// latency) withdraws from the retry budget. A 4xx is a deterministic answer
+// — forwarded verbatim, never retried. timeout_ms in the forwarded body is
+// rewritten to the remaining deadline budget so a retry never grants an
+// upstream more time than the client has left.
+//
+// Write path (review mutations): serialized per category so every replica
+// applies mutations in the same order, then fanned out to the full replica
+// set. Receipts are compared by corpus-fingerprint suffix and per-item
+// generation — epochSeq prefixes are per-process and deliberately ignored.
+// Replicas that fail the write or disagree with the quorum answer are
+// marked divergent for that category.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"comparesets/internal/faultinject"
+	"comparesets/internal/obs"
+)
+
+// RouterOptions configures a Router. Backends is required; every other
+// field has a serviceable default.
+type RouterOptions struct {
+	// Backends are the worker base URLs (e.g. http://127.0.0.1:8081).
+	Backends []string
+	// Replication is how many replicas hold each category (default: all
+	// backends; clamped to [1, len(Backends)]).
+	Replication int
+	// VirtualNodes per backend on the hash ring (default 128).
+	VirtualNodes int
+	// MaxRetries bounds extra read attempts after the first (default 2).
+	MaxRetries int
+	// HedgeDelay is the hedge arm delay used until a backend has enough
+	// latency samples for a p95 (default 10ms).
+	HedgeDelay time.Duration
+	// HedgeDisabled turns hedged reads off entirely.
+	HedgeDisabled bool
+	// DefaultTimeout is the per-request deadline when the client sends no
+	// timeout_ms (default 30s).
+	DefaultTimeout time.Duration
+	// HealthInterval is the /readyz poll period (default 500ms).
+	HealthInterval time.Duration
+	// Breaker, RetryBudget, Backoff tune the resilience machinery; zero
+	// values take the package defaults.
+	Breaker     BreakerConfig
+	RetryBudget RetryBudgetConfig
+	Backoff     BackoffConfig
+	// Client is the upstream HTTP client (default: pooled, no global
+	// timeout — deadlines come from request contexts).
+	Client *http.Client
+	// Registry receives router metrics (default obs.NewRegistry(), so
+	// in-process tests don't collide with worker registries).
+	Registry *obs.Registry
+	// Logger for lifecycle and divergence events (default log.Default()).
+	Logger *log.Logger
+	// Seed drives backoff/hedge jitter; 0 uses the faultinject seed so
+	// chaos runs are reproducible.
+	Seed int64
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.Replication <= 0 {
+		o.Replication = len(o.Backends)
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	} else if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.HedgeDelay <= 0 {
+		o.HedgeDelay = 10 * time.Millisecond
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	if o.Logger == nil {
+		o.Logger = log.Default()
+	}
+	if o.Seed == 0 {
+		o.Seed = faultinject.CurrentSeed()
+	}
+	return o
+}
+
+// hedge delay clamps: below 2ms a hedge races the original pointlessly,
+// above 200ms it no longer protects the tail.
+const (
+	minHedgeDelay = 2 * time.Millisecond
+	maxHedgeDelay = 200 * time.Millisecond
+)
+
+// timeoutMSRe rewrites the timeout_ms field in-place so the rest of the
+// body's bytes — and therefore the worker's response bytes — are untouched.
+var timeoutMSRe = regexp.MustCompile(`"timeout_ms"\s*:\s*[0-9]+`)
+
+// Router is the fault-tolerant routing tier over a fixed set of worker
+// replicas.
+type Router struct {
+	opts     RouterOptions
+	ring     *Ring
+	backends map[string]*backend
+	health   *HealthWatcher
+	budget   *RetryBudget
+	backoff  BackoffConfig
+	reg      *obs.Registry
+	logger   *log.Logger
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu        sync.Mutex
+	catLocks  map[string]*sync.Mutex
+	divergent map[string]bool // addr + "\x00" + category
+}
+
+// NewRouter builds (but does not start) a router over the backends.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	opts = opts.withDefaults()
+	ring, err := NewRing(opts.Backends, opts.Replication, opts.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		opts:      opts,
+		ring:      ring,
+		backends:  make(map[string]*backend, len(opts.Backends)),
+		budget:    NewRetryBudget(opts.RetryBudget),
+		backoff:   opts.Backoff.withDefaults(),
+		reg:       opts.Registry,
+		logger:    opts.Logger,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		catLocks:  map[string]*sync.Mutex{},
+		divergent: map[string]bool{},
+	}
+	for _, addr := range opts.Backends {
+		b := newBackend(addr, opts.Breaker)
+		addr := addr
+		b.breaker.OnTransition(func(from, to BreakerState) {
+			rt.reg.Counter("comparesets_router_breaker_transitions_total",
+				"Circuit-breaker state transitions per backend.",
+				obs.Labels{"backend": addr, "to": to.String()}).Inc()
+			rt.logger.Printf("router: breaker %s: %s -> %s", addr, from, to)
+		})
+		rt.backends[addr] = b
+	}
+	rt.health = NewHealthWatcher(opts.Backends, nil, opts.HealthInterval, func(addr, from, to string) {
+		rt.logger.Printf("router: health %s: %s -> %s", addr, from, to)
+	})
+	return rt, nil
+}
+
+// Start launches the health watcher.
+func (rt *Router) Start() { rt.health.Start() }
+
+// Stop terminates the health watcher.
+func (rt *Router) Stop() { rt.health.Stop() }
+
+// Ring exposes the placement ring (for tests and ops tooling).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Registry exposes the router's metrics registry.
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+// Handler returns the router's HTTP handler: the worker API surface plus
+// routing-tier operational endpoints.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.HandleFunc("GET /api/v1/categories", rt.handleCategories)
+	mux.HandleFunc("GET /api/v1/targets", rt.handleTargets)
+	mux.HandleFunc("POST /api/v1/select", rt.handleRead)
+	mux.HandleFunc("POST /api/v1/extract", rt.handleRead)
+	mux.HandleFunc("POST /api/v1/corpora/{category}/items/{item}/reviews", rt.handleMutation)
+	mux.HandleFunc("PATCH /api/v1/corpora/{category}/items/{item}/reviews/{review}", rt.handleMutation)
+	mux.HandleFunc("DELETE /api/v1/corpora/{category}/items/{item}/reviews/{review}", rt.handleMutation)
+	mux.HandleFunc("GET "+SnapshotPathPrefix+"{category}", rt.handleSnapshotProxy)
+	obs.RegisterOps(mux, rt.reg)
+	return mux
+}
+
+// --- candidate selection ---------------------------------------------------
+
+// readCandidates returns the category's replica set ordered by health rank
+// then ring preference, with replicas divergent for this category removed.
+// If draining divergent replicas would empty the set entirely they are
+// kept (serving possibly-stale data beats serving nothing).
+func (rt *Router) readCandidates(category string) []string {
+	placement := rt.ring.Placement(category)
+	kept := placement[:0:0]
+	for _, addr := range placement {
+		if !rt.isDivergent(addr, category) {
+			kept = append(kept, addr)
+		}
+	}
+	if len(kept) == 0 {
+		kept = placement
+	}
+	states := rt.health.States()
+	rank := make(map[string]int, len(kept))
+	order := make(map[string]int, len(kept))
+	for i, addr := range kept {
+		rank[addr] = healthRank(states[addr])
+		order[addr] = i
+	}
+	sort.SliceStable(kept, func(a, b int) bool {
+		if rank[kept[a]] != rank[kept[b]] {
+			return rank[kept[a]] < rank[kept[b]]
+		}
+		return order[kept[a]] < order[kept[b]]
+	})
+	return kept
+}
+
+func (rt *Router) isDivergent(addr, category string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.divergent[addr+"\x00"+category]
+}
+
+// markDivergent drains a replica from reads of one category after it missed
+// or disagreed on a mutation. Sticky until the replica rejoins (restart +
+// snapshot join) — a replica that missed even one write cannot serve
+// byte-identical selections for that category.
+func (rt *Router) markDivergent(addr, category, why string) {
+	rt.mu.Lock()
+	already := rt.divergent[addr+"\x00"+category]
+	rt.divergent[addr+"\x00"+category] = true
+	rt.mu.Unlock()
+	if !already {
+		rt.reg.Counter("comparesets_router_divergence_total",
+			"Replicas drained from a category after a missed or mismatched mutation.",
+			obs.Labels{"backend": addr}).Inc()
+		rt.logger.Printf("router: divergent replica %s for %q: %s", addr, category, why)
+	}
+}
+
+func (rt *Router) catLock(category string) *sync.Mutex {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	m, ok := rt.catLocks[category]
+	if !ok {
+		m = &sync.Mutex{}
+		rt.catLocks[category] = m
+	}
+	return m
+}
+
+func (rt *Router) jitterDelay(attempt int) time.Duration {
+	rt.rngMu.Lock()
+	defer rt.rngMu.Unlock()
+	return rt.backoff.delay(attempt, rt.rng)
+}
+
+// hedgeDelay derives the hedge arm delay from the in-flight backend's p95
+// select latency, clamped to [2ms, 200ms]; the configured default applies
+// until enough samples exist.
+func (rt *Router) hedgeDelay(addr string) time.Duration {
+	d := rt.opts.HedgeDelay
+	if b := rt.backends[addr]; b != nil {
+		if p, ok := b.lat.p95(); ok {
+			d = p
+		}
+	}
+	if d < minHedgeDelay {
+		d = minHedgeDelay
+	}
+	if d > maxHedgeDelay {
+		d = maxHedgeDelay
+	}
+	return d
+}
+
+// --- forwarded response plumbing -------------------------------------------
+
+// fwdResp is one upstream answer, buffered so it can be replayed to the
+// client verbatim.
+type fwdResp struct {
+	status      int
+	contentType string
+	retryAfter  string
+	body        []byte
+}
+
+func (rt *Router) doAttempt(ctx context.Context, addr, method, pathAndQuery string, body []byte, contentType string) (*fwdResp, error) {
+	if err := faultinject.CheckCtx(ctx, faultinject.PointRouterForward); err != nil {
+		return nil, err
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	}
+	req, err := http.NewRequestWithContext(ctx, method, addr+pathAndQuery, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := rt.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("reading upstream body: %w", err)
+	}
+	return &fwdResp{
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		retryAfter:  resp.Header.Get("Retry-After"),
+		body:        b,
+	}, nil
+}
+
+func writeFwd(w http.ResponseWriter, f *fwdResp) {
+	if f.contentType != "" {
+		w.Header().Set("Content-Type", f.contentType)
+	}
+	if f.retryAfter != "" {
+		w.Header().Set("Retry-After", f.retryAfter)
+	}
+	w.WriteHeader(f.status)
+	w.Write(f.body)
+}
+
+// writeErr emits the service's error envelope so router-originated errors
+// are indistinguishable in shape from worker ones.
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	env := struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}{}
+	env.Error.Code = code
+	env.Error.Message = msg
+	json.NewEncoder(w).Encode(env)
+}
+
+func (rt *Router) countForward(addr, outcome string) {
+	rt.reg.Counter("comparesets_router_forward_total",
+		"Forward attempts per backend by outcome.",
+		obs.Labels{"backend": addr, "outcome": outcome}).Inc()
+}
+
+func (rt *Router) countRoute(route string) {
+	rt.reg.Counter("comparesets_router_requests_total",
+		"Requests accepted by the router, by route.",
+		obs.Labels{"route": route}).Inc()
+}
+
+// --- read path --------------------------------------------------------------
+
+// handleRead forwards select/extract bodies with the full resilience stack.
+func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
+	rt.countRoute("read")
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", "reading request body: "+err.Error())
+		return
+	}
+	var peek struct {
+		Category  string `json:"category"`
+		TimeoutMS int    `json:"timeout_ms"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
+		return
+	}
+	rt.forwardRead(w, r, peek.Category, r.URL.RequestURI(), body, peek.TimeoutMS)
+}
+
+// handleTargets routes the idempotent targets listing by its category query
+// parameter through the same retry/hedge machinery (with no body).
+func (rt *Router) handleTargets(w http.ResponseWriter, r *http.Request) {
+	rt.countRoute("targets")
+	rt.forwardRead(w, r, r.URL.Query().Get("category"), r.URL.RequestURI(), nil, 0)
+}
+
+// forwardRead is the resilient idempotent-read engine: health-ordered
+// candidates, breaker gating, budgeted retries with jittered backoff,
+// p95-armed hedging, and deadline propagation.
+func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, category, pathAndQuery string, body []byte, timeoutMS int) {
+	span := obs.StartStage(obs.StageRouterForward)
+	defer span.Stop()
+
+	start := time.Now()
+	budgetDur := rt.opts.DefaultTimeout
+	if timeoutMS > 0 {
+		budgetDur = time.Duration(timeoutMS) * time.Millisecond
+	}
+	deadline := start.Add(budgetDur)
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
+	defer cancel()
+
+	cands := rt.readCandidates(category)
+	if len(cands) == 0 {
+		writeErr(w, http.StatusServiceUnavailable, "overloaded", "no replicas for category "+category)
+		return
+	}
+
+	// attemptBody rewrites timeout_ms to the remaining deadline budget so an
+	// upstream never works past what the client will wait for.
+	attemptBody := func() []byte {
+		if body == nil || timeoutMS <= 0 {
+			return body
+		}
+		rem := time.Until(deadline).Milliseconds()
+		if rem < 1 {
+			rem = 1
+		}
+		return timeoutMSRe.ReplaceAll(body, []byte(fmt.Sprintf(`"timeout_ms":%d`, rem)))
+	}
+
+	type attemptRes struct {
+		addr string
+		resp *fwdResp
+		err  error
+	}
+	maxLaunches := rt.opts.MaxRetries + 2 // primary + retries + one hedge
+	results := make(chan attemptRes, maxLaunches)
+	next, inflight, launched := 0, 0, 0
+
+	launch := func() (string, bool) {
+		for tries := 0; tries < len(cands); tries++ {
+			addr := cands[next%len(cands)]
+			next++
+			if !rt.backends[addr].breaker.Allow() {
+				continue
+			}
+			inflight++
+			launched++
+			ab := attemptBody()
+			go func(addr string, ab []byte) {
+				resp, err := rt.doAttempt(ctx, addr, r.Method, pathAndQuery, ab, r.Header.Get("Content-Type"))
+				results <- attemptRes{addr, resp, err}
+			}(addr, ab)
+			return addr, true
+		}
+		return "", false
+	}
+
+	first, ok := launch()
+	if !ok {
+		writeErr(w, http.StatusServiceUnavailable, "overloaded", "all replicas circuit-broken for category "+category)
+		return
+	}
+
+	var hedgeC <-chan time.Time
+	if !rt.opts.HedgeDisabled && len(cands) > 1 {
+		ht := time.NewTimer(rt.hedgeDelay(first))
+		defer ht.Stop()
+		hedgeC = ht.C
+	}
+
+	var lastFail *fwdResp
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			if r.Context().Err() != nil {
+				writeErr(w, 499, "client_closed", "client closed request")
+				return
+			}
+			writeErr(w, http.StatusGatewayTimeout, "deadline_exceeded", "deadline exhausted routing to "+category)
+			return
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < maxLaunches && rt.budget.Withdraw() {
+				if _, ok := launch(); ok {
+					rt.reg.Counter("comparesets_router_hedges_total",
+						"Hedged read attempts issued after the p95 delay.", nil).Inc()
+				}
+			}
+		case res := <-results:
+			inflight--
+			if res.err != nil && errors.Is(res.err, faultinject.ErrConnDrop) {
+				// Injected router crash: tear the client connection down
+				// mid-request instead of answering.
+				abortConn(w)
+				return
+			}
+			b := rt.backends[res.addr]
+			switch {
+			case res.err != nil:
+				b.breaker.Record(false)
+				rt.countForward(res.addr, "error")
+				if !errors.Is(res.err, context.Canceled) &&
+					!errors.Is(res.err, context.DeadlineExceeded) &&
+					!errors.Is(res.err, faultinject.ErrInjected) {
+					rt.health.MarkUnreachable(res.addr)
+				}
+				lastErr = res.err
+			case res.resp.status >= 500:
+				b.breaker.Record(false)
+				rt.countForward(res.addr, "error")
+				lastFail = res.resp
+			default:
+				// 2xx–4xx: a deterministic answer. Forward verbatim.
+				b.breaker.Record(true)
+				rt.budget.Deposit()
+				b.lat.observe(time.Since(start))
+				rt.countForward(res.addr, "ok")
+				writeFwd(w, res.resp)
+				return
+			}
+			if inflight > 0 {
+				continue // a hedge may still succeed
+			}
+			if launched < maxLaunches && rt.budget.Withdraw() {
+				rt.reg.Counter("comparesets_router_retries_total",
+					"Budgeted read retries after transport errors or 5xx.", nil).Inc()
+				if !sleepCtx(ctx, rt.jitterDelay(launched)) {
+					writeErr(w, http.StatusGatewayTimeout, "deadline_exceeded", "deadline exhausted routing to "+category)
+					return
+				}
+				if _, ok := launch(); ok {
+					continue
+				}
+			}
+			if lastFail != nil {
+				writeFwd(w, lastFail)
+				return
+			}
+			writeErr(w, http.StatusBadGateway, "internal", "all replicas failed: "+lastErr.Error())
+			return
+		}
+	}
+}
+
+// --- write path -------------------------------------------------------------
+
+// receiptIdentity extracts the comparable part of a mutation receipt: the
+// corpus-fingerprint suffix of the epoch token (the epochSeq prefix is
+// per-process and expected to differ across replicas) and the per-item
+// mutation generation.
+func receiptIdentity(body []byte) (fingerprint string, generation uint64, ok bool) {
+	var rec struct {
+		Epoch      string `json:"epoch"`
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return "", 0, false
+	}
+	if i := strings.LastIndexByte(rec.Epoch, '.'); i >= 0 {
+		return rec.Epoch[i+1:], rec.Generation, true
+	}
+	return rec.Epoch, rec.Generation, rec.Epoch != ""
+}
+
+// handleMutation fans a review mutation out to every replica of the shard
+// and reconciles their receipts. Mutations are never retried — a replayed
+// append would duplicate a review — so a replica that misses the write is
+// marked divergent instead.
+func (rt *Router) handleMutation(w http.ResponseWriter, r *http.Request) {
+	rt.countRoute("mutate")
+	category := r.PathValue("category")
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", "reading request body: "+err.Error())
+		return
+	}
+
+	// Serialize writes per category: every replica then observes mutations
+	// in identical order, which is what makes their states — and their
+	// selection bytes — converge.
+	lock := rt.catLock(category)
+	lock.Lock()
+	defer lock.Unlock()
+
+	ctx, cancel := context.WithTimeout(r.Context(), rt.opts.DefaultTimeout)
+	defer cancel()
+
+	if err := faultinject.CheckCtx(ctx, faultinject.PointRouterForward); err != nil {
+		if errors.Is(err, faultinject.ErrConnDrop) {
+			abortConn(w)
+			return
+		}
+		writeErr(w, http.StatusBadGateway, "internal", "injected fault: "+err.Error())
+		return
+	}
+
+	placement := rt.ring.Placement(category)
+	type mutRes struct {
+		addr string
+		resp *fwdResp
+		err  error
+	}
+	results := make([]mutRes, len(placement))
+	var wg sync.WaitGroup
+	for i, addr := range placement {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			resp, err := rt.doAttempt(ctx, addr, r.Method, r.URL.RequestURI(), body, r.Header.Get("Content-Type"))
+			results[i] = mutRes{addr, resp, err}
+		}(i, addr)
+	}
+	wg.Wait()
+
+	var ref *mutRes
+	for i := range results {
+		if results[i].err == nil && results[i].resp.status >= 200 && results[i].resp.status < 300 {
+			ref = &results[i]
+			break
+		}
+	}
+
+	if ref == nil {
+		// No replica accepted the write. A unanimous 4xx is a deterministic
+		// rejection (unknown category, bad payload): forward it verbatim and
+		// mark nothing divergent. Anything else is a routing-tier failure.
+		unanimous := true
+		var proto *fwdResp
+		for i := range results {
+			res := &results[i]
+			if res.err != nil || res.resp.status >= 500 {
+				unanimous = false
+				if res.err != nil && !errors.Is(res.err, context.Canceled) && !errors.Is(res.err, context.DeadlineExceeded) {
+					rt.health.MarkUnreachable(res.addr)
+				}
+				continue
+			}
+			if proto == nil {
+				proto = res.resp
+			} else if proto.status != res.resp.status {
+				unanimous = false
+			}
+		}
+		rt.countMutation("error")
+		if unanimous && proto != nil {
+			writeFwd(w, proto)
+			return
+		}
+		writeErr(w, http.StatusBadGateway, "internal", "mutation failed on all replicas of "+category)
+		return
+	}
+
+	refFP, refGen, refOK := receiptIdentity(ref.resp.body)
+	outcome := "ok"
+	for i := range results {
+		res := &results[i]
+		if res == ref {
+			continue
+		}
+		switch {
+		case res.err != nil:
+			rt.markDivergent(res.addr, category, "write failed: "+res.err.Error())
+			if !errors.Is(res.err, context.Canceled) && !errors.Is(res.err, context.DeadlineExceeded) {
+				rt.health.MarkUnreachable(res.addr)
+			}
+			outcome = "divergent"
+		case res.resp.status != ref.resp.status:
+			rt.markDivergent(res.addr, category, fmt.Sprintf("status %d, quorum %d", res.resp.status, ref.resp.status))
+			outcome = "divergent"
+		default:
+			fp, gen, ok := receiptIdentity(res.resp.body)
+			if refOK && ok && (fp != refFP || gen != refGen) {
+				rt.markDivergent(res.addr, category,
+					fmt.Sprintf("receipt %s/gen %d, quorum %s/gen %d", fp, gen, refFP, refGen))
+				outcome = "divergent"
+			}
+		}
+	}
+	rt.countMutation(outcome)
+	writeFwd(w, ref.resp)
+}
+
+func (rt *Router) countMutation(outcome string) {
+	rt.reg.Counter("comparesets_router_mutations_total",
+		"Fanned-out mutations by reconciliation outcome.",
+		obs.Labels{"outcome": outcome}).Inc()
+}
+
+// --- fan-out reads and ops --------------------------------------------------
+
+// liveBackends returns backends that are reachable and not circuit-broken.
+func (rt *Router) liveBackends() []string {
+	states := rt.health.States()
+	var out []string
+	for _, addr := range rt.ring.Backends() {
+		if states[addr] != HealthUnreachable && rt.backends[addr].breaker.State() != BreakerOpen {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// handleCategories merges the category listings of every live backend.
+// Replicated categories appear on several backends with identical stats;
+// the first answer wins.
+func (rt *Router) handleCategories(w http.ResponseWriter, r *http.Request) {
+	rt.countRoute("categories")
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	backends := rt.liveBackends()
+	if len(backends) == 0 {
+		backends = rt.ring.Backends()
+	}
+	type row = json.RawMessage
+	merged := map[string]row{}
+	okCount := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, addr := range backends {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			resp, err := rt.doAttempt(ctx, addr, http.MethodGet, "/api/v1/categories", nil, "")
+			if err != nil || resp.status != http.StatusOK {
+				return
+			}
+			var rows []map[string]json.RawMessage
+			if err := json.Unmarshal(resp.body, &rows); err != nil {
+				return
+			}
+			mu.Lock()
+			okCount++
+			for _, raw := range rows {
+				var name string
+				if err := json.Unmarshal(raw["name"], &name); err == nil {
+					if _, seen := merged[name]; !seen {
+						enc, _ := json.Marshal(raw)
+						merged[name] = enc
+					}
+				}
+			}
+			mu.Unlock()
+		}(addr)
+	}
+	wg.Wait()
+	if okCount == 0 {
+		writeErr(w, http.StatusServiceUnavailable, "overloaded", "no backend answered the categories listing")
+		return
+	}
+	names := make([]string, 0, len(merged))
+	for n := range merged {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]json.RawMessage, 0, len(names))
+	for _, n := range names {
+		out = append(out, merged[n])
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleSnapshotProxy streams a category snapshot from a live owning
+// replica — so a joining worker can bootstrap through the router without
+// knowing the placement. Torn streams are not retried here: the snapshot
+// protocol's record-count check makes the *joiner* retry safely.
+func (rt *Router) handleSnapshotProxy(w http.ResponseWriter, r *http.Request) {
+	rt.countRoute("snapshot")
+	category := r.PathValue("category")
+	if err := faultinject.CheckCtx(r.Context(), faultinject.PointRouterSnapshot); err != nil {
+		if errors.Is(err, faultinject.ErrConnDrop) {
+			abortConn(w)
+			return
+		}
+		writeErr(w, http.StatusBadGateway, "internal", "injected fault: "+err.Error())
+		return
+	}
+	states := rt.health.States()
+	var lastErr error
+	for _, addr := range rt.readCandidates(category) {
+		if states[addr] == HealthUnreachable {
+			continue
+		}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, addr+r.URL.RequestURI(), nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := rt.opts.Client.Do(req)
+		if err != nil {
+			lastErr = err
+			rt.health.MarkUnreachable(addr)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("backend %s: status %d", addr, resp.StatusCode)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		if cl := resp.Header.Get("Content-Length"); cl != "" {
+			w.Header().Set("Content-Length", cl)
+		}
+		w.WriteHeader(http.StatusOK)
+		io.Copy(w, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no live replica for %q", category)
+	}
+	writeErr(w, http.StatusBadGateway, "internal", "snapshot proxy: "+lastErr.Error())
+}
+
+// --- operational endpoints ---------------------------------------------------
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   "ok",
+		"backends": len(rt.backends),
+	})
+}
+
+// handleReadyz reports the cluster view: per-backend health and breaker
+// state, the retry budget, and — when the category list is obtainable —
+// which categories currently have no live replica. Unroutable categories or
+// a fully dead backend set answer 503.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	states := rt.health.States()
+	type backendView struct {
+		Health  string `json:"health"`
+		Breaker string `json:"breaker"`
+	}
+	views := map[string]backendView{}
+	liveCount := 0
+	allOK := true
+	for _, addr := range rt.ring.Backends() {
+		bs := rt.backends[addr].breaker.State()
+		views[addr] = backendView{Health: states[addr], Breaker: bs.String()}
+		live := states[addr] != HealthUnreachable && bs != BreakerOpen
+		if live {
+			liveCount++
+		}
+		if states[addr] != HealthOK || bs != BreakerClosed {
+			allOK = false
+		}
+	}
+
+	var unroutable []string
+	for _, cat := range rt.probeCategories(r.Context()) {
+		routable := false
+		for _, addr := range rt.ring.Placement(cat) {
+			if states[addr] != HealthUnreachable &&
+				rt.backends[addr].breaker.State() != BreakerOpen &&
+				!rt.isDivergent(addr, cat) {
+				routable = true
+				break
+			}
+		}
+		if !routable {
+			unroutable = append(unroutable, cat)
+		}
+	}
+
+	status := "ok"
+	code := http.StatusOK
+	switch {
+	case liveCount == 0 || len(unroutable) > 0:
+		status = "unavailable"
+		code = http.StatusServiceUnavailable
+	case !allOK:
+		status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":       status,
+		"backends":     views,
+		"retry_budget": rt.budget.Remaining(),
+		"unroutable":   unroutable,
+	})
+}
+
+// probeCategories best-effort fetches the category list from any live
+// backend (for the readiness view); an empty answer is acceptable.
+func (rt *Router) probeCategories(ctx context.Context) []string {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	for _, addr := range rt.liveBackends() {
+		resp, err := rt.doAttempt(ctx, addr, http.MethodGet, "/api/v1/categories", nil, "")
+		if err != nil || resp.status != http.StatusOK {
+			continue
+		}
+		var rows []struct {
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(resp.body, &rows); err != nil {
+			continue
+		}
+		out := make([]string, 0, len(rows))
+		for _, row := range rows {
+			out = append(out, row.Name)
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,384 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// mockWorker is a scriptable stand-in for a worker replica: per-route
+// behavior is swapped at runtime so tests can decide failure roles after
+// ring placement is known.
+type mockWorker struct {
+	ts *httptest.Server
+
+	mu         sync.Mutex
+	selectHits int
+	mutateHits int
+	bodies     []string // select bodies, in arrival order
+
+	// fail makes every select answer 500; failMutate every mutation.
+	fail       atomic.Bool
+	failMutate atomic.Bool
+	// delay stalls selects (for hedge tests).
+	delay atomic.Int64 // nanoseconds
+	// receipt is the mutation response body; tests vary it to simulate
+	// divergent replicas.
+	receipt atomic.Value // string
+}
+
+func newMockWorker(t *testing.T) *mockWorker {
+	t.Helper()
+	w := &mockWorker{}
+	w.receipt.Store(`{"kind":"append","epoch":"1.00000000deadbeef","generation":1}`)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/select", func(rw http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.mu.Lock()
+		w.selectHits++
+		w.bodies = append(w.bodies, string(body))
+		w.mu.Unlock()
+		if d := w.delay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		if w.fail.Load() {
+			http.Error(rw, `{"error":{"code":"internal","message":"boom"}}`, http.StatusInternalServerError)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(rw, `{"items":[],"served_by":%q}`, w.ts.URL)
+	})
+	mux.HandleFunc("POST /api/v1/corpora/{category}/items/{item}/reviews", func(rw http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.mu.Lock()
+		w.mutateHits++
+		w.mu.Unlock()
+		if w.failMutate.Load() {
+			http.Error(rw, `{"error":{"code":"internal","message":"boom"}}`, http.StatusInternalServerError)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		io.WriteString(rw, w.receipt.Load().(string))
+	})
+	mux.HandleFunc("GET /readyz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		io.WriteString(rw, `{"status":"ok"}`)
+	})
+	w.ts = httptest.NewServer(mux)
+	t.Cleanup(w.ts.Close)
+	return w
+}
+
+func (w *mockWorker) stats() (selects, mutates int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.selectHits, w.mutateHits
+}
+
+func (w *mockWorker) selectBodies() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]string(nil), w.bodies...)
+}
+
+// newTestRouter builds a started router over the mock workers with snappy
+// test timings.
+func newTestRouter(t *testing.T, workers []*mockWorker, mutate func(*RouterOptions)) (*Router, *httptest.Server, map[string]*mockWorker) {
+	t.Helper()
+	byAddr := map[string]*mockWorker{}
+	addrs := make([]string, len(workers))
+	for i, w := range workers {
+		addrs[i] = w.ts.URL
+		byAddr[w.ts.URL] = w
+	}
+	opts := RouterOptions{
+		Backends:       addrs,
+		HealthInterval: 20 * time.Millisecond,
+		Breaker:        BreakerConfig{ConsecutiveFailures: 3, Cooldown: 100 * time.Millisecond},
+		Backoff:        BackoffConfig{Base: time.Millisecond, Cap: 4 * time.Millisecond},
+		Logger:         testLogger(t),
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	rt, err := NewRouter(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Stop)
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return rt, ts, byAddr
+}
+
+func postSelect(t *testing.T, url, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/api/v1/select", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("select: %v", err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading select response: %v", err)
+	}
+	return resp, string(b)
+}
+
+// counterValue sums a counter family (across label sets) from the router's
+// registry snapshot.
+func counterValue(rt *Router, name string) uint64 {
+	var total uint64
+	for key, v := range rt.Registry().Snapshot() {
+		if key == name || strings.HasPrefix(key, name+"{") {
+			if c, ok := v.(uint64); ok {
+				total += c
+			}
+		}
+	}
+	return total
+}
+
+func testLogger(t *testing.T) *log.Logger {
+	return log.New(logWriter{t}, "", 0)
+}
+
+type logWriter struct{ t *testing.T }
+
+func (w logWriter) Write(p []byte) (int, error) {
+	w.t.Log(strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}
+
+func TestRouterRetriesPastFailingPrimary(t *testing.T) {
+	workers := []*mockWorker{newMockWorker(t), newMockWorker(t)}
+	rt, ts, byAddr := newTestRouter(t, workers, nil)
+
+	// Make the category's primary the failing replica so the first attempt
+	// always needs a retry.
+	primary := rt.Ring().Placement("Cameras")[0]
+	byAddr[primary].fail.Store(true)
+
+	for i := 0; i < 5; i++ {
+		resp, body := postSelect(t, ts.URL, `{"category":"Cameras","target":"cam-1","m":3}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d body %s", i, resp.StatusCode, body)
+		}
+		if !strings.Contains(body, "served_by") {
+			t.Fatalf("request %d: unexpected body %s", i, body)
+		}
+	}
+	if got := counterValue(rt, "comparesets_router_retries_total"); got == 0 {
+		t.Error("no retries recorded though the primary failed every select")
+	}
+	// The failing primary trips its breaker after 3 consecutive failures,
+	// after which requests stop reaching it.
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.backends[primary].breaker.State() != BreakerOpen {
+		if time.Now().After(deadline) {
+			t.Fatal("primary breaker never opened")
+		}
+		postSelect(t, ts.URL, `{"category":"Cameras","target":"cam-1","m":3}`)
+	}
+	before, _ := byAddr[primary].stats()
+	postSelect(t, ts.URL, `{"category":"Cameras","target":"cam-1","m":3}`)
+	after, _ := byAddr[primary].stats()
+	if after != before {
+		t.Errorf("open breaker still admitted a select (%d -> %d hits)", before, after)
+	}
+}
+
+func TestRouterForwards4xxVerbatimWithoutRetry(t *testing.T) {
+	workers := []*mockWorker{newMockWorker(t)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/select", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		rw.WriteHeader(http.StatusNotFound)
+		io.WriteString(rw, `{"error":{"code":"not_found","message":"unknown category \"Nope\""}}`)
+	})
+	workers[0].ts.Config.Handler = mux
+
+	rt, ts, _ := newTestRouter(t, workers, nil)
+	resp, body := postSelect(t, ts.URL, `{"category":"Nope","target":"x"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	if want := `{"error":{"code":"not_found","message":"unknown category \"Nope\""}}`; body != want {
+		t.Errorf("body not forwarded verbatim:\n got %s\nwant %s", body, want)
+	}
+	if got := counterValue(rt, "comparesets_router_retries_total"); got != 0 {
+		t.Errorf("deterministic 4xx was retried %d times", got)
+	}
+}
+
+func TestRouterRewritesDeadlineOnRetry(t *testing.T) {
+	workers := []*mockWorker{newMockWorker(t), newMockWorker(t)}
+	rt, ts, byAddr := newTestRouter(t, workers, func(o *RouterOptions) {
+		o.HedgeDisabled = true
+		// A visible backoff so the retry's remaining budget is measurably
+		// smaller than the original.
+		o.Backoff = BackoffConfig{Base: 60 * time.Millisecond, Cap: 60 * time.Millisecond}
+	})
+	primary := rt.Ring().Placement("Cameras")[0]
+	byAddr[primary].fail.Store(true)
+
+	resp, _ := postSelect(t, ts.URL, `{"category":"Cameras","target":"cam-1","timeout_ms":5000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var secondary *mockWorker
+	for addr, w := range byAddr {
+		if addr != primary {
+			secondary = w
+		}
+	}
+	bodies := secondary.selectBodies()
+	if len(bodies) == 0 {
+		t.Fatal("secondary never saw the retried select")
+	}
+	var got struct {
+		TimeoutMS int `json:"timeout_ms"`
+	}
+	if err := json.Unmarshal([]byte(bodies[0]), &got); err != nil {
+		t.Fatalf("retried body is not JSON: %v", err)
+	}
+	if got.TimeoutMS <= 0 || got.TimeoutMS >= 5000 {
+		t.Errorf("retried timeout_ms = %d, want in (0, 5000): the deadline must shrink by elapsed time", got.TimeoutMS)
+	}
+}
+
+func TestRouterHedgesSlowPrimary(t *testing.T) {
+	workers := []*mockWorker{newMockWorker(t), newMockWorker(t)}
+	rt, ts, byAddr := newTestRouter(t, workers, func(o *RouterOptions) {
+		o.HedgeDelay = 15 * time.Millisecond
+	})
+	primary := rt.Ring().Placement("Cameras")[0]
+	byAddr[primary].delay.Store(int64(400 * time.Millisecond))
+
+	start := time.Now()
+	resp, _ := postSelect(t, ts.URL, `{"category":"Cameras","target":"cam-1"}`)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if elapsed >= 300*time.Millisecond {
+		t.Errorf("hedge did not mask the slow primary: took %v", elapsed)
+	}
+	if got := counterValue(rt, "comparesets_router_hedges_total"); got == 0 {
+		t.Error("no hedges recorded")
+	}
+}
+
+func TestRouterMutationFanoutMarksDivergentAndDrains(t *testing.T) {
+	workers := []*mockWorker{newMockWorker(t), newMockWorker(t), newMockWorker(t)}
+	rt, ts, byAddr := newTestRouter(t, workers, nil)
+	placement := rt.Ring().Placement("Cameras")
+	bad := byAddr[placement[1]]
+	bad.failMutate.Store(true)
+
+	resp, err := http.Post(ts.URL+"/api/v1/corpora/Cameras/items/cam-1/reviews",
+		"application/json", strings.NewReader(`{"reviews":[{"id":"r-1","item_id":"cam-1","rating":4}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutation status = %d body %s", resp.StatusCode, body)
+	}
+	// Every replica saw the fan-out.
+	for i, addr := range placement {
+		if _, m := byAddr[addr].stats(); m != 1 {
+			t.Errorf("replica %d (%s) saw %d mutations, want 1", i, addr, m)
+		}
+	}
+	if !rt.isDivergent(placement[1], "Cameras") {
+		t.Fatal("failed replica not marked divergent")
+	}
+	if rt.isDivergent(placement[0], "Cameras") || rt.isDivergent(placement[2], "Cameras") {
+		t.Fatal("healthy replicas wrongly marked divergent")
+	}
+	// Subsequent reads for the category must drain away from the divergent
+	// replica entirely.
+	before, _ := bad.stats()
+	for i := 0; i < 10; i++ {
+		resp, _ := postSelect(t, ts.URL, `{"category":"Cameras","target":"cam-1"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-divergence select status = %d", resp.StatusCode)
+		}
+	}
+	after, _ := bad.stats()
+	if after != before {
+		t.Errorf("divergent replica served %d selects after being drained", after-before)
+	}
+	if got := counterValue(rt, "comparesets_router_divergence_total"); got != 1 {
+		t.Errorf("divergence counter = %d, want 1", got)
+	}
+}
+
+func TestRouterMutationReceiptMismatchMarksDivergent(t *testing.T) {
+	workers := []*mockWorker{newMockWorker(t), newMockWorker(t)}
+	rt, ts, byAddr := newTestRouter(t, workers, nil)
+	placement := rt.Ring().Placement("Cameras")
+	// Same epochSeq prefix rules: a differing fingerprint suffix must flag
+	// divergence even when the write nominally succeeded.
+	byAddr[placement[1]].receipt.Store(`{"kind":"append","epoch":"7.0000000000000bad","generation":1}`)
+
+	resp, err := http.Post(ts.URL+"/api/v1/corpora/Cameras/items/cam-1/reviews",
+		"application/json", strings.NewReader(`{"reviews":[{"id":"r-1","item_id":"cam-1","rating":4}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutation status = %d", resp.StatusCode)
+	}
+	if !rt.isDivergent(placement[1], "Cameras") {
+		t.Error("fingerprint-mismatched replica not marked divergent")
+	}
+	if rt.isDivergent(placement[0], "Cameras") {
+		t.Error("quorum replica wrongly marked divergent")
+	}
+}
+
+func TestRouterEpochSeqPrefixDifferenceIsNotDivergence(t *testing.T) {
+	workers := []*mockWorker{newMockWorker(t), newMockWorker(t)}
+	rt, ts, byAddr := newTestRouter(t, workers, nil)
+	placement := rt.Ring().Placement("Cameras")
+	// Different epochSeq, same fingerprint + generation: replicas agree.
+	byAddr[placement[0]].receipt.Store(`{"kind":"append","epoch":"3.00000000deadbeef","generation":2}`)
+	byAddr[placement[1]].receipt.Store(`{"kind":"append","epoch":"9.00000000deadbeef","generation":2}`)
+
+	resp, err := http.Post(ts.URL+"/api/v1/corpora/Cameras/items/cam-1/reviews",
+		"application/json", strings.NewReader(`{"reviews":[{"id":"r-1","item_id":"cam-1","rating":4}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	for _, addr := range placement {
+		if rt.isDivergent(addr, "Cameras") {
+			t.Errorf("replica %s marked divergent though only the epochSeq prefix differs", addr)
+		}
+	}
+}
+
+func TestReceiptIdentity(t *testing.T) {
+	fp, gen, ok := receiptIdentity([]byte(`{"epoch":"12.00ab","generation":7}`))
+	if !ok || fp != "00ab" || gen != 7 {
+		t.Errorf("receiptIdentity = %q/%d/%v, want 00ab/7/true", fp, gen, ok)
+	}
+	if _, _, ok := receiptIdentity([]byte(`not json`)); ok {
+		t.Error("garbage receipt parsed")
+	}
+}

@@ -1,0 +1,53 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestConnDropMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("p", Fault{Mode: ModeConnDrop})
+	err := Check("p")
+	if !errors.Is(err, ErrConnDrop) {
+		t.Fatalf("err = %v, want ErrConnDrop", err)
+	}
+	// A dropped connection is still an injected fault: existing
+	// errors.Is(err, ErrInjected) classification keeps working.
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("conndrop error lost ErrInjected: %v", err)
+	}
+	if Fires("p") != 1 {
+		t.Errorf("Fires = %d, want 1", Fires("p"))
+	}
+}
+
+func TestConnDropSpec(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := ArmSpec("router.forward=conndrop@0.25"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	f := faults["router.forward"]
+	mu.Unlock()
+	if f == nil || f.Mode != ModeConnDrop || f.Prob != 0.25 {
+		t.Fatalf("armed fault = %+v, want conndrop @0.25", f)
+	}
+	if ModeConnDrop.String() != "conndrop" {
+		t.Errorf("ModeConnDrop.String() = %q", ModeConnDrop.String())
+	}
+}
+
+func TestConnDropBounded(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm("p", Fault{Mode: ModeConnDrop, Remaining: 1})
+	if err := Check("p"); !errors.Is(err, ErrConnDrop) {
+		t.Fatalf("first check = %v, want ErrConnDrop", err)
+	}
+	if err := Check("p"); err != nil {
+		t.Fatalf("second check fired after Remaining exhausted: %v", err)
+	}
+}

@@ -4,11 +4,13 @@
 // injection points; the call is a single atomic load when nothing is armed,
 // so leaving the points compiled into hot paths costs nothing.
 //
-// A Fault armed at a point fires in one of three modes:
+// A Fault armed at a point fires in one of four modes:
 //
-//   - ModeError:   Check returns an error wrapping ErrInjected
-//   - ModeLatency: Check sleeps for Fault.Latency, then returns nil
-//   - ModePanic:   Check panics with Fault.PanicValue
+//   - ModeError:    Check returns an error wrapping ErrInjected
+//   - ModeLatency:  Check sleeps for Fault.Latency, then returns nil
+//   - ModePanic:    Check panics with Fault.PanicValue
+//   - ModeConnDrop: Check returns ErrConnDrop; transport boundaries close
+//     the connection mid-response instead of answering
 //
 // Firing can be made probabilistic (Fault.Prob) and bounded
 // (Fault.Remaining). Probabilistic decisions come from a per-point PRNG
@@ -23,7 +25,7 @@
 //	FAULTINJECT="core.select=latency:5ms@0.1,service.select=panic"
 //
 // Each spec entry is point=mode[:arg][@prob]; mode is error, latency
-// (arg = duration), or panic.
+// (arg = duration), panic, or conndrop.
 package faultinject
 
 import (
@@ -60,11 +62,28 @@ const (
 	// PointServiceHandler fires in the HTTP middleware before the handler
 	// runs; panic mode exercises the panic-recovery path directly.
 	PointServiceHandler = "service.handler"
+	// PointRouterForward fires in the routing tier before a request is
+	// forwarded to a worker replica: error mode simulates a failed backend
+	// call (exercising retries and circuit breakers), latency mode a slow
+	// backend (exercising hedged reads), and conndrop mode an abrupt
+	// mid-response connection loss.
+	PointRouterForward = "router.forward"
+	// PointRouterSnapshot fires on the snapshot-shipping path (both the
+	// worker-side stream handler and the router-side proxy); conndrop mode
+	// tears the stream mid-transfer, exercising the joiner's torn-tail
+	// recovery.
+	PointRouterSnapshot = "router.snapshot"
 )
 
 // ErrInjected is wrapped by every error ModeError produces; classify
 // injected failures with errors.Is(err, ErrInjected).
 var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrConnDrop is the error ModeConnDrop produces (it wraps ErrInjected).
+// Transport-layer call sites translate it into an abrupt connection close —
+// a hijack-and-close for HTTP handlers — so clients observe a torn response
+// rather than a well-formed error. Classify with errors.Is(err, ErrConnDrop).
+var ErrConnDrop = fmt.Errorf("%w: connection drop", ErrInjected)
 
 // Mode selects what firing a fault does.
 type Mode int
@@ -76,6 +95,10 @@ const (
 	ModeLatency
 	// ModePanic makes Check panic with Fault.PanicValue.
 	ModePanic
+	// ModeConnDrop makes Check return ErrConnDrop; transport boundaries
+	// translate it into closing the connection mid-response instead of
+	// writing an error payload.
+	ModeConnDrop
 )
 
 // String returns the spec name of the mode.
@@ -87,6 +110,8 @@ func (m Mode) String() string {
 		return "latency"
 	case ModePanic:
 		return "panic"
+	case ModeConnDrop:
+		return "conndrop"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -257,6 +282,8 @@ func CheckCtx(ctx ctxDoner, point string) error {
 			panicValue = "faultinject: injected panic at " + point
 		}
 		panic(panicValue)
+	case ModeConnDrop:
+		return fmt.Errorf("%s: %w", point, ErrConnDrop)
 	}
 	return nil
 }
@@ -324,6 +351,8 @@ func ArmSpec(spec string) error {
 			f.Mode = ModeError
 		case "panic":
 			f.Mode = ModePanic
+		case "conndrop":
+			f.Mode = ModeConnDrop
 		case "latency":
 			f.Mode = ModeLatency
 			d, err := time.ParseDuration(arg)

@@ -36,6 +36,13 @@ const (
 	// feature refill, and the per-item cache invalidation
 	// (internal/service mutation endpoints).
 	StageMutateApply = "mutate_apply"
+	// StageRouterForward is one routed request's backend exchange in the
+	// distributed tier — forward, wait, copy response — excluding router-side
+	// queueing and retries (internal/cluster).
+	StageRouterForward = "router_forward"
+	// StageSnapshotShip is one corpus snapshot transfer: manifest encode
+	// plus CSLG log streaming on the serving side (internal/cluster).
+	StageSnapshotShip = "snapshot_ship"
 )
 
 const stageMetricName = "comparesets_pipeline_stage_duration_seconds"
@@ -49,7 +56,7 @@ func Default() *Registry { return defaultRegistry }
 // stageHists is populated once at init and read-only afterwards, so the
 // hot-path lookup in ObserveStage is a plain map read with no locking.
 var stageHists = func() map[string]*Histogram {
-	known := []string{StageFeatureBuild, StageNOMP, StageNNLS, StageSweep, StageShortlist, StageShortlistExact, StagePrecompute, StageBatchGroup, StageMutateApply}
+	known := []string{StageFeatureBuild, StageNOMP, StageNNLS, StageSweep, StageShortlist, StageShortlistExact, StagePrecompute, StageBatchGroup, StageMutateApply, StageRouterForward, StageSnapshotShip}
 	m := make(map[string]*Histogram, len(known))
 	for _, stage := range known {
 		m[stage] = defaultRegistry.Histogram(stageMetricName,

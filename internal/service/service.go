@@ -246,6 +246,30 @@ func NewWithOptions(corpora map[string]*model.Corpus, logger *log.Logger, opts O
 // Registry returns the metrics registry the server records into.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
+// Corpus returns the live corpus registered under name. The returned corpus
+// is the server's current copy-on-write snapshot: mutations replace it
+// rather than modify it, so callers may read it without locking. The
+// snapshot-shipping handler uses this to stream a consistent view to
+// joining replicas.
+func (s *Server) Corpus(name string) (*model.Corpus, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.corpora[name]
+	return c, ok
+}
+
+// Categories returns the loaded category names in sorted order.
+func (s *Server) Categories() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.corpora))
+	for name := range s.corpora {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // AddCorpus registers (or replaces) a corpus at runtime. The category's
 // cache epoch is bumped, so every cached result and precomputed feature of
 // a replaced corpus becomes unreachable in one atomic step; stale cache
