@@ -162,6 +162,20 @@ func (b *Breaker) Allow() bool {
 	}
 }
 
+// Release returns a slot claimed by Allow without recording an outcome.
+// The router calls it when an attempt is abandoned with no verdict on the
+// backend — cancelled because another replica already answered or the
+// client's deadline expired. Without it an abandoned half-open probe would
+// hold its slot forever: Allow would refuse every future probe and the
+// backend could never rejoin rotation.
+func (b *Breaker) Release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen && b.probes > 0 {
+		b.probes--
+	}
+}
+
 // Record reports one request outcome. Success while half-open counts
 // toward closing; failure reopens immediately. Failures while closed feed
 // both trip conditions.

@@ -167,6 +167,40 @@ func TestBreakerIgnoresStragglersWhileOpen(t *testing.T) {
 	}
 }
 
+func TestBreakerReleaseFreesHalfOpenProbeSlot(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk, BreakerConfig{
+		ConsecutiveFailures: 1, Cooldown: time.Second, HalfOpenProbes: 1, SuccessesToClose: 1,
+	})
+	b.Record(false)
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker allowed a second concurrent probe")
+	}
+	// The probe is abandoned — cancelled because another replica answered —
+	// so no outcome is ever recorded. Release must free the slot, or the
+	// breaker wedges with Allow refusing forever.
+	b.Release()
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after release = %v, want half-open (no outcome was recorded)", got)
+	}
+	if !b.Allow() {
+		t.Fatal("released probe slot not reusable: breaker wedged")
+	}
+	b.Record(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	// Release outside half-open is a no-op.
+	b.Release()
+	if !b.Allow() {
+		t.Fatal("release on a closed breaker blocked traffic")
+	}
+}
+
 func TestRetryBudgetExhaustionAndRefill(t *testing.T) {
 	b := NewRetryBudget(RetryBudgetConfig{Tokens: 2, Ratio: 0.5})
 	if !b.Withdraw() || !b.Withdraw() {
@@ -190,6 +224,24 @@ func TestRetryBudgetExhaustionAndRefill(t *testing.T) {
 	}
 	if got := b.Remaining(); got != 2 {
 		t.Fatalf("Remaining() after saturation = %v, want 2", got)
+	}
+}
+
+func TestRetryBudgetRefund(t *testing.T) {
+	b := NewRetryBudget(RetryBudgetConfig{Tokens: 2, Ratio: 0.5})
+	if !b.Withdraw() {
+		t.Fatal("full budget refused a withdrawal")
+	}
+	// The withdrawn token was never spent (no attempt could be issued):
+	// Refund restores the full token, unlike Deposit's fractional credit.
+	b.Refund()
+	if got := b.Remaining(); got != 2 {
+		t.Fatalf("Remaining() after refund = %v, want 2", got)
+	}
+	// Refunds cap at the bucket size.
+	b.Refund()
+	if got := b.Remaining(); got != 2 {
+		t.Fatalf("Remaining() after spurious refund = %v, want 2", got)
 	}
 }
 

@@ -57,12 +57,16 @@ type HealthWatcher struct {
 	done chan struct{}
 }
 
+// defaultProbeTimeout bounds one /readyz poll when the caller's client has
+// no timeout of its own.
+const defaultProbeTimeout = 2 * time.Second
+
 // NewHealthWatcher builds a watcher over the backend base URLs. interval
 // ≤ 0 defaults to 500ms. onChange, when non-nil, observes every state
 // transition (for logging/metrics).
 func NewHealthWatcher(backends []string, client *http.Client, interval time.Duration, onChange func(addr, from, to string)) *HealthWatcher {
 	if client == nil {
-		client = &http.Client{Timeout: 2 * time.Second}
+		client = &http.Client{Timeout: defaultProbeTimeout}
 	}
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
@@ -135,7 +139,13 @@ func (w *HealthWatcher) sweep() {
 // the HTTP code (the worker answers 503 for overloaded but the body still
 // names the state).
 func (w *HealthWatcher) probe(addr string) string {
-	ctx, cancel := context.WithTimeout(context.Background(), w.client.Timeout)
+	// A caller-supplied client with Timeout 0 means "no client-level
+	// timeout", not "expire immediately" — bound the poll ourselves.
+	timeout := w.client.Timeout
+	if timeout <= 0 {
+		timeout = defaultProbeTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/readyz", nil)
 	if err != nil {

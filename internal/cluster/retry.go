@@ -62,6 +62,20 @@ func (b *RetryBudget) Withdraw() bool {
 	return true
 }
 
+// Refund returns a withdrawn token that was never spent — the caller took
+// it for a retry or hedge but no attempt could actually be issued (every
+// candidate breaker refused, or the deadline preempted the backoff).
+// Without it the shared budget drains precisely in the all-breakers-open
+// scenario where no retry load was generated at all.
+func (b *RetryBudget) Refund() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens++
+	if b.tokens > b.cfg.Tokens {
+		b.tokens = b.cfg.Tokens
+	}
+}
+
 // Deposit credits one successful original request.
 func (b *RetryBudget) Deposit() {
 	b.mu.Lock()

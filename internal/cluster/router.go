@@ -252,9 +252,11 @@ func (rt *Router) isDivergent(addr, category string) bool {
 }
 
 // markDivergent drains a replica from reads of one category after it missed
-// or disagreed on a mutation. Sticky until the replica rejoins (restart +
-// snapshot join) — a replica that missed even one write cannot serve
-// byte-identical selections for that category.
+// or disagreed on a mutation — a replica that missed even one write cannot
+// serve byte-identical selections for that category. The drain is lifted by
+// clearDivergent once the replica proves convergence: mutations keep fanning
+// out to divergent replicas, and a restart + snapshot join makes the next
+// receipt match the quorum again.
 func (rt *Router) markDivergent(addr, category, why string) {
 	rt.mu.Lock()
 	already := rt.divergent[addr+"\x00"+category]
@@ -265,6 +267,25 @@ func (rt *Router) markDivergent(addr, category, why string) {
 			"Replicas drained from a category after a missed or mismatched mutation.",
 			obs.Labels{"backend": addr}).Inc()
 		rt.logger.Printf("router: divergent replica %s for %q: %s", addr, category, why)
+	}
+}
+
+// clearDivergent readmits a replica to a category's reads after proof of
+// convergence: a mutation receipt whose corpus fingerprint and generation
+// match the quorum answer. Receipt equality implies byte-equal corpus
+// state, so this cannot readmit a replica that is still missing a write —
+// a replica that skipped write N diverges in fingerprint on write N+1 and
+// stays drained.
+func (rt *Router) clearDivergent(addr, category string) {
+	rt.mu.Lock()
+	was := rt.divergent[addr+"\x00"+category]
+	delete(rt.divergent, addr+"\x00"+category)
+	rt.mu.Unlock()
+	if was {
+		rt.reg.Counter("comparesets_router_rejoins_total",
+			"Replicas readmitted to a category's reads after a quorum-matching receipt.",
+			obs.Labels{"backend": addr}).Inc()
+		rt.logger.Printf("router: replica %s reconverged for %q; readmitted to reads", addr, category)
 	}
 }
 
@@ -450,9 +471,10 @@ func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, category, 
 	}
 
 	type attemptRes struct {
-		addr string
-		resp *fwdResp
-		err  error
+		addr  string
+		start time.Time
+		resp  *fwdResp
+		err   error
 	}
 	maxLaunches := rt.opts.MaxRetries + 2 // primary + retries + one hedge
 	results := make(chan attemptRes, maxLaunches)
@@ -469,13 +491,60 @@ func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, category, 
 			launched++
 			ab := attemptBody()
 			go func(addr string, ab []byte) {
+				attemptStart := time.Now()
 				resp, err := rt.doAttempt(ctx, addr, r.Method, pathAndQuery, ab, r.Header.Get("Content-Type"))
-				results <- attemptRes{addr, resp, err}
+				results <- attemptRes{addr, attemptStart, resp, err}
 			}(addr, ab)
 			return addr, true
 		}
 		return "", false
 	}
+
+	// settle feeds an abandoned attempt's outcome back to the breaker and
+	// health view. An error produced by our own cancellation carries no
+	// verdict on the backend, so the Allow-claimed slot (a half-open probe,
+	// possibly) is released without recording; a real late outcome still
+	// counts.
+	settle := func(res attemptRes) {
+		b := rt.backends[res.addr]
+		switch {
+		case res.err != nil:
+			if errors.Is(res.err, context.Canceled) || errors.Is(res.err, context.DeadlineExceeded) {
+				b.breaker.Release()
+				rt.countForward(res.addr, "abandoned")
+				return
+			}
+			b.breaker.Record(false)
+			rt.countForward(res.addr, "error")
+			if !errors.Is(res.err, faultinject.ErrInjected) {
+				rt.health.MarkUnreachable(res.addr)
+			}
+		case res.resp.status >= 500:
+			b.breaker.Record(false)
+			rt.countForward(res.addr, "error")
+		default:
+			b.breaker.Record(true)
+			b.lat.observe(time.Since(res.start))
+			rt.countForward(res.addr, "ok")
+		}
+	}
+
+	// Whatever way this handler exits — answered, deadline, client gone,
+	// injected conn-drop — in-flight attempts must not be dropped on the
+	// floor: each holds a breaker slot that only settle releases. The
+	// deferred cancel (registered earlier, so it runs after this) aborts
+	// their transports, keeping the drain short-lived.
+	defer func() {
+		remaining := inflight
+		if remaining == 0 {
+			return
+		}
+		go func() {
+			for i := 0; i < remaining; i++ {
+				settle(<-results)
+			}
+		}()
+	}()
 
 	first, ok := launch()
 	if !ok {
@@ -507,6 +576,10 @@ func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, category, 
 				if _, ok := launch(); ok {
 					rt.reg.Counter("comparesets_router_hedges_total",
 						"Hedged read attempts issued after the p95 delay.", nil).Inc()
+				} else {
+					// Every candidate breaker refused: no hedge load was
+					// actually generated, so the token goes back.
+					rt.budget.Refund()
 				}
 			}
 		case res := <-results:
@@ -533,10 +606,13 @@ func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, category, 
 				rt.countForward(res.addr, "error")
 				lastFail = res.resp
 			default:
-				// 2xx–4xx: a deterministic answer. Forward verbatim.
+				// 2xx–4xx: a deterministic answer. Forward verbatim. The
+				// latency sample is per-attempt, not per-handler: a success
+				// after backoff or hedging must not inflate the winning
+				// backend's p95 and widen future hedge delays.
 				b.breaker.Record(true)
 				rt.budget.Deposit()
-				b.lat.observe(time.Since(start))
+				b.lat.observe(time.Since(res.start))
 				rt.countForward(res.addr, "ok")
 				writeFwd(w, res.resp)
 				return
@@ -545,15 +621,17 @@ func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, category, 
 				continue // a hedge may still succeed
 			}
 			if launched < maxLaunches && rt.budget.Withdraw() {
-				rt.reg.Counter("comparesets_router_retries_total",
-					"Budgeted read retries after transport errors or 5xx.", nil).Inc()
 				if !sleepCtx(ctx, rt.jitterDelay(launched)) {
+					rt.budget.Refund()
 					writeErr(w, http.StatusGatewayTimeout, "deadline_exceeded", "deadline exhausted routing to "+category)
 					return
 				}
 				if _, ok := launch(); ok {
+					rt.reg.Counter("comparesets_router_retries_total",
+						"Budgeted read retries after transport errors or 5xx.", nil).Inc()
 					continue
 				}
+				rt.budget.Refund()
 			}
 			if lastFail != nil {
 				writeFwd(w, lastFail)
@@ -675,6 +753,7 @@ func (rt *Router) handleMutation(w http.ResponseWriter, r *http.Request) {
 
 	refFP, refGen, refOK := receiptIdentity(ref.resp.body)
 	outcome := "ok"
+	refConfirmed := false
 	for i := range results {
 		res := &results[i]
 		if res == ref {
@@ -692,12 +771,24 @@ func (rt *Router) handleMutation(w http.ResponseWriter, r *http.Request) {
 			outcome = "divergent"
 		default:
 			fp, gen, ok := receiptIdentity(res.resp.body)
-			if refOK && ok && (fp != refFP || gen != refGen) {
+			switch {
+			case refOK && ok && (fp != refFP || gen != refGen):
 				rt.markDivergent(res.addr, category,
 					fmt.Sprintf("receipt %s/gen %d, quorum %s/gen %d", fp, gen, refFP, refGen))
 				outcome = "divergent"
+			case refOK && ok:
+				// Matching receipts are proof of convergence: a replica that
+				// restarted and rebuilt through the snapshot join rejoins
+				// this category's reads here.
+				refConfirmed = true
+				rt.clearDivergent(res.addr, category)
 			}
 		}
+	}
+	if refConfirmed {
+		// At least one peer independently produced the same receipt, so the
+		// reference replica's own state is quorum-confirmed too.
+		rt.clearDivergent(ref.addr, category)
 	}
 	rt.countMutation(outcome)
 	writeFwd(w, ref.resp)

@@ -15,7 +15,11 @@ set -eu
 BASE_PORT=${BASE_PORT:-19800}
 MIN_AVAIL=${MIN_AVAIL:-0.99}
 RATES=${RATES:-50,100}
-DURATION=${DURATION:-3s}
+# 5s per rate stage: the kill lands in stage 1, and the availability gate
+# needs enough requests there that the fixed handful lost in the kill
+# window cannot alone breach 99% (at 50 req/s, 3s gave the stage only a
+# 1.5-request error budget).
+DURATION=${DURATION:-5s}
 WRITE_RATIO=${WRITE_RATIO:-0.05}
 FORWARD_FAULT=${FORWARD_FAULT:-router.forward=error@0.02}
 SEED=${FAULTINJECT_SEED:-$(od -An -N4 -tu4 /dev/urandom | tr -d ' ')}
