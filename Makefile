@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race cover bench bench-json bce-check chaos chaos-cluster fuzz loadgen experiments examples clean
+.PHONY: all build vet test race cover bench bench-json bce-check chaos chaos-cluster fuzz loadgen loadgen-router experiments examples clean
 
 all: build vet test
 
@@ -62,6 +62,15 @@ fuzz:
 loadgen:
 	go run ./cmd/loadgen -rates 50,100,200 -duration 3s -write-ratio 0.05 -out BENCH_load.json
 
+# Router edge-cache comparison: 3 in-process replicas behind the routing
+# tier, a warm/cold probe of the edge fast path (cold proxied solve vs warm
+# byte replay, with the edge hit ratio), then each rate staged through the
+# router and directly against the replicas. Records BENCH_router.json;
+# `-baseline BENCH_router.json` gates routed p99s by (mode, rate) and the
+# warm-hit p99 — the regression gate CI runs on the edge fast path.
+loadgen-router:
+	go run ./cmd/loadgen -cluster 3 -rates 50,100 -duration 3s -write-ratio 0.05 -m 8 -out BENCH_router.json
+
 # Record the hot-path benchmarks into versioned JSON; commit the diff
 # alongside performance changes. BENCH_core.json covers the selection
 # pipeline (core, regress, linalg, store, service); BENCH_service.json
@@ -74,8 +83,10 @@ loadgen:
 # (append-1-review vs AddCorpus+precompute at n∈{64,256}).
 # BENCH_load.json (via the loadgen target) adds the end-to-end serving-edge
 # curves: client-observed p50/p99 and accelerator counters under zipfian
-# open-loop load at three arrival rates.
-bench-json: loadgen
+# open-loop load at three arrival rates; BENCH_router.json (via
+# loadgen-router) adds the routed-vs-direct comparison and the edge cache's
+# warm/cold split.
+bench-json: loadgen loadgen-router
 	go run ./cmd/bench -out BENCH_core.json
 	go run ./cmd/bench -out BENCH_service.json ./internal/service/
 	go run ./cmd/bench -out BENCH_simgraph.json -benchtime 10x ./internal/simgraph/

@@ -70,21 +70,55 @@ func TestGate(t *testing.T) {
 		return path
 	}
 	cur := Report{Runs: []RateRun{{Rate: 100, P99MS: 10}}}
-	if err := gate(writeBaseline(9), cur, 0.25, 2); err != nil {
+	if err := gate(writeBaseline(9), cur, 0.25, 2, 250); err != nil {
 		t.Errorf("10ms vs 9ms is within 25%%: %v", err)
 	}
-	if err := gate(writeBaseline(5), cur, 0.25, 2); err == nil {
+	if err := gate(writeBaseline(5), cur, 0.25, 2, 250); err == nil {
 		t.Error("10ms vs 5ms should fail the 25% gate")
 	}
 	// Both under the floor: skipped even at a huge relative regression.
 	tiny := Report{Runs: []RateRun{{Rate: 100, P99MS: 1.5}}}
-	if err := gate(writeBaseline(0.1), tiny, 0.25, 2); err != nil {
+	if err := gate(writeBaseline(0.1), tiny, 0.25, 2, 250); err != nil {
 		t.Errorf("sub-floor latencies should not gate: %v", err)
 	}
 	// Rates absent from the baseline are ignored.
 	other := Report{Runs: []RateRun{{Rate: 400, P99MS: 50}}}
-	if err := gate(writeBaseline(5), other, 0.25, 2); err != nil {
+	if err := gate(writeBaseline(5), other, 0.25, 2, 250); err != nil {
 		t.Errorf("unmatched rate should not gate: %v", err)
+	}
+	// Stages are keyed by (mode, rate): a "direct" stage never gates against
+	// a "router" baseline at the same rate.
+	modal := Report{Runs: []RateRun{{Mode: "direct", Rate: 100, P99MS: 50}}}
+	if err := gate(writeBaseline(5), modal, 0.25, 2, 250); err != nil {
+		t.Errorf("mismatched mode should not gate: %v", err)
+	}
+}
+
+func TestGateWarmCold(t *testing.T) {
+	dir := t.TempDir()
+	writeWarmBaseline := func(warmP99US float64) string {
+		path := dir + "/baseline.json"
+		report := Report{WarmCold: &WarmCold{WarmP99US: warmP99US}}
+		if err := writeReportFile(path, report); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cur := Report{WarmCold: &WarmCold{WarmP99US: 1000}}
+	if err := gate(writeWarmBaseline(900), cur, 0.25, 2, 250); err != nil {
+		t.Errorf("1000µs vs 900µs warm p99 is within 25%%: %v", err)
+	}
+	if err := gate(writeWarmBaseline(500), cur, 0.25, 2, 250); err == nil {
+		t.Error("1000µs vs 500µs warm p99 should fail the 25% gate")
+	}
+	// Both under the microsecond floor: timer noise, skipped.
+	fast := Report{WarmCold: &WarmCold{WarmP99US: 200}}
+	if err := gate(writeWarmBaseline(50), fast, 0.25, 2, 250); err != nil {
+		t.Errorf("sub-floor warm latencies should not gate: %v", err)
+	}
+	// A baseline without a probe does not gate the warm path.
+	if err := gate(writeWarmBaseline(0), cur, 0.25, 2, 250); err != nil {
+		t.Errorf("absent warm baseline should not gate: %v", err)
 	}
 }
 
@@ -107,7 +141,7 @@ func TestLoadgenSmoke(t *testing.T) {
 	if len(targets) == 0 {
 		t.Fatal("no targets discovered")
 	}
-	run, err := runStage([]string{ts.URL}, targets, 40, 500*time.Millisecond, 0.2, 1.2, 1, 3)
+	run, err := runStage([]string{ts.URL}, targets, 40, 500*time.Millisecond, 0.2, 1.2, 1, 3, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,13 @@
 // the shard and their receipts are reconciled; replicas that miss or
 // disagree on a write are drained from that category's reads.
 //
+// Reads of /api/v1/select additionally pass through a receipt-driven edge
+// cache: a warm hit replays the exact bytes of a previously proxied
+// response without any upstream exchange, identical concurrent cold reads
+// coalesce into one upstream flight, and mutation receipts (or any
+// divergence/rejoin event) invalidate the affected category's entries.
+// -edge-cache-bytes sizes it; -edge-cache-disabled turns the fast path off.
+//
 // Operational routes: GET /healthz, GET /readyz (cluster view: per-backend
 // health + breaker state, retry budget, unroutable categories), GET
 // /metrics, GET /debug/vars, GET /debug/pprof/*. GET
@@ -53,6 +60,9 @@ func main() {
 		cooldown       = flag.Duration("breaker-cooldown", 500*time.Millisecond, "open-breaker cooldown before half-open probes")
 		retryTokens    = flag.Float64("retry-tokens", 10, "retry budget bucket capacity")
 		retryRatio     = flag.Float64("retry-ratio", 0.1, "retry budget deposited per successful request")
+		edgeBytes      = flag.Int64("edge-cache-bytes", cluster.DefaultEdgeCacheBytes, "edge response cache budget in bytes")
+		edgeDisabled   = flag.Bool("edge-cache-disabled", false, "disable the edge response cache and cold-read coalescing")
+		idleConns      = flag.Int("upstream-idle-conns", 0, "pooled idle connections kept per backend (0 = default 32)")
 		drain          = flag.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight requests")
 	)
 	flag.Parse()
@@ -82,8 +92,11 @@ func main() {
 			ErrorRate:           *errorRate,
 			Cooldown:            *cooldown,
 		},
-		RetryBudget: cluster.RetryBudgetConfig{Tokens: *retryTokens, Ratio: *retryRatio},
-		Logger:      logger,
+		RetryBudget:       cluster.RetryBudgetConfig{Tokens: *retryTokens, Ratio: *retryRatio},
+		EdgeCacheBytes:    *edgeBytes,
+		EdgeCacheDisabled: *edgeDisabled,
+		UpstreamIdleConns: *idleConns,
+		Logger:            logger,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -1,0 +1,395 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"comparesets/internal/obs"
+)
+
+// --- canonical key ----------------------------------------------------------
+
+func TestEdgeSelectKeyCanonicalization(t *testing.T) {
+	mustKey := func(body string) string {
+		t.Helper()
+		k, ok := edgeSelectKey([]byte(body))
+		if !ok {
+			t.Fatalf("body unexpectedly uncacheable: %s", body)
+		}
+		return k
+	}
+
+	// Spelling out the worker's defaults must not change the key.
+	base := mustKey(`{"category":"Cameras","target":"cam-1","m":3}`)
+	if got := mustKey(`{"category":"Cameras","target":"cam-1","m":3,"algorithm":"CompaReSetS+"}`); got != base {
+		t.Errorf("explicit default algorithm changed the key:\n %s\n %s", got, base)
+	}
+	// timeout_ms bounds computation, never the result bytes.
+	if got := mustKey(`{"category":"Cameras","target":"cam-1","m":3,"timeout_ms":250}`); got != base {
+		t.Errorf("timeout_ms leaked into the key:\n %s\n %s", got, base)
+	}
+	// Field order is irrelevant.
+	if got := mustKey(`{"m":3,"target":"cam-1","category":"Cameras"}`); got != base {
+		t.Errorf("field order changed the key:\n %s\n %s", got, base)
+	}
+	// Semantic fields must all separate.
+	distinct := []string{
+		`{"category":"Cameras","target":"cam-1","m":4}`,
+		`{"category":"Cameras","target":"cam-2","m":3}`,
+		`{"category":"Phones","target":"cam-1","m":3}`,
+		`{"category":"Cameras","target":"cam-1","m":3,"lambda":0.5}`,
+		`{"category":"Cameras","target":"cam-1","m":3,"k":2}`,
+		`{"category":"Cameras","target":"cam-1","m":3,"summarize":2}`,
+		`{"category":"Cameras","target":"cam-1","m":3,"metrics":true}`,
+	}
+	seen := map[string]string{base: "base"}
+	for _, body := range distinct {
+		k := mustKey(body)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision between %s and %s: %s", prev, body, k)
+		}
+		seen[k] = body
+	}
+	// k>0 applies the worker's shortlist-method default.
+	withK := mustKey(`{"category":"Cameras","target":"cam-1","k":2}`)
+	if got := mustKey(`{"category":"Cameras","target":"cam-1","k":2,"method":"greedy"}`); got != withK {
+		t.Errorf("explicit default shortlist method changed the key:\n %s\n %s", got, withK)
+	}
+}
+
+func TestEdgeSelectKeyRefusesUnprovableBodies(t *testing.T) {
+	uncacheable := []string{
+		`{"target":"cam-1"}`,                                     // no corpus reference
+		`{"category":"Cameras"}`,                                 // no target
+		`{"category":"Cameras","target":"t","items":[{}]}`,       // inline instance
+		`{"category":"Cameras","target":"t","aspects":["size"]}`, // inline aspects
+		`{"category":"Cameras","target":"t","new_field":1}`,      // unknown to this router
+		`{"category":"Cameras",`,                                 // invalid JSON
+	}
+	for _, body := range uncacheable {
+		if k, ok := edgeSelectKey([]byte(body)); ok {
+			t.Errorf("body cached despite being unprovable: %s -> %s", body, k)
+		}
+	}
+}
+
+// --- category state tokens --------------------------------------------------
+
+func TestEdgeCategoryStateTokens(t *testing.T) {
+	e := newEdgeCache(1<<20, obs.NewRegistry())
+	token := func() string {
+		k := e.key("Cameras", "canon")
+		return strings.TrimPrefix(k, "canon|st=")
+	}
+
+	t0 := token()
+	receipt := `{"kind":"append","category":"Cameras","item":"cam-1","epoch":"3.00000000deadbeef","generation":2,"affected_items":["cam-1"]}`
+	e.applyReceipt("Cameras", []byte(receipt))
+	t1 := token()
+	if t1 == t0 {
+		t.Fatal("receipt did not advance the state token")
+	}
+	// Re-applying the identical receipt is idempotent — no spurious churn.
+	e.applyReceipt("Cameras", []byte(receipt))
+	if token() != t1 {
+		t.Error("identical receipt advanced the token again")
+	}
+	// The same item at a later generation advances it.
+	e.applyReceipt("Cameras", []byte(`{"item":"cam-1","epoch":"3.00000000deadbeef","generation":3,"affected_items":["cam-1"]}`))
+	t2 := token()
+	if t2 == t1 {
+		t.Error("later generation did not advance the token")
+	}
+	// A flush always advances it.
+	e.flush("Cameras")
+	t3 := token()
+	if t3 == t2 {
+		t.Error("flush did not advance the token")
+	}
+	// Other categories are untouched throughout.
+	if got := e.key("Phones", "canon"); got != "canon|st=" {
+		t.Errorf("untouched category's token moved: %s", got)
+	}
+
+	// Receipts the edge cannot interpret exactly degrade to flushes.
+	reg := obs.NewRegistry()
+	e2 := newEdgeCache(1<<20, reg)
+	e2.applyReceipt("Cameras", []byte(`not json`))
+	e2.applyReceipt("Cameras", []byte(`{"epoch":"1.aa","generation":4,"affected_items":["a","b"]}`)) // multi-item
+	e2.applyReceipt("Cameras", []byte(`{"epoch":"1.aa","generation":0,"item":"a"}`))                 // no generation
+	if got := counterSnapshot(reg, `comparesets_router_edge_invalidations_total{scope="flush"}`); got != 3 {
+		t.Errorf("flush invalidations = %d, want 3", got)
+	}
+	if got := counterSnapshot(reg, `comparesets_router_edge_invalidations_total{scope="receipt"}`); got != 0 {
+		t.Errorf("receipt invalidations = %d, want 0", got)
+	}
+}
+
+// counterSnapshot reads one exact counter series from a registry snapshot.
+func counterSnapshot(reg *obs.Registry, series string) uint64 {
+	if v, ok := reg.Snapshot()[series]; ok {
+		if c, ok := v.(uint64); ok {
+			return c
+		}
+	}
+	return 0
+}
+
+// --- routed edge behavior ---------------------------------------------------
+
+// TestRouterEdgeWarmHitSkipsBackends: the second identical select is
+// answered at the edge, byte-for-byte the memoized proxied response,
+// without another backend exchange.
+func TestRouterEdgeWarmHitSkipsBackends(t *testing.T) {
+	workers := []*mockWorker{newMockWorker(t)}
+	rt, ts, _ := newTestRouter(t, workers, nil)
+
+	body := `{"category":"Cameras","target":"cam-1","m":3}`
+	resp1, cold := postSelect(t, ts.URL, body)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("cold select: status %d body %s", resp1.StatusCode, cold)
+	}
+	resp2, warm := postSelect(t, ts.URL, body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("warm select: status %d", resp2.StatusCode)
+	}
+	if warm != cold {
+		t.Errorf("warm hit not byte-identical:\ncold %s\nwarm %s", cold, warm)
+	}
+	if selects, _ := workers[0].stats(); selects != 1 {
+		t.Errorf("backend saw %d selects, want 1 (warm hit must not proxy)", selects)
+	}
+	if got := counterValue(rt, "comparesets_cache_hits_total"); got != 1 {
+		t.Errorf("edge hit counter = %d, want 1", got)
+	}
+	// A semantically different request is its own entry, not a collision.
+	resp3, other := postSelect(t, ts.URL, `{"category":"Cameras","target":"cam-1","m":4}`)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("distinct select: status %d", resp3.StatusCode)
+	}
+	_ = other
+	if selects, _ := workers[0].stats(); selects != 2 {
+		t.Errorf("backend saw %d selects, want 2 (distinct key must proxy)", selects)
+	}
+}
+
+// TestRouterEdgeUncacheableBodiesBypass: inline-instance and unknown-field
+// selects never populate or consult the edge.
+func TestRouterEdgeUncacheableBodiesBypass(t *testing.T) {
+	workers := []*mockWorker{newMockWorker(t)}
+	rt, ts, _ := newTestRouter(t, workers, nil)
+
+	body := `{"category":"Cameras","target":"cam-1","items":[{"id":"x"}]}`
+	for i := 0; i < 2; i++ {
+		resp, _ := postSelect(t, ts.URL, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("select %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if selects, _ := workers[0].stats(); selects != 2 {
+		t.Errorf("backend saw %d selects, want 2 (uncacheable must always proxy)", selects)
+	}
+	if got := counterValue(rt, "comparesets_cache_hits_total"); got != 0 {
+		t.Errorf("edge hit counter = %d, want 0", got)
+	}
+}
+
+// TestRouterEdgeReceiptInvalidatesMutatedCategoryOnly: a mutation's quorum
+// receipt drops the mutated category's warm entries before the client sees
+// the receipt, while untouched categories keep serving from the edge.
+func TestRouterEdgeReceiptInvalidatesMutatedCategoryOnly(t *testing.T) {
+	workers := []*mockWorker{newMockWorker(t), newMockWorker(t)}
+	rt, ts, byAddr := newTestRouter(t, workers, func(o *RouterOptions) {
+		o.HedgeDisabled = true // deterministic backend hit counts
+	})
+	for _, w := range byAddr {
+		w.receipt.Store(`{"kind":"append","category":"Cameras","item":"cam-1","epoch":"1.00000000deadbeef","generation":2,"affected_items":["cam-1"]}`)
+	}
+	totalSelects := func() int {
+		n := 0
+		for _, w := range workers {
+			s, _ := w.stats()
+			n += s
+		}
+		return n
+	}
+
+	camBody := `{"category":"Cameras","target":"cam-1","m":3}`
+	phoneBody := `{"category":"Phones","target":"ph-1","m":3}`
+	postSelect(t, ts.URL, camBody)   // fill Cameras
+	postSelect(t, ts.URL, phoneBody) // fill Phones
+	if got := totalSelects(); got != 2 {
+		t.Fatalf("warm-up proxied %d selects, want 2", got)
+	}
+	postSelect(t, ts.URL, camBody)
+	postSelect(t, ts.URL, phoneBody)
+	if got := totalSelects(); got != 2 {
+		t.Fatalf("warm reads proxied anyway (%d backend selects, want 2)", got)
+	}
+
+	resp, err := http.Post(ts.URL+"/api/v1/corpora/Cameras/items/cam-1/reviews",
+		"application/json", strings.NewReader(`{"reviews":[{"id":"r-1","item_id":"cam-1","rating":4}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutation status %d", resp.StatusCode)
+	}
+
+	// The mutated category re-proxies; no stale replay after the write.
+	postSelect(t, ts.URL, camBody)
+	if got := totalSelects(); got != 3 {
+		t.Errorf("post-mutation Cameras select did not proxy (%d backend selects, want 3)", got)
+	}
+	// The untouched category stays warm.
+	postSelect(t, ts.URL, phoneBody)
+	if got := totalSelects(); got != 3 {
+		t.Errorf("untouched Phones category lost its warm entry (%d backend selects)", got)
+	}
+	if got := counterSnapshot(rt.Registry(), `comparesets_router_edge_invalidations_total{scope="receipt"}`); got != 1 {
+		t.Errorf("receipt invalidations = %d, want 1", got)
+	}
+}
+
+// TestRouterEdgeCoalescesConcurrentColdReads: identical concurrent cold
+// reads share one upstream flight and one backend exchange.
+func TestRouterEdgeCoalescesConcurrentColdReads(t *testing.T) {
+	workers := []*mockWorker{newMockWorker(t)}
+	rt, ts, _ := newTestRouter(t, workers, nil)
+	workers[0].delay.Store(int64(300 * time.Millisecond))
+
+	const concurrency = 8
+	body := `{"category":"Cameras","target":"cam-1","m":3}`
+	bodies := make([]string, concurrency)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrency; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, b := postSelect(t, ts.URL, body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("concurrent select %d: status %d", i, resp.StatusCode)
+			}
+			bodies[i] = b
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < concurrency; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("coalesced waiters saw different bytes:\n%s\n%s", bodies[0], bodies[i])
+		}
+	}
+	if selects, _ := workers[0].stats(); selects != 1 {
+		t.Errorf("backend saw %d selects, want 1 (flight not coalesced)", selects)
+	}
+	if got := counterSnapshot(rt.Registry(), `comparesets_cache_coalesced_waiters_total{cache="router_edge_flight"}`); got != concurrency-1 {
+		t.Errorf("coalesced waiters = %d, want %d", got, concurrency-1)
+	}
+}
+
+// TestRouterEdgeErrorFlightsAreNotMemoized: a failing flight is shared by
+// its concurrent waiters but never cached — the next read retries upstream.
+func TestRouterEdgeErrorFlightsAreNotMemoized(t *testing.T) {
+	workers := []*mockWorker{newMockWorker(t)}
+	rt, ts, _ := newTestRouter(t, workers, func(o *RouterOptions) {
+		o.MaxRetries = -1 // no retries: one failed attempt settles the flight
+	})
+	_ = rt
+	workers[0].fail.Store(true)
+
+	body := `{"category":"Cameras","target":"cam-1","m":3}`
+	resp, _ := postSelect(t, ts.URL, body)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failed select: status %d, want 500 forwarded", resp.StatusCode)
+	}
+	workers[0].fail.Store(false)
+	resp, _ = postSelect(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered select: status %d, want 200 (error must not be cached)", resp.StatusCode)
+	}
+	afterRecover, _ := workers[0].stats()
+	resp, _ = postSelect(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm select after recovery: status %d", resp.StatusCode)
+	}
+	if afterWarm, _ := workers[0].stats(); afterWarm != afterRecover {
+		t.Errorf("recovered 200 was not memoized (%d -> %d backend selects)", afterRecover, afterWarm)
+	}
+}
+
+// TestRouterEdgeDivergenceAndRejoinFlushConservatively: both marking a
+// replica divergent and readmitting it flush the category's edge entries,
+// so serves around membership changes are proxied, never replayed.
+func TestRouterEdgeDivergenceAndRejoinFlushConservatively(t *testing.T) {
+	workers := []*mockWorker{newMockWorker(t), newMockWorker(t)}
+	rt, ts, byAddr := newTestRouter(t, workers, func(o *RouterOptions) {
+		o.HedgeDisabled = true
+	})
+	placement := rt.Ring().Placement("Cameras")
+	good, stray := byAddr[placement[0]], byAddr[placement[1]]
+	totalSelects := func() int {
+		a, _ := good.stats()
+		b, _ := stray.stats()
+		return a + b
+	}
+	mutate := func(id string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/api/v1/corpora/Cameras/items/cam-1/reviews",
+			"application/json", strings.NewReader(fmt.Sprintf(`{"reviews":[{"id":%q,"item_id":"cam-1","rating":4}]}`, id)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mutation status %d", resp.StatusCode)
+		}
+	}
+
+	body := `{"category":"Cameras","target":"cam-1","m":3}`
+	postSelect(t, ts.URL, body)
+	postSelect(t, ts.URL, body)
+	if got := totalSelects(); got != 1 {
+		t.Fatalf("warm-up: %d backend selects, want 1", got)
+	}
+
+	// Divergence: stray answers the write with a mismatched fingerprint.
+	good.receipt.Store(`{"kind":"append","category":"Cameras","item":"cam-1","epoch":"2.00000000deadbeef","generation":2,"affected_items":["cam-1"]}`)
+	stray.receipt.Store(`{"kind":"append","category":"Cameras","item":"cam-1","epoch":"2.00000000000000bad","generation":2,"affected_items":["cam-1"]}`)
+	mutate("r-1")
+	if !rt.isDivergent(placement[1], "Cameras") {
+		t.Fatal("stray replica not marked divergent")
+	}
+	postSelect(t, ts.URL, body) // must proxy: category flushed + receipt applied
+	if got := totalSelects(); got != 2 {
+		t.Errorf("post-divergence select did not proxy (%d backend selects, want 2)", got)
+	}
+	postSelect(t, ts.URL, body) // warm again
+	if got := totalSelects(); got != 2 {
+		t.Fatalf("re-warm select proxied (%d backend selects, want 2)", got)
+	}
+
+	// Rejoin: the stray's next receipt matches the quorum, readmitting it —
+	// which changes who answers reads, so the category flushes again.
+	good.receipt.Store(`{"kind":"append","category":"Cameras","item":"cam-1","epoch":"3.00000000feedf00d","generation":3,"affected_items":["cam-1"]}`)
+	stray.receipt.Store(`{"kind":"append","category":"Cameras","item":"cam-1","epoch":"9.00000000feedf00d","generation":3,"affected_items":["cam-1"]}`)
+	mutate("r-2")
+	if rt.isDivergent(placement[1], "Cameras") {
+		t.Fatal("stray replica not readmitted after matching receipt")
+	}
+	postSelect(t, ts.URL, body)
+	if got := totalSelects(); got != 3 {
+		t.Errorf("post-rejoin select did not proxy (%d backend selects, want 3)", got)
+	}
+	if got := counterSnapshot(rt.Registry(), `comparesets_router_edge_invalidations_total{scope="flush"}`); got < 2 {
+		t.Errorf("flush invalidations = %d, want >= 2 (divergence + rejoin)", got)
+	}
+}

@@ -1,0 +1,294 @@
+// The router-tier edge response cache.
+//
+// Every byte a worker sends for a corpus-referenced select is a pure
+// function of the request's semantic fields and the category's corpus
+// state — and the router already learns every state change, because it
+// reconciles the MutationReceipt of each write it fans out. That makes the
+// routing tier a legal cache site: a warm read is answered at the edge in
+// microseconds, byte-identical to the proxied response it memoized, without
+// spending an upstream flight, a retry token, or a hedge.
+//
+// Keying mirrors the worker's own servecache discipline: the canonical
+// select-request key (every semantic field, timeout_ms excluded) is
+// suffixed with a per-category state token derived from the reconciled
+// epoch fingerprint and the per-item mutation-generation vector. A write's
+// receipt advances the token, so invalidation is a key change — stale
+// entries become unreachable instantly and age out of the LRU. Anything
+// that muddies the router's view of a category (an unparseable receipt, a
+// multi-item mutation, a failed fan-out that may have partially applied, a
+// replica draining from or rejoining reads) bumps a flush sequence folded
+// into the token: conservative, category-wide, and cheap.
+//
+// Requests the router cannot prove cacheable — inline instances, unknown
+// request fields added by newer workers — bypass the edge entirely and
+// take the plain proxied path.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"comparesets/internal/obs"
+	"comparesets/internal/servecache"
+)
+
+// DefaultEdgeCacheBytes is the edge response cache budget when
+// RouterOptions leaves EdgeCacheBytes unset.
+const DefaultEdgeCacheBytes int64 = 64 << 20
+
+// edgeKeyVersion is bumped whenever the canonical edge key changes shape,
+// so mixed router versions never serve each other's incompatible bytes.
+const edgeKeyVersion = "edge-v1"
+
+// edgeSelectRequest mirrors every field of the worker's SelectRequest. The
+// decoder runs with DisallowUnknownFields: a request carrying a field this
+// router does not know could change the response without changing the key,
+// so it is forwarded uncached instead of risking a wrong-bytes collision.
+type edgeSelectRequest struct {
+	Category       string            `json:"category"`
+	Target         string            `json:"target"`
+	Aspects        []json.RawMessage `json:"aspects"`
+	Items          []json.RawMessage `json:"items"`
+	Algorithm      string            `json:"algorithm"`
+	M              int               `json:"m"`
+	Lambda         float64           `json:"lambda"`
+	Mu             float64           `json:"mu"`
+	MaxComparative int               `json:"max_comparative"`
+	K              int               `json:"k"`
+	Method         string            `json:"method"`
+	Summarize      int               `json:"summarize"`
+	Explain        int               `json:"explain"`
+	Metrics        bool              `json:"metrics"`
+	// TimeoutMS is parsed so it does not trip DisallowUnknownFields, and
+	// deliberately excluded from the key: it bounds computation time, never
+	// the result bytes (the router rewrites it per attempt anyway).
+	TimeoutMS int `json:"timeout_ms"`
+}
+
+// edgeSelectKey builds the canonical cache key of a select body, applying
+// the same defaults the worker applies (algorithm, shortlist method) so
+// requests that differ only in spelling share an entry. ok is false for
+// bodies the edge must not cache: inline instances, missing corpus
+// references, or fields this router version does not know.
+func edgeSelectKey(body []byte) (key string, ok bool) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req edgeSelectRequest
+	if err := dec.Decode(&req); err != nil {
+		return "", false
+	}
+	if req.Category == "" || req.Target == "" || len(req.Items) > 0 || len(req.Aspects) > 0 {
+		return "", false
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "CompaReSetS+"
+	}
+	if req.K > 0 && req.Method == "" {
+		req.Method = "greedy"
+	}
+	var b strings.Builder
+	b.Grow(160)
+	b.WriteString(edgeKeyVersion)
+	sep := func(field, val string) {
+		b.WriteByte('|')
+		b.WriteString(field)
+		b.WriteByte('=')
+		b.WriteString(val)
+	}
+	sep("cat", req.Category)
+	sep("tgt", req.Target)
+	sep("alg", req.Algorithm)
+	sep("m", strconv.Itoa(req.M))
+	sep("l", strconv.FormatFloat(req.Lambda, 'g', -1, 64))
+	sep("mu", strconv.FormatFloat(req.Mu, 'g', -1, 64))
+	sep("maxc", strconv.Itoa(req.MaxComparative))
+	sep("k", strconv.Itoa(req.K))
+	if req.K > 0 {
+		sep("meth", req.Method)
+	}
+	sep("sum", strconv.Itoa(req.Summarize))
+	sep("exp", strconv.Itoa(req.Explain))
+	sep("met", strconv.FormatBool(req.Metrics))
+	return b.String(), true
+}
+
+// Worker-side markers of responses that are correct but not canonical: a
+// stale-while-error serve or a shed exact shortlist. The worker never
+// caches them, and neither does the edge — caching one would freeze the
+// degradation. The raw byte sequences cannot occur inside a JSON string
+// value (the quote characters would be escaped), so a contains check is
+// exact.
+var (
+	edgeDegradedMarker = []byte(`"degraded":true`)
+	edgeOptimalMarker  = []byte(`"optimal":false`)
+)
+
+// edgeCacheable reports whether a 200 payload may be memoized at the edge.
+func edgeCacheable(payload []byte) bool {
+	return !bytes.Contains(payload, edgeDegradedMarker) &&
+		!bytes.Contains(payload, edgeOptimalMarker)
+}
+
+// edgeCategoryState is the router's reconciled view of one category's cache
+// lineage, fed exclusively by quorum mutation receipts and flush events.
+type edgeCategoryState struct {
+	// fp is the corpus-fingerprint suffix of the category's epoch token as
+	// last reported by a quorum receipt ("" until the first write).
+	fp string
+	// gens is the per-item mutation generation vector.
+	gens map[string]uint64
+	// flushes counts conservative category-wide invalidations.
+	flushes uint64
+	// token caches the state hash so the read hot path is one map lookup.
+	token string
+}
+
+// recompute rebuilds the cached token from fp, flushes, and the generation
+// vector. Items are folded in sorted order so the hash is deterministic.
+func (st *edgeCategoryState) recompute() {
+	h := fnv.New64a()
+	h.Write([]byte(st.fp))
+	var buf [8]byte
+	putUint64(buf[:], st.flushes)
+	h.Write(buf[:])
+	items := make([]string, 0, len(st.gens))
+	for it := range st.gens {
+		items = append(items, it)
+	}
+	sort.Strings(items)
+	for _, it := range items {
+		h.Write([]byte(it))
+		putUint64(buf[:], st.gens[it])
+		h.Write(buf[:])
+	}
+	st.token = strconv.FormatUint(h.Sum64(), 16)
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// edgeCache is the router's response cache plus the cross-replica flight
+// group that coalesces identical concurrent cold reads into one upstream
+// exchange.
+type edgeCache struct {
+	cache   *servecache.Cache
+	flights *servecache.FlightGroup
+
+	mu   sync.Mutex
+	cats map[string]*edgeCategoryState
+
+	invalidations func(scope string)
+}
+
+// newEdgeCache builds the edge tier with the given byte budget, recording
+// hit/miss/eviction and coalescing counters into reg under the
+// "router_edge" and "router_edge_flight" cache labels.
+func newEdgeCache(budget int64, reg *obs.Registry) *edgeCache {
+	if budget <= 0 {
+		budget = DefaultEdgeCacheBytes
+	}
+	e := &edgeCache{
+		cache:   servecache.New(budget, 0, obs.NewCacheMetrics(reg, "router_edge")),
+		flights: servecache.NewFlightGroup(obs.NewCacheMetrics(reg, "router_edge_flight")),
+		cats:    map[string]*edgeCategoryState{},
+	}
+	e.invalidations = func(scope string) {
+		reg.Counter("comparesets_router_edge_invalidations_total",
+			"Edge-cache invalidations by scope: receipt (exact re-key) or flush (conservative category drop).",
+			obs.Labels{"scope": scope}).Inc()
+	}
+	return e
+}
+
+// key suffixes the canonical request key with the category's current state
+// token, making every receipt or flush an O(1) whole-lineage invalidation.
+func (e *edgeCache) key(category, canonical string) string {
+	e.mu.Lock()
+	st := e.cats[category]
+	var token string
+	if st != nil {
+		token = st.token
+	}
+	e.mu.Unlock()
+	return canonical + "|st=" + token
+}
+
+// state returns the category's state slot, creating it if needed. Caller
+// holds e.mu.
+func (e *edgeCache) state(category string) *edgeCategoryState {
+	st := e.cats[category]
+	if st == nil {
+		st = &edgeCategoryState{gens: map[string]uint64{}}
+		e.cats[category] = st
+	}
+	return st
+}
+
+// edgeReceipt is the slice of a MutationReceipt the edge consumes.
+type edgeReceipt struct {
+	Epoch         string   `json:"epoch"`
+	Generation    uint64   `json:"generation"`
+	Item          string   `json:"item"`
+	AffectedItems []string `json:"affected_items"`
+}
+
+// applyReceipt advances the category's state from a quorum-confirmed
+// mutation receipt: the epoch's fingerprint suffix replaces the reconciled
+// fingerprint (a changed fingerprint means the workers reloaded the corpus,
+// so the generation vector starts over) and the touched item's generation
+// is recorded. Receipts the edge cannot interpret exactly — unparseable, or
+// touching several items with a single generation — degrade to a
+// conservative flush.
+func (e *edgeCache) applyReceipt(category string, receipt []byte) {
+	var rec edgeReceipt
+	if err := json.Unmarshal(receipt, &rec); err != nil {
+		e.flush(category)
+		return
+	}
+	item := rec.Item
+	if n := len(rec.AffectedItems); n == 1 {
+		item = rec.AffectedItems[0]
+	} else if n > 1 {
+		e.flush(category)
+		return
+	}
+	if item == "" || rec.Generation == 0 {
+		e.flush(category)
+		return
+	}
+	fp := rec.Epoch
+	if i := strings.LastIndexByte(rec.Epoch, '.'); i >= 0 {
+		fp = rec.Epoch[i+1:]
+	}
+	e.mu.Lock()
+	st := e.state(category)
+	if st.fp != fp {
+		st.fp = fp
+		st.gens = map[string]uint64{}
+	}
+	st.gens[item] = rec.Generation
+	st.recompute()
+	e.mu.Unlock()
+	e.invalidations("receipt")
+}
+
+// flush conservatively invalidates the category's whole edge lineage: the
+// flush sequence is folded into the state token, so every existing key of
+// the category becomes unreachable at once.
+func (e *edgeCache) flush(category string) {
+	e.mu.Lock()
+	st := e.state(category)
+	st.flushes++
+	st.recompute()
+	e.mu.Unlock()
+	e.invalidations("flush")
+}

@@ -27,6 +27,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -72,9 +73,24 @@ type RouterOptions struct {
 	Breaker     BreakerConfig
 	RetryBudget RetryBudgetConfig
 	Backoff     BackoffConfig
-	// Client is the upstream HTTP client (default: pooled, no global
-	// timeout — deadlines come from request contexts).
+	// Client is the upstream HTTP client. When nil a tuned pooled client is
+	// built from UpstreamIdleConns and UpstreamTimeout.
 	Client *http.Client
+	// UpstreamIdleConns is MaxIdleConnsPerHost on the default upstream
+	// transport, sized for replica fan-out under concurrency (default 32).
+	// Ignored when Client is set.
+	UpstreamIdleConns int
+	// UpstreamTimeout is the default upstream client's backstop timeout —
+	// per-request contexts carry the real deadlines, this only bounds a
+	// wedged exchange (default 2×DefaultTimeout). Ignored when Client is
+	// set.
+	UpstreamTimeout time.Duration
+	// EdgeCacheBytes is the edge response-cache budget (default
+	// DefaultEdgeCacheBytes).
+	EdgeCacheBytes int64
+	// EdgeCacheDisabled turns the edge response cache and cold-read
+	// coalescing off; every read takes the plain proxied path.
+	EdgeCacheDisabled bool
 	// Registry receives router metrics (default obs.NewRegistry(), so
 	// in-process tests don't collide with worker registries).
 	Registry *obs.Registry
@@ -100,8 +116,25 @@ func (o RouterOptions) withDefaults() RouterOptions {
 	if o.DefaultTimeout <= 0 {
 		o.DefaultTimeout = 30 * time.Second
 	}
+	if o.UpstreamIdleConns <= 0 {
+		o.UpstreamIdleConns = 32
+	}
+	if o.UpstreamTimeout <= 0 {
+		o.UpstreamTimeout = 2 * o.DefaultTimeout
+	}
 	if o.Client == nil {
-		o.Client = &http.Client{}
+		backends := len(o.Backends)
+		if backends < 1 {
+			backends = 1
+		}
+		o.Client = &http.Client{
+			Timeout: o.UpstreamTimeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        o.UpstreamIdleConns * backends,
+				MaxIdleConnsPerHost: o.UpstreamIdleConns,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
 	}
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
@@ -137,6 +170,7 @@ type Router struct {
 	backoff  BackoffConfig
 	reg      *obs.Registry
 	logger   *log.Logger
+	edge     *edgeCache // nil when EdgeCacheDisabled
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -164,6 +198,9 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		rng:       rand.New(rand.NewSource(opts.Seed)),
 		catLocks:  map[string]*sync.Mutex{},
 		divergent: map[string]bool{},
+	}
+	if !opts.EdgeCacheDisabled {
+		rt.edge = newEdgeCache(opts.EdgeCacheBytes, rt.reg)
 	}
 	for _, addr := range opts.Backends {
 		b := newBackend(addr, opts.Breaker)
@@ -267,6 +304,12 @@ func (rt *Router) markDivergent(addr, category, why string) {
 			"Replicas drained from a category after a missed or mismatched mutation.",
 			obs.Labels{"backend": addr}).Inc()
 		rt.logger.Printf("router: divergent replica %s for %q: %s", addr, category, why)
+		// A replica just proved the category's replica set is not in one
+		// state; whatever the edge memoized for it is no longer provably
+		// current.
+		if rt.edge != nil {
+			rt.edge.flush(category)
+		}
 	}
 }
 
@@ -286,6 +329,11 @@ func (rt *Router) clearDivergent(addr, category string) {
 			"Replicas readmitted to a category's reads after a quorum-matching receipt.",
 			obs.Labels{"backend": addr}).Inc()
 		rt.logger.Printf("router: replica %s reconverged for %q; readmitted to reads", addr, category)
+		// The readmitted replica changes who answers reads; flush so the
+		// first post-rejoin serves are proxied rather than replayed.
+		if rt.edge != nil {
+			rt.edge.flush(category)
+		}
 	}
 }
 
@@ -336,13 +384,43 @@ type fwdResp struct {
 	body        []byte
 }
 
+// fwdError carries a deterministic but non-cacheable upstream answer
+// through the flight group's ([]byte, error) result contract, so every
+// coalesced waiter replays the same fwdResp verbatim.
+type fwdError struct{ resp *fwdResp }
+
+func (e *fwdError) Error() string {
+	return fmt.Sprintf("upstream answered %d", e.resp.status)
+}
+
+// bodyBufPool recycles the scratch buffers that drain request and upstream
+// bodies. io.ReadAll grows and abandons a fresh buffer per attempt; under
+// retry/hedge fan-out that garbage dominates the router's allocation
+// profile, so bodies are drained through a pooled buffer and copied out at
+// exact size instead.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readAllPooled drains r through a pooled scratch buffer and returns an
+// exact-size copy of the bytes.
+func readAllPooled(r io.Reader) ([]byte, error) {
+	buf := bodyBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bodyBufPool.Put(buf)
+	if _, err := buf.ReadFrom(r); err != nil {
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
 func (rt *Router) doAttempt(ctx context.Context, addr, method, pathAndQuery string, body []byte, contentType string) (*fwdResp, error) {
 	if err := faultinject.CheckCtx(ctx, faultinject.PointRouterForward); err != nil {
 		return nil, err
 	}
 	var rd io.Reader
 	if body != nil {
-		rd = strings.NewReader(string(body))
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, addr+pathAndQuery, rd)
 	if err != nil {
@@ -356,7 +434,7 @@ func (rt *Router) doAttempt(ctx context.Context, addr, method, pathAndQuery stri
 		return nil, err
 	}
 	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
+	b, err := readAllPooled(resp.Body)
 	if err != nil {
 		return nil, fmt.Errorf("reading upstream body: %w", err)
 	}
@@ -368,7 +446,9 @@ func (rt *Router) doAttempt(ctx context.Context, addr, method, pathAndQuery stri
 	}, nil
 }
 
-func writeFwd(w http.ResponseWriter, f *fwdResp) {
+// writeFwd replays a buffered answer to the client. A failed body write
+// means the client went away mid-response — counted, not silently dropped.
+func (rt *Router) writeFwd(w http.ResponseWriter, f *fwdResp) {
 	if f.contentType != "" {
 		w.Header().Set("Content-Type", f.contentType)
 	}
@@ -376,14 +456,24 @@ func writeFwd(w http.ResponseWriter, f *fwdResp) {
 		w.Header().Set("Retry-After", f.retryAfter)
 	}
 	w.WriteHeader(f.status)
-	w.Write(f.body)
+	if _, err := w.Write(f.body); err != nil {
+		rt.countClientAbort("forward")
+	}
 }
 
-// writeErr emits the service's error envelope so router-originated errors
-// are indistinguishable in shape from worker ones.
-func writeErr(w http.ResponseWriter, status int, code, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
+// countClientAbort accounts a response the client abandoned mid-write —
+// the routing tier's counterpart of the worker's
+// comparesets_client_aborts_total.
+func (rt *Router) countClientAbort(route string) {
+	rt.reg.Counter("comparesets_router_client_aborts_total",
+		"Responses abandoned by the client mid-write (499-style), by route.",
+		obs.Labels{"route": route}).Inc()
+}
+
+// errResp builds a router-originated error in the service's envelope shape
+// as a replayable fwdResp, so router errors are indistinguishable in shape
+// from worker ones whichever path writes them.
+func errResp(status int, code, msg string) *fwdResp {
 	env := struct {
 		Error struct {
 			Code    string `json:"code"`
@@ -392,7 +482,16 @@ func writeErr(w http.ResponseWriter, status int, code, msg string) {
 	}{}
 	env.Error.Code = code
 	env.Error.Message = msg
-	json.NewEncoder(w).Encode(env)
+	b, _ := json.Marshal(env)
+	return &fwdResp{status: status, contentType: "application/json", body: append(b, '\n')}
+}
+
+// writeErr emits the service's error envelope for router-originated errors.
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	f := errResp(status, code, msg)
+	w.Header().Set("Content-Type", f.contentType)
+	w.WriteHeader(f.status)
+	w.Write(f.body)
 }
 
 func (rt *Router) countForward(addr, outcome string) {
@@ -410,9 +509,10 @@ func (rt *Router) countRoute(route string) {
 // --- read path --------------------------------------------------------------
 
 // handleRead forwards select/extract bodies with the full resilience stack.
+// Select bodies the router can prove cacheable take the edge fast path.
 func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
 	rt.countRoute("read")
-	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	body, err := readAllPooled(io.LimitReader(r.Body, 8<<20))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad_request", "reading request body: "+err.Error())
 		return
@@ -425,7 +525,90 @@ func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
 		return
 	}
+	if rt.edge != nil && r.URL.Path == "/api/v1/select" {
+		if canonical, ok := edgeSelectKey(body); ok {
+			rt.serveEdge(w, r, peek.Category, canonical, body, peek.TimeoutMS)
+			return
+		}
+	}
 	rt.forwardRead(w, r, peek.Category, r.URL.RequestURI(), body, peek.TimeoutMS)
+}
+
+// serveEdge answers a cacheable select at the edge: warm hits are written
+// straight from the response cache in microseconds, and identical
+// concurrent cold reads are coalesced into one proxied flight whose
+// canonical 200 result is memoized under the category's current state
+// token.
+func (rt *Router) serveEdge(w http.ResponseWriter, r *http.Request, category, canonical string, body []byte, timeoutMS int) {
+	key := rt.edge.key(category, canonical)
+	if payload, ok := rt.edge.cache.Get(key); ok {
+		span := obs.StartStage(obs.StageRouterEdge)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if _, err := w.Write(payload); err != nil {
+			rt.countClientAbort("edge")
+		}
+		span.Stop()
+		return
+	}
+
+	budgetDur := rt.opts.DefaultTimeout
+	if timeoutMS > 0 {
+		budgetDur = time.Duration(timeoutMS) * time.Millisecond
+	}
+	deadline := time.Now().Add(budgetDur)
+	method := r.Method
+	pathAndQuery := r.URL.RequestURI()
+	contentType := r.Header.Get("Content-Type")
+
+	// Each participant bounds its own wait by its own deadline; the flight
+	// itself runs detached with the leader's deadline, so a short-fused
+	// waiter leaving early never cancels work others still want.
+	wctx, cancel := context.WithDeadline(r.Context(), deadline)
+	defer cancel()
+	val, _, err := rt.edge.flights.Do(wctx, key, func(fctx context.Context) ([]byte, error) {
+		span := obs.StartStage(obs.StageRouterForward)
+		defer span.Stop()
+		ctx, cancel := context.WithDeadline(fctx, deadline)
+		defer cancel()
+		resp, perr := rt.proxyRead(ctx, fctx, method, category, pathAndQuery, body, contentType, timeoutMS, deadline)
+		if perr != nil {
+			return nil, perr
+		}
+		if resp.status == http.StatusOK && edgeCacheable(resp.body) {
+			rt.edge.cache.Put(key, resp.body)
+			return resp.body, nil
+		}
+		// Deterministic but not canonical (4xx, degraded, shed): replayed to
+		// every waiter, never memoized.
+		return nil, &fwdError{resp: resp}
+	})
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if _, werr := w.Write(val); werr != nil {
+			rt.countClientAbort("edge")
+		}
+	case errors.Is(err, faultinject.ErrConnDrop):
+		abortConn(w)
+	default:
+		var fe *fwdError
+		if errors.As(err, &fe) {
+			rt.writeFwd(w, fe.resp)
+			return
+		}
+		if r.Context().Err() != nil {
+			writeErr(w, 499, "client_closed", "client closed request")
+			return
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			writeErr(w, http.StatusGatewayTimeout, "deadline_exceeded", "deadline exhausted routing to "+category)
+			return
+		}
+		// Panicked or abandoned flight: nothing deterministic to replay.
+		writeErr(w, http.StatusBadGateway, "internal", "edge flight failed: "+err.Error())
+	}
 }
 
 // handleTargets routes the idempotent targets listing by its category query
@@ -435,26 +618,47 @@ func (rt *Router) handleTargets(w http.ResponseWriter, r *http.Request) {
 	rt.forwardRead(w, r, r.URL.Query().Get("category"), r.URL.RequestURI(), nil, 0)
 }
 
-// forwardRead is the resilient idempotent-read engine: health-ordered
-// candidates, breaker gating, budgeted retries with jittered backoff,
-// p95-armed hedging, and deadline propagation.
+// forwardRead runs the resilient proxy engine against the client's request
+// and replays its outcome: the uncached read path.
 func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, category, pathAndQuery string, body []byte, timeoutMS int) {
 	span := obs.StartStage(obs.StageRouterForward)
 	defer span.Stop()
 
-	start := time.Now()
 	budgetDur := rt.opts.DefaultTimeout
 	if timeoutMS > 0 {
 		budgetDur = time.Duration(timeoutMS) * time.Millisecond
 	}
-	deadline := start.Add(budgetDur)
+	deadline := time.Now().Add(budgetDur)
 	ctx, cancel := context.WithDeadline(r.Context(), deadline)
 	defer cancel()
 
+	resp, err := rt.proxyRead(ctx, r.Context(), r.Method, category, pathAndQuery, body, r.Header.Get("Content-Type"), timeoutMS, deadline)
+	if err != nil {
+		if errors.Is(err, faultinject.ErrConnDrop) {
+			// Injected router crash: tear the client connection down
+			// mid-request instead of answering.
+			abortConn(w)
+			return
+		}
+		writeErr(w, 499, "client_closed", "client closed request")
+		return
+	}
+	rt.writeFwd(w, resp)
+}
+
+// proxyRead is the resilient idempotent-read engine: health-ordered
+// candidates, breaker gating, budgeted retries with jittered backoff,
+// p95-armed hedging, and deadline propagation. Every deterministic outcome
+// — an upstream answer or a router-originated 502/503/504 envelope — comes
+// back as a replayable *fwdResp so callers (direct or coalesced behind a
+// flight) write identical bytes. An error means nothing is replayable: the
+// parent context was abandoned, or an injected fault wants the connection
+// torn down. parent distinguishes caller abandonment from deadline
+// exhaustion when ctx fires.
+func (rt *Router) proxyRead(ctx, parent context.Context, method, category, pathAndQuery string, body []byte, contentType string, timeoutMS int, deadline time.Time) (*fwdResp, error) {
 	cands := rt.readCandidates(category)
 	if len(cands) == 0 {
-		writeErr(w, http.StatusServiceUnavailable, "overloaded", "no replicas for category "+category)
-		return
+		return errResp(http.StatusServiceUnavailable, "overloaded", "no replicas for category "+category), nil
 	}
 
 	// attemptBody rewrites timeout_ms to the remaining deadline budget so an
@@ -492,7 +696,7 @@ func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, category, 
 			ab := attemptBody()
 			go func(addr string, ab []byte) {
 				attemptStart := time.Now()
-				resp, err := rt.doAttempt(ctx, addr, r.Method, pathAndQuery, ab, r.Header.Get("Content-Type"))
+				resp, err := rt.doAttempt(ctx, addr, method, pathAndQuery, ab, contentType)
 				results <- attemptRes{addr, attemptStart, resp, err}
 			}(addr, ab)
 			return addr, true
@@ -529,11 +733,11 @@ func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, category, 
 		}
 	}
 
-	// Whatever way this handler exits — answered, deadline, client gone,
+	// Whatever way this engine exits — answered, deadline, caller gone,
 	// injected conn-drop — in-flight attempts must not be dropped on the
 	// floor: each holds a breaker slot that only settle releases. The
-	// deferred cancel (registered earlier, so it runs after this) aborts
-	// their transports, keeping the drain short-lived.
+	// caller's deferred cancel (registered before the call, so it runs
+	// after this) aborts their transports, keeping the drain short-lived.
 	defer func() {
 		remaining := inflight
 		if remaining == 0 {
@@ -548,8 +752,7 @@ func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, category, 
 
 	first, ok := launch()
 	if !ok {
-		writeErr(w, http.StatusServiceUnavailable, "overloaded", "all replicas circuit-broken for category "+category)
-		return
+		return errResp(http.StatusServiceUnavailable, "overloaded", "all replicas circuit-broken for category "+category), nil
 	}
 
 	var hedgeC <-chan time.Time
@@ -564,12 +767,10 @@ func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, category, 
 	for {
 		select {
 		case <-ctx.Done():
-			if r.Context().Err() != nil {
-				writeErr(w, 499, "client_closed", "client closed request")
-				return
+			if parent.Err() != nil {
+				return nil, parent.Err()
 			}
-			writeErr(w, http.StatusGatewayTimeout, "deadline_exceeded", "deadline exhausted routing to "+category)
-			return
+			return errResp(http.StatusGatewayTimeout, "deadline_exceeded", "deadline exhausted routing to "+category), nil
 		case <-hedgeC:
 			hedgeC = nil
 			if launched < maxLaunches && rt.budget.Withdraw() {
@@ -585,10 +786,7 @@ func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, category, 
 		case res := <-results:
 			inflight--
 			if res.err != nil && errors.Is(res.err, faultinject.ErrConnDrop) {
-				// Injected router crash: tear the client connection down
-				// mid-request instead of answering.
-				abortConn(w)
-				return
+				return nil, res.err
 			}
 			b := rt.backends[res.addr]
 			switch {
@@ -614,8 +812,7 @@ func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, category, 
 				rt.budget.Deposit()
 				b.lat.observe(time.Since(res.start))
 				rt.countForward(res.addr, "ok")
-				writeFwd(w, res.resp)
-				return
+				return res.resp, nil
 			}
 			if inflight > 0 {
 				continue // a hedge may still succeed
@@ -623,8 +820,10 @@ func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, category, 
 			if launched < maxLaunches && rt.budget.Withdraw() {
 				if !sleepCtx(ctx, rt.jitterDelay(launched)) {
 					rt.budget.Refund()
-					writeErr(w, http.StatusGatewayTimeout, "deadline_exceeded", "deadline exhausted routing to "+category)
-					return
+					if parent.Err() != nil {
+						return nil, parent.Err()
+					}
+					return errResp(http.StatusGatewayTimeout, "deadline_exceeded", "deadline exhausted routing to "+category), nil
 				}
 				if _, ok := launch(); ok {
 					rt.reg.Counter("comparesets_router_retries_total",
@@ -634,11 +833,9 @@ func (rt *Router) forwardRead(w http.ResponseWriter, r *http.Request, category, 
 				rt.budget.Refund()
 			}
 			if lastFail != nil {
-				writeFwd(w, lastFail)
-				return
+				return lastFail, nil
 			}
-			writeErr(w, http.StatusBadGateway, "internal", "all replicas failed: "+lastErr.Error())
-			return
+			return errResp(http.StatusBadGateway, "internal", "all replicas failed: "+lastErr.Error()), nil
 		}
 	}
 }
@@ -670,7 +867,7 @@ func receiptIdentity(body []byte) (fingerprint string, generation uint64, ok boo
 func (rt *Router) handleMutation(w http.ResponseWriter, r *http.Request) {
 	rt.countRoute("mutate")
 	category := r.PathValue("category")
-	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	body, err := readAllPooled(io.LimitReader(r.Body, 8<<20))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad_request", "reading request body: "+err.Error())
 		return
@@ -744,8 +941,15 @@ func (rt *Router) handleMutation(w http.ResponseWriter, r *http.Request) {
 		}
 		rt.countMutation("error")
 		if unanimous && proto != nil {
-			writeFwd(w, proto)
+			// A unanimous deterministic rejection changed no replica's state;
+			// the edge cache stays intact.
+			rt.writeFwd(w, proto)
 			return
+		}
+		// Some replica may have partially applied the write before failing;
+		// the edge cannot tell, so the whole category is flushed.
+		if rt.edge != nil {
+			rt.edge.flush(category)
 		}
 		writeErr(w, http.StatusBadGateway, "internal", "mutation failed on all replicas of "+category)
 		return
@@ -790,8 +994,14 @@ func (rt *Router) handleMutation(w http.ResponseWriter, r *http.Request) {
 		// reference replica's own state is quorum-confirmed too.
 		rt.clearDivergent(ref.addr, category)
 	}
+	// Advance the edge cache's view of the category before the client sees
+	// the mutation's receipt — still inside the category lock, so a read
+	// admitted after this response can never replay pre-mutation bytes.
+	if rt.edge != nil {
+		rt.edge.applyReceipt(category, ref.resp.body)
+	}
 	rt.countMutation(outcome)
-	writeFwd(w, ref.resp)
+	rt.writeFwd(w, ref.resp)
 }
 
 func (rt *Router) countMutation(outcome string) {
@@ -907,7 +1117,11 @@ func (rt *Router) handleSnapshotProxy(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if resp.StatusCode != http.StatusOK {
-			io.Copy(io.Discard, resp.Body)
+			// Drain so the pooled connection is reusable; a torn drain only
+			// costs this one connection, but should not pass silently.
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				rt.logger.Printf("router: snapshot proxy: draining %s error body: %v", addr, err)
+			}
 			resp.Body.Close()
 			lastErr = fmt.Errorf("backend %s: status %d", addr, resp.StatusCode)
 			continue
@@ -919,7 +1133,16 @@ func (rt *Router) handleSnapshotProxy(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Length", cl)
 		}
 		w.WriteHeader(http.StatusOK)
-		io.Copy(w, resp.Body)
+		if _, err := io.Copy(w, resp.Body); err != nil {
+			// Distinguish the joiner hanging up (499-style, accounted) from a
+			// torn upstream stream (the joiner's record-count check makes it
+			// retry safely; log for the operator).
+			if r.Context().Err() != nil {
+				rt.countClientAbort("snapshot")
+			} else {
+				rt.logger.Printf("router: snapshot proxy: stream from %s torn: %v", addr, err)
+			}
+		}
 		resp.Body.Close()
 		return
 	}

@@ -161,7 +161,11 @@ func (w logWriter) Write(p []byte) (int, error) {
 
 func TestRouterRetriesPastFailingPrimary(t *testing.T) {
 	workers := []*mockWorker{newMockWorker(t), newMockWorker(t)}
-	rt, ts, byAddr := newTestRouter(t, workers, nil)
+	// Edge cache off: this test needs every select to reach the proxied
+	// path so the failing primary keeps accumulating breaker strikes.
+	rt, ts, byAddr := newTestRouter(t, workers, func(o *RouterOptions) {
+		o.EdgeCacheDisabled = true
+	})
 
 	// Make the category's primary the failing replica so the first attempt
 	// always needs a retry.
@@ -280,7 +284,11 @@ func TestRouterHedgesSlowPrimary(t *testing.T) {
 
 func TestRouterMutationFanoutMarksDivergentAndDrains(t *testing.T) {
 	workers := []*mockWorker{newMockWorker(t), newMockWorker(t), newMockWorker(t)}
-	rt, ts, byAddr := newTestRouter(t, workers, nil)
+	// Edge cache off so all ten post-divergence selects are proxied and the
+	// drain assertion sees real routing decisions, not warm hits.
+	rt, ts, byAddr := newTestRouter(t, workers, func(o *RouterOptions) {
+		o.EdgeCacheDisabled = true
+	})
 	placement := rt.Ring().Placement("Cameras")
 	bad := byAddr[placement[1]]
 	bad.failMutate.Store(true)
@@ -382,6 +390,8 @@ func TestRouterAbandonedProbeDoesNotWedgeHalfOpenBreaker(t *testing.T) {
 	workers := []*mockWorker{newMockWorker(t), newMockWorker(t)}
 	rt, ts, byAddr := newTestRouter(t, workers, func(o *RouterOptions) {
 		o.HedgeDelay = 5 * time.Millisecond
+		// Edge cache off: every select must probe the half-open primary.
+		o.EdgeCacheDisabled = true
 	})
 	primary := rt.Ring().Placement("Cameras")[0]
 	pw := byAddr[primary]

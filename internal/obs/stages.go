@@ -40,6 +40,9 @@ const (
 	// distributed tier — forward, wait, copy response — excluding router-side
 	// queueing and retries (internal/cluster).
 	StageRouterForward = "router_forward"
+	// StageRouterEdge is one warm read answered from the router's edge
+	// response cache without touching a backend (internal/cluster).
+	StageRouterEdge = "router_edge"
 	// StageSnapshotShip is one corpus snapshot transfer: manifest encode
 	// plus CSLG log streaming on the serving side (internal/cluster).
 	StageSnapshotShip = "snapshot_ship"
@@ -56,7 +59,7 @@ func Default() *Registry { return defaultRegistry }
 // stageHists is populated once at init and read-only afterwards, so the
 // hot-path lookup in ObserveStage is a plain map read with no locking.
 var stageHists = func() map[string]*Histogram {
-	known := []string{StageFeatureBuild, StageNOMP, StageNNLS, StageSweep, StageShortlist, StageShortlistExact, StagePrecompute, StageBatchGroup, StageMutateApply, StageRouterForward, StageSnapshotShip}
+	known := []string{StageFeatureBuild, StageNOMP, StageNNLS, StageSweep, StageShortlist, StageShortlistExact, StagePrecompute, StageBatchGroup, StageMutateApply, StageRouterForward, StageRouterEdge, StageSnapshotShip}
 	m := make(map[string]*Histogram, len(known))
 	for _, stage := range known {
 		m[stage] = defaultRegistry.Histogram(stageMetricName,
